@@ -1,0 +1,191 @@
+(* Benchmark & experiment harness.
+
+   One driver per paper artifact (see DESIGN.md experiment index):
+     E1 study        — Figure 1 + §2.1 statistics
+     E2 zk-ephemeral — Figures 2-3 walkthrough
+     E3 comparison   — Figure 4
+     E4 workflow     — Figure 5
+     E5 generalize   — Figure 6
+     E6/E7 unknown   — §4 Bugs #1 and #2
+     E8 ablations    — §3.2 mechanism knobs
+     E9 noise        — §5 open question (i)
+     CI              — the vision: gated histories for all 16 cases
+     micro           — Bechamel micro-benchmarks of every engine component
+
+   `bench/main.exe` with no arguments runs everything;
+   `--experiment <name>` selects one. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" (String.make 78 '=') title;
+  print_endline (String.make 78 '=')
+
+let run_study () =
+  section "E1: regression study (Figure 1)";
+  print_string (Lisa.Study.print (Lisa.Study.run ()))
+
+let run_zk () =
+  section "E2: ZooKeeper ephemeral nodes (Figures 2-3)";
+  print_endline
+    (Lisa.Experiments.Zk_ephemeral.print (Lisa.Experiments.Zk_ephemeral.run ()))
+
+let run_comparison () =
+  section "E3: testing vs LISA vs verification (Figure 4)";
+  print_string (Lisa.Compare.print (Lisa.Compare.run ()))
+
+let run_workflow () =
+  section "E4: end-to-end workflow (Figure 5)";
+  print_string (Lisa.Experiments.Workflow.run ())
+
+let run_generalize () =
+  section "E5: rule generalization (Figure 6)";
+  print_string
+    (Lisa.Experiments.Generalization.print (Lisa.Experiments.Generalization.run ()))
+
+let run_unknown () =
+  section "E6/E7: previously-unknown bugs in latest releases (Section 4)";
+  print_string
+    (Lisa.Experiments.Unknown_bugs.print (Lisa.Experiments.Unknown_bugs.run ()))
+
+let run_ablations () =
+  section "E8: mechanism ablations";
+  print_string (Lisa.Ablation.print (Lisa.Ablation.run ()))
+
+let run_noise () =
+  section "E9: LLM noise vs cross-checking (Section 5)";
+  print_string (Lisa.Experiments.Noise.print (Lisa.Experiments.Noise.run ()))
+
+let run_system_scan () =
+  section "E11: whole-system enforcement on assembled releases";
+  print_string (Lisa.System_scan.print (Lisa.System_scan.run ()))
+
+let run_composition () =
+  section "E10: composing low-level semantics into high-level guarantees (Section 5)";
+  print_string (Lisa.Composition.print (Lisa.Composition.run ()))
+
+let run_ci () =
+  section "CI: gated version histories (the executable-contract vision)";
+  let blocked = ref 0 in
+  List.iter
+    (fun (c : Corpus.Case.t) ->
+      let r = Lisa.Ci.replay c in
+      print_endline (Lisa.Ci.run_to_string r);
+      print_newline ();
+      blocked := !blocked + List.length (Lisa.Ci.blocked_stages r))
+    Corpus.Registry.all_cases;
+  Printf.printf "total commits blocked before release across %d histories: %d\n"
+    Corpus.Registry.n_cases !blocked
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let zk_src = (List.hd Corpus.Zookeeper.cases).Corpus.Case.source 3 in
+  let zk_prog = Minilang.Parser.program zk_src in
+  let checker =
+    Smt.Formula.And
+      [
+        Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
+        Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
+        Smt.Formula.gt (Smt.Formula.tvar "Session.ttl") (Smt.Formula.tint 0);
+      ]
+  in
+  let pc =
+    Smt.Formula.And
+      [
+        Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
+        Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
+      ]
+  in
+  let ticket = Corpus.Case.original_ticket (List.hd Corpus.Zookeeper.cases) in
+  let tfidf_docs =
+    List.map
+      (fun (c : Corpus.Case.t) ->
+        { Oracle.Tfidf.doc_id = c.Corpus.Case.case_id; text = c.Corpus.Case.source 1 })
+      Corpus.Registry.all_cases
+  in
+  [
+    Test.make ~name:"parser: zk feature module"
+      (Staged.stage (fun () -> ignore (Minilang.Parser.program zk_src)));
+    Test.make ~name:"typecheck: zk feature module"
+      (Staged.stage (fun () -> ignore (Minilang.Typecheck.check_program zk_prog)));
+    Test.make ~name:"interp: zk test suite"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun t -> ignore (Minilang.Interp.run_test zk_prog t))
+             (Minilang.Interp.test_names zk_prog)));
+    Test.make ~name:"concolic: zk test suite"
+      (Staged.stage (fun () ->
+           ignore (Symexec.Concolic.run_all zk_prog (Minilang.Interp.test_names zk_prog))));
+    Test.make ~name:"callgraph: zk feature module"
+      (Staged.stage (fun () -> ignore (Analysis.Callgraph.build zk_prog)));
+    Test.make ~name:"smt: complement check"
+      (Staged.stage (fun () -> ignore (Smt.Solver.check_trace ~pc ~checker)));
+    Test.make ~name:"inference: ZK-1208 ticket"
+      (Staged.stage (fun () -> ignore (Oracle.Inference.infer ticket)));
+    Test.make ~name:"tfidf: build corpus index"
+      (Staged.stage (fun () -> ignore (Oracle.Tfidf.build tfidf_docs)));
+    Test.make ~name:"diff: stage0 vs stage1"
+      (Staged.stage (fun () ->
+           ignore
+             (Diffing.Line_diff.diff ticket.Oracle.Ticket.buggy_source
+                ticket.Oracle.Ticket.patched_source)));
+    Test.make ~name:"pipeline: learn + enforce (zk-ephemeral)"
+      (Staged.stage (fun () ->
+           let outcome = Lisa.Pipeline.learn ticket in
+           let book =
+             Semantics.Rulebook.of_rules ~system:"zookeeper"
+               outcome.Lisa.Pipeline.accepted
+           in
+           ignore (Lisa.Pipeline.enforce zk_prog book)));
+  ]
+
+let run_micro () =
+  section "B0: Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let test = Test.make_grouped ~name:"lisa" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-52s %14.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-52s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+let all_experiments : (string * (unit -> unit)) list =
+  [
+    ("study", run_study);
+    ("zk-ephemeral", run_zk);
+    ("comparison", run_comparison);
+    ("workflow", run_workflow);
+    ("generalize", run_generalize);
+    ("unknown-bugs", run_unknown);
+    ("ablations", run_ablations);
+    ("noise", run_noise);
+    ("system-scan", run_system_scan);
+    ("composition", run_composition);
+    ("ci", run_ci);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--experiment" :: name :: _ -> (
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          exit 1)
+  | _ :: "--list" :: _ -> List.iter (fun (n, _) -> print_endline n) all_experiments
+  | _ -> List.iter (fun (_, f) -> f ()) all_experiments

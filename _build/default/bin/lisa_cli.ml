@@ -1,0 +1,242 @@
+(* lisa — command-line interface to the LISA reproduction.
+
+   Subcommands:
+     corpus            list the incident corpus (cases, bugs, tickets)
+     show-ticket       print one ticket bundle (description, diff, tests)
+     prompt            print the Listing-1 prompt for a ticket
+     infer             run inference on a ticket, print rules + JSON
+     check             learn from a case's first ticket and enforce the
+                       rulebook against a chosen stage
+     ci                replay a case's gated version history
+     run-tests         run a corpus program's test suite (any case/stage)
+     parse             parse and typecheck a MiniJava file from disk *)
+
+open Cmdliner
+
+(* -v / -vv: install a Logs reporter (info / debug) before the command runs *)
+let logs_t : unit Term.t =
+  let setup flags =
+    let level =
+      match List.length flags with
+      | 0 -> None
+      | 1 -> Some Logs.Info
+      | _ -> Some Logs.Debug
+    in
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level level
+  in
+  Term.(
+    const setup
+    $ Arg.(
+        value & flag_all
+        & info [ "v"; "verbose" ] ~doc:"Increase verbosity (repeat for debug)."))
+
+let find_case_exn case_id =
+  match Corpus.Registry.find_case case_id with
+  | Some c -> c
+  | None ->
+      Fmt.epr "unknown case %S. Known cases:@.%a@." case_id
+        (Fmt.list ~sep:Fmt.cut Fmt.string)
+        (List.map (fun (c : Corpus.Case.t) -> c.Corpus.Case.case_id)
+           Corpus.Registry.all_cases);
+      exit 1
+
+let case_arg =
+  let doc = "Corpus case id (e.g. zk-ephemeral). Use `lisa corpus` to list." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE" ~doc)
+
+let stage_arg =
+  let doc = "Stage of the case's history (0 = original buggy version)." in
+  Arg.(value & opt int 2 & info [ "stage" ] ~docv:"N" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run () =
+    Fmt.pr "%-28s %-10s %-6s %-40s@." "case" "system" "bugs" "feature";
+    List.iter
+      (fun (c : Corpus.Case.t) ->
+        Fmt.pr "%-28s %-10s %-6d %-40s@." c.Corpus.Case.case_id c.Corpus.Case.system
+          (Corpus.Case.n_bugs c) c.Corpus.Case.feature)
+      Corpus.Registry.all_cases;
+    Fmt.pr "@.%d cases, %d bugs; %d/%d bugs violate old semantics (%.0f%%)@."
+      Corpus.Registry.n_cases Corpus.Registry.n_bugs
+      Corpus.Registry.n_bugs_violating_old_semantics Corpus.Registry.n_bugs
+      (100. *. Corpus.Registry.old_semantics_share ())
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List the incident corpus")
+    Term.(const run $ const ())
+
+let ticket_of ~which c =
+  let tickets = Corpus.Case.tickets c in
+  match (which, tickets) with
+  | 0, t :: _ -> t
+  | n, ts when n < List.length ts -> List.nth ts n
+  | _ ->
+      Fmt.epr "case has only %d ticket(s)@." (List.length tickets);
+      exit 1
+
+let which_arg =
+  let doc = "Which ticket of the case (0 = original incident)." in
+  Arg.(value & opt int 0 & info [ "ticket" ] ~docv:"N" ~doc)
+
+let show_ticket_cmd =
+  let run case_id which =
+    let t = ticket_of ~which (find_case_exn case_id) in
+    Fmt.pr "%s@.@.description: %s@.@.discussion: %s@.@.regression tests: %s@.@.%s@."
+      (Oracle.Ticket.summary t) t.Oracle.Ticket.description
+      t.Oracle.Ticket.discussion
+      (String.concat ", " t.Oracle.Ticket.regression_tests)
+      (Oracle.Ticket.diff t)
+  in
+  Cmd.v (Cmd.info "show-ticket" ~doc:"Print one ticket bundle")
+    Term.(const run $ case_arg $ which_arg)
+
+let prompt_cmd =
+  let run case_id which =
+    print_endline (Oracle.Prompt.build (ticket_of ~which (find_case_exn case_id)))
+  in
+  Cmd.v (Cmd.info "prompt" ~doc:"Print the Listing-1 prompt for a ticket")
+    Term.(const run $ case_arg $ which_arg)
+
+let infer_cmd =
+  let run case_id which =
+    let t = ticket_of ~which (find_case_exn case_id) in
+    let inf = Oracle.Inference.infer t in
+    Fmt.pr "high-level semantics: %s@.@." inf.Oracle.Inference.inf_high_level;
+    List.iter (fun r -> Fmt.pr "rule: %s@." (Semantics.Rule.to_string r)) inf.Oracle.Inference.inf_rules;
+    Fmt.pr "@.JSON (Listing 1 output format):@.%s@." (Oracle.Inference.to_json inf)
+  in
+  Cmd.v (Cmd.info "infer" ~doc:"Run low-level-semantics inference on a ticket")
+    Term.(const run $ case_arg $ which_arg)
+
+let check_cmd =
+  let run case_id stage =
+    let c = find_case_exn case_id in
+    let outcome = Lisa.Pipeline.learn (Corpus.Case.original_ticket c) in
+    Fmt.pr "learned %d rule(s) from %s:@." (List.length outcome.Lisa.Pipeline.accepted)
+      (Corpus.Case.original_ticket c).Oracle.Ticket.ticket_id;
+    List.iter (fun r -> Fmt.pr "  %s@." (Semantics.Rule.to_string r)) outcome.Lisa.Pipeline.accepted;
+    let book = Semantics.Rulebook.of_rules ~system:c.Corpus.Case.system outcome.Lisa.Pipeline.accepted in
+    let reports = Lisa.Pipeline.enforce (Corpus.Case.program_at c stage) book in
+    Fmt.pr "@.enforcement against stage %d:@." stage;
+    List.iter (fun r -> Fmt.pr "  %s@." (Lisa.Checker.report_summary r)) reports;
+    List.iter
+      (fun (r : Lisa.Checker.rule_report) ->
+        List.iter
+          (fun (t : Lisa.Checker.trace_verdict) ->
+            match t.Lisa.Checker.tv_result with
+            | Smt.Solver.Violation m ->
+                Fmt.pr "  VIOLATION in %s (driven by %s)@.    path condition: %s@.    counterexample: %s@."
+                  t.Lisa.Checker.tv_method t.Lisa.Checker.tv_entry
+                  (Smt.Formula.to_string t.Lisa.Checker.tv_pc)
+                  (Smt.Solver.model_to_string m)
+            | Smt.Solver.Verified -> ())
+          r.Lisa.Checker.rep_violations;
+        List.iter
+          (fun (f : Lisa.Checker.lock_finding) ->
+            Fmt.pr "  LOCK VIOLATION: %s performs %s under a monitor (stmt %d)@."
+              f.Lisa.Checker.lf_method f.Lisa.Checker.lf_op f.Lisa.Checker.lf_sid)
+          r.Lisa.Checker.rep_lock_findings)
+      reports;
+    if not (List.exists Lisa.Checker.has_violations reports) then Fmt.pr "  clean@."
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Learn rules from a case's first incident and enforce them on a stage")
+    Term.(const (fun () c s -> run c s) $ logs_t $ case_arg $ stage_arg)
+
+let report_cmd =
+  let run case_id stage =
+    let c = find_case_exn case_id in
+    let outcome = Lisa.Pipeline.learn (Corpus.Case.original_ticket c) in
+    let book =
+      Semantics.Rulebook.of_rules ~system:c.Corpus.Case.system
+        outcome.Lisa.Pipeline.accepted
+    in
+    let reports = Lisa.Pipeline.enforce (Corpus.Case.program_at c stage) book in
+    print_endline
+      (Lisa.Report.render
+         ~title:(Fmt.str "%s stage %d" case_id stage)
+         reports)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Markdown enforcement report for a case stage")
+    Term.(const (fun () c s -> run c s) $ logs_t $ case_arg $ stage_arg)
+
+let ci_cmd =
+  let run case_id =
+    print_endline (Lisa.Ci.run_to_string (Lisa.Ci.replay (find_case_exn case_id)))
+  in
+  Cmd.v (Cmd.info "ci" ~doc:"Replay a case's gated version history")
+    Term.(const (fun () c -> run c) $ logs_t $ case_arg)
+
+let run_tests_cmd =
+  let run case_id stage =
+    let c = find_case_exn case_id in
+    let p = Corpus.Case.program_at c stage in
+    let failed = ref 0 in
+    List.iter
+      (fun name ->
+        match Minilang.Interp.run_test p name with
+        | Minilang.Interp.Passed -> Fmt.pr "PASS %s@." name
+        | Minilang.Interp.Failed m ->
+            incr failed;
+            Fmt.pr "FAIL %s: %s@." name m
+        | Minilang.Interp.Errored m ->
+            incr failed;
+            Fmt.pr "ERROR %s: %s@." name m)
+      (Minilang.Interp.test_names p);
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "run-tests" ~doc:"Run a corpus stage's test suite")
+    Term.(const run $ case_arg $ stage_arg)
+
+let parse_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniJava source file")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Minilang.Parser.program ~file src with
+    | exception Minilang.Parser.Error (m, loc) ->
+        Fmt.epr "parse error: %s at %a@." m Minilang.Loc.pp loc;
+        exit 1
+    | exception Minilang.Lexer.Error (m, loc) ->
+        Fmt.epr "lex error: %s at %a@." m Minilang.Loc.pp loc;
+        exit 1
+    | p -> (
+        match Minilang.Typecheck.check_program p with
+        | [] ->
+            Fmt.pr "%d class(es), %d function(s); typechecks@."
+              (List.length p.Minilang.Ast.p_classes)
+              (List.length p.Minilang.Ast.p_funcs)
+        | errs ->
+            Fmt.epr "%s@." (Minilang.Typecheck.errors_to_string errs);
+            exit 1)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and typecheck a MiniJava file")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "lisa" ~version:"1.0.0"
+      ~doc:"Prevent cloud-system regression failures with low-level semantics"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            corpus_cmd;
+            show_ticket_cmd;
+            prompt_cmd;
+            infer_cmd;
+            check_cmd;
+            report_cmd;
+            ci_cmd;
+            run_tests_cmd;
+            parse_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ci_gate.ml: Array Corpus Fmt Lisa List Sys

@@ -1,0 +1,1 @@
+examples/composition.ml: Lisa

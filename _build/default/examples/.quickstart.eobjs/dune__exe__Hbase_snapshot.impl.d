@@ -1,0 +1,1 @@
+examples/hbase_snapshot.ml: Corpus Fmt Lisa List Oracle Semantics Smt

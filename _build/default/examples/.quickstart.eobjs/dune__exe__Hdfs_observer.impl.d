@@ -1,0 +1,1 @@
+examples/hdfs_observer.ml: Corpus Fmt Lisa List Minilang Oracle Semantics Smt

@@ -1,0 +1,1 @@
+examples/hdfs_observer.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Lisa List Minilang Semantics Smt

@@ -1,0 +1,1 @@
+examples/rule_dsl.ml: Corpus Fmt Lisa List Semantics Smt

@@ -1,0 +1,1 @@
+examples/rule_dsl.mli:

@@ -1,0 +1,1 @@
+examples/zookeeper_ephemeral.ml: Corpus Fmt Lisa List Minilang Oracle Semantics Smt

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Ast Buffer Builtins Fmt Hashtbl List Minilang

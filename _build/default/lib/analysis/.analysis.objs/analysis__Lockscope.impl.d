@@ -1,0 +1,1 @@
+lib/analysis/lockscope.ml: Ast Builtins Callgraph Fmt List Minilang

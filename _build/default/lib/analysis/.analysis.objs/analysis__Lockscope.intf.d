@@ -1,0 +1,1 @@
+lib/analysis/lockscope.mli: Callgraph Minilang

@@ -1,0 +1,1 @@
+lib/analysis/paths.ml: Ast Callgraph Fmt List Minilang Pretty String

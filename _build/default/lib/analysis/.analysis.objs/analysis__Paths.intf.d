@@ -1,0 +1,1 @@
+lib/analysis/paths.mli: Callgraph Minilang

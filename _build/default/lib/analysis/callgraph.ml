@@ -1,0 +1,125 @@
+(** Interprocedural call graph for MiniJava programs.
+
+    The graph plays the role Soot plays in the paper (§3.2): it roots an
+    *execution tree* at a semantic rule's target statement and enumerates
+    the call chains from entry functions down to the method containing the
+    target.  Method calls are resolved by simple name — MiniJava has no
+    inheritance, so a name resolves to every class that declares it (an
+    over-approximation exactly like a CHA call graph). *)
+
+open Minilang
+
+type node = string (* qualified method name, e.g. "DataTree.createNode" *)
+
+type t = {
+  program : Ast.program;
+  nodes : node list;
+  edges : (node * node) list;  (** caller, callee *)
+}
+
+(* Resolve a simple callee name to qualified method names. *)
+let resolve (p : Ast.program) (simple : string) : node list =
+  (match Ast.find_func p simple with Some _ -> [ simple ] | None -> [])
+  @ List.filter_map
+      (fun (c : Ast.class_decl) ->
+        match Ast.find_method_in_class c simple with
+        | Some _ -> Some (c.Ast.c_name ^ "." ^ simple)
+        | None -> None)
+      p.Ast.p_classes
+
+let build (p : Ast.program) : t =
+  let methods = Ast.methods_of_program p in
+  let nodes = List.map (fun (cls, m) -> Ast.qualified_name cls m) methods in
+  let edges =
+    List.concat_map
+      (fun (cls, m) ->
+        let caller = Ast.qualified_name cls m in
+        let callees = ref [] in
+        Ast.iter_stmts
+          (fun st ->
+            List.iter
+              (fun callee_simple ->
+                if not (Builtins.is_builtin callee_simple) then
+                  List.iter
+                    (fun callee ->
+                      if not (List.mem (caller, callee) !callees) then
+                        callees := (caller, callee) :: !callees)
+                    (resolve p callee_simple))
+              (Ast.callees_of_stmt st))
+          m.Ast.m_body;
+        List.rev !callees)
+      methods
+  in
+  { program = p; nodes; edges }
+
+let callees (g : t) (n : node) : node list =
+  List.filter_map (fun (a, b) -> if a = n then Some b else None) g.edges
+
+let callers (g : t) (n : node) : node list =
+  List.filter_map (fun (a, b) -> if b = n then Some a else None) g.edges
+
+(** Entry points: top-level functions (tests and scenario drivers). *)
+let entries (g : t) : node list =
+  List.map (fun (f : Ast.method_decl) -> f.Ast.m_name) g.program.Ast.p_funcs
+
+(** Methods reachable from [n] (inclusive). *)
+let reachable_from (g : t) (n : node) : node list =
+  let visited = ref [] in
+  let rec go n =
+    if not (List.mem n !visited) then begin
+      visited := n :: !visited;
+      List.iter go (callees g n)
+    end
+  in
+  go n;
+  List.rev !visited
+
+(** All acyclic call chains from any entry function to [target] (inclusive
+    at both ends, entry first).  [max_paths] caps enumeration on dense
+    graphs. *)
+let call_chains ?(max_paths = 1000) (g : t) ~(target : node) : node list list =
+  let results = ref [] in
+  let count = ref 0 in
+  (* DFS backwards from the target towards entries *)
+  let entry_set = entries g in
+  let rec go (chain : node list) (n : node) =
+    if !count < max_paths then
+      if List.mem n entry_set then begin
+        results := (n :: chain) :: !results;
+        incr count
+      end
+      else
+        List.iter
+          (fun caller -> if not (List.mem caller chain) && caller <> n then go (n :: chain) caller)
+          (callers g n)
+  in
+  go [] target;
+  (* an entry function can itself be the target *)
+  List.rev !results
+
+(** Transitive closure of a predicate over the call graph: [may g base n]
+    is true when [n] or anything reachable from [n] satisfies [base].
+    Used e.g. for "may perform blocking I/O". *)
+let may (g : t) (base : node -> bool) : node -> bool =
+  let cache : (node, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rec go visiting n =
+    match Hashtbl.find_opt cache n with
+    | Some r -> r
+    | None ->
+        if List.mem n visiting then false (* cycle: decided by other paths *)
+        else begin
+          let r = base n || List.exists (go (n :: visiting)) (callees g n) in
+          (* only cache when not provisional *)
+          if visiting = [] || r then Hashtbl.replace cache n r;
+          r
+        end
+  in
+  fun n -> go [] n
+
+let to_dot (g : t) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  List.iter (fun n -> Buffer.add_string buf (Fmt.str "  %S;\n" n)) g.nodes;
+  List.iter (fun (a, b) -> Buffer.add_string buf (Fmt.str "  %S -> %S;\n" a b)) g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Interprocedural call graph (the Soot role of the paper's §3.2).
+
+    Method calls resolve by simple name to every class declaring it (a
+    CHA-style over-approximation; MiniJava has no inheritance). *)
+
+type node = string  (** qualified method name, e.g. ["DataTree.createNode"] *)
+
+type t = {
+  program : Minilang.Ast.program;
+  nodes : node list;
+  edges : (node * node) list;  (** caller, callee *)
+}
+
+(** Resolve a simple callee name to qualified method names. *)
+val resolve : Minilang.Ast.program -> string -> node list
+
+val build : Minilang.Ast.program -> t
+
+val callees : t -> node -> node list
+
+val callers : t -> node -> node list
+
+(** Entry points: the program's top-level functions. *)
+val entries : t -> node list
+
+(** Methods reachable from a node (inclusive). *)
+val reachable_from : t -> node -> node list
+
+(** All acyclic call chains from any entry function to [target], entry
+    first, both ends inclusive. *)
+val call_chains : ?max_paths:int -> t -> target:node -> node list list
+
+(** Transitive closure of a predicate: [may g base n] holds when [n] or
+    anything reachable from it satisfies [base]. *)
+val may : t -> (node -> bool) -> node -> bool
+
+val to_dot : t -> string

@@ -1,0 +1,108 @@
+(** Static lock-scope analysis: which statements may execute while holding
+    a monitor, and do any of them perform blocking I/O?
+
+    This is the static half of the paper's Figure 6 rule family ("no
+    blocking I/O within synchronized blocks", ZK-2201 / ZK-3531).  The
+    analysis is a may-analysis over the call graph:
+
+    1. a method *may block* if it (or anything it may call) invokes a
+       blocking builtin ({!Minilang.Builtins.effect_class});
+    2. a violation site is either a blocking builtin call lexically inside
+       a [synchronized] block, or a call, inside a [synchronized] block,
+       to a method that may block. *)
+
+open Minilang
+
+type violation = {
+  v_method : string;  (** method containing the synchronized block *)
+  v_sync_sid : int;  (** the synchronized statement *)
+  v_sid : int;  (** the offending statement inside the block *)
+  v_op : string;  (** blocking builtin, or the callee that may block *)
+  v_direct : bool;  (** true if the blocking builtin is called lexically *)
+}
+
+let blocking_builtins_in_stmt (st : Ast.stmt) : string list =
+  List.filter Builtins.is_blocking (Ast.callees_of_stmt st)
+
+(* statements (with their sids) lexically under any Sync in a block,
+   paired with the sid of the innermost enclosing Sync *)
+let rec sync_scoped (b : Ast.block) (enclosing : int option) :
+    (Ast.stmt * int) list =
+  List.concat_map (fun st -> sync_scoped_stmt st enclosing) b
+
+and sync_scoped_stmt (st : Ast.stmt) (enclosing : int option) : (Ast.stmt * int) list
+    =
+  let self = match enclosing with Some sync -> [ (st, sync) ] | None -> [] in
+  match st.Ast.s with
+  | Ast.Sync (_, body) -> self @ sync_scoped body (Some st.Ast.sid)
+  | Ast.If (_, b1, b2) -> self @ sync_scoped b1 enclosing @ sync_scoped b2 enclosing
+  | Ast.While (_, body) -> self @ sync_scoped body enclosing
+  | Ast.Try (body, _, h) -> self @ sync_scoped body enclosing @ sync_scoped h enclosing
+  | Ast.Decl _ | Ast.Assign _ | Ast.Return _ | Ast.Throw _ | Ast.Expr _
+  | Ast.Assert _ | Ast.Break | Ast.Continue ->
+      self
+
+(** [method_may_block g] returns the may-block predicate over qualified
+    method names. *)
+let method_may_block (p : Ast.program) (g : Callgraph.t) : string -> bool =
+  let directly_blocks qname =
+    match
+      List.find_opt
+        (fun (cls, m) -> Ast.qualified_name cls m = qname)
+        (Ast.methods_of_program p)
+    with
+    | None -> false
+    | Some (_, m) ->
+        List.exists
+          (fun st -> blocking_builtins_in_stmt st <> [])
+          (Ast.stmts_of_method m)
+  in
+  Callgraph.may g directly_blocks
+
+(** All blocking-under-lock violations of a program. *)
+let analyze (p : Ast.program) : violation list =
+  let g = Callgraph.build p in
+  let may_block = method_may_block p g in
+  List.concat_map
+    (fun (cls, m) ->
+      let qname = Ast.qualified_name cls m in
+      List.concat_map
+        (fun (st, sync_sid) ->
+          let direct =
+            List.map
+              (fun op ->
+                {
+                  v_method = qname;
+                  v_sync_sid = sync_sid;
+                  v_sid = st.Ast.sid;
+                  v_op = op;
+                  v_direct = true;
+                })
+              (blocking_builtins_in_stmt st)
+          in
+          let indirect =
+            List.filter_map
+              (fun callee_simple ->
+                if Builtins.is_builtin callee_simple then None
+                else
+                  let resolved = Callgraph.resolve p callee_simple in
+                  if List.exists may_block resolved then
+                    Some
+                      {
+                        v_method = qname;
+                        v_sync_sid = sync_sid;
+                        v_sid = st.Ast.sid;
+                        v_op = callee_simple;
+                        v_direct = false;
+                      }
+                  else None)
+              (Ast.callees_of_stmt st)
+          in
+          direct @ indirect)
+        (sync_scoped m.Ast.m_body None))
+    (Ast.methods_of_program p)
+
+let violation_to_string (v : violation) =
+  Fmt.str "%s: %s %s under lock (sync@%d, stmt@%d)" v.v_method
+    (if v.v_direct then "blocking builtin" else "may-block call")
+    v.v_op v.v_sync_sid v.v_sid

@@ -1,0 +1,22 @@
+(** Static lock-scope analysis: blocking operations under monitors.
+
+    The static half of the Figure 6 rule family ("no blocking I/O within
+    synchronized blocks").  A violation is a blocking builtin called
+    lexically inside a [synchronized] block, or a call inside one to a
+    method that may (transitively) block. *)
+
+type violation = {
+  v_method : string;  (** method containing the synchronized block *)
+  v_sync_sid : int;  (** the synchronized statement *)
+  v_sid : int;  (** the offending statement *)
+  v_op : string;  (** blocking builtin, or the may-block callee *)
+  v_direct : bool;  (** true when the blocking builtin is lexical *)
+}
+
+(** The may-block predicate over qualified method names. *)
+val method_may_block : Minilang.Ast.program -> Callgraph.t -> string -> bool
+
+(** All blocking-under-lock violations of a program. *)
+val analyze : Minilang.Ast.program -> violation list
+
+val violation_to_string : violation -> string

@@ -1,0 +1,168 @@
+(** Intraprocedural path enumeration to a target statement.
+
+    For a target statement inside a method, enumerate the branch-decision
+    vectors under which control reaches it.  Loops are approximated by the
+    two first-iteration decisions (enter once / skip), which is the usual
+    bounded unrolling for reachability queries; [try] is approximated by
+    its non-throwing body.  Combined with {!Callgraph.call_chains} this
+    yields the paper's *execution tree*: leaves are entry functions, and
+    each intraprocedural segment carries the guard decisions that the
+    concolic engine must observe dynamically. *)
+
+open Minilang
+
+type decision = {
+  d_sid : int;  (** sid of the branching statement *)
+  d_cond : Ast.expr;  (** its guard *)
+  d_taken : bool;  (** decision required to continue toward the target *)
+}
+
+type path = decision list
+
+let decision_to_string (d : decision) =
+  Fmt.str "%s@%d=%b" (Pretty.expr_to_string d.d_cond) d.d_sid d.d_taken
+
+let path_to_string (p : path) = String.concat " ; " (List.map decision_to_string p)
+
+(* Enumerate decision vectors under which executing [block] *reaches* the
+   statement with sid [target].  Result: list of paths (decisions in
+   execution order).  A path that merely passes through the block without
+   containing the target contributes via [continues]: decision vectors
+   under which the block finishes normally (no return/throw). *)
+
+type outcome = {
+  reaches : path list;  (** vectors that hit the target inside this block *)
+  continues : path list;  (** vectors that exit the block normally *)
+}
+
+let cross (a : path list) (b : path list) : path list =
+  List.concat_map (fun p -> List.map (fun q -> p @ q) b) a
+
+let rec block_outcome (b : Ast.block) (target : int) : outcome =
+  match b with
+  | [] -> { reaches = []; continues = [ [] ] }
+  | st :: rest ->
+      let o = stmt_outcome st target in
+      let rest_o = block_outcome rest target in
+      {
+        reaches = o.reaches @ cross o.continues rest_o.reaches;
+        continues = cross o.continues rest_o.continues;
+      }
+
+and stmt_outcome (st : Ast.stmt) (target : int) : outcome =
+  let here = st.Ast.sid = target in
+  match st.Ast.s with
+  | Ast.Decl _ | Ast.Assign _ | Ast.Expr _ | Ast.Assert _ ->
+      { reaches = (if here then [ [] ] else []); continues = [ [] ] }
+  | Ast.Return _ | Ast.Throw _ ->
+      (* reaching the statement itself; nothing continues past it *)
+      { reaches = (if here then [ [] ] else []); continues = [] }
+  | Ast.Break | Ast.Continue ->
+      (* approximation: treat like an exit from the enclosing block *)
+      { reaches = (if here then [ [] ] else []); continues = [] }
+  | Ast.If (cond, b1, b2) ->
+      let t = { d_sid = st.Ast.sid; d_cond = cond; d_taken = true } in
+      let f = { d_sid = st.Ast.sid; d_cond = cond; d_taken = false } in
+      let o1 = block_outcome b1 target and o2 = block_outcome b2 target in
+      let self = if here then [ [] ] else [] in
+      {
+        reaches =
+          self
+          @ List.map (fun p -> t :: p) o1.reaches
+          @ List.map (fun p -> f :: p) o2.reaches;
+        continues =
+          List.map (fun p -> t :: p) o1.continues
+          @ List.map (fun p -> f :: p) o2.continues;
+      }
+  | Ast.While (cond, body) ->
+      let t = { d_sid = st.Ast.sid; d_cond = cond; d_taken = true } in
+      let f = { d_sid = st.Ast.sid; d_cond = cond; d_taken = false } in
+      let o = block_outcome body target in
+      let self = if here then [ [] ] else [] in
+      {
+        reaches = self @ List.map (fun p -> t :: p) o.reaches;
+        continues =
+          (* skip the loop, or run the body once and leave *)
+          [ [ f ] ] @ List.map (fun p -> (t :: p) @ [ f ]) o.continues;
+      }
+  | Ast.Try (body, _, handler) ->
+      let ob = block_outcome body target and oh = block_outcome handler target in
+      let self = if here then [ [] ] else [] in
+      {
+        (* the handler is reachable (after a throw in the body, decisions
+           unknown), so its reaches count with no extra decisions *)
+        reaches = self @ ob.reaches @ oh.reaches;
+        continues = ob.continues @ oh.continues;
+      }
+  | Ast.Sync (_, body) ->
+      let o = block_outcome body target in
+      let self = if here then [ [] ] else [] in
+      { reaches = self @ o.reaches; continues = o.continues }
+
+(** Decision vectors under which [m]'s body reaches statement [target].
+    Empty result = statically unreachable within this method. *)
+let paths_to_stmt (m : Ast.method_decl) (target : int) : path list =
+  (block_outcome m.Ast.m_body target).reaches
+
+(** Decision vectors under which [m]'s body reaches a *call* to
+    [callee_simple] (matched on simple name anywhere in the statement). *)
+let paths_to_call (m : Ast.method_decl) (callee_simple : string) : (int * path) list
+    =
+  let sids = ref [] in
+  Ast.iter_stmts
+    (fun st -> if List.mem callee_simple (Ast.callees_of_stmt st) then sids := st.Ast.sid :: !sids)
+    m.Ast.m_body;
+  List.concat_map
+    (fun sid -> List.map (fun p -> (sid, p)) (paths_to_stmt m sid))
+    (List.rev !sids)
+
+(** Statements in [m] calling [callee_simple]. *)
+let call_sites (m : Ast.method_decl) (callee_simple : string) : Ast.stmt list =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun st -> if List.mem callee_simple (Ast.callees_of_stmt st) then acc := st :: !acc)
+    m.Ast.m_body;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Execution trees (paper §3.2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+type exec_path = {
+  ep_entry : string;  (** entry function (a leaf of the execution tree) *)
+  ep_chain : string list;  (** full call chain entry -> ... -> method *)
+  ep_decisions : path;  (** intraprocedural decisions in the target's method *)
+}
+
+type exec_tree = {
+  et_target_sid : int;
+  et_target_method : string;
+  et_paths : exec_path list;
+}
+
+(** Build the execution tree rooted at [target_sid]: all call chains from
+    entry functions to the enclosing method, crossed with the
+    intraprocedural decision vectors that reach the target. *)
+let exec_tree (p : Ast.program) (g : Callgraph.t) (target_sid : int) : exec_tree =
+  match Ast.enclosing_method p target_sid with
+  | None ->
+      { et_target_sid = target_sid; et_target_method = "<unknown>"; et_paths = [] }
+  | Some (cls, m) ->
+      let qname = Ast.qualified_name cls m in
+      let chains = Callgraph.call_chains g ~target:qname in
+      let chains = if chains = [] then [ [ qname ] ] else chains in
+      let decisions = paths_to_stmt m target_sid in
+      let decisions = if decisions = [] then [ [] ] else decisions in
+      let paths =
+        List.concat_map
+          (fun chain ->
+            List.map
+              (fun d ->
+                { ep_entry = List.hd chain; ep_chain = chain; ep_decisions = d })
+              decisions)
+          chains
+      in
+      { et_target_sid = target_sid; et_target_method = qname; et_paths = paths }
+
+let exec_path_to_string (ep : exec_path) =
+  Fmt.str "%s [%s]" (String.concat " -> " ep.ep_chain) (path_to_string ep.ep_decisions)

@@ -1,0 +1,46 @@
+(** Intraprocedural path enumeration and execution trees (paper §3.2).
+
+    Loops are approximated by their first-iteration decisions; [try] by
+    its non-throwing body.  Combined with {!Callgraph.call_chains} this
+    yields the execution tree rooted at a target statement whose leaves
+    are entry functions. *)
+
+type decision = {
+  d_sid : int;  (** sid of the branching statement *)
+  d_cond : Minilang.Ast.expr;  (** its guard *)
+  d_taken : bool;  (** decision required to continue toward the target *)
+}
+
+type path = decision list
+
+val decision_to_string : decision -> string
+
+val path_to_string : path -> string
+
+(** Decision vectors under which a method's body reaches statement
+    [target]; empty = statically unreachable in this method. *)
+val paths_to_stmt : Minilang.Ast.method_decl -> int -> path list
+
+(** Decision vectors reaching each call to [callee] (by simple name);
+    one entry per call site, paired with the site's sid. *)
+val paths_to_call : Minilang.Ast.method_decl -> string -> (int * path) list
+
+(** Statements of the method calling [callee]. *)
+val call_sites : Minilang.Ast.method_decl -> string -> Minilang.Ast.stmt list
+
+type exec_path = {
+  ep_entry : string;  (** entry function (a leaf of the execution tree) *)
+  ep_chain : string list;  (** call chain, entry first *)
+  ep_decisions : path;  (** decisions in the target's method *)
+}
+
+type exec_tree = {
+  et_target_sid : int;
+  et_target_method : string;
+  et_paths : exec_path list;
+}
+
+(** The execution tree rooted at [target_sid]. *)
+val exec_tree : Minilang.Ast.program -> Callgraph.t -> int -> exec_tree
+
+val exec_path_to_string : exec_path -> string

@@ -1,0 +1,1 @@
+lib/corpus/case.ml: Fmt List Minilang Oracle String

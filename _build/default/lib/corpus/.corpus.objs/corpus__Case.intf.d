@@ -1,0 +1,1 @@
+lib/corpus/case.mli: Minilang Oracle

@@ -1,0 +1,1 @@
+lib/corpus/cassandra.mli: Case

@@ -1,0 +1,1 @@
+lib/corpus/hbase.ml: Case String

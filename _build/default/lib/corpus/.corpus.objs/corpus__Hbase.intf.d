@@ -1,0 +1,1 @@
+lib/corpus/hbase.mli: Case

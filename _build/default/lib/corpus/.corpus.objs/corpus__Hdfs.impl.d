@@ -1,0 +1,1 @@
+lib/corpus/hdfs.ml: Case String

@@ -1,0 +1,1 @@
+lib/corpus/hdfs.mli: Case

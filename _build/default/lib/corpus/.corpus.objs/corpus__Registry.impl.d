@@ -1,0 +1,1 @@
+lib/corpus/registry.ml: Case Cassandra Fmt Hbase Hdfs List Minilang String Zookeeper

@@ -1,0 +1,1 @@
+lib/corpus/zookeeper.ml: Case String

@@ -1,0 +1,1 @@
+lib/corpus/zookeeper.mli: Case

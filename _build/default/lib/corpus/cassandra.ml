@@ -1,0 +1,565 @@
+(** Mini-Cassandra: three regression families — hinted-handoff TTL,
+    gossip generation checks, and index writes under the compaction lock. *)
+
+(* ================================================================== *)
+(* Case 14: hinted handoff TTL (synthetic cluster)                     *)
+(* ================================================================== *)
+
+module Hint_ttl = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let batch = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// Cassandra: hinted handoff
+class Hint {
+  field target: str;
+  field mutation: int;
+  field expiryTs: int;
+  method init(target: str, mutation: int, expiryTs: int) {
+    this.target = target;
+    this.mutation = mutation;
+    this.expiryTs = expiryTs;
+  }
+}
+
+class HintService {
+  field hints: list;
+  field delivered: int = 0;
+  field dropped: int = 0;
+  method store(h: Hint) {
+    listAdd(this.hints, h);
+  }
+  // common application of a hinted mutation on the target replica
+  method applyHint(h: Hint) {
+    this.delivered = this.delivered + 1;
+  }
+  method pendingCount(): int {
+    return listSize(this.hints);
+  }
+  method pendingForTarget(target: str): int {
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(this.hints)) {
+      var h: Hint = listGet(this.hints, i);
+      if (h.target == target) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method deliverHint(h: Hint, nowTs: int) {
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (nowTs > h.expiryTs) {
+      // expired hint: applying it would resurrect deleted data
+      this.dropped = this.dropped + 1;
+      return;
+    }|};
+           ]
+         else [])
+      @ [ {|    this.applyHint(h);
+  }
+|} ]
+      @ (if batch then
+           [
+             (if guard2 then
+                {|  method deliverAll(nowTs: int) {
+    var i: int = 0;
+    while (i < listSize(this.hints)) {
+      var h: Hint = listGet(this.hints, i);
+      if (nowTs > h.expiryTs) {
+        this.dropped = this.dropped + 1;
+        i = i + 1;
+        continue;
+      }
+      this.applyHint(h);
+      i = i + 1;
+    }
+  }|}
+              else
+                {|  method deliverAll(nowTs: int) {
+    var i: int = 0;
+    while (i < listSize(this.hints)) {
+      var h: Hint = listGet(this.hints, i);
+      this.applyHint(h);
+      i = i + 1;
+    }
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeHints(): HintService {
+  var hs: HintService = new HintService();
+  hs.store(new Hint("node-b", 10, 1000));
+  hs.store(new Hint("node-c", 20, 2000));
+  return hs;
+}
+
+method test_cas_deliver_fresh_hint() {
+  var hs: HintService = makeHints();
+  var h: Hint = listGet(hs.hints, 0);
+  hs.deliverHint(h, 500);
+  assert (hs.delivered == 1, "fresh hint delivered");
+}
+
+method test_cas_pending_counts() {
+  var hs: HintService = makeHints();
+  assert (hs.pendingCount() == 2, "two hints stored");
+  assert (hs.pendingForTarget("node-b") == 1, "one hint for node-b");
+  assert (hs.pendingForTarget("node-x") == 0, "none for unknown node");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the CASSANDRA-13817 fix
+method test_cassandra13817_expired_hint_dropped() {
+  var hs: HintService = makeHints();
+  var h: Hint = listGet(hs.hints, 0);
+  hs.deliverHint(h, 5000);
+  assert (hs.delivered == 0, "expired hint not applied");
+  assert (hs.dropped == 1, "expired hint dropped");
+}
+|};
+           ]
+         else [])
+      @ (if batch then
+           [
+             {|method test_cas_deliver_all_fresh() {
+  var hs: HintService = makeHints();
+  hs.deliverAll(500);
+  assert (hs.delivered == 2, "all fresh hints delivered");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the CASSANDRA-16355 fix
+method test_cassandra16355_batch_skips_expired() {
+  var hs: HintService = makeHints();
+  hs.deliverAll(1500);
+  assert (hs.delivered == 1, "only the fresh hint applied");
+  assert (hs.dropped == 1, "expired hint dropped in batch");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "cassandra-hint-ttl";
+      system = "cassandra";
+      feature = "hinted handoff TTL";
+      kind = Case.Guard;
+      bug_ids = [ "CASSANDRA-13817"; "CASSANDRA-16355" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "CASSANDRA-13817",
+            "Expired hints resurrect deleted data",
+            "No hint may be applied after its expiry timestamp has passed. Hints \
+             older than gc_grace were replayed to recovering replicas and \
+             resurrected tombstoned rows. The fix drops hints whose expiry \
+             timestamp is in the past." );
+          ( 3,
+            "CASSANDRA-16355",
+            "Bulk hint delivery replays expired hints",
+            "No hint may be applied after its expiry timestamp has passed. The \
+             bulk delivery path added for node restarts skipped the expiry check \
+             performed by single delivery, resurrecting deleted data again. The \
+             fix drops expired hints in the batch loop as well." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 2;
+      first_year = 2017;
+      last_year = 2020;
+    }
+end
+
+(* ================================================================== *)
+(* Case 15: gossip generation checks (synthetic cluster)               *)
+(* ================================================================== *)
+
+module Gossip = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let ack = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// Cassandra: gossip state
+class EndpointState {
+  field host: str;
+  field generation: int;
+  field version: int;
+  field status: str = "NORMAL";
+  method init(host: str, generation: int, version: int) {
+    this.host = host;
+    this.generation = generation;
+    this.version = version;
+  }
+}
+
+class GossipMessage {
+  field host: str;
+  field generation: int;
+  field version: int;
+  field status: str;
+  method init(host: str, generation: int, version: int, status: str) {
+    this.host = host;
+    this.generation = generation;
+    this.version = version;
+    this.status = status;
+  }
+}
+
+class Gossiper {
+  field endpoints: map;
+  field updates: int = 0;
+  method addEndpoint(e: EndpointState) {
+    mapPut(this.endpoints, e.host, e);
+  }
+  // common state application
+  method applyState(e: EndpointState, m: GossipMessage) {
+    e.generation = m.generation;
+    e.version = m.version;
+    e.status = m.status;
+    this.updates = this.updates + 1;
+  }
+  method statusOf(host: str): str {
+    var e: EndpointState = mapGet(this.endpoints, host);
+    if (e == null) {
+      return "UNKNOWN";
+    }
+    return e.status;
+  }
+  method liveCount(): int {
+    var hosts: list = mapKeys(this.endpoints);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(hosts)) {
+      var e: EndpointState = mapGet(this.endpoints, listGet(hosts, i));
+      if (e.status == "NORMAL") {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method handleSyn(m: GossipMessage) {
+    var e: EndpointState = mapGet(this.endpoints, m.host);
+    if (e == null) {
+      return;
+    }
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (m.generation < e.generation) {
+      // restart detection: older generation is stale
+      return;
+    }|};
+           ]
+         else [])
+      @ [ {|    this.applyState(e, m);
+  }
+|} ]
+      @ (if ack then
+           [
+             (if guard2 then
+                {|  method handleAck(m: GossipMessage) {
+    var e: EndpointState = mapGet(this.endpoints, m.host);
+    if (e == null) {
+      return;
+    }
+    if (m.generation < e.generation) {
+      return;
+    }
+    this.applyState(e, m);
+  }|}
+              else
+                {|  method handleAck(m: GossipMessage) {
+    var e: EndpointState = mapGet(this.endpoints, m.host);
+    if (e == null) {
+      return;
+    }
+    this.applyState(e, m);
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeGossiper(): Gossiper {
+  var g: Gossiper = new Gossiper();
+  g.addEndpoint(new EndpointState("10.0.0.1", 5, 10));
+  return g;
+}
+
+method test_cas_gossip_current_generation() {
+  var g: Gossiper = makeGossiper();
+  g.handleSyn(new GossipMessage("10.0.0.1", 6, 1, "NORMAL"));
+  assert (g.updates == 1, "state applied");
+  var e: EndpointState = mapGet(g.endpoints, "10.0.0.1");
+  assert (e.generation == 6, "generation bumped");
+}
+
+method test_cas_gossip_status_queries() {
+  var g: Gossiper = makeGossiper();
+  assert (g.statusOf("10.0.0.1") == "NORMAL", "initial status");
+  assert (g.statusOf("10.9.9.9") == "UNKNOWN", "unknown host");
+  assert (g.liveCount() == 1, "one live endpoint");
+  g.handleSyn(new GossipMessage("10.0.0.1", 8, 1, "shutdown"));
+  assert (g.liveCount() == 0, "shutdown endpoint not live");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the CASSANDRA-12653 fix
+method test_cassandra12653_stale_generation_ignored() {
+  var g: Gossiper = makeGossiper();
+  g.handleSyn(new GossipMessage("10.0.0.1", 2, 99, "shutdown"));
+  assert (g.updates == 0, "stale syn ignored");
+  var e: EndpointState = mapGet(g.endpoints, "10.0.0.1");
+  assert (e.status == "NORMAL", "status unchanged");
+}
+|};
+           ]
+         else [])
+      @ (if ack then
+           [
+             {|method test_cas_gossip_ack_current() {
+  var g: Gossiper = makeGossiper();
+  g.handleAck(new GossipMessage("10.0.0.1", 7, 2, "NORMAL"));
+  assert (g.updates == 1, "ack applied");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the CASSANDRA-17121 fix
+method test_cassandra17121_stale_ack_ignored() {
+  var g: Gossiper = makeGossiper();
+  g.handleAck(new GossipMessage("10.0.0.1", 1, 99, "shutdown"));
+  assert (g.updates == 0, "stale ack ignored");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "cassandra-gossip-generation";
+      system = "cassandra";
+      feature = "gossip generation ordering";
+      kind = Case.Guard;
+      bug_ids = [ "CASSANDRA-12653"; "CASSANDRA-17121" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "CASSANDRA-12653",
+            "Stale gossip marks restarted nodes as shutdown",
+            "No gossip state from an older generation than the recorded one may be \
+             applied. Delayed syn messages from before a node's restart overwrote \
+             its fresh state and the cluster marked a healthy node down. The fix \
+             ignores messages with an older generation." );
+          ( 3,
+            "CASSANDRA-17121",
+            "Ack path applies stale gossip state",
+            "No gossip state from an older generation than the recorded one may be \
+             applied. The ack handler added with the gossip rewrite skipped the \
+             generation check performed by the syn handler. The fix adds the same \
+             check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2016;
+      last_year = 2022;
+    }
+end
+
+(* ================================================================== *)
+(* Case 16: index writes under the compaction lock (synthetic cluster) *)
+(* ================================================================== *)
+
+module Compaction_lock = struct
+  let source stage =
+    let fixed1 = stage >= 1 in
+    let anti = stage >= 2 in
+    let fixed2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// Cassandra: compaction and secondary-index rebuilds
+class CompactionManager {
+  field compactions: int = 0;
+  field anticompactions: int = 0;
+  field generation: int = 1;
+  method currentGeneration(): int {
+    var g: int = 0;
+    synchronized (this) {
+      g = this.generation;
+    }
+    return g;
+  }
+  method totalOperations(): int {
+    return this.compactions + this.anticompactions;
+  }
+|};
+       ]
+      @ (if fixed1 then
+           [
+             {|  method compact() {
+    var snapshot: int = 0;
+    synchronized (this) {
+      snapshot = this.generation;
+      this.generation = this.generation + 1;
+      this.compactions = this.compactions + 1;
+    }
+    // index rebuild I/O happens outside the compaction lock (fix)
+    writeRecord(snapshot);
+    fsync(snapshot);
+  }|};
+           ]
+         else
+           [
+             {|  method compact() {
+    synchronized (this) {
+      // rebuilding the index inside the compaction lock stalls reads
+      writeRecord(this.generation);
+      fsync(this.generation);
+      this.generation = this.generation + 1;
+      this.compactions = this.compactions + 1;
+    }
+  }|};
+           ])
+      @ (if anti then
+           [
+             (if fixed2 then
+                {|  method anticompact(rangeStart: int) {
+    var snapshot: int = 0;
+    synchronized (this) {
+      snapshot = this.generation;
+      this.generation = this.generation + 1;
+      this.anticompactions = this.anticompactions + 1;
+    }
+    writeRecord(snapshot);
+  }|}
+              else
+                {|  method anticompact(rangeStart: int) {
+    synchronized (this) {
+      writeRecord(this.generation);
+      this.generation = this.generation + 1;
+      this.anticompactions = this.anticompactions + 1;
+    }
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method test_cas_compact_advances_generation() {
+  var cm: CompactionManager = new CompactionManager();
+  cm.compact();
+  assert (cm.currentGeneration() == 2, "generation advanced");
+  assert (cm.compactions == 1, "compaction counted");
+}
+
+method test_cas_operation_totals() {
+  var cm: CompactionManager = new CompactionManager();
+  cm.compact();
+  cm.compact();
+  assert (cm.totalOperations() == 2, "operations totalled");
+}
+|};
+        ]
+      @ (if fixed1 then
+           [
+             {|// regression test added with the CASSANDRA-14935 fix
+method test_cassandra14935_compact_completes() {
+  var cm: CompactionManager = new CompactionManager();
+  cm.compact();
+  cm.compact();
+  assert (cm.compactions == 2, "compactions complete");
+}
+|};
+           ]
+         else [])
+      @ (if anti then
+           [
+             {|method test_cas_anticompact() {
+  var cm: CompactionManager = new CompactionManager();
+  cm.anticompact(0);
+  assert (cm.anticompactions == 1, "anticompaction performed");
+}
+|};
+           ]
+         else [])
+      @
+      if fixed2 then
+        [
+          {|// regression test added with the CASSANDRA-18110 fix
+method test_cassandra18110_anticompact_completes() {
+  var cm: CompactionManager = new CompactionManager();
+  cm.anticompact(5);
+  assert (cm.anticompactions == 1, "anticompaction completed");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "cassandra-compaction-lock";
+      system = "cassandra";
+      feature = "compaction lock discipline";
+      kind = Case.Lock;
+      bug_ids = [ "CASSANDRA-14935"; "CASSANDRA-18110" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "CASSANDRA-14935",
+            "Index rebuild inside the compaction lock stalls reads",
+            "No blocking I/O may be performed while holding the compaction lock. \
+             compact rebuilt the secondary index inside the compaction monitor, so \
+             reads stalled for the duration of the rebuild on slow disks. The fix \
+             snapshots the generation under the lock and performs the I/O outside." );
+          ( 3,
+            "CASSANDRA-18110",
+            "Anticompaction writes under the compaction lock",
+            "No blocking I/O may be performed while holding the compaction lock. \
+             The anticompaction path added for incremental repair wrote sstables \
+             inside the same monitor, recreating the stall. The fix moves the \
+             writes outside the lock." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2018;
+      last_year = 2023;
+    }
+end
+
+let cases : Case.t list = [ Hint_ttl.case; Gossip.case; Compaction_lock.case ]

@@ -1,0 +1,840 @@
+(** Mini-HBase: four regression families.  The snapshot-TTL case is the
+    paper's §4 Bug #1 (HBASE-27671 → HBASE-28704 → HBASE-29296): after two
+    rounds of fixes, the "latest release" (stage 4) still contains a path
+    that returns expired snapshots without any check — the
+    previously-unknown, community-confirmed bug LISA reports. *)
+
+(* ================================================================== *)
+(* Case 6: snapshot TTL expiration — 3 bugs, E6                         *)
+(* ================================================================== *)
+
+module Snapshot_ttl = struct
+  (* stage 0: restore has no TTL check (HBASE-27671)
+     stage 1: restore guarded + test
+     stage 2: export path added, unguarded (HBASE-28704)
+     stage 3: export guarded + test
+     stage 4: copy-table path added, unguarded (HBASE-29296 — "latest")
+     stage 5: copy-table guarded (the fix LISA proposed) *)
+  let ttl_guard =
+    {|    if (snap.ttl > 0 && nowTs >= snap.expiryTs) {
+      throw "SnapshotTTLExpiredException";
+    }|}
+
+  let source stage =
+    let restore_guard = stage >= 1 in
+    let export_path = stage >= 2 in
+    let export_guard = stage >= 3 in
+    let copy_path = stage >= 4 in
+    let copy_guard = stage >= 5 in
+    String.concat "\n"
+      ([
+         {|// HBase: snapshot lifecycle and TTL
+class Snapshot {
+  field name: str;
+  field ttl: int;
+  field expiryTs: int;
+  field table: str;
+  method init(name: str, ttl: int, expiryTs: int, table: str) {
+    this.name = name;
+    this.ttl = ttl;
+    this.expiryTs = expiryTs;
+    this.table = table;
+  }
+}
+
+class SnapshotManager {
+  field snapshots: map;
+  field restored: int = 0;
+  field exported: int = 0;
+  field copied: int = 0;
+  method register(snap: Snapshot) {
+    mapPut(this.snapshots, snap.name, snap);
+  }
+  method snapshotCount(): int {
+    return mapSize(this.snapshots);
+  }
+  method deleteSnapshot(name: str) {
+    if (!mapContains(this.snapshots, name)) {
+      throw "SnapshotDoesNotExistException";
+    }
+    mapRemove(this.snapshots, name);
+  }
+  method isExpired(name: str, nowTs: int): bool {
+    var snap: Snapshot = mapGet(this.snapshots, name);
+    if (snap == null) {
+      throw "SnapshotDoesNotExistException";
+    }
+    if (snap.ttl > 0 && nowTs >= snap.expiryTs) {
+      return true;
+    }
+    return false;
+  }
+  // common manifest access: every snapshot-serving path ends here
+  method openManifest(snap: Snapshot): str {
+    return snap.table;
+  }
+  method restoreSnapshot(name: str, nowTs: int): str {
+    var snap: Snapshot = mapGet(this.snapshots, name);
+    if (snap == null) {
+      throw "SnapshotDoesNotExistException";
+    }
+|};
+       ]
+      @ (if restore_guard then [ ttl_guard ] else [])
+      @ [
+          {|    this.restored = this.restored + 1;
+    return this.openManifest(snap);
+  }
+|};
+        ]
+      @ (if export_path then
+           [
+             {|  method exportSnapshot(name: str, nowTs: int): str {
+    var snap: Snapshot = mapGet(this.snapshots, name);
+    if (snap == null) {
+      throw "SnapshotDoesNotExistException";
+    }
+|};
+           ]
+           @ (if export_guard then [ ttl_guard ] else [])
+           @ [ {|    this.exported = this.exported + 1;
+    return this.openManifest(snap);
+  }
+|} ]
+         else [])
+      @ (if copy_path then
+           [
+             {|  // copy-table reads a snapshot as its source (added for backup tooling)
+  method copyTableFromSnapshot(name: str, nowTs: int): str {
+    var snap: Snapshot = mapGet(this.snapshots, name);
+    if (snap == null) {
+      throw "SnapshotDoesNotExistException";
+    }
+|};
+           ]
+           @ (if copy_guard then [ ttl_guard ] else [])
+           @ [ {|    this.copied = this.copied + 1;
+    return this.openManifest(snap);
+  }
+|} ]
+         else [])
+      @ [
+          {|}
+
+method makeSnapshotManager(): SnapshotManager {
+  var sm: SnapshotManager = new SnapshotManager();
+  // live snapshot: expires at ts=1000
+  sm.register(new Snapshot("snap-live", 600, 1000, "orders"));
+  // no-ttl snapshot: never expires
+  sm.register(new Snapshot("snap-forever", 0, 0, "users"));
+  return sm;
+}
+
+method test_hb_restore_live_snapshot() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var table: str = sm.restoreSnapshot("snap-live", 500);
+  assert (table == "orders", "restored the right table");
+  assert (sm.restored == 1, "restore counted");
+}
+
+method test_hb_restore_no_ttl_snapshot() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var table: str = sm.restoreSnapshot("snap-forever", 99999);
+  assert (table == "users", "no-ttl snapshot always restorable");
+}
+
+method test_hb_restore_missing_rejected() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var rejected: bool = false;
+  try { var t: str = sm.restoreSnapshot("nope", 1); } catch (e) { rejected = true; }
+  assert (rejected, "missing snapshot rejected");
+}
+
+method test_hb_snapshot_lifecycle() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  assert (sm.snapshotCount() == 2, "two snapshots registered");
+  assert (!sm.isExpired("snap-live", 500), "not expired before ttl");
+  assert (sm.isExpired("snap-live", 2000), "expired after ttl");
+  assert (!sm.isExpired("snap-forever", 99999), "ttl 0 never expires");
+  sm.deleteSnapshot("snap-live");
+  assert (sm.snapshotCount() == 1, "snapshot deleted");
+}
+|};
+        ]
+      @ (if restore_guard then
+           [
+             {|// regression test added with the HBASE-27671 fix
+method test_hbase27671_restore_expired_rejected() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var rejected: bool = false;
+  try { var t: str = sm.restoreSnapshot("snap-live", 2000); } catch (e) { rejected = true; }
+  assert (rejected, "expired snapshot not restorable");
+}
+|};
+           ]
+         else [])
+      @ (if export_path then
+           [
+             {|method test_hb_export_live_snapshot() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var table: str = sm.exportSnapshot("snap-live", 500);
+  assert (table == "orders", "export works");
+}
+|};
+           ]
+         else [])
+      @ (if export_guard then
+           [
+             {|// regression test added with the HBASE-28704 fix
+method test_hbase28704_export_expired_rejected() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var rejected: bool = false;
+  try { var t: str = sm.exportSnapshot("snap-live", 2000); } catch (e) { rejected = true; }
+  assert (rejected, "expired snapshot not exportable");
+}
+|};
+           ]
+         else [])
+      @ (if copy_path then
+           [
+             {|method test_hb_copy_table_live_snapshot() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var table: str = sm.copyTableFromSnapshot("snap-live", 500);
+  assert (table == "orders", "copy-table works");
+}
+|};
+           ]
+         else [])
+      @
+      if copy_guard then
+        [
+          {|// regression test added with the HBASE-29296 fix
+method test_hbase29296_copy_expired_rejected() {
+  var sm: SnapshotManager = makeSnapshotManager();
+  var rejected: bool = false;
+  try { var t: str = sm.copyTableFromSnapshot("snap-live", 2000); } catch (e) { rejected = true; }
+  assert (rejected, "expired snapshot not copyable");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hbase-snapshot-ttl";
+      system = "hbase";
+      feature = "snapshot TTL expiration";
+      kind = Case.Guard;
+      bug_ids = [ "HBASE-27671"; "HBASE-28704"; "HBASE-29296" ];
+      n_stages = 6;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HBASE-27671",
+            "Client should not be able to restore/clone a snapshot after its ttl has expired",
+            "No snapshot operation may serve a snapshot whose TTL has expired. \
+             Restoring an expired snapshot silently resurrected stale data without \
+             generating any alarm. The fix rejects restore when the snapshot has a \
+             TTL and the current timestamp passed its expiry." );
+          ( 3,
+            "HBASE-28704",
+            "The expired snapshot can be read by copytable or exportsnapshot",
+            "No snapshot operation may serve a snapshot whose TTL has expired. The \
+             export path added for backup tooling skipped the TTL expiration check \
+             that restore performs, so users exported stale data. The fix adds the \
+             same timestamp check to export." );
+          ( 5,
+            "HBASE-29296",
+            "Missing critical snapshot expiration checks",
+            "No snapshot operation may serve a snapshot whose TTL has expired. In \
+             the latest release the copy-table-from-snapshot path still returns \
+             expired snapshots to clients successfully without generating any \
+             alarm. We propose to add timestamp checks to the remaining paths; the \
+             solution has been accepted by HBase developers." );
+        ];
+      regression_stages = [ 2; 4 ];
+      latest_stage = 4;
+      latest_has_unknown_bug = true;
+      violating_old_semantics = 3;
+      first_year = 2023;
+      last_year = 2025;
+    }
+end
+
+(* ================================================================== *)
+(* Case 7: region split during compaction (synthetic cluster)          *)
+(* ================================================================== *)
+
+module Region_split = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let merge_path = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HBase: region lifecycle
+class Region {
+  field name: str;
+  field compacting: bool = false;
+  field online: bool = true;
+  method init(name: str) {
+    this.name = name;
+  }
+  method isCompacting(): bool {
+    return this.compacting;
+  }
+}
+
+class AssignmentManager {
+  field regions: map;
+  field splits: int = 0;
+  field merges: int = 0;
+  method addRegion(r: Region) {
+    mapPut(this.regions, r.name, r);
+  }
+  // common region state transition: split and merge both end here
+  method transition(r: Region) {
+    r.online = false;
+  }
+  method onlineCount(): int {
+    var names: list = mapKeys(this.regions);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(names)) {
+      var r: Region = mapGet(this.regions, listGet(names, i));
+      if (r.online) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method startCompaction(name: str) {
+    var r: Region = mapGet(this.regions, name);
+    if (r == null) {
+      throw "UnknownRegionException";
+    }
+    r.compacting = true;
+  }
+  method finishCompaction(name: str) {
+    var r: Region = mapGet(this.regions, name);
+    if (r == null) {
+      throw "UnknownRegionException";
+    }
+    r.compacting = false;
+  }
+  method splitRegion(name: str) {
+    var r: Region = mapGet(this.regions, name);
+    if (r == null) {
+      throw "UnknownRegionException";
+    }
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (r.isCompacting()) {
+      throw "RegionBusyException";
+    }|};
+           ]
+         else [])
+      @ [
+          {|    this.splits = this.splits + 1;
+    this.transition(r);
+  }
+|};
+        ]
+      @ (if merge_path then
+           [
+             (if guard2 then
+                {|  method mergeRegions(name: str, other: str) {
+    var r: Region = mapGet(this.regions, name);
+    if (r == null) {
+      throw "UnknownRegionException";
+    }
+    if (r.isCompacting()) {
+      throw "RegionBusyException";
+    }
+    this.merges = this.merges + 1;
+    this.transition(r);
+  }|}
+              else
+                {|  method mergeRegions(name: str, other: str) {
+    var r: Region = mapGet(this.regions, name);
+    if (r == null) {
+      throw "UnknownRegionException";
+    }
+    this.merges = this.merges + 1;
+    this.transition(r);
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeAssignment(): AssignmentManager {
+  var am: AssignmentManager = new AssignmentManager();
+  am.addRegion(new Region("r1"));
+  am.addRegion(new Region("r2"));
+  return am;
+}
+
+method test_hb_split_idle_region() {
+  var am: AssignmentManager = makeAssignment();
+  am.splitRegion("r1");
+  assert (am.splits == 1, "split performed");
+}
+
+method test_hb_compaction_lifecycle() {
+  var am: AssignmentManager = makeAssignment();
+  assert (am.onlineCount() == 2, "both regions online");
+  am.startCompaction("r1");
+  am.finishCompaction("r1");
+  am.splitRegion("r1");
+  assert (am.onlineCount() == 1, "split takes the region offline");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the HBASE-21504 fix
+method test_hbase21504_split_during_compaction_rejected() {
+  var am: AssignmentManager = makeAssignment();
+  var r: Region = mapGet(am.regions, "r1");
+  r.compacting = true;
+  var rejected: bool = false;
+  try { am.splitRegion("r1"); } catch (e) { rejected = true; }
+  assert (rejected, "split during compaction rejected");
+}
+|};
+           ]
+         else [])
+      @ (if merge_path then
+           [
+             {|method test_hb_merge_idle_regions() {
+  var am: AssignmentManager = makeAssignment();
+  am.mergeRegions("r1", "r2");
+  assert (am.merges == 1, "merge performed");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the HBASE-24528 fix
+method test_hbase24528_merge_during_compaction_rejected() {
+  var am: AssignmentManager = makeAssignment();
+  var r: Region = mapGet(am.regions, "r1");
+  r.compacting = true;
+  var rejected: bool = false;
+  try { am.mergeRegions("r1", "r2"); } catch (e) { rejected = true; }
+  assert (rejected, "merge during compaction rejected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hbase-region-split";
+      system = "hbase";
+      feature = "region split/merge vs compaction";
+      kind = Case.Guard;
+      bug_ids = [ "HBASE-21504"; "HBASE-24528" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HBASE-21504",
+            "Region split while a compaction is running corrupts store files",
+            "No region may be split or merged while a compaction is in progress on \
+             it. Splitting mid-compaction left half-rewritten store files referenced \
+             by both daughters and corrupted the region. The fix rejects split \
+             requests on compacting regions." );
+          ( 3,
+            "HBASE-24528",
+            "Region merge does not respect ongoing compactions",
+            "No region may be split or merged while a compaction is in progress on \
+             it. The merge path added with the new assignment manager skipped the \
+             compaction check the split path performs. The fix adds the same check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2018;
+      last_year = 2020;
+    }
+end
+
+(* ================================================================== *)
+(* Case 8: stale meta-cache entries (synthetic cluster)                *)
+(* ================================================================== *)
+
+module Meta_cache = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let batch_path = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HBase: client meta cache
+class CacheEntry {
+  field region: str;
+  field server: str;
+  field stale: bool = false;
+  method init(region: str, server: str) {
+    this.region = region;
+    this.server = server;
+  }
+  method isStale(): bool {
+    return this.stale;
+  }
+}
+
+class MetaCache {
+  field entries: map;
+  field lookups: int = 0;
+  field refreshes: int = 0;
+  method put(e: CacheEntry) {
+    mapPut(this.entries, e.region, e);
+  }
+  method refresh(region: str): str {
+    this.refreshes = this.refreshes + 1;
+    var e: CacheEntry = mapGet(this.entries, region);
+    if (e == null) {
+      throw "TableNotFoundException";
+    }
+    e.stale = false;
+    return e.server;
+  }
+  // common serving path: every locator ends here
+  method serve(e: CacheEntry): str {
+    this.lookups = this.lookups + 1;
+    return e.server;
+  }
+  method invalidate(region: str) {
+    var e: CacheEntry = mapGet(this.entries, region);
+    if (e == null) {
+      return;
+    }
+    e.stale = true;
+  }
+  method staleCount(): int {
+    var regions: list = mapKeys(this.entries);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(regions)) {
+      var e: CacheEntry = mapGet(this.entries, listGet(regions, i));
+      if (e.isStale()) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method locate(region: str): str {
+    var e: CacheEntry = mapGet(this.entries, region);
+    if (e == null) {
+      throw "TableNotFoundException";
+    }
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (e.isStale()) {
+      return this.refresh(region);
+    }|};
+           ]
+         else [])
+      @ [
+          {|    return this.serve(e);
+  }
+|};
+        ]
+      @ (if batch_path then
+           [
+             (if guard2 then
+                {|  method locateBatch(region: str): str {
+    var e: CacheEntry = mapGet(this.entries, region);
+    if (e == null) {
+      throw "TableNotFoundException";
+    }
+    if (e.isStale()) {
+      return this.refresh(region);
+    }
+    return this.serve(e);
+  }|}
+              else
+                {|  method locateBatch(region: str): str {
+    var e: CacheEntry = mapGet(this.entries, region);
+    if (e == null) {
+      throw "TableNotFoundException";
+    }
+    return this.serve(e);
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeMetaCache(): MetaCache {
+  var mc: MetaCache = new MetaCache();
+  mc.put(new CacheEntry("r1", "server-a"));
+  mc.put(new CacheEntry("r2", "server-b"));
+  return mc;
+}
+
+method test_hb_locate_fresh_entry() {
+  var mc: MetaCache = makeMetaCache();
+  var s: str = mc.locate("r1");
+  assert (s == "server-a", "fresh entry served");
+  assert (mc.refreshes == 0, "no refresh needed");
+}
+
+method test_hb_invalidate_marks_stale() {
+  var mc: MetaCache = makeMetaCache();
+  mc.invalidate("r1");
+  mc.invalidate("not-a-region");
+  assert (mc.staleCount() == 1, "one stale entry");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the HBASE-22380 fix
+method test_hbase22380_stale_entry_refreshed() {
+  var mc: MetaCache = makeMetaCache();
+  var e: CacheEntry = mapGet(mc.entries, "r1");
+  e.stale = true;
+  var s: str = mc.locate("r1");
+  assert (mc.refreshes == 1, "stale entry refreshed");
+  assert (s == "server-a", "refreshed location returned");
+}
+|};
+           ]
+         else [])
+      @ (if batch_path then
+           [
+             {|method test_hb_locate_batch_fresh() {
+  var mc: MetaCache = makeMetaCache();
+  var s: str = mc.locateBatch("r2");
+  assert (s == "server-b", "batch lookup works");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the HBASE-26024 fix
+method test_hbase26024_batch_stale_refreshed() {
+  var mc: MetaCache = makeMetaCache();
+  var e: CacheEntry = mapGet(mc.entries, "r2");
+  e.stale = true;
+  var s: str = mc.locateBatch("r2");
+  assert (mc.refreshes == 1, "stale batch entry refreshed");
+  assert (s == "server-b", "refreshed location returned");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hbase-meta-cache";
+      system = "hbase";
+      feature = "client meta cache staleness";
+      kind = Case.Guard;
+      bug_ids = [ "HBASE-22380"; "HBASE-26024" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HBASE-22380",
+            "Clients keep using stale region locations after region moves",
+            "No lookup may serve a cache entry that is marked stale. After a region \
+             moved, clients kept sending requests to the old server until manual \
+             cache clears, causing request storms of NotServingRegionException. The \
+             fix refreshes stale entries before serving them." );
+          ( 3,
+            "HBASE-26024",
+            "Batch locator serves stale meta cache entries",
+            "No lookup may serve a cache entry that is marked stale. The batch \
+             locator added for multi-get skipped the staleness check that the \
+             single locator performs. The fix adds the same refresh-on-stale." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2019;
+      last_year = 2021;
+    }
+end
+
+(* ================================================================== *)
+(* Case 9: WAL writes under the roll lock (synthetic cluster)          *)
+(* ================================================================== *)
+
+module Wal_lock = struct
+  let source stage =
+    let roll_fixed = stage >= 1 in
+    let archive = stage >= 2 in
+    let archive_fixed = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HBase: write-ahead-log rolling
+class WalManager {
+  field rolls: int = 0;
+  field archives: int = 0;
+  field current: int = 1;
+  method currentSegment(): int {
+    var seg: int = 0;
+    synchronized (this) {
+      seg = this.current;
+    }
+    return seg;
+  }
+  method stats(): str {
+    return "rolls=" + this.rolls + " archives=" + this.archives;
+  }
+|};
+       ]
+      @ (if roll_fixed then
+           [
+             {|  method rollWriter() {
+    var previous: int = 0;
+    synchronized (this) {
+      previous = this.current;
+      this.current = this.current + 1;
+      this.rolls = this.rolls + 1;
+    }
+    // flush the previous segment outside the roll lock (HBASE-20559 fix)
+    fsync(previous);
+  }|};
+           ]
+         else
+           [
+             {|  method rollWriter() {
+    synchronized (this) {
+      // fsync while holding the roll lock stalls all appenders
+      fsync(this.current);
+      this.current = this.current + 1;
+      this.rolls = this.rolls + 1;
+    }
+  }|};
+           ])
+      @ (if archive then
+           [
+             (if archive_fixed then
+                {|  method archiveWal(segment: int) {
+    var seg: int = 0;
+    synchronized (this) {
+      seg = segment;
+      this.archives = this.archives + 1;
+    }
+    // copy to archive storage outside the lock (HBASE-27112 fix)
+    writeRecord(seg);
+  }|}
+              else
+                {|  method archiveWal(segment: int) {
+    synchronized (this) {
+      writeRecord(segment);
+      this.archives = this.archives + 1;
+    }
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method test_hb_roll_advances_segment() {
+  var wm: WalManager = new WalManager();
+  wm.rollWriter();
+  wm.rollWriter();
+  assert (wm.currentSegment() == 3, "segment advanced twice");
+  assert (wm.rolls == 2, "rolls counted");
+}
+
+method test_hb_wal_stats() {
+  var wm: WalManager = new WalManager();
+  wm.rollWriter();
+  assert (wm.stats() == "rolls=1 archives=0", "stats rendered");
+}
+|};
+        ]
+      @ (if roll_fixed then
+           [
+             {|// regression test added with the HBASE-20559 fix
+method test_hbase20559_roll_completes() {
+  var wm: WalManager = new WalManager();
+  wm.rollWriter();
+  assert (wm.rolls == 1, "roll completed");
+}
+|};
+           ]
+         else [])
+      @ (if archive then
+           [
+             {|method test_hb_archive_wal() {
+  var wm: WalManager = new WalManager();
+  wm.archiveWal(1);
+  assert (wm.archives == 1, "archive performed");
+}
+|};
+           ]
+         else [])
+      @
+      if archive_fixed then
+        [
+          {|// regression test added with the HBASE-27112 fix
+method test_hbase27112_archive_completes() {
+  var wm: WalManager = new WalManager();
+  wm.archiveWal(2);
+  assert (wm.archives == 1, "archive completed");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hbase-wal-lock";
+      system = "hbase";
+      feature = "WAL rolling under locks";
+      kind = Case.Lock;
+      bug_ids = [ "HBASE-20559"; "HBASE-27112" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HBASE-20559",
+            "Region server appenders stall during WAL roll",
+            "No blocking I/O may be performed while holding the WAL roll lock. \
+             rollWriter fsynced the previous segment inside the roll monitor, so \
+             every appender stalled for seconds on slow disks and client writes \
+             timed out. The fix moves the fsync outside the lock." );
+          ( 3,
+            "HBASE-27112",
+            "WAL archiving blocks appenders",
+            "No blocking I/O may be performed while holding the WAL roll lock. The \
+             archiving path added for backup copies segments to archive storage \
+             inside the same monitor, recreating the stall. The fix snapshots state \
+             under the lock and copies outside." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2018;
+      last_year = 2022;
+    }
+end
+
+let cases : Case.t list =
+  [ Snapshot_ttl.case; Region_split.case; Meta_cache.case; Wal_lock.case ]

@@ -1,0 +1,832 @@
+(** Mini-HDFS: four regression families.  The observer-locations case is
+    the paper's §4 Bug #2 (HDFS-13924 → HDFS-16732 → HDFS-17768): after two
+    rounds of location checks, the batched-listing path of the latest
+    release still returns blocks without locations when the observer
+    namenode's block report is delayed. *)
+
+(* ================================================================== *)
+(* Case 10: observer block locations — 3 bugs, E7                      *)
+(* ================================================================== *)
+
+module Observer_locations = struct
+  let loc_guard =
+    {|    if (b.locationCount == 0) {
+      // observer not caught up: retry on the active namenode
+      throw "ObserverRetryOnActiveException";
+    }|}
+
+  let source stage =
+    let read_guard = stage >= 1 in
+    let listing = stage >= 2 in
+    let listing_guard = stage >= 3 in
+    let batched = stage >= 4 in
+    let batched_guard = stage >= 5 in
+    String.concat "\n"
+      ([
+         {|// HDFS: observer namenode reads
+class LocatedBlock {
+  field blockId: int;
+  field locationCount: int;
+  method init(blockId: int, locationCount: int) {
+    this.blockId = blockId;
+    this.locationCount = locationCount;
+  }
+}
+
+class ObserverNameNode {
+  field blocks: map;
+  field servedReads: int = 0;
+  field servedListings: int = 0;
+  field servedBatches: int = 0;
+  method reportBlock(b: LocatedBlock) {
+    mapPut(this.blocks, b.blockId, b);
+  }
+  method reportedCount(): int {
+    return mapSize(this.blocks);
+  }
+  method locatedCount(): int {
+    var ids: list = mapKeys(this.blocks);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(ids)) {
+      var b: LocatedBlock = mapGet(this.blocks, listGet(ids, i));
+      if (b.locationCount > 0) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method catchUp(blockId: int, locations: int) {
+    // a late block report arrives: the observer learns the locations
+    var b: LocatedBlock = mapGet(this.blocks, blockId);
+    if (b == null) {
+      return;
+    }
+    b.locationCount = locations;
+  }
+  // common result assembly: every read path ends here
+  method buildResult(b: LocatedBlock): int {
+    return b.blockId;
+  }
+  method getBlockLocations(blockId: int): int {
+    var b: LocatedBlock = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockMissingException";
+    }
+|};
+       ]
+      @ (if read_guard then [ loc_guard ] else [])
+      @ [
+          {|    this.servedReads = this.servedReads + 1;
+    return this.buildResult(b);
+  }
+|};
+        ]
+      @ (if listing then
+           [
+             {|  method getListing(blockId: int): int {
+    var b: LocatedBlock = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockMissingException";
+    }
+|};
+           ]
+           @ (if listing_guard then [ loc_guard ] else [])
+           @ [
+               {|    this.servedListings = this.servedListings + 1;
+    return this.buildResult(b);
+  }
+|};
+             ]
+         else [])
+      @ (if batched then
+           [
+             {|  // batched listing added for directory-heavy workloads
+  method getBatchedListing(blockId: int): int {
+    var b: LocatedBlock = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockMissingException";
+    }
+|};
+           ]
+           @ (if batched_guard then [ loc_guard ] else [])
+           @ [
+               {|    this.servedBatches = this.servedBatches + 1;
+    return this.buildResult(b);
+  }
+|};
+             ]
+         else [])
+      @ [
+          {|}
+
+method makeObserver(): ObserverNameNode {
+  var nn: ObserverNameNode = new ObserverNameNode();
+  nn.reportBlock(new LocatedBlock(1, 3));
+  // block 2's report is delayed: zero locations known to the observer
+  nn.reportBlock(new LocatedBlock(2, 0));
+  return nn;
+}
+
+method test_hdfs_read_located_block() {
+  var nn: ObserverNameNode = makeObserver();
+  var r: int = nn.getBlockLocations(1);
+  assert (r == 1, "located block served");
+  assert (nn.servedReads == 1, "read counted");
+}
+
+method test_hdfs_read_missing_block_rejected() {
+  var nn: ObserverNameNode = makeObserver();
+  var rejected: bool = false;
+  try { var r: int = nn.getBlockLocations(99); } catch (e) { rejected = true; }
+  assert (rejected, "missing block rejected");
+}
+
+method test_hdfs_late_report_catches_up() {
+  var nn: ObserverNameNode = makeObserver();
+  assert (nn.reportedCount() == 2, "two blocks known");
+  assert (nn.locatedCount() == 1, "one block located");
+  nn.catchUp(2, 3);
+  assert (nn.locatedCount() == 2, "late report fills locations");
+  var r: int = nn.getBlockLocations(2);
+  assert (r == 2, "block served after catch-up");
+}
+|};
+        ]
+      @ (if read_guard then
+           [
+             {|// regression test added with the HDFS-13924 fix
+method test_hdfs13924_empty_locations_redirected() {
+  var nn: ObserverNameNode = makeObserver();
+  var redirected: bool = false;
+  try { var r: int = nn.getBlockLocations(2); } catch (e) { redirected = true; }
+  assert (redirected, "empty-location block retried on active");
+}
+|};
+           ]
+         else [])
+      @ (if listing then
+           [
+             {|method test_hdfs_listing_located_block() {
+  var nn: ObserverNameNode = makeObserver();
+  var r: int = nn.getListing(1);
+  assert (r == 1, "listing served");
+}
+|};
+           ]
+         else [])
+      @ (if listing_guard then
+           [
+             {|// regression test added with the HDFS-16732 fix
+method test_hdfs16732_listing_empty_locations_redirected() {
+  var nn: ObserverNameNode = makeObserver();
+  var redirected: bool = false;
+  try { var r: int = nn.getListing(2); } catch (e) { redirected = true; }
+  assert (redirected, "listing with empty locations redirected");
+}
+|};
+           ]
+         else [])
+      @ (if batched then
+           [
+             {|method test_hdfs_batched_listing_located() {
+  var nn: ObserverNameNode = makeObserver();
+  var r: int = nn.getBatchedListing(1);
+  assert (r == 1, "batched listing served");
+}
+|};
+           ]
+         else [])
+      @
+      if batched_guard then
+        [
+          {|// regression test added with the HDFS-17768 fix
+method test_hdfs17768_batched_empty_locations_redirected() {
+  var nn: ObserverNameNode = makeObserver();
+  var redirected: bool = false;
+  try { var r: int = nn.getBatchedListing(2); } catch (e) { redirected = true; }
+  assert (redirected, "batched listing with empty locations redirected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hdfs-observer-locations";
+      system = "hdfs";
+      feature = "observer namenode block locations";
+      kind = Case.Guard;
+      bug_ids = [ "HDFS-13924"; "HDFS-16732"; "HDFS-17768" ];
+      n_stages = 6;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HDFS-13924",
+            "Handle BlockMissingException when reading from observer",
+            "No read served by the observer namenode may return a block without \
+             any location. When the observer's block report lagged the active \
+             namenode, reads returned location-less blocks and clients failed with \
+             BlockMissingException. The fix detects empty locations and retries the \
+             read on the active namenode." );
+          ( 3,
+            "HDFS-16732",
+            "Avoid getting location from observer when the block report is delayed",
+            "No read served by the observer namenode may return a block without \
+             any location. The directory listing path skipped the location check \
+             that getBlockLocations performs, so listings embedded location-less \
+             blocks. The fix adds the same check to the listing path." );
+          ( 5,
+            "HDFS-17768",
+            "Observer namenode network delay causing empty block location for getBatchedListing",
+            "No read served by the observer namenode may return a block without \
+             any location. In the latest release, the batched listing path added \
+             for directory-heavy workloads still returns blocks without any \
+             location when the observer's block report is delayed. We propose to \
+             complete the coverage of location checks; HDFS developers have \
+             approved the fix." );
+        ];
+      regression_stages = [ 2; 4 ];
+      latest_stage = 4;
+      latest_has_unknown_bug = true;
+      violating_old_semantics = 3;
+      first_year = 2018;
+      last_year = 2025;
+    }
+end
+
+(* ================================================================== *)
+(* Case 11: double lease release (synthetic cluster)                   *)
+(* ================================================================== *)
+
+module Lease_recovery = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let batch = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HDFS: lease management
+class Lease {
+  field holder: str;
+  field path: str;
+  field released: bool = false;
+  method init(holder: str, path: str) {
+    this.holder = holder;
+    this.path = path;
+  }
+  method isReleased(): bool {
+    return this.released;
+  }
+}
+
+class LeaseManager {
+  field leases: map;
+  field releases: int = 0;
+  method grant(l: Lease) {
+    mapPut(this.leases, l.path, l);
+  }
+  // common release bookkeeping: every release path ends here
+  method finalizeRelease(l: Lease) {
+    l.released = true;
+    this.releases = this.releases + 1;
+  }
+  method activeForHolder(holder: str): int {
+    var paths: list = mapKeys(this.leases);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var l: Lease = mapGet(this.leases, listGet(paths, i));
+      if (l.holder == holder && !l.isReleased()) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method renew(path: str) {
+    var l: Lease = mapGet(this.leases, path);
+    if (l == null) {
+      throw "LeaseNotFoundException";
+    }
+    if (l.isReleased()) {
+      throw "LeaseExpiredException";
+    }
+  }
+  method releaseLease(path: str) {
+    var l: Lease = mapGet(this.leases, path);
+    if (l == null) {
+      throw "LeaseNotFoundException";
+    }
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (l.isReleased()) {
+      // idempotent: already released by recovery
+      return;
+    }|};
+           ]
+         else [])
+      @ [ {|    this.finalizeRelease(l);
+  }
+|} ]
+      @ (if batch then
+           [
+             (if guard2 then
+                {|  method releaseAllForHolder(holder: str) {
+    var paths: list = mapKeys(this.leases);
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var l: Lease = mapGet(this.leases, listGet(paths, i));
+      if (l.holder == holder) {
+        if (l.isReleased()) {
+          i = i + 1;
+          continue;
+        }
+        this.finalizeRelease(l);
+      }
+      i = i + 1;
+    }
+  }|}
+              else
+                {|  method releaseAllForHolder(holder: str) {
+    var paths: list = mapKeys(this.leases);
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var l: Lease = mapGet(this.leases, listGet(paths, i));
+      if (l.holder == holder) {
+        this.finalizeRelease(l);
+      }
+      i = i + 1;
+    }
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeLeases(): LeaseManager {
+  var lm: LeaseManager = new LeaseManager();
+  lm.grant(new Lease("client-1", "/data/a"));
+  lm.grant(new Lease("client-1", "/data/b"));
+  return lm;
+}
+
+method test_hdfs_release_once() {
+  var lm: LeaseManager = makeLeases();
+  lm.releaseLease("/data/a");
+  assert (lm.releases == 1, "released once");
+}
+
+method test_hdfs_lease_renew_and_counts() {
+  var lm: LeaseManager = makeLeases();
+  assert (lm.activeForHolder("client-1") == 2, "two active leases");
+  lm.renew("/data/a");
+  lm.releaseLease("/data/a");
+  assert (lm.activeForHolder("client-1") == 1, "one active after release");
+  var rejected: bool = false;
+  try { lm.renew("/data/a"); } catch (e) { rejected = true; }
+  assert (rejected, "renewing a released lease rejected");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the HDFS-14402 fix
+method test_hdfs14402_double_release_idempotent() {
+  var lm: LeaseManager = makeLeases();
+  lm.releaseLease("/data/a");
+  lm.releaseLease("/data/a");
+  assert (lm.releases == 1, "double release counted once");
+}
+|};
+           ]
+         else [])
+      @ (if batch then
+           [
+             {|method test_hdfs_release_all_for_holder() {
+  var lm: LeaseManager = makeLeases();
+  lm.releaseAllForHolder("client-1");
+  assert (lm.releases == 2, "all holder leases released");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the HDFS-16314 fix
+method test_hdfs16314_batch_release_idempotent() {
+  var lm: LeaseManager = makeLeases();
+  lm.releaseLease("/data/a");
+  lm.releaseAllForHolder("client-1");
+  assert (lm.releases == 2, "already-released lease skipped in batch");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hdfs-lease-recovery";
+      system = "hdfs";
+      feature = "lease release idempotence";
+      kind = Case.Guard;
+      bug_ids = [ "HDFS-14402"; "HDFS-16314" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HDFS-14402",
+            "Lease released twice during recovery corrupts accounting",
+            "No lease may be finalized if it has already been released. Lease \
+             recovery raced with client close and released the same lease twice, \
+             corrupting the quota accounting derived from release counts. The fix \
+             makes release idempotent by checking the released flag." );
+          ( 3,
+            "HDFS-16314",
+            "Bulk lease release double-counts recovered leases",
+            "No lease may be finalized if it has already been released. The bulk \
+             release path added for holder expiry skipped the released check, \
+             double-counting leases already recovered. The fix skips released \
+             leases in the batch loop." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2019;
+      last_year = 2021;
+    }
+end
+
+(* ================================================================== *)
+(* Case 12: decommission vs replication (synthetic cluster)            *)
+(* ================================================================== *)
+
+module Decommission = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let maint = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HDFS: datanode decommissioning
+class BlockInfo {
+  field blockId: int;
+  field liveReplicas: int;
+  field minReplicas: int = 2;
+  method init(blockId: int, liveReplicas: int) {
+    this.blockId = blockId;
+    this.liveReplicas = liveReplicas;
+  }
+}
+
+class DatanodeAdmin {
+  field blocks: map;
+  field decommissioned: int = 0;
+  method track(b: BlockInfo) {
+    mapPut(this.blocks, b.blockId, b);
+  }
+  // common state change: decommission and maintenance both end here
+  method markOffline(b: BlockInfo) {
+    b.liveReplicas = b.liveReplicas - 1;
+    this.decommissioned = this.decommissioned + 1;
+  }
+  method reReplicate(blockId: int) {
+    var b: BlockInfo = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockNotFoundException";
+    }
+    b.liveReplicas = b.liveReplicas + 1;
+  }
+  method underReplicatedCount(): int {
+    var ids: list = mapKeys(this.blocks);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(ids)) {
+      var b: BlockInfo = mapGet(this.blocks, listGet(ids, i));
+      if (b.liveReplicas < b.minReplicas) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method decommissionReplica(blockId: int) {
+    var b: BlockInfo = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockNotFoundException";
+    }
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (b.liveReplicas <= b.minReplicas) {
+      throw "InsufficientReplicasException";
+    }|};
+           ]
+         else [])
+      @ [ {|    this.markOffline(b);
+  }
+|} ]
+      @ (if maint then
+           [
+             (if guard2 then
+                {|  method enterMaintenance(blockId: int) {
+    var b: BlockInfo = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockNotFoundException";
+    }
+    if (b.liveReplicas <= b.minReplicas) {
+      throw "InsufficientReplicasException";
+    }
+    this.markOffline(b);
+  }|}
+              else
+                {|  method enterMaintenance(blockId: int) {
+    var b: BlockInfo = mapGet(this.blocks, blockId);
+    if (b == null) {
+      throw "BlockNotFoundException";
+    }
+    this.markOffline(b);
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method makeAdmin(): DatanodeAdmin {
+  var da: DatanodeAdmin = new DatanodeAdmin();
+  da.track(new BlockInfo(1, 5));
+  da.track(new BlockInfo(2, 2));
+  return da;
+}
+
+method test_hdfs_decommission_well_replicated() {
+  var da: DatanodeAdmin = makeAdmin();
+  da.decommissionReplica(1);
+  assert (da.decommissioned == 1, "replica decommissioned");
+}
+
+method test_hdfs_rereplication_restores_margin() {
+  var da: DatanodeAdmin = makeAdmin();
+  assert (da.underReplicatedCount() == 0, "all blocks healthy");
+  da.reReplicate(2);
+  da.decommissionReplica(2);
+  assert (da.decommissioned == 1, "decommission after re-replication");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the HDFS-15182 fix
+method test_hdfs15182_under_replicated_rejected() {
+  var da: DatanodeAdmin = makeAdmin();
+  var rejected: bool = false;
+  try { da.decommissionReplica(2); } catch (e) { rejected = true; }
+  assert (rejected, "under-replicated block protected");
+}
+|};
+           ]
+         else [])
+      @ (if maint then
+           [
+             {|method test_hdfs_maintenance_well_replicated() {
+  var da: DatanodeAdmin = makeAdmin();
+  da.enterMaintenance(1);
+  assert (da.decommissioned == 1, "maintenance transition performed");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the HDFS-16851 fix
+method test_hdfs16851_maintenance_under_replicated_rejected() {
+  var da: DatanodeAdmin = makeAdmin();
+  var rejected: bool = false;
+  try { da.enterMaintenance(2); } catch (e) { rejected = true; }
+  assert (rejected, "maintenance on under-replicated block rejected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hdfs-decommission";
+      system = "hdfs";
+      feature = "decommission replication safety";
+      kind = Case.Guard;
+      bug_ids = [ "HDFS-15182"; "HDFS-16851" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HDFS-15182",
+            "Decommissioning can drop the last replicas of a block",
+            "No replica may be taken offline when live replicas would fall below \
+             the configured minimum. Decommissioning proceeded regardless of \
+             replication state and dropped the last replicas of cold blocks, \
+             causing data loss alerts. The fix rejects decommission when live \
+             replicas are at or below the minimum." );
+          ( 3,
+            "HDFS-16851",
+            "Maintenance mode ignores minimum replication",
+            "No replica may be taken offline when live replicas would fall below \
+             the configured minimum. The maintenance-mode path added for rolling \
+             upgrades skipped the replication check that decommission performs. \
+             The fix adds the same check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2020;
+      last_year = 2022;
+    }
+end
+
+(* ================================================================== *)
+(* Case 13: safe-mode write protection (synthetic cluster)             *)
+(* ================================================================== *)
+
+module Safemode = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let concat_op = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// HDFS: namenode safe mode
+class FSNamesystem {
+  field safeMode: bool = false;
+  field files: map;
+  field mutations: int = 0;
+  method isInSafeMode(): bool {
+    return this.safeMode;
+  }
+  // common mutation application: every write path ends here
+  method applyMutation(path: str, v: int) {
+    mapPut(this.files, path, v);
+    this.mutations = this.mutations + 1;
+  }
+  method enterSafeMode() {
+    this.safeMode = true;
+  }
+  method leaveSafeMode() {
+    this.safeMode = false;
+  }
+  method fileCount(): int {
+    return mapSize(this.files);
+  }
+  method getFile(path: str): int {
+    if (!mapContains(this.files, path)) {
+      throw "FileNotFoundException";
+    }
+    var v: int = mapGet(this.files, path);
+    return v;
+  }
+  method mkdir(path: str) {
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (this.isInSafeMode()) {
+      throw "SafeModeException";
+    }|};
+           ]
+         else [])
+      @ [ {|    this.applyMutation(path, 1);
+  }
+|} ]
+      @ (if concat_op then
+           [
+             (if guard2 then
+                {|  method concatFiles(target: str, src: str) {
+    if (this.isInSafeMode()) {
+      throw "SafeModeException";
+    }
+    var a: int = mapGet(this.files, target);
+    var b2: int = mapGet(this.files, src);
+    this.applyMutation(target, a + b2);
+    mapRemove(this.files, src);
+  }|}
+              else
+                {|  method concatFiles(target: str, src: str) {
+    var a: int = mapGet(this.files, target);
+    var b2: int = mapGet(this.files, src);
+    this.applyMutation(target, a + b2);
+    mapRemove(this.files, src);
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method test_hdfs_mkdir_normal_mode() {
+  var fs: FSNamesystem = new FSNamesystem();
+  fs.mkdir("/tmp");
+  assert (fs.mutations == 1, "mkdir applied");
+}
+
+method test_hdfs_safe_mode_toggle_and_reads() {
+  var fs: FSNamesystem = new FSNamesystem();
+  fs.mkdir("/data");
+  fs.enterSafeMode();
+  // reads keep working in safe mode
+  assert (fs.getFile("/data") == 1, "read in safe mode");
+  assert (fs.fileCount() == 1, "count in safe mode");
+  fs.leaveSafeMode();
+  fs.mkdir("/more");
+  assert (fs.fileCount() == 2, "writes resume after leaving");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the HDFS-14273 fix
+method test_hdfs14273_mkdir_safe_mode_rejected() {
+  var fs: FSNamesystem = new FSNamesystem();
+  fs.safeMode = true;
+  var rejected: bool = false;
+  try { fs.mkdir("/tmp"); } catch (e) { rejected = true; }
+  assert (rejected, "mkdir rejected in safe mode");
+  assert (fs.mutations == 0, "no mutation in safe mode");
+}
+|};
+           ]
+         else [])
+      @ (if concat_op then
+           [
+             {|method test_hdfs_concat_normal_mode() {
+  var fs: FSNamesystem = new FSNamesystem();
+  fs.mkdir("/a");
+  fs.mkdir("/b");
+  fs.concatFiles("/a", "/b");
+  assert (fs.mutations == 3, "concat applied");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the HDFS-16633 fix
+method test_hdfs16633_concat_safe_mode_rejected() {
+  var fs: FSNamesystem = new FSNamesystem();
+  fs.mkdir("/a");
+  fs.mkdir("/b");
+  fs.safeMode = true;
+  var rejected: bool = false;
+  try { fs.concatFiles("/a", "/b"); } catch (e) { rejected = true; }
+  assert (rejected, "concat rejected in safe mode");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "hdfs-safemode";
+      system = "hdfs";
+      feature = "safe-mode write protection";
+      kind = Case.Guard;
+      bug_ids = [ "HDFS-14273"; "HDFS-16633" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "HDFS-14273",
+            "Namespace mutations allowed while the namenode is in safe mode",
+            "No namespace mutation may be applied while the namenode is in safe \
+             mode. During startup replay, mkdir requests mutated the namespace \
+             before the block map was consistent, producing an image that failed \
+             the next checkpoint. The fix rejects mutations in safe mode." );
+          ( 3,
+            "HDFS-16633",
+            "concat bypasses safe mode checks",
+            "No namespace mutation may be applied while the namenode is in safe \
+             mode. The concat operation added for small-file compaction skipped \
+             the safe-mode check every other write performs. The fix adds the \
+             same check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2019;
+      last_year = 2022;
+    }
+end
+
+let cases : Case.t list =
+  [ Observer_locations.case; Lease_recovery.case; Decommission.case; Safemode.case ]

@@ -1,0 +1,4 @@
+(** Mini-hdfs regression families: feature modules with staged version
+    histories (see {!Case}). *)
+
+val cases : Case.t list

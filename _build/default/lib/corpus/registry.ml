@@ -1,0 +1,93 @@
+(** The assembled incident corpus: 16 regression cases, 34 bugs, across
+    four subject systems — the §2.1 study population.
+
+    Whole-system versions are assembled by concatenating each feature
+    module at the stage that system version maps to; version [v] puts every
+    case at stage [min v latest_stage], so version 0 is the original buggy
+    release, version 2 is the all-regressed release, and version 5 is the
+    "latest" release in which the two unknown bugs (E6/E7) are present. *)
+
+let all_cases : Case.t list =
+  Zookeeper.cases @ Hbase.cases @ Hdfs.cases @ Cassandra.cases
+
+let systems : string list = [ "zookeeper"; "hbase"; "hdfs"; "cassandra" ]
+
+let cases_of_system (system : string) : Case.t list =
+  List.filter (fun (c : Case.t) -> c.Case.system = system) all_cases
+
+let find_case (case_id : string) : Case.t option =
+  List.find_opt (fun (c : Case.t) -> c.Case.case_id = case_id) all_cases
+
+let n_cases = List.length all_cases
+
+let n_bugs = List.fold_left (fun n c -> n + Case.n_bugs c) 0 all_cases
+
+let n_bugs_violating_old_semantics =
+  List.fold_left (fun n (c : Case.t) -> n + c.Case.violating_old_semantics) 0 all_cases
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system versions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let max_version = 5
+
+let stage_at_version (c : Case.t) (version : int) : int =
+  min version c.Case.latest_stage
+
+let system_source (system : string) ~(version : int) : string =
+  let cases = cases_of_system system in
+  String.concat "\n"
+    (Fmt.str "// %s, assembled release v%d" system version
+    :: List.map (fun c -> c.Case.source (stage_at_version c version)) cases)
+
+let system_program (system : string) ~(version : int) : Minilang.Ast.program =
+  Minilang.Parser.program
+    ~file:(Fmt.str "%s-v%d.mj" system version)
+    (system_source system ~version)
+
+(** Human-readable commit log of a system's history. *)
+let commit_history (system : string) : (int * string) list =
+  List.init (max_version + 1) (fun v ->
+      let changed =
+        cases_of_system system
+        |> List.filter (fun c ->
+               v > 0 && stage_at_version c v <> stage_at_version c (v - 1))
+        |> List.map (fun (c : Case.t) ->
+               let s = stage_at_version c v in
+               match List.find_opt (fun (fs, _, _, _) -> fs = s) c.Case.ticket_meta with
+               | Some (_, id, title, _) -> Fmt.str "%s: %s" id title
+               | None -> Fmt.str "%s: evolve %s to stage %d" c.Case.case_id c.Case.feature s)
+      in
+      let msg =
+        if v = 0 then "initial release"
+        else if changed = [] then "routine maintenance"
+        else String.concat "; " changed
+      in
+      (v, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Study metadata (constants reported by the paper's survey; reproduced *)
+(* here as corpus metadata so the study driver can print Figure 1)      *)
+(* ------------------------------------------------------------------ *)
+
+(** Google-scale change rate quoted in the paper's introduction. *)
+let changes_per_day_gcp = 16_000
+
+(** Average number of test files among the studied systems (§2.2). *)
+let avg_test_files = 1_309
+
+(** The ephemeral-node feature: 46 related bugs over 14 years (§2.1).
+    Synthetic per-year histogram consistent with those totals. *)
+let ephemeral_bug_histogram : (int * int) list =
+  [
+    (2011, 6); (2012, 5); (2013, 4); (2014, 3); (2015, 4); (2016, 3); (2017, 3);
+    (2018, 2); (2019, 3); (2020, 3); (2021, 2); (2022, 3); (2023, 2); (2024, 3);
+  ]
+
+let ephemeral_bug_total =
+  List.fold_left (fun n (_, k) -> n + k) 0 ephemeral_bug_histogram
+
+(** Share of studied failures violating semantics that predate the first
+    stable release (the paper quotes 68% from [Lou et al., OSDI '22]). *)
+let old_semantics_share () : float =
+  float_of_int n_bugs_violating_old_semantics /. float_of_int n_bugs

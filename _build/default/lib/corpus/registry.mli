@@ -1,0 +1,48 @@
+(** The assembled incident corpus: 16 regression cases, 34 bugs, across
+    four subject systems, plus whole-system release assembly and the
+    study-metadata constants the paper quotes. *)
+
+val all_cases : Case.t list
+
+val systems : string list
+
+val cases_of_system : string -> Case.t list
+
+val find_case : string -> Case.t option
+
+val n_cases : int
+
+val n_bugs : int
+
+val n_bugs_violating_old_semantics : int
+
+(** {1 Whole-system versions}
+
+    Version [v] puts every case at stage [min v latest_stage]: v0 is the
+    original release, v2 the all-regressed release, v5 the "latest"
+    release carrying the two §4 unknown bugs. *)
+
+val max_version : int
+
+val stage_at_version : Case.t -> int -> int
+
+val system_source : string -> version:int -> string
+
+val system_program : string -> version:int -> Minilang.Ast.program
+
+(** Human-readable commit log of a system's history. *)
+val commit_history : string -> (int * string) list
+
+(** {1 Study metadata} (constants reported by the paper's survey) *)
+
+val changes_per_day_gcp : int
+
+val avg_test_files : int
+
+val ephemeral_bug_histogram : (int * int) list
+
+val ephemeral_bug_total : int
+
+(** Share of corpus bugs violating semantics that predate the first
+    stable release (the paper quotes 68%). *)
+val old_semantics_share : unit -> float

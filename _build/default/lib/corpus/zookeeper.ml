@@ -1,0 +1,1100 @@
+(** Mini-ZooKeeper: five regression families transliterated from the
+    tickets the paper cites (ZK-1208/1496, ZK-2201/3531) plus three more
+    clustered regressions of the kinds the §2.1 study describes (watch
+    leaks, quota enforcement, election epoch checks).
+
+    Every feature is a self-contained MiniJava module (own classes, own
+    tests) so that tickets stay focused and whole-system versions can be
+    assembled by concatenation. *)
+
+(* ================================================================== *)
+(* Case 1: ephemeral nodes — ZK-1208 then ZK-1496 (Figures 2 and 3)    *)
+(* ================================================================== *)
+
+module Ephemeral = struct
+  (* stage flags: prep guard (fix 1), learner path exists (evolution),
+     learner guard (fix 2) *)
+  let source stage =
+    let prep_guard = stage >= 1 in
+    let learner = stage >= 2 in
+    let learner_guard = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// ZooKeeper: ephemeral node lifecycle
+class Session {
+  field id: int;
+  field owner: str;
+  field closing: bool = false;
+  field expired: bool = false;
+  method init(id: int, owner: str) {
+    this.id = id;
+    this.owner = owner;
+  }
+  method isClosing(): bool {
+    return this.closing;
+  }
+}
+
+class SessionTrackerImpl {
+  field sessionsById: map;
+  method addSession(s: Session) {
+    mapPut(this.sessionsById, s.id, s);
+  }
+  method getSession(sessionId: int): Session {
+    var s: Session = mapGet(this.sessionsById, sessionId);
+    return s;
+  }
+  method setClosing(sessionId: int) {
+    var s: Session = mapGet(this.sessionsById, sessionId);
+    if (s == null) {
+      return;
+    }
+    s.closing = true;
+  }
+}
+
+class DataTree {
+  field nodes: map;
+  field ephemerals: map;
+  method createEphemeralNode(path: str, sessionId: int) {
+    mapPut(this.nodes, path, sessionId);
+    mapPut(this.ephemerals, path, sessionId);
+  }
+  method deleteNode(path: str) {
+    mapRemove(this.nodes, path);
+    mapRemove(this.ephemerals, path);
+  }
+  method hasNode(path: str): bool {
+    return mapContains(this.nodes, path);
+  }
+  method getOwner(path: str): int {
+    if (!mapContains(this.nodes, path)) {
+      throw "NoNodeException";
+    }
+    var owner: int = mapGet(this.nodes, path);
+    return owner;
+  }
+  method nodeCount(): int {
+    return mapSize(this.nodes);
+  }
+  method ephemeralCount(sessionId: int): int {
+    var paths: list = mapKeys(this.ephemerals);
+    var n: int = 0;
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var owner: int = mapGet(this.ephemerals, listGet(paths, i));
+      if (owner == sessionId) {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+    return n;
+  }
+  method killSession(sessionId: int) {
+    var paths: list = mapKeys(this.ephemerals);
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var p: str = listGet(paths, i);
+      var owner: int = mapGet(this.ephemerals, p);
+      if (owner == sessionId) {
+        this.deleteNode(p);
+      }
+      i = i + 1;
+    }
+  }
+}
+
+class PrepRequestProcessor {
+  field tracker: SessionTrackerImpl;
+  field tree: DataTree;
+  method init(tracker: SessionTrackerImpl, tree: DataTree) {
+    this.tracker = tracker;
+    this.tree = tree;
+  }
+  method pRequest2TxnCreate(sessionId: int, path: str) {
+    var s: Session = this.tracker.getSession(sessionId);
+|};
+       ]
+      @ (if prep_guard then
+           [
+             {|    if (s == null || s.isClosing()) {
+      throw "SessionExpiredException";
+    }|};
+           ]
+         else
+           [ {|    if (s == null) {
+      throw "SessionExpiredException";
+    }|} ])
+      @ [
+          {|    this.tree.createEphemeralNode(path, sessionId);
+  }
+  method closeSession(sessionId: int) {
+    this.tracker.setClosing(sessionId);
+    this.tree.killSession(sessionId);
+  }
+}
+|};
+        ]
+      @ (if learner then
+           [
+             {|// forwarded create requests from learners (added later)
+class LearnerRequestProcessor {
+  field tracker: SessionTrackerImpl;
+  field tree: DataTree;
+  method init(tracker: SessionTrackerImpl, tree: DataTree) {
+    this.tracker = tracker;
+    this.tree = tree;
+  }
+  method forwardCreate(sessionId: int, path: str) {
+    var s: Session = this.tracker.getSession(sessionId);
+|};
+           ]
+           @ (if learner_guard then
+                [
+                  {|    if (s == null || s.isClosing()) {
+      throw "SessionExpiredException";
+    }|};
+                ]
+              else
+                [ {|    if (s == null) {
+      throw "SessionExpiredException";
+    }|} ])
+           @ [ {|    this.tree.createEphemeralNode(path, sessionId);
+  }
+}
+|} ]
+         else [])
+      @ [
+          {|method makeEphemeralStack(): PrepRequestProcessor {
+  var tracker: SessionTrackerImpl = new SessionTrackerImpl();
+  var tree: DataTree = new DataTree();
+  var prep: PrepRequestProcessor = new PrepRequestProcessor(tracker, tree);
+  return prep;
+}
+
+method test_eph_create_on_live_session() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var s: Session = new Session(1, "kafka-consumer-1");
+  prep.tracker.addSession(s);
+  prep.pRequest2TxnCreate(1, "/consumers/c1");
+  assert (prep.tree.hasNode("/consumers/c1"), "ephemeral registered");
+}
+
+method test_eph_close_removes_nodes() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var s: Session = new Session(1, "kafka-consumer-1");
+  prep.tracker.addSession(s);
+  prep.pRequest2TxnCreate(1, "/consumers/c1");
+  prep.closeSession(1);
+  assert (!prep.tree.hasNode("/consumers/c1"), "ephemeral cleaned on close");
+}
+
+method test_eph_create_unknown_session_rejected() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var rejected: bool = false;
+  try { prep.pRequest2TxnCreate(99, "/consumers/ghost"); }
+  catch (e) { rejected = true; }
+  assert (rejected, "unknown session rejected");
+}
+
+method test_eph_owner_lookup() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var s: Session = new Session(3, "kafka-consumer-3");
+  prep.tracker.addSession(s);
+  prep.pRequest2TxnCreate(3, "/consumers/c3");
+  assert (prep.tree.getOwner("/consumers/c3") == 3, "owner recorded");
+}
+
+method test_eph_missing_owner_rejected() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var rejected: bool = false;
+  try { var o: int = prep.tree.getOwner("/absent"); } catch (e) { rejected = true; }
+  assert (rejected, "missing node lookup rejected");
+}
+
+method test_eph_counts_per_session() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var s: Session = new Session(4, "kafka-consumer-4");
+  prep.tracker.addSession(s);
+  prep.pRequest2TxnCreate(4, "/consumers/a");
+  prep.pRequest2TxnCreate(4, "/consumers/b");
+  assert (prep.tree.ephemeralCount(4) == 2, "two ephemerals for session");
+  assert (prep.tree.nodeCount() == 2, "two nodes total");
+  prep.closeSession(4);
+  assert (prep.tree.ephemeralCount(4) == 0, "counts drop after close");
+}
+|};
+        ]
+      @ (if prep_guard then
+           [
+             {|// regression test added with the ZK-1208 fix
+method test_zk1208_create_on_closing_session_rejected() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var s: Session = new Session(7, "kafka-consumer-7");
+  prep.tracker.addSession(s);
+  prep.tracker.setClosing(7);
+  var rejected: bool = false;
+  try { prep.pRequest2TxnCreate(7, "/consumers/c7"); }
+  catch (e) { rejected = true; }
+  assert (rejected, "create on closing session rejected");
+  assert (!prep.tree.hasNode("/consumers/c7"), "no stale node");
+}
+|};
+           ]
+         else [])
+      @ (if learner then
+           [
+             {|method test_eph_learner_forward_create() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var lrp: LearnerRequestProcessor = new LearnerRequestProcessor(prep.tracker, prep.tree);
+  var s: Session = new Session(2, "kafka-consumer-2");
+  prep.tracker.addSession(s);
+  lrp.forwardCreate(2, "/consumers/c2");
+  assert (prep.tree.hasNode("/consumers/c2"), "learner create lands");
+}
+|};
+           ]
+         else [])
+      @
+      if learner_guard then
+        [
+          {|// regression test added with the ZK-1496 fix
+method test_zk1496_learner_closing_rejected() {
+  var prep: PrepRequestProcessor = makeEphemeralStack();
+  var lrp: LearnerRequestProcessor = new LearnerRequestProcessor(prep.tracker, prep.tree);
+  var s: Session = new Session(8, "kafka-consumer-8");
+  prep.tracker.addSession(s);
+  prep.tracker.setClosing(8);
+  var rejected: bool = false;
+  try { lrp.forwardCreate(8, "/consumers/c8"); }
+  catch (e) { rejected = true; }
+  assert (rejected, "learner create on closing session rejected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "zk-ephemeral";
+      system = "zookeeper";
+      feature = "ephemeral nodes";
+      kind = Case.Guard;
+      bug_ids = [ "ZK-1208"; "ZK-1496" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "ZK-1208",
+            "Ephemeral node not removed after the client session is long gone",
+            "No client may create an ephemeral node while its session is in the \
+             CLOSING state. A Kafka deployment registered consumer addresses as \
+             ephemeral nodes; a race in PrepRequestProcessor allowed a create on a \
+             closing session, so a stale registration survived session teardown and \
+             clients kept querying a dead address. The fix rejects create requests \
+             when the session is closing." );
+          ( 3,
+            "ZK-1496",
+            "Ephemeral node not getting cleared even after client has exited",
+            "No client may create an ephemeral node while its session is in the \
+             CLOSING state. One year after ZK-1208, the learner request path reached \
+             the same node-creation logic without the closing-session guard, and the \
+             whole Kafka cluster got stuck in zombie mode again. The fix adds the \
+             same check to the learner path." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 2;
+      first_year = 2011;
+      last_year = 2012;
+    }
+end
+
+(* ================================================================== *)
+(* Case 2: serialization inside synchronized blocks — ZK-2201 / ZK-3531 *)
+(* ================================================================== *)
+
+module Serialize = struct
+  let source stage =
+    let sync_fixed = stage >= 1 in
+    let acl = stage >= 2 in
+    let acl_fixed = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// ZooKeeper: snapshot serialization and locks
+class DataNode {
+  field path: str;
+  field data: int;
+  field children: list;
+  method init(path: str, data: int) {
+    this.path = path;
+    this.data = data;
+  }
+  method getChildren(): list {
+    return this.children;
+  }
+}
+
+class SyncRequestProcessor {
+  field scount: int = 0;
+  field root: DataNode;
+  method init(root: DataNode) {
+    this.root = root;
+  }
+  method snapshotCount(): int {
+    return this.scount;
+  }
+  method childCount(node: DataNode): int {
+    var kids: list = null;
+    synchronized (node) {
+      kids = node.getChildren();
+    }
+    return listSize(kids);
+  }
+|};
+       ]
+      @ (if sync_fixed then
+           [
+             {|  method serializeNode(node: DataNode) {
+    var snapshot: int = 0;
+    var kids: list = null;
+    synchronized (node) {
+      this.scount = this.scount + 1;
+      snapshot = node.data;
+      kids = node.getChildren();
+    }
+    // blocking write moved outside the monitor (ZK-2201 fix)
+    writeRecord(snapshot);
+    var i: int = 0;
+    while (i < listSize(kids)) {
+      writeRecord(listGet(kids, i));
+      i = i + 1;
+    }
+  }|};
+           ]
+         else
+           [
+             {|  method serializeNode(node: DataNode) {
+    var kids: list = null;
+    synchronized (node) {
+      this.scount = this.scount + 1;
+      // blocking write while holding the node monitor: writers stall
+      writeRecord(node.data);
+      kids = node.getChildren();
+      var i: int = 0;
+      while (i < listSize(kids)) {
+        writeRecord(listGet(kids, i));
+        i = i + 1;
+      }
+    }
+  }|};
+           ])
+      @ [ {|}
+|} ]
+      @ (if acl then
+           if acl_fixed then
+             [
+               {|class ReferenceCountedACLCache {
+  field longKeyMap: map;
+  field serialized: int = 0;
+  method serialize() {
+    var keys: list = null;
+    var count: int = 0;
+    synchronized (this) {
+      keys = mapKeys(this.longKeyMap);
+      count = mapSize(this.longKeyMap);
+      this.serialized = this.serialized + 1;
+    }
+    // blocking writes moved outside the monitor (ZK-3531 fix)
+    writeRecord(count);
+    var i: int = 0;
+    while (i < listSize(keys)) {
+      writeRecord(listGet(keys, i));
+      i = i + 1;
+    }
+  }
+}
+|};
+             ]
+           else
+             [
+               {|class ReferenceCountedACLCache {
+  field longKeyMap: map;
+  field serialized: int = 0;
+  method serialize() {
+    synchronized (this) {
+      writeRecord(mapSize(this.longKeyMap));
+      var keys: list = mapKeys(this.longKeyMap);
+      var i: int = 0;
+      while (i < listSize(keys)) {
+        writeRecord(listGet(keys, i));
+        i = i + 1;
+      }
+      this.serialized = this.serialized + 1;
+    }
+  }
+}
+|};
+             ]
+         else [])
+      @ [
+          {|method makeSerializerRoot(): DataNode {
+  var root: DataNode = new DataNode("/", 1);
+  listAdd(root.children, 2);
+  listAdd(root.children, 3);
+  return root;
+}
+
+method test_ser_snapshot_counts() {
+  var root: DataNode = makeSerializerRoot();
+  var sync: SyncRequestProcessor = new SyncRequestProcessor(root);
+  sync.serializeNode(root);
+  sync.serializeNode(root);
+  assert (sync.snapshotCount() == 2, "two serializations recorded");
+}
+
+method test_ser_child_count_under_lock_only() {
+  // reading children holds the monitor briefly but performs no I/O
+  var root: DataNode = makeSerializerRoot();
+  var sync: SyncRequestProcessor = new SyncRequestProcessor(root);
+  assert (sync.childCount(root) == 2, "two children");
+}
+|};
+        ]
+      @ (if sync_fixed then
+           [
+             {|// regression test added with the ZK-2201 fix
+method test_zk2201_serialize_completes() {
+  var root: DataNode = makeSerializerRoot();
+  var sync: SyncRequestProcessor = new SyncRequestProcessor(root);
+  sync.serializeNode(root);
+  assert (sync.scount == 1, "serialization completed");
+}
+|};
+           ]
+         else [])
+      @ (if acl then
+           [
+             {|method test_ser_acl_cache_serialize() {
+  var cache: ReferenceCountedACLCache = new ReferenceCountedACLCache();
+  mapPut(cache.longKeyMap, 1, 100);
+  mapPut(cache.longKeyMap, 2, 200);
+  cache.serialize();
+  assert (cache.serialized == 1, "acl cache serialized");
+}
+|};
+           ]
+         else [])
+      @
+      if acl_fixed then
+        [
+          {|// regression test added with the ZK-3531 fix
+method test_zk3531_acl_serialize_completes() {
+  var cache: ReferenceCountedACLCache = new ReferenceCountedACLCache();
+  mapPut(cache.longKeyMap, 5, 500);
+  cache.serialize();
+  assert (cache.serialized == 1, "acl serialization completed");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "zk-serialize-lock";
+      system = "zookeeper";
+      feature = "snapshot serialization under locks";
+      kind = Case.Lock;
+      bug_ids = [ "ZK-2201"; "ZK-3531" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "ZK-2201",
+            "Network issues can cause cluster to hang due to near-deadlock",
+            "No blocking I/O may be performed while holding a data-node monitor. \
+             serializeNode wrote records to a stalled stream inside a synchronized \
+             block, so every writer blocked behind the monitor and the cluster \
+             turned into a zombie: write operations were silently blocked. The fix \
+             copies state under the lock and performs the blocking writes outside." );
+          ( 3,
+            "ZK-3531",
+            "Synchronized serialization in ACL cache blocks the cluster",
+            "No blocking I/O may be performed while holding a data-node monitor. \
+             One year after ZK-2201, ReferenceCountedACLCache.serialize repeated the \
+             same pattern: blocking writes inside a synchronized block. The fix \
+             snapshots the map under the lock and writes outside." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 2;
+      first_year = 2015;
+      last_year = 2019;
+    }
+end
+
+(* ================================================================== *)
+(* Case 3: watches on closed connections (synthetic cluster)           *)
+(* ================================================================== *)
+
+module Watches = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let bulk = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// ZooKeeper: data watches
+class ClientCnxn {
+  field id: int;
+  field closed: bool = false;
+  method init(id: int) {
+    this.id = id;
+  }
+  method isClosed(): bool {
+    return this.closed;
+  }
+}
+
+class WatchManager {
+  field watches: map;
+  field registered: int = 0;
+  // common registration bookkeeping: every watch path ends here
+  method record(cnxn: ClientCnxn, path: str) {
+    mapPut(this.watches, path, cnxn.id);
+    this.registered = this.registered + 1;
+  }
+  method registerWatch(cnxn: ClientCnxn, path: str) {
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (cnxn == null || cnxn.isClosed()) {
+      throw "ConnectionLossException";
+    }|};
+           ]
+         else [ {|    if (cnxn == null) {
+      throw "ConnectionLossException";
+    }|} ])
+      @ [
+          {|    this.record(cnxn, path);
+  }
+  method hasWatch(path: str): bool {
+    return mapContains(this.watches, path);
+  }
+  method watchCount(): int {
+    return mapSize(this.watches);
+  }
+  method triggerWatch(path: str): int {
+    // firing a data watch removes it (one-shot semantics)
+    if (!mapContains(this.watches, path)) {
+      return 0;
+    }
+    var owner: int = mapGet(this.watches, path);
+    mapRemove(this.watches, path);
+    return owner;
+  }
+  method clearConnection(cnxn: ClientCnxn) {
+    cnxn.closed = true;
+    var paths: list = mapKeys(this.watches);
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var p: str = listGet(paths, i);
+      var owner: int = mapGet(this.watches, p);
+      if (owner == cnxn.id) {
+        mapRemove(this.watches, p);
+      }
+      i = i + 1;
+    }
+  }
+|};
+        ]
+      @ (if bulk then
+           [
+             (if guard2 then
+                {|  method addWatchesBulk(cnxn: ClientCnxn, paths: list) {
+    if (cnxn == null || cnxn.isClosed()) {
+      throw "ConnectionLossException";
+    }
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      this.record(cnxn, listGet(paths, i));
+      i = i + 1;
+    }
+  }|}
+              else
+                {|  method addWatchesBulk(cnxn: ClientCnxn, paths: list) {
+    if (cnxn == null) {
+      throw "ConnectionLossException";
+    }
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      this.record(cnxn, listGet(paths, i));
+      i = i + 1;
+    }
+  }|});
+           ]
+         else [])
+      @ [
+          {|}
+
+method test_watch_register_live() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(1);
+  wm.registerWatch(c, "/app/config");
+  assert (wm.hasWatch("/app/config"), "watch registered");
+}
+
+method test_watch_cleared_on_close() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(1);
+  wm.registerWatch(c, "/app/config");
+  wm.clearConnection(c);
+  assert (!wm.hasWatch("/app/config"), "watch cleared");
+}
+
+method test_watch_trigger_is_one_shot() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(5);
+  wm.registerWatch(c, "/app/leader");
+  assert (wm.triggerWatch("/app/leader") == 5, "owner notified");
+  assert (wm.triggerWatch("/app/leader") == 0, "second trigger is a no-op");
+  assert (wm.watchCount() == 0, "watch consumed");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the ZK-2471 fix
+method test_zk2471_register_on_closed_rejected() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(2);
+  c.closed = true;
+  var rejected: bool = false;
+  try { wm.registerWatch(c, "/app/leak"); } catch (e) { rejected = true; }
+  assert (rejected, "closed connection rejected");
+  assert (!wm.hasWatch("/app/leak"), "no leaked watch");
+}
+|};
+           ]
+         else [])
+      @ (if bulk then
+           [
+             {|method test_watch_bulk_live() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(3);
+  var ps: list = listNew();
+  listAdd(ps, "/a");
+  listAdd(ps, "/b");
+  wm.addWatchesBulk(c, ps);
+  assert (wm.registered == 2, "bulk watches registered");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the ZK-3652 fix
+method test_zk3652_bulk_on_closed_rejected() {
+  var wm: WatchManager = new WatchManager();
+  var c: ClientCnxn = new ClientCnxn(4);
+  c.closed = true;
+  var ps: list = listNew();
+  listAdd(ps, "/leak");
+  var rejected: bool = false;
+  try { wm.addWatchesBulk(c, ps); } catch (e) { rejected = true; }
+  assert (rejected, "bulk on closed connection rejected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "zk-watch-leak";
+      system = "zookeeper";
+      feature = "data watches";
+      kind = Case.Guard;
+      bug_ids = [ "ZK-2471"; "ZK-3652" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "ZK-2471",
+            "Watches registered on closed connections are never cleaned up",
+            "No watch may be registered for a connection that is already closed. \
+             Registration raced with connection teardown, leaving watches owned by \
+             dead connections; notification fan-out kept touching them and leaked \
+             memory. The fix rejects registration on closed connections." );
+          ( 3,
+            "ZK-3652",
+            "Bulk watch registration leaks watches for closed connections",
+            "No watch may be registered for a connection that is already closed. \
+             The bulk registration path added for multi-watch clients skipped the \
+             closed-connection check, recreating the leak. The fix adds the same \
+             guard to the bulk path." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2016;
+      last_year = 2020;
+    }
+end
+
+(* ================================================================== *)
+(* Case 4: quota enforcement (synthetic cluster)                       *)
+(* ================================================================== *)
+
+module Quota = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let create_path = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// ZooKeeper: znode quota enforcement
+class QuotaTree {
+  field bytes: map;
+  field remaining: int = 100;
+  // common accounting: every write path ends here
+  method charge(path: str, sz: int) {
+    mapPut(this.bytes, path, sz);
+    this.remaining = this.remaining - sz;
+  }
+  method setData(path: str, sz: int) {
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (sz > this.remaining) {
+      throw "QuotaExceededException";
+    }|};
+           ]
+         else [])
+      @ [
+          {|    this.charge(path, sz);
+  }
+|};
+        ]
+      @ (if create_path then
+           [
+             (if guard2 then
+                {|  method createWithData(path: str, sz: int) {
+    if (sz > this.remaining) {
+      throw "QuotaExceededException";
+    }
+    this.charge(path, sz);
+  }|}
+              else
+                {|  method createWithData(path: str, sz: int) {
+    this.charge(path, sz);
+  }|});
+           ]
+         else [])
+      @ [
+          {|  method usage(path: str): int {
+    var u: int = mapGet(this.bytes, path);
+    return u;
+  }
+  method totalUsage(): int {
+    var paths: list = mapKeys(this.bytes);
+    var total: int = 0;
+    var i: int = 0;
+    while (i < listSize(paths)) {
+      var u: int = mapGet(this.bytes, listGet(paths, i));
+      total = total + u;
+      i = i + 1;
+    }
+    return total;
+  }
+  method deleteData(path: str) {
+    if (!mapContains(this.bytes, path)) {
+      return;
+    }
+    var u: int = mapGet(this.bytes, path);
+    this.remaining = this.remaining + u;
+    mapRemove(this.bytes, path);
+  }
+}
+
+method test_quota_set_small() {
+  var qt: QuotaTree = new QuotaTree();
+  qt.setData("/app/a", 10);
+  assert (qt.usage("/app/a") == 10, "data stored");
+  assert (qt.remaining == 90, "quota accounted");
+}
+
+method test_quota_delete_returns_budget() {
+  var qt: QuotaTree = new QuotaTree();
+  qt.setData("/app/a", 10);
+  qt.setData("/app/b", 20);
+  assert (qt.totalUsage() == 30, "usage summed");
+  qt.deleteData("/app/a");
+  assert (qt.remaining == 80, "budget returned on delete");
+  qt.deleteData("/app/missing");
+  assert (qt.remaining == 80, "deleting a missing path is a no-op");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the ZK-2593 fix
+method test_zk2593_set_over_quota_rejected() {
+  var qt: QuotaTree = new QuotaTree();
+  var rejected: bool = false;
+  try { qt.setData("/app/huge", 1000); } catch (e) { rejected = true; }
+  assert (rejected, "oversized write rejected");
+  assert (qt.remaining == 100, "quota unchanged");
+}
+|};
+           ]
+         else [])
+      @ (if create_path then
+           [
+             {|method test_quota_create_small() {
+  var qt: QuotaTree = new QuotaTree();
+  qt.createWithData("/app/b", 5);
+  assert (qt.usage("/app/b") == 5, "created with data");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the ZK-4011 fix
+method test_zk4011_create_over_quota_rejected() {
+  var qt: QuotaTree = new QuotaTree();
+  var rejected: bool = false;
+  try { qt.createWithData("/app/huge", 1000); } catch (e) { rejected = true; }
+  assert (rejected, "oversized create rejected");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "zk-quota";
+      system = "zookeeper";
+      feature = "znode quotas";
+      kind = Case.Guard;
+      bug_ids = [ "ZK-2593"; "ZK-4011" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "ZK-2593",
+            "Writes can exceed the configured znode quota",
+            "No write may be applied when its size exceeds the remaining quota. \
+             setData skipped the quota check, so tenants blew past their limits and \
+             exhausted ensemble disk. The fix rejects writes larger than the \
+             remaining quota." );
+          ( 3,
+            "ZK-4011",
+            "create2 with data bypasses quota enforcement",
+            "No write may be applied when its size exceeds the remaining quota. \
+             The create-with-data path added for create2 requests skipped the quota \
+             check that setData performs. The fix adds the same check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2017;
+      last_year = 2021;
+    }
+end
+
+(* ================================================================== *)
+(* Case 5: election epoch checks (synthetic cluster)                   *)
+(* ================================================================== *)
+
+module Election = struct
+  let source stage =
+    let guard1 = stage >= 1 in
+    let ack_path = stage >= 2 in
+    let guard2 = stage >= 3 in
+    String.concat "\n"
+      ([
+         {|// ZooKeeper: leader election epoch handling
+class Notification {
+  field sender: int;
+  field epoch: int;
+  field leader: int;
+  method init(sender: int, epoch: int, leader: int) {
+    this.sender = sender;
+    this.epoch = epoch;
+    this.leader = leader;
+  }
+}
+
+class FastLeaderElection {
+  field logicalclock: int = 5;
+  field proposedLeader: int = 0;
+  field votes: map;
+  // common tally: every vote-counting path ends here
+  method countVote(n: Notification) {
+    mapPut(this.votes, n.sender, n.leader);
+  }
+  method processNotification(n: Notification) {
+|};
+       ]
+      @ (if guard1 then
+           [
+             {|    if (n.epoch < this.logicalclock) {
+      // stale round: ignore
+      return;
+    }|};
+           ]
+         else [])
+      @ [
+          {|    if (n.epoch > this.logicalclock) {
+      this.logicalclock = n.epoch;
+    }
+    this.countVote(n);
+    this.proposedLeader = n.leader;
+  }
+|};
+        ]
+      @ (if ack_path then
+           [
+             (if guard2 then
+                {|  method processAck(n: Notification) {
+    if (n.epoch < this.logicalclock) {
+      return;
+    }
+    this.countVote(n);
+  }|}
+              else
+                {|  method processAck(n: Notification) {
+    this.countVote(n);
+  }|});
+           ]
+         else [])
+      @ [
+          {|  method voteCount(): int {
+    return mapSize(this.votes);
+  }
+  method hasQuorum(ensembleSize: int): bool {
+    return mapSize(this.votes) * 2 > ensembleSize;
+  }
+  method electedLeader(ensembleSize: int): int {
+    if (!this.hasQuorum(ensembleSize)) {
+      throw "NoQuorumException";
+    }
+    return this.proposedLeader;
+  }
+}
+
+method test_elec_current_round_counted() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  var n: Notification = new Notification(1, 5, 42);
+  fle.processNotification(n);
+  assert (fle.voteCount() == 1, "vote recorded");
+  assert (fle.proposedLeader == 42, "leader proposed");
+}
+
+method test_elec_newer_round_bumps_clock() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  var n: Notification = new Notification(2, 9, 7);
+  fle.processNotification(n);
+  assert (fle.logicalclock == 9, "clock bumped");
+}
+
+method test_elec_quorum_and_leader() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  fle.processNotification(new Notification(1, 5, 42));
+  fle.processNotification(new Notification(2, 5, 42));
+  assert (fle.hasQuorum(3), "2 of 3 is a quorum");
+  assert (fle.electedLeader(3) == 42, "leader elected");
+  var rejected: bool = false;
+  try { var l: int = fle.electedLeader(5); } catch (e) { rejected = true; }
+  assert (rejected, "no quorum of 5 yet");
+}
+|};
+        ]
+      @ (if guard1 then
+           [
+             {|// regression test added with the ZK-2722 fix
+method test_zk2722_stale_round_ignored() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  var stale: Notification = new Notification(3, 2, 13);
+  fle.processNotification(stale);
+  assert (fle.voteCount() == 0, "stale vote ignored");
+  assert (fle.proposedLeader == 0, "no stale leader");
+}
+|};
+           ]
+         else [])
+      @ (if ack_path then
+           [
+             {|method test_elec_ack_current_round() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  var n: Notification = new Notification(4, 6, 11);
+  fle.processAck(n);
+  assert (fle.voteCount() == 1, "ack counted");
+}
+|};
+           ]
+         else [])
+      @
+      if guard2 then
+        [
+          {|// regression test added with the ZK-3890 fix
+method test_zk3890_stale_ack_ignored() {
+  var fle: FastLeaderElection = new FastLeaderElection();
+  var stale: Notification = new Notification(5, 1, 13);
+  fle.processAck(stale);
+  assert (fle.voteCount() == 0, "stale ack ignored");
+}
+|};
+        ]
+      else [])
+
+  let case : Case.t =
+    {
+      Case.case_id = "zk-election-epoch";
+      system = "zookeeper";
+      feature = "leader election epochs";
+      kind = Case.Guard;
+      bug_ids = [ "ZK-2722"; "ZK-3890" ];
+      n_stages = 4;
+      source;
+      ticket_meta =
+        [
+          ( 1,
+            "ZK-2722",
+            "Stale election notifications from previous rounds corrupt the vote set",
+            "No notification from an earlier epoch than the current logical clock \
+             may be counted. Delayed UDP notifications from a previous election \
+             round were tallied into the current round, electing a node that had \
+             already lost. The fix drops notifications with a stale epoch." );
+          ( 3,
+            "ZK-3890",
+            "Stale acks are counted during leader election",
+            "No notification from an earlier epoch than the current logical clock \
+             may be counted. The ack-processing path added for observer handoff \
+             skipped the epoch check performed by processNotification. The fix adds \
+             the same check." );
+        ];
+      regression_stages = [ 2 ];
+      latest_stage = 3;
+      latest_has_unknown_bug = false;
+      violating_old_semantics = 1;
+      first_year = 2017;
+      last_year = 2021;
+    }
+end
+
+let cases : Case.t list =
+  [ Ephemeral.case; Serialize.case; Watches.case; Quota.case; Election.case ]

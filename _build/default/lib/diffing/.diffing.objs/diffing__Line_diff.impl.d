@@ -1,0 +1,1 @@
+lib/diffing/line_diff.ml: Array Buffer Fmt List Printf String

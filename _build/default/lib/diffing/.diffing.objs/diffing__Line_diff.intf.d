@@ -1,0 +1,1 @@
+lib/diffing/line_diff.mli:

@@ -1,0 +1,1 @@
+lib/diffing/prog_diff.ml: Ast Fmt List Minilang Pretty String Textutil

@@ -1,0 +1,1 @@
+lib/diffing/prog_diff.mli: Format Minilang

@@ -1,0 +1,1 @@
+lib/diffing/textutil.ml: Buffer Char List String

@@ -1,0 +1,1 @@
+lib/diffing/textutil.mli:

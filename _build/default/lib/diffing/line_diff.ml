@@ -1,0 +1,172 @@
+(** Line-based diff between two texts.
+
+    Implements the classic longest-common-subsequence dynamic program (the
+    corpus sources are a few hundred lines each, so the O(n*m) table is
+    more than fast enough and much simpler than Myers' bit-vector
+    algorithm).  The edit script is the ground truth from which ticket
+    patches in [lib/corpus] are rendered. *)
+
+type edit =
+  | Keep of string  (** line present in both versions *)
+  | Del of string  (** line only in the old version *)
+  | Add of string  (** line only in the new version *)
+
+let split_lines (s : string) : string list =
+  (* Exactly [String.split_on_char '\n'], so that [String.concat "\n"] is
+     its two-sided inverse and [apply (diff a b) a = b] holds verbatim.
+     A text ending in a newline therefore has a final empty line — the
+     diff of "x" vs "x\n" is [Keep "x"; Add ""], which is also what a
+     reviewer sees in a real patch ("no newline at end of file"). *)
+  if s = "" then [] else String.split_on_char '\n' s
+
+(** LCS-based edit script between [old_lines] and [new_lines]. *)
+let diff_lines (old_lines : string list) (new_lines : string list) : edit list =
+  let a = Array.of_list old_lines and b = Array.of_list new_lines in
+  let n = Array.length a and m = Array.length b in
+  (* lcs.(i).(j) = length of the LCS of a[i..] and b[j..] *)
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if String.equal a.(i) b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let rec walk i j acc =
+    if i < n && j < m && String.equal a.(i) b.(j) then
+      walk (i + 1) (j + 1) (Keep a.(i) :: acc)
+    else if j < m && (i = n || lcs.(i).(j + 1) >= lcs.(i + 1).(j)) then
+      walk i (j + 1) (Add b.(j) :: acc)
+    else if i < n then walk (i + 1) j (Del a.(i) :: acc)
+    else List.rev acc
+  in
+  walk 0 0 []
+
+let diff (old_text : string) (new_text : string) : edit list =
+  diff_lines (split_lines old_text) (split_lines new_text)
+
+let added_lines (edits : edit list) : string list =
+  List.filter_map (function Add l -> Some l | Keep _ | Del _ -> None) edits
+
+let deleted_lines (edits : edit list) : string list =
+  List.filter_map (function Del l -> Some l | Keep _ | Add _ -> None) edits
+
+let is_identity (edits : edit list) : bool =
+  List.for_all (function Keep _ -> true | Add _ | Del _ -> false) edits
+
+(** Apply an edit script to the old text it was computed from.
+    Raises [Invalid_argument] if the script does not match. *)
+let apply (old_text : string) (edits : edit list) : string =
+  let rec go old_lines edits acc =
+    match (edits, old_lines) with
+    | [], [] -> List.rev acc
+    | [], _ :: _ -> invalid_arg "Line_diff.apply: leftover old lines"
+    | Keep l :: rest, o :: os ->
+        if not (String.equal l o) then invalid_arg "Line_diff.apply: Keep mismatch";
+        go os rest (l :: acc)
+    | Keep _ :: _, [] -> invalid_arg "Line_diff.apply: Keep past end"
+    | Del l :: rest, o :: os ->
+        if not (String.equal l o) then invalid_arg "Line_diff.apply: Del mismatch";
+        go os rest acc
+    | Del _ :: _, [] -> invalid_arg "Line_diff.apply: Del past end"
+    | Add l :: rest, os -> go os rest (l :: acc)
+  in
+  String.concat "\n" (go (split_lines old_text) edits [])
+
+(* ------------------------------------------------------------------ *)
+(* Unified rendering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type hunk = {
+  old_start : int;  (** 1-based line number in the old text *)
+  old_len : int;
+  new_start : int;
+  new_len : int;
+  lines : edit list;
+}
+
+(** Group an edit script into unified-diff hunks with [context] lines of
+    surrounding [Keep] context (git's default is 3). *)
+let hunks ?(context = 3) (edits : edit list) : hunk list =
+  (* annotate each edit with old/new line numbers *)
+  let annotated =
+    let rec go o n = function
+      | [] -> []
+      | (Keep _ as e) :: rest -> (e, o, n) :: go (o + 1) (n + 1) rest
+      | (Del _ as e) :: rest -> (e, o, n) :: go (o + 1) n rest
+      | (Add _ as e) :: rest -> (e, o, n) :: go o (n + 1) rest
+    in
+    go 1 1 edits
+  in
+  let arr = Array.of_list annotated in
+  let len = Array.length arr in
+  let is_change i = match arr.(i) with (Keep _, _, _) -> false | _ -> true in
+  (* indices that belong in some hunk *)
+  let in_hunk = Array.make len false in
+  for i = 0 to len - 1 do
+    if is_change i then
+      for j = max 0 (i - context) to min (len - 1) (i + context) do
+        in_hunk.(j) <- true
+      done
+  done;
+  (* collect contiguous runs *)
+  let result = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    if in_hunk.(!i) then (
+      let start = !i in
+      while !i < len && in_hunk.(!i) do
+        incr i
+      done;
+      let slice = Array.sub arr start (!i - start) |> Array.to_list in
+      let _, o0, n0 = List.hd slice in
+      let old_len =
+        List.length (List.filter (fun (e, _, _) -> match e with Add _ -> false | Keep _ | Del _ -> true) slice)
+      in
+      let new_len =
+        List.length (List.filter (fun (e, _, _) -> match e with Del _ -> false | Keep _ | Add _ -> true) slice)
+      in
+      result :=
+        {
+          old_start = o0;
+          old_len;
+          new_start = n0;
+          new_len;
+          lines = List.map (fun (e, _, _) -> e) slice;
+        }
+        :: !result)
+    else incr i
+  done;
+  List.rev !result
+
+(** Render an edit script in unified-diff format (the format embedded in
+    ticket bundles, mirroring the "code patch (the diff)" input of the
+    paper's Listing 1 prompt). *)
+let to_unified ?(context = 3) ?(old_label = "a") ?(new_label = "b") (edits : edit list)
+    : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Fmt.str "--- %s\n+++ %s\n" old_label new_label);
+  List.iter
+    (fun h ->
+      (* Printf, not Fmt: '@' is a formatting directive to Fmt *)
+      Buffer.add_string buf
+        (Printf.sprintf "@@ -%d,%d +%d,%d @@\n" h.old_start h.old_len h.new_start
+           h.new_len);
+      List.iter
+        (fun e ->
+          let prefix, line =
+            match e with Keep l -> (" ", l) | Del l -> ("-", l) | Add l -> ("+", l)
+          in
+          Buffer.add_string buf prefix;
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        h.lines)
+    (hunks ~context edits);
+  Buffer.contents buf
+
+(** Summary statistics for an edit script. *)
+let stats (edits : edit list) : int * int =
+  List.fold_left
+    (fun (adds, dels) e ->
+      match e with Add _ -> (adds + 1, dels) | Del _ -> (adds, dels + 1) | Keep _ -> (adds, dels))
+    (0, 0) edits

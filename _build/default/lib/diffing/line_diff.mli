@@ -1,0 +1,46 @@
+(** Line-based diffs (LCS), unified-patch rendering, and patch application.
+
+    [split_lines] is the exact inverse of [String.concat "\n"], so
+    [apply a (diff a b) = b] holds verbatim. *)
+
+type edit =
+  | Keep of string  (** line present in both versions *)
+  | Del of string  (** line only in the old version *)
+  | Add of string  (** line only in the new version *)
+
+val split_lines : string -> string list
+
+(** LCS-based edit script between two line lists. *)
+val diff_lines : string list -> string list -> edit list
+
+val diff : string -> string -> edit list
+
+val added_lines : edit list -> string list
+
+val deleted_lines : edit list -> string list
+
+val is_identity : edit list -> bool
+
+(** Apply an edit script to the old text it was computed from.
+    @raise Invalid_argument when the script does not match. *)
+val apply : string -> edit list -> string
+
+type hunk = {
+  old_start : int;  (** 1-based line number in the old text *)
+  old_len : int;
+  new_start : int;
+  new_len : int;
+  lines : edit list;
+}
+
+(** Group an edit script into unified-diff hunks with [context] lines of
+    surrounding context (default 3). *)
+val hunks : ?context:int -> edit list -> hunk list
+
+(** Render in unified-diff format (the "code patch" input of the paper's
+    Listing 1 prompt). *)
+val to_unified :
+  ?context:int -> ?old_label:string -> ?new_label:string -> edit list -> string
+
+(** Added and deleted line counts. *)
+val stats : edit list -> int * int

@@ -1,0 +1,1 @@
+lib/lisa/ablation.ml: Buffer Checker Corpus Fmt List Pipeline Semantics

@@ -1,0 +1,1 @@
+lib/lisa/ablation.mli: Checker

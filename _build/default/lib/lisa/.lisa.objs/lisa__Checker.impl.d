@@ -1,0 +1,1 @@
+lib/lisa/checker.ml: Analysis Ast Fmt Interp List Minilang Oracle Semantics Smt Symexec

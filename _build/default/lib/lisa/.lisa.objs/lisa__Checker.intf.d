@@ -1,0 +1,1 @@
+lib/lisa/checker.mli: Minilang Semantics Smt

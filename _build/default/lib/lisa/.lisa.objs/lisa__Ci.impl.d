@@ -1,0 +1,1 @@
+lib/lisa/ci.ml: Checker Corpus Fmt List Minilang Oracle Pipeline Semantics String

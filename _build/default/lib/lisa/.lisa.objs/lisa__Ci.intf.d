@@ -1,0 +1,1 @@
+lib/lisa/ci.mli: Checker Corpus Pipeline Semantics

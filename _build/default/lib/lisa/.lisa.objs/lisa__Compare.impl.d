@@ -1,0 +1,1 @@
+lib/lisa/compare.ml: Buffer Checker Corpus Fmt List Minilang Oracle Pipeline Semantics String

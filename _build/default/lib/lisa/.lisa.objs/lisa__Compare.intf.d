@@ -1,0 +1,1 @@
+lib/lisa/compare.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/lisa/composition.ml: Buffer Corpus Fmt List Mc Minilang Pipeline Semantics

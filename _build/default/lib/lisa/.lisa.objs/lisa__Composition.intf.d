@@ -1,0 +1,1 @@
+lib/lisa/composition.mli: Mc

@@ -1,0 +1,1 @@
+lib/lisa/experiments.ml: Buffer Checker Corpus Diffing Fix Fmt List Minilang Oracle Pipeline Semantics Smt String

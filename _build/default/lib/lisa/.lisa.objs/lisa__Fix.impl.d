@@ -1,0 +1,1 @@
+lib/lisa/fix.ml: Ast Buffer Checker Corpus Diffing Fmt Fun Interp List Minilang Option Pipeline Pretty Printf Semantics Smt String

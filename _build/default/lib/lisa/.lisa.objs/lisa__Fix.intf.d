@@ -1,0 +1,1 @@
+lib/lisa/fix.mli: Minilang Semantics

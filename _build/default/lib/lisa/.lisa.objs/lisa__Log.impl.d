@@ -1,0 +1,1 @@
+lib/lisa/log.ml: Format Logs

@@ -1,0 +1,1 @@
+lib/lisa/log.mli: Format Logs

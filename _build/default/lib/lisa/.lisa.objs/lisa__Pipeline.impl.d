@@ -1,0 +1,1 @@
+lib/lisa/pipeline.ml: Checker Fmt List Log Minilang Oracle Semantics String

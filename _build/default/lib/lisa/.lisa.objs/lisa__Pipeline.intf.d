@@ -1,0 +1,1 @@
+lib/lisa/pipeline.mli: Checker Minilang Oracle Semantics

@@ -1,0 +1,1 @@
+lib/lisa/report.ml: Checker Fmt List Semantics Smt String

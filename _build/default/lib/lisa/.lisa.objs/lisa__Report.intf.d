@@ -1,0 +1,1 @@
+lib/lisa/report.mli: Checker

@@ -1,0 +1,1 @@
+lib/lisa/study.ml: Buffer Corpus Fmt List Minilang String

@@ -1,0 +1,1 @@
+lib/lisa/study.mli:

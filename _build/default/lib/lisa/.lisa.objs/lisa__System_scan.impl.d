@@ -1,0 +1,1 @@
+lib/lisa/system_scan.ml: Buffer Checker Corpus Fmt List Pipeline Semantics String

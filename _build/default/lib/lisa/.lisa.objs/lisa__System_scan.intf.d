@@ -1,0 +1,1 @@
+lib/lisa/system_scan.mli: Pipeline Semantics

@@ -1,0 +1,65 @@
+(** Rule enforcement: assert a low-level semantic over a program version
+    (the §3.2 machinery end to end: targets → execution trees → RAG test
+    selection → concolic execution → SMT complement check → coverage). *)
+
+type test_selection =
+  | Rag of int  (** top-k similarity selection (the paper's approach) *)
+  | All_tests
+  | Pseudo_random of { seed : int; k : int }  (** ablation baseline *)
+
+type check_method = Complement | Direct
+
+type config = {
+  selection : test_selection;
+  prune : bool;  (** relevant-variable branch pruning *)
+  method_ : check_method;
+  fuel : int;
+}
+
+val default_config : config
+
+(** One judged trace (a target arrival). *)
+type trace_verdict = {
+  tv_target_sid : int;
+  tv_method : string;
+  tv_entry : string;  (** driving test *)
+  tv_pc : Smt.Formula.t;
+  tv_result : Smt.Solver.trace_check;
+}
+
+type lock_finding = {
+  lf_method : string;
+  lf_op : string;
+  lf_static : bool;  (** found statically (vs. observed dynamically) *)
+  lf_sid : int;
+}
+
+type rule_report = {
+  rep_rule : Semantics.Rule.t;
+  rep_targets : int;  (** resolved target statements *)
+  rep_static_paths : int;  (** paths in the execution trees *)
+  rep_tests_run : string list;
+  rep_traces : trace_verdict list;
+  rep_violations : trace_verdict list;  (** subset of traces *)
+  rep_verified : trace_verdict list;
+  rep_uncovered_paths : string list;
+      (** execution paths never observed: insufficient coverage or missed
+          test selection; "developers should provide the final verdict" *)
+  rep_lock_findings : lock_finding list;
+  rep_sanity_ok : bool;
+      (** at least one verified trace — the "fixed paths act as our sanity
+          check" requirement (state-guard rules) *)
+  rep_branches_total : int;
+  rep_branches_recorded : int;
+}
+
+val has_violations : rule_report -> bool
+
+(** Check one rule against a program version. *)
+val check_rule : ?config:config -> Minilang.Ast.program -> Semantics.Rule.t -> rule_report
+
+(** Check a whole rulebook. *)
+val check_book :
+  ?config:config -> Minilang.Ast.program -> Semantics.Rulebook.t -> rule_report list
+
+val report_summary : rule_report -> string

@@ -1,0 +1,84 @@
+(** CI/CD enforcement: the "executable contract" vision of the paper.
+
+    Replays a case's version history through a gated pipeline: every
+    proposed version must pass its test suite *and* the accumulated
+    rulebook.  When a fix lands, its ticket is fed through the learning
+    pipeline and the accepted rules extend the rulebook — so the next
+    commit that re-violates the semantics is blocked before release,
+    instead of after the next production incident. *)
+
+type event =
+  | Shipped of { stage : int; tests : int }
+  | Blocked of { stage : int; findings : Checker.rule_report list }
+  | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
+  | Test_failure of { stage : int; failures : string list }
+
+type run = { case_id : string; events : event list; book : Semantics.Rulebook.t }
+
+let run_tests (p : Minilang.Ast.program) : string list =
+  List.filter_map
+    (fun name ->
+      match Minilang.Interp.run_test p name with
+      | Minilang.Interp.Passed -> None
+      | Minilang.Interp.Failed m | Minilang.Interp.Errored m -> Some (name ^ ": " ^ m))
+    (Minilang.Interp.test_names p)
+
+(** Replay one case's history through the gate.
+
+    [enforce_from] is the first stage at which the rulebook gate is armed
+    (rules exist only after the first incident is learned). *)
+let replay ?(config = Pipeline.default_config) (c : Corpus.Case.t) : run =
+  let book = Semantics.Rulebook.create ~system:c.Corpus.Case.system in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  for stage = 0 to c.Corpus.Case.n_stages - 1 do
+    let p = Corpus.Case.program_at c stage in
+    (* 1. the classic gate: the test suite *)
+    let failures = run_tests p in
+    if failures <> [] then push (Test_failure { stage; failures })
+    else begin
+      (* 2. the LISA gate: the accumulated rulebook *)
+      let reports = Pipeline.enforce ~config p book in
+      let findings = Pipeline.findings reports in
+      if findings <> [] then push (Blocked { stage; findings })
+      else
+        push (Shipped { stage; tests = List.length (Minilang.Interp.test_names p) })
+    end;
+    (* 3. if a fix landed at this stage, learn from its ticket *)
+    match Corpus.Case.ticket_at c stage with
+    | None -> ()
+    | Some ticket ->
+        let outcome = Pipeline.learn ~config ticket in
+        Semantics.Rulebook.add_all book outcome.Pipeline.accepted;
+        push
+          (Learned
+             {
+               stage;
+               ticket_id = ticket.Oracle.Ticket.ticket_id;
+               accepted = List.length outcome.Pipeline.accepted;
+               rejected = List.length outcome.Pipeline.rejected;
+             })
+  done;
+  { case_id = c.Corpus.Case.case_id; events = List.rev !events; book }
+
+let blocked_stages (r : run) : int list =
+  List.filter_map (function Blocked { stage; _ } -> Some stage | _ -> None) r.events
+
+let event_to_string = function
+  | Shipped { stage; tests } -> Fmt.str "v%d SHIPPED (%d tests green)" stage tests
+  | Blocked { stage; findings } ->
+      Fmt.str "v%d BLOCKED by rulebook: %s" stage
+        (String.concat "; "
+           (List.map
+              (fun (r : Checker.rule_report) ->
+                r.Checker.rep_rule.Semantics.Rule.rule_id)
+              findings))
+  | Learned { stage; ticket_id; accepted; rejected } ->
+      Fmt.str "v%d learned %s: %d rule(s) accepted, %d rejected" stage ticket_id
+        accepted rejected
+  | Test_failure { stage; failures } ->
+      Fmt.str "v%d test failures: %s" stage (String.concat "; " failures)
+
+let run_to_string (r : run) : string =
+  Fmt.str "=== CI history for %s ===\n%s" r.case_id
+    (String.concat "\n" (List.map event_to_string r.events))

@@ -1,0 +1,20 @@
+(** CI/CD enforcement: replay a case's version history through a gated
+    pipeline (tests + accumulated rulebook); fixes feed the learning
+    pipeline, so later regressions are blocked at commit time. *)
+
+type event =
+  | Shipped of { stage : int; tests : int }
+  | Blocked of { stage : int; findings : Checker.rule_report list }
+  | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
+  | Test_failure of { stage : int; failures : string list }
+
+type run = { case_id : string; events : event list; book : Semantics.Rulebook.t }
+
+(** Replay one case's history through the gate. *)
+val replay : ?config:Pipeline.config -> Corpus.Case.t -> run
+
+val blocked_stages : run -> int list
+
+val event_to_string : event -> string
+
+val run_to_string : run -> string

@@ -1,0 +1,31 @@
+(** Experiment E3 — Figure 4: testing vs. LISA vs. refinement verification.
+    For every case, does each strategy prevent the second incident? *)
+
+type strategy_result = {
+  s_caught : bool;
+  s_effort : float;  (** strategy-specific effort proxy *)
+  s_detail : string;
+}
+
+type case_row = {
+  cr_case : string;
+  cr_system : string;
+  cr_testing : strategy_result;
+  cr_lisa : strategy_result;
+  cr_verification : strategy_result;
+}
+
+type t = {
+  rows : case_row list;
+  testing_caught : int;
+  lisa_caught : int;
+  verification_caught : int;
+  total : int;
+}
+
+(** Modeled proof-to-implementation ratio for refinement verification. *)
+val spec_factor : float
+
+val run : ?config:Pipeline.config -> unit -> t
+
+val print : t -> string

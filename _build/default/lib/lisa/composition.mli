@@ -1,0 +1,42 @@
+(** Experiment E10 — §5 open question (iii): composing validated low-level
+    semantics into (bounded) high-level guarantees.
+
+    Each scenario states a case's high-level property as an executable
+    MiniJava invariant over a harness, and bounded-model-checks it against
+    every client operation sequence at stages 1–3 of the case's history,
+    alongside the low-level rulebook verdicts. *)
+
+type scenario_def = {
+  sd_case : string;  (** corpus case id *)
+  sd_high_level : string;  (** the property, in the inference's words *)
+  sd_harness : string;  (** MiniJava appended to the feature source *)
+  sd_ops : int -> string list;  (** ops available at a given stage *)
+  sd_depth : int;  (** exploration bound *)
+}
+
+val scenarios : scenario_def list
+
+(** The harness for a stage (some operations only exist once the system
+    has evolved). *)
+val stage_harness : scenario_def -> int -> string
+
+type stage_result = {
+  sr_stage : int;
+  sr_rules_hold : bool;  (** low-level rulebook clean on this version *)
+  sr_bounded : Mc.Explorer.outcome;  (** bounded high-level verdict *)
+}
+
+type result = {
+  res_case : string;
+  res_high_level : string;
+  res_stages : stage_result list;
+  res_composition_holds : bool;
+      (** rules hold => bounded-safe at every stage, and the regression
+          stage shows both a rule violation and a counterexample trace *)
+}
+
+val run_case : scenario_def -> result
+
+val run : unit -> result list
+
+val print : result list -> string

@@ -1,0 +1,73 @@
+(** Drivers for the remaining paper artifacts: E2 (Figures 2–3), E4
+    (Figure 5), E5 (Figure 6), E6/E7 (§4) and E9 (§5 noise). *)
+
+(** E2 — the ZooKeeper ephemeral-node walkthrough. *)
+module Zk_ephemeral : sig
+  type t = {
+    rule : string;  (** the learned contract, printed *)
+    stage1_clean : bool;
+    stage2_violations : (string * string) list;  (** method, counterexample *)
+    stage3_clean : bool;
+    zombie_demo : string;  (** outcome of the Figure 2 scenario *)
+  }
+
+  (** Run the Figure 2 stale-registration scenario on the regressed
+      version and report what production would have seen. *)
+  val zombie_scenario : unit -> string
+
+  val run : unit -> t
+
+  val print : t -> string
+end
+
+(** E4 — stage-by-stage workflow dump for ZK-1208 (Figure 5). *)
+module Workflow : sig
+  val run : unit -> string
+end
+
+(** E5 — generalizing the ZK-2201 lock rule (Figure 6). *)
+module Generalization : sig
+  type row = {
+    g_scope : string;
+    g_catches_regression : bool;
+    g_false_positives : int;  (** findings on the fixed version *)
+  }
+
+  val run : unit -> row list
+
+  val print : row list -> string
+end
+
+(** E6/E7 — the two previously-unknown bugs of §4, plus their synthesized
+    and verified fixes. *)
+module Unknown_bugs : sig
+  type finding = {
+    f_case : string;
+    f_bug_id : string;  (** the ticket eventually filed *)
+    f_methods : string list;  (** methods with violating paths *)
+    f_counterexamples : string list;
+  }
+
+  val run_case : string -> finding
+
+  val run : unit -> finding list
+
+  val print : finding list -> string
+end
+
+(** E9 — LLM noise vs. the cross-checking mitigation (§5). *)
+module Noise : sig
+  type row = {
+    n_epsilon : float;
+    n_cross_check : bool;
+    n_corrupted_accepted : int;
+    n_recall : float;
+    n_false_alarms : int;
+  }
+
+  val run_one : epsilon:float -> cross_check:bool -> seed:int -> row
+
+  val run : unit -> row list
+
+  val print : row list -> string
+end

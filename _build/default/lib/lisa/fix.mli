@@ -1,0 +1,40 @@
+(** Automatic fix proposal for state-guard violations (the last mile of
+    §4: the paper proposed the fixes for both unknown bugs and had them
+    accepted).  A proposal de-normalizes the rule condition into the
+    violating method's vocabulary, inserts the synthesized guard before
+    the target statement, and is verified: the rule must hold on the
+    patched program and its test suite must stay green. *)
+
+type proposal = {
+  fp_rule : string;  (** rule id *)
+  fp_method : string;  (** qualified method that was patched *)
+  fp_guard : string;  (** the inserted guard, printed *)
+  fp_patched_source : string;
+  fp_diff : string;  (** unified diff original -> patched *)
+}
+
+type verification = {
+  fv_rule_clean : bool;  (** no violations remain, sanity still holds *)
+  fv_tests_green : bool;
+  fv_detail : string;
+}
+
+(** Synthesize a guard patch for one violating method of a state-guard
+    rule; [None] when the condition cannot be expressed in the method's
+    vocabulary or the rule is a lock rule. *)
+val propose :
+  Minilang.Ast.program -> Semantics.Rule.t -> method_:string -> proposal option
+
+(** Re-enforce the rule on the patched program and run its test suite. *)
+val verify : proposal -> Semantics.Rule.t -> verification
+
+type case_fixes = {
+  cf_case : string;
+  cf_proposals : (proposal * verification) list;
+}
+
+(** Scan a §4 case's latest release, propose a fix for every violating
+    method, verify each (deduplicated by patch content). *)
+val fix_unknown_bug : string -> case_fixes
+
+val print_case_fixes : case_fixes -> string

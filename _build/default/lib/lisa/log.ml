@@ -1,0 +1,14 @@
+(** Logging source for the LISA pipeline.
+
+    Consumers (the CLI's [-v], tests, or a host application) install a
+    {!Logs} reporter and set the level; the library only emits. *)
+
+let src = Logs.Src.create "lisa" ~doc:"LISA pipeline events"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let info fmt = Format.kasprintf (fun s -> L.info (fun m -> m "%s" s)) fmt
+
+let debug fmt = Format.kasprintf (fun s -> L.debug (fun m -> m "%s" s)) fmt
+
+let warn fmt = Format.kasprintf (fun s -> L.warn (fun m -> m "%s" s)) fmt

@@ -1,0 +1,10 @@
+(** Logging source for the LISA pipeline ("lisa").  Consumers install a
+    {!Logs} reporter and set the level; the library only emits. *)
+
+val src : Logs.src
+
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a

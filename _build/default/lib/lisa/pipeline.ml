@@ -1,0 +1,135 @@
+(** The end-to-end LISA workflow (Figure 5).
+
+    {v
+      failure ticket --> LLM inference --> translation --> cross-check
+           |                                                  |
+           v                                                  v
+      rulebook  <---------------------- grounded rules  (discard hallucinated)
+           |
+           v
+      enforcement on new versions (concolic + SMT)  --> findings
+    v}
+
+    The *cross-check* stage implements the mitigation sketched in §5 for
+    LLM unreliability: a mined rule is validated against the patched
+    version itself — if enforcing it there yields violations, or the rule
+    never verifies any trace (no grounding in actual behaviour), it is
+    rejected before entering the rulebook. *)
+
+type stage_log = { stage : string; detail : string }
+
+type outcome = {
+  ticket : Oracle.Ticket.t;
+  prompt : string;
+  inference : Oracle.Inference.inferred;
+  accepted : Semantics.Rule.t list;
+  rejected : (Semantics.Rule.t * string) list;  (** rule, reason *)
+  log : stage_log list;
+}
+
+type config = {
+  checker : Checker.config;
+  generalize : bool;  (** apply rule generalization before cross-checking *)
+  noise : Oracle.Inference.noise;  (** LLM noise model (E9) *)
+  cross_check : bool;  (** validate rules against the patched version *)
+}
+
+let default_config =
+  {
+    checker = Checker.default_config;
+    generalize = true;
+    noise = Oracle.Inference.no_noise;
+    cross_check = true;
+  }
+
+(* Ground a rule against the patched version of its origin ticket. *)
+let cross_check_rule (config : config) (patched : Minilang.Ast.program)
+    (rule : Semantics.Rule.t) : (Semantics.Rule.t, string) result =
+  match rule.Semantics.Rule.body with
+  | Semantics.Rule.Lock_discipline _ ->
+      (* a lock rule is grounded iff the patched version is clean under it *)
+      let r = Checker.check_rule ~config:config.checker patched rule in
+      if r.Checker.rep_lock_findings = [] then Ok rule
+      else Error "patched version still violates the lock rule"
+  | Semantics.Rule.State_guard _ ->
+      let r = Checker.check_rule ~config:config.checker patched rule in
+      if r.Checker.rep_targets = 0 then
+        Error "target statement does not exist in the patched version"
+      else if r.Checker.rep_violations <> [] then
+        Error "patched version violates the rule: inference is not grounded"
+      else if not r.Checker.rep_sanity_ok then
+        Error "no trace verifies the rule: the fixed path must act as sanity check"
+      else Ok rule
+
+(** Learn rules from one ticket: inference, optional generalization, and
+    cross-checking against the ticket's own patched version. *)
+let learn ?(config = default_config) (ticket : Oracle.Ticket.t) : outcome =
+  Log.info "learning from ticket %s" ticket.Oracle.Ticket.ticket_id;
+  let log = ref [] in
+  let push stage detail =
+    Log.debug "[%s] %s" stage detail;
+    log := { stage; detail } :: !log
+  in
+  let prompt = Oracle.Prompt.build ticket in
+  push "collect"
+    (Fmt.str "ticket %s: %d-token bundle (description + diff + patched source)"
+       ticket.Oracle.Ticket.ticket_id
+       (Oracle.Prompt.token_estimate prompt));
+  let inference = Oracle.Inference.infer ~noise:config.noise ticket in
+  push "infer"
+    (Fmt.str "high-level: %s; %d candidate low-level semantics"
+       inference.Oracle.Inference.inf_high_level
+       (List.length inference.Oracle.Inference.inf_rules));
+  let rules =
+    if config.generalize then
+      List.map Semantics.Rule.generalize inference.Oracle.Inference.inf_rules
+    else inference.Oracle.Inference.inf_rules
+  in
+  push "translate"
+    (String.concat "; " (List.map Semantics.Rule.to_string rules));
+  let accepted, rejected =
+    if not config.cross_check then (rules, [])
+    else begin
+      let patched = Oracle.Ticket.patched_program ticket in
+      List.fold_left
+        (fun (acc, rej) rule ->
+          match cross_check_rule config patched rule with
+          | Ok r -> (acc @ [ r ], rej)
+          | Error reason -> (acc, rej @ [ (rule, reason) ]))
+        ([], []) rules
+    end
+  in
+  push "cross-check"
+    (Fmt.str "%d accepted, %d rejected" (List.length accepted) (List.length rejected));
+  { ticket; prompt; inference; accepted; rejected; log = List.rev !log }
+
+(** Learn from a sequence of tickets into a rulebook. *)
+let learn_all ?(config = default_config) ~(system : string)
+    (tickets : Oracle.Ticket.t list) : Semantics.Rulebook.t * outcome list =
+  let book = Semantics.Rulebook.create ~system in
+  let outcomes =
+    List.map
+      (fun t ->
+        let o = learn ~config t in
+        Semantics.Rulebook.add_all book o.accepted;
+        o)
+      tickets
+  in
+  (book, outcomes)
+
+(** Enforce a rulebook against a program version; the central entry point
+    for CI and for the experiments. *)
+let enforce ?(config = default_config) (p : Minilang.Ast.program)
+    (book : Semantics.Rulebook.t) : Checker.rule_report list =
+  Log.info "enforcing %d rule(s) of the %s rulebook" (Semantics.Rulebook.size book)
+    book.Semantics.Rulebook.system;
+  let reports = Checker.check_book ~config:config.checker p book in
+  List.iter
+    (fun (r : Checker.rule_report) ->
+      if Checker.has_violations r then Log.warn "%s" (Checker.report_summary r)
+      else Log.debug "%s" (Checker.report_summary r))
+    reports;
+  reports
+
+let findings (reports : Checker.rule_report list) : Checker.rule_report list =
+  List.filter Checker.has_violations reports

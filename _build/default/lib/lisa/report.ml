@@ -1,0 +1,85 @@
+(** Human-facing reports: render enforcement results the way a CI job
+    would surface them to developers — one Markdown section per rule, a
+    verdict table, counterexamples, and the uncovered-path list that asks
+    for a developer verdict (§3.2's final step). *)
+
+let h2 title = "## " ^ title
+
+let bullet s = "- " ^ s
+
+let code s = "`" ^ s ^ "`"
+
+let render_trace (t : Checker.trace_verdict) : string =
+  match t.Checker.tv_result with
+  | Smt.Solver.Verified ->
+      bullet
+        (Fmt.str "VERIFIED — %s (driven by %s); path condition %s"
+           (code t.Checker.tv_method) (code t.Checker.tv_entry)
+           (code (Smt.Formula.to_string t.Checker.tv_pc)))
+  | Smt.Solver.Violation model ->
+      bullet
+        (Fmt.str
+           "**VIOLATION** — %s (driven by %s); the path admits %s"
+           (code t.Checker.tv_method) (code t.Checker.tv_entry)
+           (code (Smt.Solver.model_to_string model)))
+
+let render_lock_finding (f : Checker.lock_finding) : string =
+  bullet
+    (Fmt.str "**LOCK VIOLATION** — %s performs %s while holding a monitor (%s, stmt %d)"
+       (code f.Checker.lf_method) (code f.Checker.lf_op)
+       (if f.Checker.lf_static then "static" else "dynamic")
+       f.Checker.lf_sid)
+
+(** Markdown section for one rule report. *)
+let render_rule_report (r : Checker.rule_report) : string =
+  let rule = r.Checker.rep_rule in
+  let lines =
+    [
+      h2 (Fmt.str "Rule %s" rule.Semantics.Rule.rule_id);
+      "";
+      Fmt.str "> %s" rule.Semantics.Rule.description;
+      Fmt.str "> protects: %s (learned from %s)" rule.Semantics.Rule.high_level
+        rule.Semantics.Rule.origin;
+      "";
+      bullet (Fmt.str "contract: %s" (code (Semantics.Rule.to_string rule)));
+      bullet
+        (Fmt.str "targets: %d, static paths: %d, tests run: %d" r.Checker.rep_targets
+           r.Checker.rep_static_paths
+           (List.length r.Checker.rep_tests_run));
+      bullet
+        (Fmt.str "traces: %d (%d verified, %d violations); sanity %s"
+           (List.length r.Checker.rep_traces)
+           (List.length r.Checker.rep_verified)
+           (List.length r.Checker.rep_violations)
+           (if r.Checker.rep_sanity_ok then "ok" else "**failed**"));
+    ]
+  in
+  let traces = List.map render_trace r.Checker.rep_traces in
+  let locks = List.map render_lock_finding r.Checker.rep_lock_findings in
+  let uncovered =
+    match r.Checker.rep_uncovered_paths with
+    | [] -> []
+    | paths ->
+        ("" :: bullet "uncovered execution paths (developer verdict needed):"
+        :: List.map (fun p -> "  " ^ bullet (code p)) paths)
+  in
+  String.concat "\n" (lines @ [ "" ] @ traces @ locks @ uncovered)
+
+(** Full Markdown report for an enforcement run. *)
+let render ?(title = "LISA enforcement report") (reports : Checker.rule_report list)
+    : string =
+  let violating = List.filter Checker.has_violations reports in
+  let verdict =
+    if violating = [] then
+      Fmt.str "**PASS** — %d rule(s) checked, no violations." (List.length reports)
+    else
+      Fmt.str "**BLOCK** — %d of %d rule(s) violated: %s." (List.length violating)
+        (List.length reports)
+        (String.concat ", "
+           (List.map
+              (fun (r : Checker.rule_report) ->
+                code r.Checker.rep_rule.Semantics.Rule.rule_id)
+              violating))
+  in
+  String.concat "\n\n"
+    (("# " ^ title) :: verdict :: List.map render_rule_report reports)

@@ -1,0 +1,8 @@
+(** Markdown rendering of enforcement results, the way a CI job surfaces
+    them: a PASS/BLOCK verdict, one section per rule, verified/violating
+    traces with counterexamples, lock findings, and the uncovered-path
+    list that asks for a developer verdict. *)
+
+val render_rule_report : Checker.rule_report -> string
+
+val render : ?title:string -> Checker.rule_report list -> string

@@ -1,0 +1,96 @@
+(** The §2.1 regression study (experiment E1, Figure 1).
+
+    Reproduces the study's headline numbers over the corpus: 16 regression
+    cases / 34 bugs across four systems; the share of bugs violating
+    semantics older than the first stable release; recurrence intervals;
+    and the ephemeral-node feature history (46 bugs over 14 years). *)
+
+type system_row = {
+  sr_system : string;
+  sr_cases : int;
+  sr_bugs : int;
+  sr_guard_cases : int;
+  sr_lock_cases : int;
+  sr_tests : int;  (** test functions in the latest assembled release *)
+}
+
+type t = {
+  rows : system_row list;
+  total_cases : int;
+  total_bugs : int;
+  old_semantics_bugs : int;
+  old_semantics_share : float;
+  mean_recurrence_years : float;
+  ephemeral_histogram : (int * int) list;
+  ephemeral_total : int;
+  avg_test_files_paper : int;
+}
+
+let run () : t =
+  let rows =
+    List.map
+      (fun system ->
+        let cases = Corpus.Registry.cases_of_system system in
+        let latest =
+          Corpus.Registry.system_program system ~version:Corpus.Registry.max_version
+        in
+        {
+          sr_system = system;
+          sr_cases = List.length cases;
+          sr_bugs = List.fold_left (fun n c -> n + Corpus.Case.n_bugs c) 0 cases;
+          sr_guard_cases =
+            List.length
+              (List.filter (fun (c : Corpus.Case.t) -> c.Corpus.Case.kind = Corpus.Case.Guard) cases);
+          sr_lock_cases =
+            List.length
+              (List.filter (fun (c : Corpus.Case.t) -> c.Corpus.Case.kind = Corpus.Case.Lock) cases);
+          sr_tests = List.length (Minilang.Interp.test_names latest);
+        })
+      Corpus.Registry.systems
+  in
+  let recurrences =
+    List.map
+      (fun (c : Corpus.Case.t) ->
+        float_of_int (c.Corpus.Case.last_year - c.Corpus.Case.first_year))
+      Corpus.Registry.all_cases
+  in
+  {
+    rows;
+    total_cases = Corpus.Registry.n_cases;
+    total_bugs = Corpus.Registry.n_bugs;
+    old_semantics_bugs = Corpus.Registry.n_bugs_violating_old_semantics;
+    old_semantics_share = Corpus.Registry.old_semantics_share ();
+    mean_recurrence_years =
+      List.fold_left ( +. ) 0.0 recurrences /. float_of_int (List.length recurrences);
+    ephemeral_histogram = Corpus.Registry.ephemeral_bug_histogram;
+    ephemeral_total = Corpus.Registry.ephemeral_bug_total;
+    avg_test_files_paper = Corpus.Registry.avg_test_files;
+  }
+
+let print (t : t) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  pf "E1 / Figure 1 — regression study over the incident corpus";
+  pf "---------------------------------------------------------";
+  pf "%-12s %6s %6s %12s %11s %7s" "system" "cases" "bugs" "guard-cases" "lock-cases"
+    "tests";
+  List.iter
+    (fun r ->
+      pf "%-12s %6d %6d %12d %11d %7d" r.sr_system r.sr_cases r.sr_bugs
+        r.sr_guard_cases r.sr_lock_cases r.sr_tests)
+    t.rows;
+  pf "total: %d cases, %d bugs" t.total_cases t.total_bugs;
+  pf "bugs violating old semantics: %d/%d = %.0f%% (paper reports 68%%)"
+    t.old_semantics_bugs t.total_bugs (100. *. t.old_semantics_share);
+  pf "mean recurrence interval: %.1f years" t.mean_recurrence_years;
+  pf "";
+  pf "ephemeral-node feature history (%d bugs over %d years; paper: 46 over 14):"
+    t.ephemeral_total
+    (List.length t.ephemeral_histogram);
+  List.iter
+    (fun (year, n) -> pf "  %d %s" year (String.make n '#'))
+    t.ephemeral_histogram;
+  pf "";
+  pf "test-suite resource (paper: avg %d test files per studied system)"
+    t.avg_test_files_paper;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Experiment E1 — the §2.1 regression study (Figure 1). *)
+
+type system_row = {
+  sr_system : string;
+  sr_cases : int;
+  sr_bugs : int;
+  sr_guard_cases : int;
+  sr_lock_cases : int;
+  sr_tests : int;  (** test functions in the latest assembled release *)
+}
+
+type t = {
+  rows : system_row list;
+  total_cases : int;
+  total_bugs : int;
+  old_semantics_bugs : int;
+  old_semantics_share : float;
+  mean_recurrence_years : float;
+  ephemeral_histogram : (int * int) list;
+  ephemeral_total : int;
+  avg_test_files_paper : int;
+}
+
+val run : unit -> t
+
+val print : t -> string

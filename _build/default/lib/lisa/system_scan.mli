@@ -1,0 +1,23 @@
+(** Experiment E11 — whole-system enforcement: one rulebook per system
+    (learned from every original incident), enforced on the assembled
+    releases v1/v2/v3/v5. *)
+
+type version_row = {
+  vr_version : int;
+  vr_rules : int;
+  vr_violating_rules : string list;  (** rule ids with findings *)
+  vr_traces : int;
+  vr_branches_total : int;
+  vr_branches_recorded : int;
+}
+
+type system_result = { sys_name : string; sys_rows : version_row list }
+
+val learn_system_book : ?config:Pipeline.config -> string -> Semantics.Rulebook.t
+
+val scan_version :
+  ?config:Pipeline.config -> string -> Semantics.Rulebook.t -> int -> version_row
+
+val run : ?config:Pipeline.config -> unit -> system_result list
+
+val print : system_result list -> string

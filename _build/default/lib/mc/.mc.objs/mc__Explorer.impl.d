@@ -1,0 +1,1 @@
+lib/mc/explorer.ml: Fmt List Minilang String

@@ -1,0 +1,144 @@
+(** Bounded scenario model checker over MiniJava systems.
+
+    The substrate behind the paper's §5 open question (iii): *"can we
+    verify high-level system properties by composing multiple validated
+    low-level semantics?"*  A scenario declares, in MiniJava:
+
+    - an init function [init(): S] that builds the system state;
+    - a set of zero-argument-beyond-state operations [op(st: S)] — the
+      public API calls clients may issue, with arguments baked in;
+    - an invariant [inv(st: S): bool] — the *high-level* property.
+
+    The explorer enumerates every operation sequence up to a depth bound
+    and checks the invariant after each step.  Operations that throw are
+    legitimate rejections (that is how guards protect the system) and are
+    recorded as such; a run is a violation only when the invariant
+    evaluates to [false].
+
+    Determinism of the interpreter makes replay-from-scratch sound: each
+    sequence is executed in a fresh heap, so no snapshotting is needed. *)
+
+type config = {
+  depth : int;  (** maximum operations per sequence *)
+  fuel_per_run : int;  (** interpreter fuel for one full sequence *)
+  max_sequences : int;  (** exploration budget *)
+}
+
+let default_config = { depth = 4; fuel_per_run = 100_000; max_sequences = 200_000 }
+
+type step = { op : string; rejected : bool (* the op threw (guard rejection) *) }
+
+type violation = {
+  v_trace : step list;  (** operations in execution order *)
+  v_detail : string;
+}
+
+type stats = {
+  sequences : int;  (** complete sequences explored *)
+  transitions : int;  (** operation applications *)
+  rejections : int;  (** operations rejected by guards *)
+}
+
+type outcome = Safe of stats | Unsafe of violation * stats | Engine_error of string
+
+type scenario = {
+  program : Minilang.Ast.program;
+  init : string;  (** name of the init function *)
+  ops : string list;  (** names of the operation functions *)
+  invariant : string;  (** name of the invariant function *)
+}
+
+exception Found of violation
+
+(* run one sequence from scratch; returns steps and whether inv failed *)
+let run_sequence (config : config) (sc : scenario) (seq : string list)
+    (stats_transitions : int ref) (stats_rejections : int ref) : violation option =
+  let iconfig = { Minilang.Interp.default_config with Minilang.Interp.fuel = config.fuel_per_run } in
+  let st = Minilang.Interp.create ~config:iconfig sc.program in
+  let state_value = Minilang.Interp.call st sc.init [] in
+  let check_inv (trace : step list) : violation option =
+    match Minilang.Interp.call st sc.invariant [ state_value ] with
+    | Minilang.Value.V_bool true -> None
+    | Minilang.Value.V_bool false ->
+        Some { v_trace = List.rev trace; v_detail = "invariant evaluated to false" }
+    | v ->
+        Some
+          {
+            v_trace = List.rev trace;
+            v_detail =
+              Fmt.str "invariant returned %s, expected bool" (Minilang.Value.type_name v);
+          }
+  in
+  let rec go trace = function
+    | [] -> None
+    | op :: rest -> (
+        incr stats_transitions;
+        let rejected =
+          match Minilang.Interp.call st op [ state_value ] with
+          | _ -> false
+          | exception Minilang.Interp.Mini_throw _ ->
+              incr stats_rejections;
+              true
+        in
+        let trace = { op; rejected } :: trace in
+        match check_inv trace with
+        | Some v -> Some v
+        | None -> go trace rest)
+  in
+  match check_inv [] with Some v -> Some v | None -> go [] seq
+
+(** Explore all operation sequences up to [config.depth]. *)
+let explore ?(config = default_config) (sc : scenario) : outcome =
+  let sequences = ref 0 in
+  let transitions = ref 0 in
+  let rejections = ref 0 in
+  let stats () =
+    { sequences = !sequences; transitions = !transitions; rejections = !rejections }
+  in
+  (* enumerate sequences in BFS-by-depth order so the shortest violating
+     trace is found first *)
+  let rec enumerate depth (prefixes : string list list) : unit =
+    if depth > config.depth then ()
+    else begin
+      let next =
+        List.concat_map
+          (fun prefix -> List.map (fun op -> prefix @ [ op ]) sc.ops)
+          prefixes
+      in
+      List.iter
+        (fun seq ->
+          if !sequences >= config.max_sequences then ()
+          else begin
+            incr sequences;
+            match run_sequence config sc seq transitions rejections with
+            | Some v -> raise (Found v)
+            | None -> ()
+          end)
+        next;
+      enumerate (depth + 1) next
+    end
+  in
+  match enumerate 1 [ [] ] with
+  | () -> Safe (stats ())
+  | exception Found v -> Unsafe (v, stats ())
+  | exception Minilang.Interp.Runtime_error (m, loc) ->
+      Engine_error (Fmt.str "runtime error: %s at %a" m Minilang.Loc.pp loc)
+  | exception Minilang.Interp.Out_of_fuel -> Engine_error "out of fuel"
+  | exception Minilang.Interp.Assertion_failure (m, sid) ->
+      Engine_error (Fmt.str "assertion failure in scenario code: %s (stmt %d)" m sid)
+
+let step_to_string (s : step) =
+  if s.rejected then s.op ^ " (rejected)" else s.op
+
+let violation_to_string (v : violation) =
+  Fmt.str "high-level property violated after [%s]: %s"
+    (String.concat "; " (List.map step_to_string v.v_trace))
+    v.v_detail
+
+let outcome_to_string = function
+  | Safe s ->
+      Fmt.str "SAFE up to bound (%d sequences, %d transitions, %d guard rejections)"
+        s.sequences s.transitions s.rejections
+  | Unsafe (v, s) ->
+      Fmt.str "UNSAFE (%d sequences explored): %s" s.sequences (violation_to_string v)
+  | Engine_error m -> "engine error: " ^ m

@@ -1,0 +1,42 @@
+(** Bounded scenario model checker over MiniJava systems (the substrate
+    behind the paper's §5 question on composing low-level semantics into
+    high-level guarantees).
+
+    A scenario provides an init function, a set of client operations
+    (MiniJava functions taking the state object), and an invariant — the
+    high-level property.  The explorer enumerates every operation sequence
+    up to a depth bound and checks the invariant after each step.
+    Operations that throw are guard rejections, not violations. *)
+
+type config = {
+  depth : int;  (** maximum operations per sequence *)
+  fuel_per_run : int;  (** interpreter fuel for one full sequence *)
+  max_sequences : int;  (** exploration budget *)
+}
+
+val default_config : config
+
+type step = { op : string; rejected : bool }
+
+type violation = { v_trace : step list; v_detail : string }
+
+type stats = { sequences : int; transitions : int; rejections : int }
+
+type outcome = Safe of stats | Unsafe of violation * stats | Engine_error of string
+
+type scenario = {
+  program : Minilang.Ast.program;
+  init : string;  (** init function name; returns the state object *)
+  ops : string list;  (** operation function names, each [op(st)] *)
+  invariant : string;  (** invariant function name, [inv(st): bool] *)
+}
+
+(** Explore all operation sequences up to [config.depth], shortest first,
+    and report the first invariant violation (with its minimal trace). *)
+val explore : ?config:config -> scenario -> outcome
+
+val step_to_string : step -> string
+
+val violation_to_string : violation -> string
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,1 @@
+lib/minilang/interp.ml: Ast Buffer Builtins Fmt Hashtbl List Loc Pretty String Value

@@ -1,0 +1,1 @@
+lib/minilang/interp.mli: Ast Buffer Loc Value

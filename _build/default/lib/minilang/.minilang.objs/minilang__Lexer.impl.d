@@ -1,0 +1,1 @@
+lib/minilang/lexer.ml: Buffer Fmt List Loc String Token

@@ -1,0 +1,1 @@
+lib/minilang/parser.ml: Array Ast Fmt Lexer List Loc Token

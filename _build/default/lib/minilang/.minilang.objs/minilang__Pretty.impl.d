@@ -1,0 +1,1 @@
+lib/minilang/pretty.ml: Ast Fmt List Printf String

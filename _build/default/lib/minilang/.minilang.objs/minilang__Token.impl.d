@@ -1,0 +1,1 @@
+lib/minilang/token.ml: Fmt List Printf

@@ -1,0 +1,1 @@
+lib/minilang/token.mli: Format

@@ -1,0 +1,1 @@
+lib/minilang/typecheck.ml: Ast Builtins Fmt List Loc String

@@ -1,0 +1,1 @@
+lib/minilang/typecheck.mli: Ast Format Loc

@@ -1,0 +1,1 @@
+lib/minilang/value.ml: Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/minilang/value.mli: Format Hashtbl

@@ -1,0 +1,244 @@
+(** Abstract syntax of MiniJava.
+
+    Every statement carries a unique statement id ([sid]) assigned by the
+    parser.  Statement ids are the anchor for everything downstream: diffs
+    map ticket patches to sids, low-level semantics name a *target
+    statement* by sid (or by matching its printed text), and the concolic
+    engine records path conditions whenever execution reaches a target sid. *)
+
+type typ =
+  | T_int
+  | T_bool
+  | T_str
+  | T_ref of string  (** reference to an instance of the named class *)
+  | T_map
+  | T_list
+  | T_void
+  | T_any  (** dynamically-typed slot; used by heterogeneous containers *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Null_lit
+  | Var of string
+  | This
+  | Field of expr * string  (** [obj.field] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** free function or builtin call *)
+  | Method_call of expr * string * expr list  (** [obj.m(args)] *)
+  | New of string * expr list  (** [new C(args)]; runs [init] if defined *)
+
+type lvalue = Lv_var of string | Lv_field of expr * string
+
+type stmt = { s : stmt_kind; sid : int; sloc : Loc.t }
+
+and stmt_kind =
+  | Decl of string * typ * expr option
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Throw of expr
+  | Try of block * string * block  (** [try b catch (x) handler] *)
+  | Sync of expr * block  (** [synchronized (obj) { ... }] *)
+  | Expr of expr
+  | Assert of expr * string
+  | Break
+  | Continue
+
+and block = stmt list
+
+type method_decl = {
+  m_name : string;
+  m_params : (string * typ) list;
+  m_ret : typ;
+  m_body : block;
+  m_loc : Loc.t;
+}
+
+type field_decl = { f_name : string; f_typ : typ; f_init : expr option; f_loc : Loc.t }
+
+type class_decl = {
+  c_name : string;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_loc : Loc.t;
+}
+
+type program = {
+  p_classes : class_decl list;
+  p_funcs : method_decl list;  (** top-level functions, incl. [test_*] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and small helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+
+let mk_stmt ~sid ?(loc = Loc.dummy) s = { s; sid; sloc = loc }
+
+let typ_to_string = function
+  | T_int -> "int"
+  | T_bool -> "bool"
+  | T_str -> "str"
+  | T_ref c -> c
+  | T_map -> "map"
+  | T_list -> "list"
+  | T_void -> "void"
+  | T_any -> "any"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_to_string = function Not -> "!" | Neg -> "-"
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [iter_stmts f block] applies [f] to every statement in [block],
+    recursing into nested blocks, in source order. *)
+let rec iter_stmts f (b : block) = List.iter (iter_stmt f) b
+
+and iter_stmt f st =
+  f st;
+  match st.s with
+  | If (_, b1, b2) ->
+      iter_stmts f b1;
+      iter_stmts f b2
+  | While (_, b) -> iter_stmts f b
+  | Try (b, _, h) ->
+      iter_stmts f b;
+      iter_stmts f h
+  | Sync (_, b) -> iter_stmts f b
+  | Decl _ | Assign _ | Return _ | Throw _ | Expr _ | Assert _ | Break | Continue -> ()
+
+(** All statements of a method body, nested included, in source order. *)
+let stmts_of_method (m : method_decl) : stmt list =
+  let acc = ref [] in
+  iter_stmts (fun st -> acc := st :: !acc) m.m_body;
+  List.rev !acc
+
+let methods_of_program (p : program) : (string option * method_decl) list =
+  List.map (fun f -> (None, f)) p.p_funcs
+  @ List.concat_map
+      (fun c -> List.map (fun m -> (Some c.c_name, m)) c.c_methods)
+      p.p_classes
+
+(** Fully-qualified method name, ["Class.meth"] or just ["fn"]. *)
+let qualified_name cls m =
+  match cls with Some c -> c ^ "." ^ m.m_name | None -> m.m_name
+
+(** [iter_exprs f e] applies [f] to [e] and every sub-expression. *)
+let rec iter_exprs f (e : expr) =
+  f e;
+  match e.e with
+  | Int_lit _ | Bool_lit _ | Str_lit _ | Null_lit | Var _ | This -> ()
+  | Field (o, _) -> iter_exprs f o
+  | Binop (_, a, b) ->
+      iter_exprs f a;
+      iter_exprs f b
+  | Unop (_, a) -> iter_exprs f a
+  | Call (_, args) -> List.iter (iter_exprs f) args
+  | Method_call (o, _, args) ->
+      iter_exprs f o;
+      List.iter (iter_exprs f) args
+  | New (_, args) -> List.iter (iter_exprs f) args
+
+(** Expressions appearing directly in a statement head (not nested blocks). *)
+let exprs_of_stmt (st : stmt) : expr list =
+  match st.s with
+  | Decl (_, _, Some e) -> [ e ]
+  | Decl (_, _, None) -> []
+  | Assign (Lv_var _, e) -> [ e ]
+  | Assign (Lv_field (o, _), e) -> [ o; e ]
+  | If (c, _, _) -> [ c ]
+  | While (c, _) -> [ c ]
+  | Return (Some e) -> [ e ]
+  | Return None -> []
+  | Throw e -> [ e ]
+  | Try _ -> []
+  | Sync (o, _) -> [ o ]
+  | Expr e -> [ e ]
+  | Assert (e, _) -> [ e ]
+  | Break | Continue -> []
+
+(** Names of functions/methods called anywhere inside an expression. *)
+let callees_of_expr (e : expr) : string list =
+  let acc = ref [] in
+  iter_exprs
+    (fun e ->
+      match e.e with
+      | Call (name, _) -> acc := name :: !acc
+      | Method_call (_, name, _) -> acc := name :: !acc
+      | New (cls, _) -> acc := (cls ^ ".init") :: !acc
+      | Int_lit _ | Bool_lit _ | Str_lit _ | Null_lit | Var _ | This | Field _
+      | Binop _ | Unop _ ->
+          ())
+    e;
+  List.rev !acc
+
+let callees_of_stmt (st : stmt) : string list =
+  List.concat_map callees_of_expr (exprs_of_stmt st)
+
+(** Find a statement by sid anywhere in the program. *)
+let find_stmt (p : program) (sid : int) : stmt option =
+  let found = ref None in
+  let check st = if st.sid = sid && !found = None then found := Some st in
+  List.iter (fun (_, m) -> iter_stmts check m.m_body) (methods_of_program p);
+  !found
+
+(** The method (and enclosing class, if any) that contains statement [sid]. *)
+let enclosing_method (p : program) (sid : int) : (string option * method_decl) option
+    =
+  let result = ref None in
+  List.iter
+    (fun (cls, m) ->
+      iter_stmts (fun st -> if st.sid = sid && !result = None then result := Some (cls, m)) m.m_body)
+    (methods_of_program p);
+  !result
+
+let find_class (p : program) name = List.find_opt (fun c -> c.c_name = name) p.p_classes
+
+let find_func (p : program) name = List.find_opt (fun f -> f.m_name = name) p.p_funcs
+
+let find_method_in_class (c : class_decl) name =
+  List.find_opt (fun m -> m.m_name = name) c.c_methods
+
+(** All methods of the program whose simple name is [name]. *)
+let methods_named (p : program) name : (string option * method_decl) list =
+  List.filter (fun (_, m) -> m.m_name = name) (methods_of_program p)

@@ -1,0 +1,150 @@
+(** Abstract syntax of MiniJava.
+
+    Every statement carries a unique statement id ([sid]) assigned by the
+    parser in pre-order; sids anchor diffs, semantic-rule targets, and the
+    concolic engine's path-condition snapshots. *)
+
+type typ =
+  | T_int
+  | T_bool
+  | T_str
+  | T_ref of string  (** reference to an instance of the named class *)
+  | T_map
+  | T_list
+  | T_void
+  | T_any  (** dynamically-typed slot *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Not | Neg
+
+type expr = { e : expr_kind; eloc : Loc.t }
+
+and expr_kind =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Null_lit
+  | Var of string
+  | This
+  | Field of expr * string  (** [obj.field] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** free function or builtin call *)
+  | Method_call of expr * string * expr list  (** [obj.m(args)] *)
+  | New of string * expr list  (** [new C(args)]; runs [init] if defined *)
+
+type lvalue = Lv_var of string | Lv_field of expr * string
+
+type stmt = { s : stmt_kind; sid : int; sloc : Loc.t }
+
+and stmt_kind =
+  | Decl of string * typ * expr option
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Throw of expr
+  | Try of block * string * block  (** [try b catch (x) handler] *)
+  | Sync of expr * block  (** [synchronized (obj) { ... }] *)
+  | Expr of expr
+  | Assert of expr * string
+  | Break
+  | Continue
+
+and block = stmt list
+
+type method_decl = {
+  m_name : string;
+  m_params : (string * typ) list;
+  m_ret : typ;
+  m_body : block;
+  m_loc : Loc.t;
+}
+
+type field_decl = {
+  f_name : string;
+  f_typ : typ;
+  f_init : expr option;
+  f_loc : Loc.t;
+}
+
+type class_decl = {
+  c_name : string;
+  c_fields : field_decl list;
+  c_methods : method_decl list;
+  c_loc : Loc.t;
+}
+
+type program = {
+  p_classes : class_decl list;
+  p_funcs : method_decl list;  (** top-level functions, incl. [test_*] *)
+}
+
+(** {1 Constructors} *)
+
+val mk_expr : ?loc:Loc.t -> expr_kind -> expr
+
+val mk_stmt : sid:int -> ?loc:Loc.t -> stmt_kind -> stmt
+
+val typ_to_string : typ -> string
+
+val binop_to_string : binop -> string
+
+val unop_to_string : unop -> string
+
+(** {1 Traversals} *)
+
+(** Apply to every statement (nested blocks included), in source order. *)
+val iter_stmts : (stmt -> unit) -> block -> unit
+
+val iter_stmt : (stmt -> unit) -> stmt -> unit
+
+(** All statements of a method body, nested included, in source order. *)
+val stmts_of_method : method_decl -> stmt list
+
+(** All methods of a program with their enclosing class (if any). *)
+val methods_of_program : program -> (string option * method_decl) list
+
+(** Fully-qualified method name: ["Class.meth"] or just ["fn"]. *)
+val qualified_name : string option -> method_decl -> string
+
+val iter_exprs : (expr -> unit) -> expr -> unit
+
+(** Expressions in a statement head (not nested blocks). *)
+val exprs_of_stmt : stmt -> expr list
+
+(** Names of functions/methods called anywhere in an expression;
+    [new C(...)] contributes ["C.init"]. *)
+val callees_of_expr : expr -> string list
+
+val callees_of_stmt : stmt -> string list
+
+(** {1 Lookup} *)
+
+val find_stmt : program -> int -> stmt option
+
+(** The method (and enclosing class) containing statement [sid]. *)
+val enclosing_method : program -> int -> (string option * method_decl) option
+
+val find_class : program -> string -> class_decl option
+
+val find_func : program -> string -> method_decl option
+
+val find_method_in_class : class_decl -> string -> method_decl option
+
+(** All methods with the given simple name. *)
+val methods_named : program -> string -> (string option * method_decl) list

@@ -1,0 +1,73 @@
+(** Builtin functions of MiniJava.
+
+    This module only *describes* builtins (name, arity, effect class); the
+    implementations live in {!Interp}.  Keeping the description separate
+    lets static analyses ({!module:Analysis} in [lib/analysis]) classify
+    calls — in particular *blocking* operations, which the lock-discipline
+    rules of the paper's Figure 6 case ("no blocking I/O inside a
+    synchronized block") need to recognize without running the program. *)
+
+type effect_class =
+  | Pure  (** no side effect beyond its result *)
+  | Mutating  (** mutates a heap container *)
+  | Output  (** writes to the (simulated) console/log *)
+  | Blocking  (** models blocking I/O: disk, network, fsync, sleep *)
+
+type descr = {
+  b_name : string;
+  b_arity : int;  (** -1 means variadic *)
+  b_effect : effect_class;
+  b_doc : string;
+}
+
+let table : descr list =
+  [
+    (* containers *)
+    { b_name = "mapNew"; b_arity = 0; b_effect = Pure; b_doc = "fresh empty map" };
+    { b_name = "mapGet"; b_arity = 2; b_effect = Pure; b_doc = "lookup; null if absent" };
+    { b_name = "mapPut"; b_arity = 3; b_effect = Mutating; b_doc = "insert/replace binding" };
+    { b_name = "mapRemove"; b_arity = 2; b_effect = Mutating; b_doc = "remove binding if present" };
+    { b_name = "mapContains"; b_arity = 2; b_effect = Pure; b_doc = "key membership" };
+    { b_name = "mapSize"; b_arity = 1; b_effect = Pure; b_doc = "number of bindings" };
+    { b_name = "mapKeys"; b_arity = 1; b_effect = Pure; b_doc = "list of keys (insertion order)" };
+    { b_name = "listNew"; b_arity = 0; b_effect = Pure; b_doc = "fresh empty list" };
+    { b_name = "listAdd"; b_arity = 2; b_effect = Mutating; b_doc = "append element" };
+    { b_name = "listGet"; b_arity = 2; b_effect = Pure; b_doc = "element at index" };
+    { b_name = "listSet"; b_arity = 3; b_effect = Mutating; b_doc = "replace element at index" };
+    { b_name = "listSize"; b_arity = 1; b_effect = Pure; b_doc = "number of elements" };
+    { b_name = "listContains"; b_arity = 2; b_effect = Pure; b_doc = "element membership" };
+    { b_name = "listRemoveAt"; b_arity = 2; b_effect = Mutating; b_doc = "remove element at index" };
+    (* scalars *)
+    { b_name = "toStr"; b_arity = 1; b_effect = Pure; b_doc = "render any value as string" };
+    { b_name = "strLen"; b_arity = 1; b_effect = Pure; b_doc = "string length" };
+    { b_name = "concat"; b_arity = 2; b_effect = Pure; b_doc = "string concatenation" };
+    { b_name = "startsWith"; b_arity = 2; b_effect = Pure; b_doc = "string prefix test" };
+    { b_name = "abs"; b_arity = 1; b_effect = Pure; b_doc = "absolute value" };
+    { b_name = "min"; b_arity = 2; b_effect = Pure; b_doc = "minimum" };
+    { b_name = "max"; b_arity = 2; b_effect = Pure; b_doc = "maximum" };
+    (* environment *)
+    { b_name = "now"; b_arity = 0; b_effect = Pure; b_doc = "logical clock (interpreter steps)" };
+    { b_name = "print"; b_arity = 1; b_effect = Output; b_doc = "append to console buffer" };
+    { b_name = "log"; b_arity = 1; b_effect = Output; b_doc = "append to log buffer" };
+    { b_name = "fail"; b_arity = 1; b_effect = Pure; b_doc = "throw the given value" };
+    (* blocking I/O models; these make the Figure 6 regressions expressible *)
+    { b_name = "writeRecord"; b_arity = 1; b_effect = Blocking; b_doc = "serialize a record to disk (blocking)" };
+    { b_name = "readRecord"; b_arity = 1; b_effect = Blocking; b_doc = "read a record from disk (blocking)" };
+    { b_name = "networkSend"; b_arity = 2; b_effect = Blocking; b_doc = "send a message over the network (blocking)" };
+    { b_name = "networkRecv"; b_arity = 1; b_effect = Blocking; b_doc = "receive a message (blocking)" };
+    { b_name = "fsync"; b_arity = 1; b_effect = Blocking; b_doc = "flush a file to stable storage (blocking)" };
+    { b_name = "rpcCall"; b_arity = 2; b_effect = Blocking; b_doc = "remote procedure call (blocking)" };
+    { b_name = "sleepMs"; b_arity = 1; b_effect = Blocking; b_doc = "sleep (blocking)" };
+  ]
+
+let find name = List.find_opt (fun d -> d.b_name = name) table
+
+let is_builtin name = find name <> None
+
+let effect_of name = match find name with Some d -> Some d.b_effect | None -> None
+
+let is_blocking name = effect_of name = Some Blocking
+
+let blocking_names = List.filter_map (fun d -> if d.b_effect = Blocking then Some d.b_name else None) table
+
+let arity_of name = match find name with Some d -> Some d.b_arity | None -> None

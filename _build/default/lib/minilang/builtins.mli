@@ -1,0 +1,32 @@
+(** Descriptions of MiniJava builtin functions.
+
+    Only metadata lives here (implementations are in {!Interp}), so static
+    analyses can classify calls — in particular {e blocking} operations,
+    which lock-discipline rules must recognize without running code. *)
+
+type effect_class =
+  | Pure  (** no side effect beyond its result *)
+  | Mutating  (** mutates a heap container *)
+  | Output  (** writes to the simulated console/log *)
+  | Blocking  (** models blocking I/O: disk, network, fsync, sleep *)
+
+type descr = {
+  b_name : string;
+  b_arity : int;  (** -1 means variadic *)
+  b_effect : effect_class;
+  b_doc : string;
+}
+
+val table : descr list
+
+val find : string -> descr option
+
+val is_builtin : string -> bool
+
+val effect_of : string -> effect_class option
+
+val is_blocking : string -> bool
+
+val blocking_names : string list
+
+val arity_of : string -> int option

@@ -1,0 +1,69 @@
+(** Concrete interpreter for MiniJava — the "JVM" subject systems run on.
+
+    Maintains a heap, a logical clock, the set of monitors held by
+    enclosing [synchronized] blocks, and an event stream delivered through
+    an optional hook.  Execution is deterministic and total given finite
+    fuel. *)
+
+type event =
+  | Ev_stmt of int  (** statement [sid] about to execute *)
+  | Ev_call of { qname : string; depth : int }
+  | Ev_return of { qname : string; depth : int }
+  | Ev_branch of { sid : int; taken : bool; cond_text : string }
+  | Ev_lock of { sid : int; addr : int }
+  | Ev_unlock of { sid : int; addr : int }
+  | Ev_blocking of { sid : int; op : string; locks_held : int list }
+  | Ev_throw of { sid : int; payload : string }
+  | Ev_output of string
+
+exception Mini_throw of Value.t
+(** a MiniJava [throw] that escaped to the host *)
+
+exception Runtime_error of string * Loc.t
+
+exception Out_of_fuel
+
+exception Assertion_failure of string * int
+(** message, sid of the failing [assert] *)
+
+type config = {
+  fuel : int;  (** maximum number of statements to execute *)
+  on_event : (event -> unit) option;
+  max_call_depth : int;
+}
+
+val default_config : config
+
+type state = {
+  program : Ast.program;
+  heap : Value.heap;
+  mutable clock : int;
+  mutable fuel_left : int;
+  mutable locks : int list;  (** held monitors, innermost first *)
+  mutable depth : int;
+  console : Buffer.t;
+  logbuf : Buffer.t;
+  config : config;
+}
+
+val create : ?config:config -> Ast.program -> state
+
+(** Call a top-level function against an existing state (heap and clock
+    persist across calls); used by the bounded scenario model checker. *)
+val call : state -> string -> Value.t list -> Value.t
+
+(** Run a top-level function in a fresh state; returns the final state and
+    the function's value. *)
+val run_function :
+  ?config:config -> Ast.program -> string -> Value.t list -> state * Value.t
+
+type test_outcome =
+  | Passed
+  | Failed of string  (** assertion failure *)
+  | Errored of string  (** uncaught throw, runtime error, or fuel *)
+
+(** Run a [test_*] function and classify the outcome like a CI job. *)
+val run_test : ?config:config -> Ast.program -> string -> test_outcome
+
+(** Names of the program's [test_*] top-level functions. *)
+val test_names : Ast.program -> string list

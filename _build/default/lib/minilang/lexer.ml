@@ -1,0 +1,203 @@
+(** Hand-written lexer for MiniJava.
+
+    Supports line comments ([// ...]) and block comments ([/* ... */]).
+    Produces a list of located tokens; errors carry precise locations. *)
+
+exception Error of string * Loc.t
+
+type located = { tok : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let current_loc st = Loc.make ~file:st.file ~line:st.line ~col:st.col
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          let rec to_eol () =
+            match peek st with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance st;
+                to_eol ()
+          in
+          to_eol ();
+          skip_trivia st
+      | Some '*' ->
+          let start = current_loc st in
+          advance st;
+          advance st;
+          let rec to_close () =
+            match (peek st, peek2 st) with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | Some _, _ ->
+                advance st;
+                to_close ()
+            | None, _ -> raise (Error ("unterminated block comment", start))
+          in
+          to_close ();
+          skip_trivia st
+      | _ -> ())
+  | _ -> ()
+
+let lex_string st =
+  let start = current_loc st in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> raise (Error ("unterminated string literal", start))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            go ()
+        | Some c -> raise (Error (Fmt.str "bad escape '\\%c'" c, current_loc st))
+        | None -> raise (Error ("unterminated escape", start)))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  (Token.STRING (Buffer.contents buf), start)
+
+let lex_number st =
+  let start = current_loc st in
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  (Token.INT (int_of_string (Buffer.contents buf)), start)
+
+let lex_ident st =
+  let start = current_loc st in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  (Token.of_ident (Buffer.contents buf), start)
+
+let next_token st : located =
+  skip_trivia st;
+  let loc = current_loc st in
+  let simple tok =
+    advance st;
+    { tok; loc }
+  in
+  let two tok =
+    advance st;
+    advance st;
+    { tok; loc }
+  in
+  match peek st with
+  | None -> { tok = Token.EOF; loc }
+  | Some '"' ->
+      let tok, loc = lex_string st in
+      { tok; loc }
+  | Some c when is_digit c ->
+      let tok, loc = lex_number st in
+      { tok; loc }
+  | Some c when is_ident_start c ->
+      let tok, loc = lex_ident st in
+      { tok; loc }
+  | Some '(' -> simple Token.LPAREN
+  | Some ')' -> simple Token.RPAREN
+  | Some '{' -> simple Token.LBRACE
+  | Some '}' -> simple Token.RBRACE
+  | Some '[' -> simple Token.LBRACKET
+  | Some ']' -> simple Token.RBRACKET
+  | Some ',' -> simple Token.COMMA
+  | Some ';' -> simple Token.SEMI
+  | Some ':' -> simple Token.COLON
+  | Some '.' -> simple Token.DOT
+  | Some '+' -> simple Token.PLUS
+  | Some '-' -> simple Token.MINUS
+  | Some '*' -> simple Token.STAR
+  | Some '/' -> simple Token.SLASH
+  | Some '%' -> simple Token.PERCENT
+  | Some '=' -> ( match peek2 st with Some '=' -> two Token.EQ | _ -> simple Token.ASSIGN)
+  | Some '!' -> ( match peek2 st with Some '=' -> two Token.NEQ | _ -> simple Token.BANG)
+  | Some '<' -> ( match peek2 st with Some '=' -> two Token.LE | _ -> simple Token.LT)
+  | Some '>' -> ( match peek2 st with Some '=' -> two Token.GE | _ -> simple Token.GT)
+  | Some '&' -> (
+      match peek2 st with
+      | Some '&' -> two Token.ANDAND
+      | _ -> raise (Error ("expected '&&'", loc)))
+  | Some '|' -> (
+      match peek2 st with
+      | Some '|' -> two Token.OROR
+      | _ -> raise (Error ("expected '||'", loc)))
+  | Some c -> raise (Error (Fmt.str "unexpected character %C" c, loc))
+
+(** Tokenize a whole source buffer.  The returned list always ends with a
+    single [EOF] token carrying the end-of-input location. *)
+let tokenize ?(file = "<string>") src : located list =
+  let st = make_state ~file src in
+  let rec go acc =
+    let lt = next_token st in
+    match lt.tok with Token.EOF -> List.rev (lt :: acc) | _ -> go (lt :: acc)
+  in
+  go []

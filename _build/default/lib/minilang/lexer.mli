@@ -1,0 +1,13 @@
+(** Hand-written lexer for MiniJava.
+
+    Supports [// line] and [/* block */] comments and the usual string
+    escapes (backslash-n, backslash-t, escaped quote, escaped backslash). *)
+
+exception Error of string * Loc.t
+
+type located = { tok : Token.t; loc : Loc.t }
+
+(** Tokenize a whole source buffer; the result always ends with a single
+    [EOF] token carrying the end-of-input location.
+    @raise Error on unterminated comments/strings or stray characters. *)
+val tokenize : ?file:string -> string -> located list

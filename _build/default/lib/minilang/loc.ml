@@ -1,0 +1,31 @@
+(** Source locations for MiniJava programs.
+
+    A location is a [line, column] pair (both 1-based) plus the file label
+    the source was parsed under.  Locations are attached to every token,
+    expression and statement so that diagnostics, diffs and experiment
+    reports can point back into subject-system source. *)
+
+type t = {
+  file : string;  (** label of the compilation unit, e.g. ["zookeeper.mj"] *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+let make ~file ~line ~col = { file; line; col }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let is_dummy l = l.line = 0
+
+let pp ppf l =
+  if is_dummy l then Fmt.string ppf "<none>"
+  else Fmt.pf ppf "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Fmt.str "%a" pp l
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

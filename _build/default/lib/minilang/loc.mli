@@ -1,0 +1,22 @@
+(** Source locations for MiniJava programs. *)
+
+type t = {
+  file : string;  (** label of the compilation unit, e.g. ["zookeeper.mj"] *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+val make : file:string -> line:int -> col:int -> t
+
+(** A location standing for "no position" (synthesized nodes). *)
+val dummy : t
+
+val is_dummy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool

@@ -1,0 +1,505 @@
+(** Recursive-descent parser for MiniJava.
+
+    Grammar sketch (EBNF; braces = repetition, brackets = optional):
+    {v
+      program   ::= { class | method }
+      class     ::= "class" IDENT "{" { field | method } "}"
+      field     ::= "field" IDENT ":" typ [ "=" expr ] ";"
+      method    ::= "method" IDENT "(" params ")" [ ":" typ ] block
+      params    ::= [ IDENT ":" typ { "," IDENT ":" typ } ]
+      block     ::= "{" { stmt } "}"
+      stmt      ::= "var" IDENT ":" typ [ "=" expr ] ";"
+                  | "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+                  | "while" "(" expr ")" block
+                  | "return" [ expr ] ";"
+                  | "throw" expr ";"
+                  | "try" block "catch" "(" IDENT ")" block
+                  | "synchronized" "(" expr ")" block
+                  | "assert" "(" expr [ "," STRING ] ")" ";"
+                  | "break" ";" | "continue" ";"
+                  | lvalue "=" expr ";"
+                  | expr ";"
+      expr      ::= or-expr; usual precedence: || < && < cmp < add < mul < unary
+      primary   ::= literal | IDENT | "this" | "(" expr ")" | call
+                  | "new" IDENT "(" args ")" | primary "." IDENT [ "(" args ")" ]
+    v}
+
+    Statement ids are assigned left-to-right from a caller-suppliable base,
+    so parsing the same source twice yields identical sids — a property the
+    diff-to-sid mapping in [lib/diffing] relies on. *)
+
+exception Error of string * Loc.t
+
+type state = {
+  toks : Lexer.located array;
+  mutable idx : int;
+  mutable next_sid : int;
+}
+
+let make_state ?(first_sid = 1) toks =
+  { toks = Array.of_list toks; idx = 0; next_sid = first_sid }
+
+let peek st = st.toks.(st.idx)
+
+let peek_tok st = (peek st).tok
+
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let fresh_sid st =
+  let sid = st.next_sid in
+  st.next_sid <- sid + 1;
+  sid
+
+let error st msg = raise (Error (msg, (peek st).loc))
+
+let expect st tok =
+  if Token.equal (peek_tok st) tok then advance st
+  else
+    error st
+      (Fmt.str "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (peek_tok st)))
+
+let expect_ident st =
+  match peek_tok st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> error st (Fmt.str "expected identifier, found '%s'" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_typ st : Ast.typ =
+  match peek_tok st with
+  | Token.KW_INT ->
+      advance st;
+      Ast.T_int
+  | Token.KW_BOOL ->
+      advance st;
+      Ast.T_bool
+  | Token.KW_STR ->
+      advance st;
+      Ast.T_str
+  | Token.KW_MAP ->
+      advance st;
+      Ast.T_map
+  | Token.KW_LIST ->
+      advance st;
+      Ast.T_list
+  | Token.KW_VOID ->
+      advance st;
+      Ast.T_void
+  | Token.KW_ANY ->
+      advance st;
+      Ast.T_any
+  | Token.IDENT c ->
+      advance st;
+      Ast.T_ref c
+  | t -> error st (Fmt.str "expected a type, found '%s'" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if Token.equal (peek_tok st) Token.OROR then (
+    let loc = (peek st).loc in
+    advance st;
+    let rhs = parse_or st in
+    Ast.mk_expr ~loc (Ast.Binop (Ast.Or, lhs, rhs)))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if Token.equal (peek_tok st) Token.ANDAND then (
+    let loc = (peek st).loc in
+    advance st;
+    let rhs = parse_and st in
+    Ast.mk_expr ~loc (Ast.Binop (Ast.And, lhs, rhs)))
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek_tok st with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let loc = (peek st).loc in
+      advance st;
+      let rhs = parse_add st in
+      Ast.mk_expr ~loc (Ast.Binop (op, lhs, rhs))
+
+and parse_add st =
+  let rec go lhs =
+    match peek_tok st with
+    | Token.PLUS ->
+        let loc = (peek st).loc in
+        advance st;
+        go (Ast.mk_expr ~loc (Ast.Binop (Ast.Add, lhs, parse_mul st)))
+    | Token.MINUS ->
+        let loc = (peek st).loc in
+        advance st;
+        go (Ast.mk_expr ~loc (Ast.Binop (Ast.Sub, lhs, parse_mul st)))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek_tok st with
+    | Token.STAR ->
+        let loc = (peek st).loc in
+        advance st;
+        go (Ast.mk_expr ~loc (Ast.Binop (Ast.Mul, lhs, parse_unary st)))
+    | Token.SLASH ->
+        let loc = (peek st).loc in
+        advance st;
+        go (Ast.mk_expr ~loc (Ast.Binop (Ast.Div, lhs, parse_unary st)))
+    | Token.PERCENT ->
+        let loc = (peek st).loc in
+        advance st;
+        go (Ast.mk_expr ~loc (Ast.Binop (Ast.Mod, lhs, parse_unary st)))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek_tok st with
+  | Token.BANG ->
+      let loc = (peek st).loc in
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Not, parse_unary st))
+  | Token.MINUS ->
+      let loc = (peek st).loc in
+      advance st;
+      Ast.mk_expr ~loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go recv =
+    match peek_tok st with
+    | Token.DOT -> (
+        advance st;
+        let loc = (peek st).loc in
+        let name = expect_ident st in
+        match peek_tok st with
+        | Token.LPAREN ->
+            let args = parse_args st in
+            go (Ast.mk_expr ~loc (Ast.Method_call (recv, name, args)))
+        | _ -> go (Ast.mk_expr ~loc (Ast.Field (recv, name))))
+    | _ -> recv
+  in
+  go (parse_primary st)
+
+and parse_args st : Ast.expr list =
+  expect st Token.LPAREN;
+  if Token.equal (peek_tok st) Token.RPAREN then (
+    advance st;
+    [])
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match peek_tok st with
+      | Token.COMMA ->
+          advance st;
+          go (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | t -> error st (Fmt.str "expected ',' or ')', found '%s'" (Token.to_string t))
+    in
+    go []
+
+and parse_primary st =
+  let loc = (peek st).loc in
+  match peek_tok st with
+  | Token.INT n ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Int_lit n)
+  | Token.STRING s ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Str_lit s)
+  | Token.KW_TRUE ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Bool_lit true)
+  | Token.KW_FALSE ->
+      advance st;
+      Ast.mk_expr ~loc (Ast.Bool_lit false)
+  | Token.KW_NULL ->
+      advance st;
+      Ast.mk_expr ~loc Ast.Null_lit
+  | Token.KW_THIS ->
+      advance st;
+      Ast.mk_expr ~loc Ast.This
+  | Token.KW_NEW ->
+      advance st;
+      let cls = expect_ident st in
+      let args = parse_args st in
+      Ast.mk_expr ~loc (Ast.New (cls, args))
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT name -> (
+      advance st;
+      match peek_tok st with
+      | Token.LPAREN ->
+          let args = parse_args st in
+          Ast.mk_expr ~loc (Ast.Call (name, args))
+      | _ -> Ast.mk_expr ~loc (Ast.Var name))
+  | t -> error st (Fmt.str "expected expression, found '%s'" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_block st : Ast.block =
+  expect st Token.LBRACE;
+  let rec go acc =
+    match peek_tok st with
+    | Token.RBRACE ->
+        advance st;
+        List.rev acc
+    | Token.EOF -> error st "unexpected end of input in block"
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st : Ast.stmt =
+  let loc = (peek st).loc in
+  (* Reserve the statement id before parsing children so that statement ids
+     are assigned in source (pre-order) order. *)
+  let sid = fresh_sid st in
+  let mk s = Ast.mk_stmt ~sid ~loc s in
+  match peek_tok st with
+  | Token.KW_VAR ->
+      advance st;
+      let name = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_typ st in
+      let init =
+        if Token.equal (peek_tok st) Token.ASSIGN then (
+          advance st;
+          Some (parse_expr st))
+        else None
+      in
+      expect st Token.SEMI;
+      mk (Ast.Decl (name, ty, init))
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_b = parse_block st in
+      let else_b =
+        if Token.equal (peek_tok st) Token.KW_ELSE then (
+          advance st;
+          if Token.equal (peek_tok st) Token.KW_IF then [ parse_stmt st ]
+          else parse_block st)
+        else []
+      in
+      mk (Ast.If (cond, then_b, else_b))
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      mk (Ast.While (cond, body))
+  | Token.KW_RETURN ->
+      advance st;
+      if Token.equal (peek_tok st) Token.SEMI then (
+        advance st;
+        mk (Ast.Return None))
+      else
+        let e = parse_expr st in
+        expect st Token.SEMI;
+        mk (Ast.Return (Some e))
+  | Token.KW_THROW ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk (Ast.Throw e)
+  | Token.KW_TRY ->
+      advance st;
+      let body = parse_block st in
+      expect st Token.KW_CATCH;
+      expect st Token.LPAREN;
+      let exn_var = expect_ident st in
+      expect st Token.RPAREN;
+      let handler = parse_block st in
+      mk (Ast.Try (body, exn_var, handler))
+  | Token.KW_SYNCHRONIZED ->
+      advance st;
+      expect st Token.LPAREN;
+      let obj = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      mk (Ast.Sync (obj, body))
+  | Token.KW_ASSERT ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      let msg =
+        if Token.equal (peek_tok st) Token.COMMA then (
+          advance st;
+          match peek_tok st with
+          | Token.STRING s ->
+              advance st;
+              s
+          | t -> error st (Fmt.str "expected string message, found '%s'" (Token.to_string t)))
+        else "assertion failed"
+      in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      mk (Ast.Assert (cond, msg))
+  | Token.KW_BREAK ->
+      advance st;
+      expect st Token.SEMI;
+      mk Ast.Break
+  | Token.KW_CONTINUE ->
+      advance st;
+      expect st Token.SEMI;
+      mk Ast.Continue
+  | _ ->
+      (* assignment or expression statement *)
+      let e = parse_expr st in
+      if Token.equal (peek_tok st) Token.ASSIGN then (
+        advance st;
+        let rhs = parse_expr st in
+        expect st Token.SEMI;
+        let lv =
+          match e.Ast.e with
+          | Ast.Var x -> Ast.Lv_var x
+          | Ast.Field (o, f) -> Ast.Lv_field (o, f)
+          | _ -> error st "invalid assignment target"
+        in
+        mk (Ast.Assign (lv, rhs)))
+      else (
+        expect st Token.SEMI;
+        mk (Ast.Expr e))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st : (string * Ast.typ) list =
+  expect st Token.LPAREN;
+  if Token.equal (peek_tok st) Token.RPAREN then (
+    advance st;
+    [])
+  else
+    let rec go acc =
+      let name = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_typ st in
+      match peek_tok st with
+      | Token.COMMA ->
+          advance st;
+          go ((name, ty) :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev ((name, ty) :: acc)
+      | t -> error st (Fmt.str "expected ',' or ')', found '%s'" (Token.to_string t))
+    in
+    go []
+
+let parse_method st : Ast.method_decl =
+  let loc = (peek st).loc in
+  expect st Token.KW_METHOD;
+  let name = expect_ident st in
+  let params = parse_params st in
+  let ret =
+    if Token.equal (peek_tok st) Token.COLON then (
+      advance st;
+      parse_typ st)
+    else Ast.T_void
+  in
+  let body = parse_block st in
+  { Ast.m_name = name; m_params = params; m_ret = ret; m_body = body; m_loc = loc }
+
+let parse_field st : Ast.field_decl =
+  let loc = (peek st).loc in
+  expect st Token.KW_FIELD;
+  let name = expect_ident st in
+  expect st Token.COLON;
+  let ty = parse_typ st in
+  let init =
+    if Token.equal (peek_tok st) Token.ASSIGN then (
+      advance st;
+      Some (parse_expr st))
+    else None
+  in
+  expect st Token.SEMI;
+  { Ast.f_name = name; f_typ = ty; f_init = init; f_loc = loc }
+
+let parse_class st : Ast.class_decl =
+  let loc = (peek st).loc in
+  expect st Token.KW_CLASS;
+  let name = expect_ident st in
+  expect st Token.LBRACE;
+  let rec go fields methods =
+    match peek_tok st with
+    | Token.RBRACE ->
+        advance st;
+        (List.rev fields, List.rev methods)
+    | Token.KW_FIELD -> go (parse_field st :: fields) methods
+    | Token.KW_METHOD ->
+        let m = parse_method st in
+        go fields (m :: methods)
+    | t ->
+        error st
+          (Fmt.str "expected 'field', 'method' or '}' in class body, found '%s'"
+             (Token.to_string t))
+  in
+  let fields, methods = go [] [] in
+  { Ast.c_name = name; c_fields = fields; c_methods = methods; c_loc = loc }
+
+let parse_program st : Ast.program =
+  let rec go classes funcs =
+    match peek_tok st with
+    | Token.EOF ->
+        { Ast.p_classes = List.rev classes; p_funcs = List.rev funcs }
+    | Token.KW_CLASS -> go (parse_class st :: classes) funcs
+    | Token.KW_METHOD -> go classes (parse_method st :: funcs)
+    | t ->
+        error st
+          (Fmt.str "expected 'class' or 'method' at top level, found '%s'"
+             (Token.to_string t))
+  in
+  go [] []
+
+(** Parse a full program from source text.
+
+    @param file label used in locations.
+    @param first_sid base for statement-id assignment (default 1). *)
+let program ?(file = "<string>") ?(first_sid = 1) (src : string) : Ast.program =
+  let toks = Lexer.tokenize ~file src in
+  let st = make_state ~first_sid toks in
+  parse_program st
+
+(** Parse a single expression, e.g. a semantic condition written in MiniJava
+    concrete syntax (["s != null && s.closing == false"]). *)
+let expression ?(file = "<expr>") (src : string) : Ast.expr =
+  let toks = Lexer.tokenize ~file src in
+  let st = make_state toks in
+  let e = parse_expr st in
+  (match peek_tok st with
+  | Token.EOF -> ()
+  | t -> error st (Fmt.str "trailing tokens after expression: '%s'" (Token.to_string t)));
+  e

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniJava.
+
+    Statement ids are assigned in pre-order from [first_sid], so parsing
+    the same source twice yields identical ids — the property the
+    diff-to-statement mapping relies on. *)
+
+exception Error of string * Loc.t
+
+(** Parse a full program.
+
+    @param file label used in locations (default ["<string>"]).
+    @param first_sid base for statement-id assignment (default 1).
+    @raise Error on syntax errors (and {!Lexer.Error} on lexical ones). *)
+val program : ?file:string -> ?first_sid:int -> string -> Ast.program
+
+(** Parse a single expression, e.g. a semantic condition written in
+    MiniJava concrete syntax. *)
+val expression : ?file:string -> string -> Ast.expr

@@ -1,0 +1,151 @@
+(** Pretty-printer for MiniJava.
+
+    The printer produces a canonical concrete syntax: parsing its output
+    yields an AST equal (up to locations and sids) to the input.  The
+    single-line statement form ([stmt_head_to_string]) is the textual key
+    used to match a semantic rule's *target statement* against code. *)
+
+let typ = Ast.typ_to_string
+
+let rec expr_prec (e : Ast.expr) : int =
+  match e.e with
+  | Ast.Binop (Ast.Or, _, _) -> 1
+  | Ast.Binop (Ast.And, _, _) -> 2
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) -> 3
+  | Ast.Binop ((Ast.Add | Ast.Sub), _, _) -> 4
+  | Ast.Binop ((Ast.Mul | Ast.Div | Ast.Mod), _, _) -> 5
+  | Ast.Unop _ -> 6
+  | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Str_lit _ | Ast.Null_lit | Ast.Var _
+  | Ast.This | Ast.Field _ | Ast.Call _ | Ast.Method_call _ | Ast.New _ ->
+      7
+
+and expr_to_string (e : Ast.expr) : string = pexpr 0 e
+
+and pexpr (ctx : int) (e : Ast.expr) : string =
+  let prec = expr_prec e in
+  let s =
+    match e.e with
+    | Ast.Int_lit n -> string_of_int n
+    | Ast.Bool_lit true -> "true"
+    | Ast.Bool_lit false -> "false"
+    | Ast.Str_lit s -> Printf.sprintf "%S" s
+    | Ast.Null_lit -> "null"
+    | Ast.Var x -> x
+    | Ast.This -> "this"
+    | Ast.Field (o, f) -> Fmt.str "%s.%s" (pexpr 7 o) f
+    | Ast.Binop (op, a, b) ->
+        (* [&&]/[||] parse right-associatively; arithmetic parses
+           left-associatively; comparisons are non-associative, so both of
+           their operands need a strictly higher precedence context. *)
+        let lp, rp =
+          match op with
+          | Ast.And | Ast.Or -> (prec + 1, prec)
+          | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> (prec, prec + 1)
+          | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+              (prec + 1, prec + 1)
+        in
+        Fmt.str "%s %s %s" (pexpr lp a) (Ast.binop_to_string op) (pexpr rp b)
+    | Ast.Unop (op, a) -> Fmt.str "%s%s" (Ast.unop_to_string op) (pexpr 6 a)
+    | Ast.Call (f, args) -> Fmt.str "%s(%s)" f (args_to_string args)
+    | Ast.Method_call (o, m, args) ->
+        Fmt.str "%s.%s(%s)" (pexpr 7 o) m (args_to_string args)
+    | Ast.New (c, args) -> Fmt.str "new %s(%s)" c (args_to_string args)
+  in
+  if prec < ctx then "(" ^ s ^ ")" else s
+
+and args_to_string args = String.concat ", " (List.map expr_to_string args)
+
+let lvalue_to_string = function
+  | Ast.Lv_var x -> x
+  | Ast.Lv_field (o, f) -> Fmt.str "%s.%s" (pexpr 7 o) f
+
+(** One-line rendering of a statement head; nested blocks are elided as
+    ["{ ... }"].  This is the canonical "code text" form for matching target
+    statements against LLM output. *)
+let stmt_head_to_string (st : Ast.stmt) : string =
+  match st.s with
+  | Ast.Decl (x, ty, None) -> Fmt.str "var %s: %s;" x (typ ty)
+  | Ast.Decl (x, ty, Some e) -> Fmt.str "var %s: %s = %s;" x (typ ty) (expr_to_string e)
+  | Ast.Assign (lv, e) -> Fmt.str "%s = %s;" (lvalue_to_string lv) (expr_to_string e)
+  | Ast.If (c, _, []) -> Fmt.str "if (%s) { ... }" (expr_to_string c)
+  | Ast.If (c, _, _) -> Fmt.str "if (%s) { ... } else { ... }" (expr_to_string c)
+  | Ast.While (c, _) -> Fmt.str "while (%s) { ... }" (expr_to_string c)
+  | Ast.Return None -> "return;"
+  | Ast.Return (Some e) -> Fmt.str "return %s;" (expr_to_string e)
+  | Ast.Throw e -> Fmt.str "throw %s;" (expr_to_string e)
+  | Ast.Try _ -> "try { ... } catch (...) { ... }"
+  | Ast.Sync (o, _) -> Fmt.str "synchronized (%s) { ... }" (expr_to_string o)
+  | Ast.Expr e -> Fmt.str "%s;" (expr_to_string e)
+  | Ast.Assert (c, m) -> Fmt.str "assert (%s, %S);" (expr_to_string c) m
+  | Ast.Break -> "break;"
+  | Ast.Continue -> "continue;"
+
+let indent n = String.make (2 * n) ' '
+
+let rec stmt_lines (depth : int) (st : Ast.stmt) : string list =
+  let pad = indent depth in
+  match st.s with
+  | Ast.Decl _ | Ast.Assign _ | Ast.Return _ | Ast.Throw _ | Ast.Expr _
+  | Ast.Assert _ | Ast.Break | Ast.Continue ->
+      [ pad ^ stmt_head_to_string st ]
+  | Ast.If (c, b1, []) ->
+      (pad ^ Fmt.str "if (%s) {" (expr_to_string c))
+      :: (block_lines (depth + 1) b1 @ [ pad ^ "}" ])
+  | Ast.If (c, b1, b2) ->
+      (pad ^ Fmt.str "if (%s) {" (expr_to_string c))
+      :: (block_lines (depth + 1) b1
+         @ [ pad ^ "} else {" ]
+         @ block_lines (depth + 1) b2
+         @ [ pad ^ "}" ])
+  | Ast.While (c, b) ->
+      (pad ^ Fmt.str "while (%s) {" (expr_to_string c))
+      :: (block_lines (depth + 1) b @ [ pad ^ "}" ])
+  | Ast.Try (b, x, h) ->
+      (pad ^ "try {")
+      :: (block_lines (depth + 1) b
+         @ [ pad ^ Fmt.str "} catch (%s) {" x ]
+         @ block_lines (depth + 1) h
+         @ [ pad ^ "}" ])
+  | Ast.Sync (o, b) ->
+      (pad ^ Fmt.str "synchronized (%s) {" (expr_to_string o))
+      :: (block_lines (depth + 1) b @ [ pad ^ "}" ])
+
+and block_lines depth (b : Ast.block) : string list =
+  List.concat_map (stmt_lines depth) b
+
+let method_lines (depth : int) (m : Ast.method_decl) : string list =
+  let pad = indent depth in
+  let params =
+    String.concat ", "
+      (List.map (fun (x, ty) -> Fmt.str "%s: %s" x (typ ty)) m.Ast.m_params)
+  in
+  let ret = match m.Ast.m_ret with Ast.T_void -> "" | t -> ": " ^ typ t in
+  (pad ^ Fmt.str "method %s(%s)%s {" m.Ast.m_name params ret)
+  :: (block_lines (depth + 1) m.Ast.m_body @ [ pad ^ "}" ])
+
+let field_lines depth (f : Ast.field_decl) : string list =
+  let pad = indent depth in
+  match f.Ast.f_init with
+  | None -> [ pad ^ Fmt.str "field %s: %s;" f.Ast.f_name (typ f.Ast.f_typ) ]
+  | Some e ->
+      [ pad ^ Fmt.str "field %s: %s = %s;" f.Ast.f_name (typ f.Ast.f_typ) (expr_to_string e) ]
+
+let class_lines (c : Ast.class_decl) : string list =
+  (Fmt.str "class %s {" c.Ast.c_name)
+  :: (List.concat_map (field_lines 1) c.Ast.c_fields
+     @ List.concat_map (method_lines 1) c.Ast.c_methods
+     @ [ "}" ])
+
+(** Render a whole program back to canonical concrete syntax. *)
+let program_to_string (p : Ast.program) : string =
+  let lines =
+    List.concat_map (fun c -> class_lines c @ [ "" ]) p.Ast.p_classes
+    @ List.concat_map (fun f -> method_lines 0 f @ [ "" ]) p.Ast.p_funcs
+  in
+  String.concat "\n" lines
+
+let stmt_to_string (st : Ast.stmt) : string =
+  String.concat "\n" (stmt_lines 0 st)
+
+let method_to_string (m : Ast.method_decl) : string =
+  String.concat "\n" (method_lines 0 m)

@@ -1,0 +1,71 @@
+(** Lexical tokens of MiniJava (deliberately Java-flavoured, so corpus
+    code reads like the tickets it transliterates). *)
+
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_CLASS
+  | KW_FIELD
+  | KW_METHOD
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_THROW
+  | KW_TRY
+  | KW_CATCH
+  | KW_SYNCHRONIZED
+  | KW_ASSERT
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_NEW
+  | KW_THIS
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_INT
+  | KW_BOOL
+  | KW_STR
+  | KW_MAP
+  | KW_LIST
+  | KW_VOID
+  | KW_ANY
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val keyword_table : (string * t) list
+
+(** Classify an identifier: keyword token or [IDENT]. *)
+val of_ident : string -> t
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,297 @@
+(** Static sanity checker for MiniJava programs.
+
+    MiniJava is dynamically typed at run time (containers are
+    heterogeneous), but subject systems are large enough that typo-level
+    mistakes must be caught before a corpus program is admitted.  The
+    checker verifies, per program:
+
+    - every called function/method/builtin exists and arities match where
+      they are statically known;
+    - every referenced class exists; [new C(...)] matches [C.init]'s arity;
+    - variables are declared before use; no variable shadows a parameter;
+    - field reads/writes name declared fields when the receiver's class is
+      statically known (declared type or [this]);
+    - obvious scalar type errors ([1 + true], [if ("x")], ...), with [any]
+      acting as a wildcard;
+    - [break]/[continue] appear only inside loops.
+
+    Errors are collected, not raised, so callers can report all of them. *)
+
+type error = { msg : string; loc : Loc.t }
+
+let err errors loc fmt = Fmt.kstr (fun msg -> errors := { msg; loc } :: !errors) fmt
+
+(* Static types: a lattice-free approximation.  [T_any] unifies with
+   everything; [T_ref ""] stands for "some object of unknown class". *)
+
+let compatible (a : Ast.typ) (b : Ast.typ) : bool =
+  match (a, b) with
+  | Ast.T_any, _ | _, Ast.T_any -> true
+  | Ast.T_int, Ast.T_int | Ast.T_bool, Ast.T_bool | Ast.T_str, Ast.T_str -> true
+  | Ast.T_map, Ast.T_map | Ast.T_list, Ast.T_list | Ast.T_void, Ast.T_void -> true
+  | Ast.T_ref a', Ast.T_ref b' -> a' = "" || b' = "" || a' = b'
+  (* null is represented as T_ref "" and may flow into containers too *)
+  | Ast.T_ref "", (Ast.T_map | Ast.T_list) | (Ast.T_map | Ast.T_list), Ast.T_ref "" ->
+      true
+  | _, _ -> false
+
+type env = {
+  program : Ast.program;
+  cls : Ast.class_decl option;  (** enclosing class, for [this] *)
+  mutable vars : (string * Ast.typ) list;
+  errors : error list ref;
+  mutable in_loop : bool;
+}
+
+let null_t = Ast.T_ref ""
+
+let lookup_var env x = List.assoc_opt x env.vars
+
+let class_of_typ env = function
+  | Ast.T_ref name when name <> "" -> Ast.find_class env.program name
+  | _ -> None
+
+let rec check_expr (env : env) (e : Ast.expr) : Ast.typ =
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Int_lit _ -> Ast.T_int
+  | Ast.Bool_lit _ -> Ast.T_bool
+  | Ast.Str_lit _ -> Ast.T_str
+  | Ast.Null_lit -> null_t
+  | Ast.This -> (
+      match env.cls with
+      | Some c -> Ast.T_ref c.Ast.c_name
+      | None ->
+          err env.errors loc "'this' used outside a class";
+          Ast.T_any)
+  | Ast.Var x -> (
+      match lookup_var env x with
+      | Some t -> t
+      | None ->
+          err env.errors loc "unbound variable %s" x;
+          Ast.T_any)
+  | Ast.Field (o, f) -> (
+      let ot = check_expr env o in
+      match class_of_typ env ot with
+      | None -> Ast.T_any
+      | Some c -> (
+          match List.find_opt (fun (fd : Ast.field_decl) -> fd.Ast.f_name = f) c.Ast.c_fields with
+          | Some fd -> fd.Ast.f_typ
+          | None ->
+              err env.errors loc "class %s has no field %s" c.Ast.c_name f;
+              Ast.T_any))
+  | Ast.Binop (op, a, b) -> check_binop env loc op a b
+  | Ast.Unop (Ast.Not, a) ->
+      let t = check_expr env a in
+      if not (compatible t Ast.T_bool) then
+        err env.errors loc "'!' applied to %s" (Ast.typ_to_string t);
+      Ast.T_bool
+  | Ast.Unop (Ast.Neg, a) ->
+      let t = check_expr env a in
+      if not (compatible t Ast.T_int) then
+        err env.errors loc "unary '-' applied to %s" (Ast.typ_to_string t);
+      Ast.T_int
+  | Ast.Call (name, args) -> (
+      let arg_ts = List.map (check_expr env) args in
+      match Builtins.find name with
+      | Some d ->
+          if d.Builtins.b_arity >= 0 && d.Builtins.b_arity <> List.length args then
+            err env.errors loc "builtin %s expects %d args, got %d" name
+              d.Builtins.b_arity (List.length args);
+          Ast.T_any
+      | None -> (
+          match Ast.find_func env.program name with
+          | Some f ->
+              if List.length f.Ast.m_params <> List.length args then
+                err env.errors loc "function %s expects %d args, got %d" name
+                  (List.length f.Ast.m_params) (List.length args);
+              ignore arg_ts;
+              f.Ast.m_ret
+          | None ->
+              err env.errors loc "unknown function %s" name;
+              Ast.T_any))
+  | Ast.Method_call (o, m, args) -> (
+      let ot = check_expr env o in
+      let arg_ts = List.map (check_expr env) args in
+      ignore arg_ts;
+      match class_of_typ env ot with
+      | None ->
+          (* dynamic receiver: check the method exists *somewhere* *)
+          if Ast.methods_named env.program m = [] then
+            err env.errors loc "no class defines a method named %s" m;
+          Ast.T_any
+      | Some c -> (
+          match Ast.find_method_in_class c m with
+          | Some md ->
+              if List.length md.Ast.m_params <> List.length args then
+                err env.errors loc "method %s.%s expects %d args, got %d"
+                  c.Ast.c_name m (List.length md.Ast.m_params) (List.length args);
+              md.Ast.m_ret
+          | None ->
+              err env.errors loc "class %s has no method %s" c.Ast.c_name m;
+              Ast.T_any))
+  | Ast.New (cls_name, args) -> (
+      List.iter (fun a -> ignore (check_expr env a)) args;
+      match Ast.find_class env.program cls_name with
+      | None ->
+          err env.errors loc "unknown class %s" cls_name;
+          Ast.T_any
+      | Some c -> (
+          match Ast.find_method_in_class c "init" with
+          | Some md ->
+              if List.length md.Ast.m_params <> List.length args then
+                err env.errors loc "%s.init expects %d args, got %d" cls_name
+                  (List.length md.Ast.m_params) (List.length args)
+          | None ->
+              if args <> [] then
+                err env.errors loc "class %s has no init method but 'new' got %d args"
+                  cls_name (List.length args));
+          Ast.T_ref cls_name)
+
+and check_binop env loc op a b : Ast.typ =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  match op with
+  | Ast.And | Ast.Or ->
+      if not (compatible ta Ast.T_bool) then
+        err env.errors loc "'%s' lhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string ta);
+      if not (compatible tb Ast.T_bool) then
+        err env.errors loc "'%s' rhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string tb);
+      Ast.T_bool
+  | Ast.Eq | Ast.Neq -> Ast.T_bool
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if not (compatible ta Ast.T_int || compatible ta Ast.T_str) then
+        err env.errors loc "'%s' lhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string ta);
+      if not (compatible tb Ast.T_int || compatible tb Ast.T_str) then
+        err env.errors loc "'%s' rhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string tb);
+      Ast.T_bool
+  | Ast.Add ->
+      (* '+' is int addition or string concatenation *)
+      if compatible ta Ast.T_str then Ast.T_str
+      else if compatible ta Ast.T_int && compatible tb Ast.T_int then Ast.T_int
+      else (
+        err env.errors loc "'+' applied to %s and %s" (Ast.typ_to_string ta)
+          (Ast.typ_to_string tb);
+        Ast.T_any)
+  | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+      if not (compatible ta Ast.T_int) then
+        err env.errors loc "'%s' lhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string ta);
+      if not (compatible tb Ast.T_int) then
+        err env.errors loc "'%s' rhs is %s" (Ast.binop_to_string op) (Ast.typ_to_string tb);
+      Ast.T_int
+
+let rec check_block (env : env) (b : Ast.block) : unit =
+  let saved = env.vars in
+  List.iter (check_stmt env) b;
+  env.vars <- saved
+
+and check_stmt (env : env) (stmt : Ast.stmt) : unit =
+  let loc = stmt.Ast.sloc in
+  match stmt.Ast.s with
+  | Ast.Decl (x, ty, init) ->
+      (match init with
+      | Some e ->
+          let t = check_expr env e in
+          if not (compatible t ty) then
+            err env.errors loc "initialiser of %s has type %s, expected %s" x
+              (Ast.typ_to_string t) (Ast.typ_to_string ty)
+      | None -> ());
+      env.vars <- (x, ty) :: env.vars
+  | Ast.Assign (Ast.Lv_var x, e) -> (
+      let t = check_expr env e in
+      match lookup_var env x with
+      | Some tx ->
+          if not (compatible t tx) then
+            err env.errors loc "assigning %s to %s: %s" (Ast.typ_to_string t) x
+              (Ast.typ_to_string tx)
+      | None -> err env.errors loc "assignment to unbound variable %s" x)
+  | Ast.Assign (Ast.Lv_field (o, f), e) -> (
+      let ot = check_expr env o in
+      let t = check_expr env e in
+      match class_of_typ env ot with
+      | None -> ()
+      | Some c -> (
+          match List.find_opt (fun (fd : Ast.field_decl) -> fd.Ast.f_name = f) c.Ast.c_fields with
+          | Some fd ->
+              if not (compatible t fd.Ast.f_typ) then
+                err env.errors loc "assigning %s to %s.%s: %s" (Ast.typ_to_string t)
+                  c.Ast.c_name f
+                  (Ast.typ_to_string fd.Ast.f_typ)
+          | None -> err env.errors loc "class %s has no field %s" c.Ast.c_name f))
+  | Ast.If (c, b1, b2) ->
+      let t = check_expr env c in
+      if not (compatible t Ast.T_bool) then
+        err env.errors loc "if condition has type %s" (Ast.typ_to_string t);
+      check_block env b1;
+      check_block env b2
+  | Ast.While (c, body) ->
+      let t = check_expr env c in
+      if not (compatible t Ast.T_bool) then
+        err env.errors loc "while condition has type %s" (Ast.typ_to_string t);
+      let saved = env.in_loop in
+      env.in_loop <- true;
+      check_block env body;
+      env.in_loop <- saved
+  | Ast.Return None -> ()
+  | Ast.Return (Some e) -> ignore (check_expr env e)
+  | Ast.Throw e -> ignore (check_expr env e)
+  | Ast.Try (b, x, h) ->
+      check_block env b;
+      let saved = env.vars in
+      env.vars <- (x, Ast.T_any) :: env.vars;
+      check_block env h;
+      env.vars <- saved
+  | Ast.Sync (o, b) ->
+      ignore (check_expr env o);
+      check_block env b
+  | Ast.Expr e -> ignore (check_expr env e)
+  | Ast.Assert (c, _) ->
+      let t = check_expr env c in
+      if not (compatible t Ast.T_bool) then
+        err env.errors loc "assert condition has type %s" (Ast.typ_to_string t)
+  | Ast.Break -> if not env.in_loop then err env.errors loc "break outside loop"
+  | Ast.Continue -> if not env.in_loop then err env.errors loc "continue outside loop"
+
+let check_method (program : Ast.program) (cls : Ast.class_decl option)
+    (m : Ast.method_decl) (errors : error list ref) : unit =
+  let env =
+    { program; cls; vars = m.Ast.m_params; errors; in_loop = false }
+  in
+  (* duplicate parameter names *)
+  let rec dup = function
+    | [] -> ()
+    | (x, _) :: rest ->
+        if List.mem_assoc x rest then
+          err errors m.Ast.m_loc "duplicate parameter %s in %s" x m.Ast.m_name;
+        dup rest
+  in
+  dup m.Ast.m_params;
+  check_block env m.Ast.m_body
+
+(** Check a whole program; returns the list of errors (empty = clean). *)
+let check_program (p : Ast.program) : error list =
+  let errors = ref [] in
+  (* duplicate class / function names *)
+  let rec dup_names what names =
+    match names with
+    | [] -> ()
+    | (n, loc) :: rest ->
+        if List.mem_assoc n rest then err errors loc "duplicate %s %s" what n;
+        dup_names what rest
+  in
+  dup_names "class" (List.map (fun (c : Ast.class_decl) -> (c.Ast.c_name, c.Ast.c_loc)) p.Ast.p_classes);
+  dup_names "function" (List.map (fun (f : Ast.method_decl) -> (f.Ast.m_name, f.Ast.m_loc)) p.Ast.p_funcs);
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      dup_names "field"
+        (List.map (fun (f : Ast.field_decl) -> (c.Ast.c_name ^ "." ^ f.Ast.f_name, f.Ast.f_loc)) c.Ast.c_fields);
+      dup_names "method"
+        (List.map (fun (m : Ast.method_decl) -> (c.Ast.c_name ^ "." ^ m.Ast.m_name, m.Ast.m_loc)) c.Ast.c_methods);
+      List.iter (fun m -> check_method p (Some c) m errors) c.Ast.c_methods)
+    p.Ast.p_classes;
+  List.iter (fun f -> check_method p None f errors) p.Ast.p_funcs;
+  List.rev !errors
+
+let pp_error ppf (e : error) = Fmt.pf ppf "%a: %s" Loc.pp e.loc e.msg
+
+let errors_to_string errs = String.concat "\n" (List.map (Fmt.str "%a" pp_error) errs)

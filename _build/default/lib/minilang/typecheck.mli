@@ -1,0 +1,15 @@
+(** Static sanity checker for MiniJava programs.
+
+    Verifies name resolution, arities, field existence (when the
+    receiver's class is statically known), scalar type agreement (with
+    [any] as a wildcard), scoping, and loop-only [break]/[continue].
+    Errors are collected, not raised. *)
+
+type error = { msg : string; loc : Loc.t }
+
+(** Check a whole program; an empty list means clean. *)
+val check_program : Ast.program -> error list
+
+val pp_error : Format.formatter -> error -> unit
+
+val errors_to_string : error list -> string

@@ -1,0 +1,116 @@
+(** Runtime values and the heap for MiniJava execution.
+
+    Scalars are immutable; objects, maps and lists live in a heap indexed by
+    integer addresses.  The same representation is shared by the concrete
+    interpreter ({!Interp}) and the concolic engine ([lib/symexec]), which
+    shadows every concrete value with a symbolic expression. *)
+
+type t =
+  | V_int of int
+  | V_bool of bool
+  | V_str of string
+  | V_null
+  | V_ref of int  (** heap address of an object, map or list *)
+
+type cell =
+  | C_obj of obj
+  | C_map of (t * t) list ref  (** association list, insertion order kept *)
+  | C_list of t list ref
+
+and obj = { o_class : string; o_fields : (string, t) Hashtbl.t }
+
+type heap = { mutable next : int; cells : (int, cell) Hashtbl.t }
+
+let heap_create () = { next = 1; cells = Hashtbl.create 64 }
+
+let heap_alloc h cell =
+  let addr = h.next in
+  h.next <- addr + 1;
+  Hashtbl.replace h.cells addr cell;
+  addr
+
+let heap_get h addr = Hashtbl.find_opt h.cells addr
+
+let heap_size h = Hashtbl.length h.cells
+
+(* ------------------------------------------------------------------ *)
+(* Value operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | V_int x, V_int y -> x = y
+  | V_bool x, V_bool y -> x = y
+  | V_str x, V_str y -> String.equal x y
+  | V_null, V_null -> true
+  | V_ref x, V_ref y -> x = y
+  | (V_int _ | V_bool _ | V_str _ | V_null | V_ref _), _ -> false
+
+let is_truthy = function
+  | V_bool b -> b
+  | V_null -> false
+  | V_int n -> n <> 0
+  | V_str s -> s <> ""
+  | V_ref _ -> true
+
+let type_name = function
+  | V_int _ -> "int"
+  | V_bool _ -> "bool"
+  | V_str _ -> "str"
+  | V_null -> "null"
+  | V_ref _ -> "ref"
+
+let rec to_string ?heap (v : t) : string =
+  match v with
+  | V_int n -> string_of_int n
+  | V_bool true -> "true"
+  | V_bool false -> "false"
+  | V_str s -> s
+  | V_null -> "null"
+  | V_ref addr -> (
+      match heap with
+      | None -> Fmt.str "<ref %d>" addr
+      | Some h -> (
+          match heap_get h addr with
+          | None -> Fmt.str "<dangling %d>" addr
+          | Some (C_obj o) -> Fmt.str "<%s@%d>" o.o_class addr
+          | Some (C_map entries) ->
+              let items =
+                List.map
+                  (fun (k, v) ->
+                    Fmt.str "%s: %s" (to_string ?heap k) (to_string ?heap v))
+                  !entries
+              in
+              "{" ^ String.concat ", " items ^ "}"
+          | Some (C_list elems) ->
+              "[" ^ String.concat ", " (List.map (to_string ?heap) !elems) ^ "]"))
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Object helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let new_obj ~cls : obj = { o_class = cls; o_fields = Hashtbl.create 8 }
+
+let obj_get (o : obj) field = Hashtbl.find_opt o.o_fields field
+
+let obj_set (o : obj) field v = Hashtbl.replace o.o_fields field v
+
+let map_get entries k =
+  let rec go = function
+    | [] -> None
+    | (k', v) :: rest -> if equal k k' then Some v else go rest
+  in
+  go !entries
+
+let map_put entries k v =
+  let rec go = function
+    | [] -> [ (k, v) ]
+    | (k', v') :: rest -> if equal k k' then (k, v) :: rest else (k', v') :: go rest
+  in
+  entries := go !entries
+
+let map_remove entries k = entries := List.filter (fun (k', _) -> not (equal k k')) !entries
+
+let map_contains entries k = map_get entries k <> None

@@ -1,0 +1,55 @@
+(** Runtime values and the heap for MiniJava execution.
+
+    Scalars are immutable; objects, maps and lists live in a heap indexed
+    by integer addresses.  The representation is shared by the concrete
+    interpreter and the concolic engine. *)
+
+type t =
+  | V_int of int
+  | V_bool of bool
+  | V_str of string
+  | V_null
+  | V_ref of int  (** heap address of an object, map or list *)
+
+type cell =
+  | C_obj of obj
+  | C_map of (t * t) list ref  (** association list, insertion order kept *)
+  | C_list of t list ref
+
+and obj = { o_class : string; o_fields : (string, t) Hashtbl.t }
+
+type heap = { mutable next : int; cells : (int, cell) Hashtbl.t }
+
+val heap_create : unit -> heap
+
+val heap_alloc : heap -> cell -> int
+
+val heap_get : heap -> int -> cell option
+
+val heap_size : heap -> int
+
+(** Structural equality on scalars; reference equality on heap values. *)
+val equal : t -> t -> bool
+
+val is_truthy : t -> bool
+
+val type_name : t -> string
+
+(** Render a value; with [heap], containers and objects are expanded. *)
+val to_string : ?heap:heap -> t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val new_obj : cls:string -> obj
+
+val obj_get : obj -> string -> t option
+
+val obj_set : obj -> string -> t -> unit
+
+val map_get : (t * t) list ref -> t -> t option
+
+val map_put : (t * t) list ref -> t -> t -> unit
+
+val map_remove : (t * t) list ref -> t -> unit
+
+val map_contains : (t * t) list ref -> t -> bool

@@ -1,0 +1,1 @@
+lib/oracle/inference.ml: Analysis Ast Buffer Builtins Char Diffing Fmt List Minilang Pretty Semantics Smt String Ticket

@@ -1,0 +1,1 @@
+lib/oracle/inference.mli: Semantics Ticket

@@ -1,0 +1,1 @@
+lib/oracle/test_select.ml: Analysis Ast Interp List Minilang Pretty Semantics String Tfidf

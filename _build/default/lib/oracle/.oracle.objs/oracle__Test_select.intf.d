@@ -1,0 +1,1 @@
+lib/oracle/test_select.mli: Analysis Minilang Semantics Tfidf

@@ -1,0 +1,1 @@
+lib/oracle/tfidf.ml: Array Diffing Hashtbl List Option

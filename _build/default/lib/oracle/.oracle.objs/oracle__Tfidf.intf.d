@@ -1,0 +1,1 @@
+lib/oracle/tfidf.mli: Hashtbl

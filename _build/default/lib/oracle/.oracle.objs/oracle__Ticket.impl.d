@@ -1,0 +1,1 @@
+lib/oracle/ticket.ml: Diffing Fmt Minilang

@@ -1,0 +1,1 @@
+lib/oracle/ticket.mli: Minilang

@@ -1,0 +1,57 @@
+(** Prompt construction — Listing 1 of the paper, verbatim in structure.
+
+    The deterministic inference backend does not *need* a textual prompt,
+    but constructing it keeps the interface identical to the paper's: a
+    drop-in real-LLM client would consume exactly this text.  The prompt
+    is also displayed by the E4 workflow experiment. *)
+
+let instructions =
+  {|You are an AI assistant that extracts violated low-level semantics from a past system failure.
+You will receive three inputs:
+- Failure description and developer discussion
+- Code patch (the diff)
+- Source code after the patch has been applied
+Here are the steps you will take:
+  1. Identify the root cause of this failure
+  2. Identify the high-level semantics: a single concise statement describing the
+     system-level behavioral change introduced by this pull request.
+  3. Identify the low-level semantics: a single concise statement describing the
+     implementation-local invariant that must hold so that a corresponding high-level
+     property cannot be violated.
+  4. Translate the low-level semantics into a checkable format:
+     - one condition statement (predicates over concrete state and control-flow that needs to be checked)
+     - one target statement (the code statement where the condition should be checked)
+  5. Describe the reasoning for choosing those statements
+  6. Repeat previous steps until all unique checks have been reasoned
+Output your answer in the exact format:
+  {"high_level_semantics": "<description>",
+   "low_level_semantics": {
+     "description": "<concise_description>",
+     "target_statement": "<code_text>",
+     "condition_statement": "<predicates>", ...},
+   "reasoning": "<summary>" ...}|}
+
+(** Render the full prompt for a ticket. *)
+let build (t : Ticket.t) : string =
+  String.concat "\n"
+    [
+      instructions;
+      "";
+      "=== INPUT 1: failure description and developer discussion ===";
+      Fmt.str "Ticket %s (%s): %s" t.Ticket.ticket_id t.Ticket.system t.Ticket.title;
+      t.Ticket.description;
+      "Discussion: " ^ t.Ticket.discussion;
+      "";
+      "=== INPUT 2: code patch (the diff) ===";
+      Ticket.diff t;
+      "=== INPUT 3: source code after the patch has been applied ===";
+      t.Ticket.patched_source;
+    ]
+
+(** Approximate token count of a prompt (whitespace-split), used to decide
+    when the RAG context-window fallback must kick in. *)
+let token_estimate (s : string) : int =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+  |> List.length

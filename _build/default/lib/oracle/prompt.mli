@@ -1,0 +1,14 @@
+(** Prompt construction — Listing 1 of the paper.
+
+    The deterministic backend does not need the text, but building it
+    keeps the interface identical to the paper's: a real-LLM client would
+    consume exactly this prompt. *)
+
+(** The instruction preamble (Listing 1, verbatim in structure). *)
+val instructions : string
+
+(** The full prompt for a ticket: instructions + the three inputs. *)
+val build : Ticket.t -> string
+
+(** Approximate token count (whitespace tokenization). *)
+val token_estimate : string -> int

@@ -1,0 +1,105 @@
+(** TF-IDF embeddings with cosine similarity — the embedding-model
+    substitute (paper §3.2 uses OpenAI text-embedding-3-large for
+    similarity search over test embeddings).
+
+    Documents are tokenized with the shared identifier-aware tokenizer
+    ({!Diffing.Textutil.word_tokens}: camelCase and snake_case split), so
+    a test named [testCreateEphemeralOnClosedSession] lands near a query
+    about "create ephemeral closing session" without any learned model. *)
+
+type doc = { doc_id : string; text : string }
+
+type vector = (int * float) list  (** sparse, sorted by dimension *)
+
+type index = {
+  vocab : (string, int) Hashtbl.t;
+  idf : float array;
+  doc_vectors : (string * vector) list;
+  n_docs : int;
+}
+
+let tokenize = Diffing.Textutil.word_tokens
+
+let term_freqs (tokens : string list) : (string * int) list =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun t -> Hashtbl.replace tbl t (1 + Option.value ~default:0 (Hashtbl.find_opt tbl t)))
+    tokens;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let norm (v : vector) : float =
+  sqrt (List.fold_left (fun acc (_, x) -> acc +. (x *. x)) 0.0 v)
+
+let normalize (v : vector) : vector =
+  let n = norm v in
+  if n = 0.0 then v else List.map (fun (d, x) -> (d, x /. n)) v
+
+(** Cosine similarity of two normalized sparse vectors. *)
+let cosine (a : vector) (b : vector) : float =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> acc
+    | (da, xa) :: ra, (db, xb) :: rb ->
+        if da = db then go ra rb (acc +. (xa *. xb))
+        else if da < db then go ra b acc
+        else go a rb acc
+  in
+  go a b 0.0
+
+(** Build an index over a document collection. *)
+let build (docs : doc list) : index =
+  let vocab = Hashtbl.create 256 in
+  let next_dim = ref 0 in
+  let dim_of t =
+    match Hashtbl.find_opt vocab t with
+    | Some d -> d
+    | None ->
+        let d = !next_dim in
+        Hashtbl.replace vocab t d;
+        incr next_dim;
+        d
+  in
+  let doc_tokens = List.map (fun d -> (d.doc_id, term_freqs (tokenize d.text))) docs in
+  (* document frequency *)
+  List.iter (fun (_, tfs) -> List.iter (fun (t, _) -> ignore (dim_of t)) tfs) doc_tokens;
+  let n_docs = List.length docs in
+  let df = Array.make (max 1 !next_dim) 0 in
+  List.iter
+    (fun (_, tfs) -> List.iter (fun (t, _) -> df.(dim_of t) <- df.(dim_of t) + 1) tfs)
+    doc_tokens;
+  let idf =
+    Array.map
+      (fun d -> log ((1.0 +. float_of_int n_docs) /. (1.0 +. float_of_int d)) +. 1.0)
+      df
+  in
+  let vec_of tfs =
+    tfs
+    |> List.map (fun (t, f) ->
+           let d = dim_of t in
+           (d, (1.0 +. log (float_of_int f)) *. idf.(d)))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> normalize
+  in
+  let doc_vectors = List.map (fun (id, tfs) -> (id, vec_of tfs)) doc_tokens in
+  { vocab; idf; doc_vectors; n_docs }
+
+(** Embed a query with the index's vocabulary (out-of-vocabulary tokens are
+    dropped, as with any fixed embedding model). *)
+let embed (ix : index) (text : string) : vector =
+  term_freqs (tokenize text)
+  |> List.filter_map (fun (t, f) ->
+         match Hashtbl.find_opt ix.vocab t with
+         | Some d -> Some (d, (1.0 +. log (float_of_int f)) *. ix.idf.(d))
+         | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> normalize
+
+(** Top-[k] documents by cosine similarity to [query]; ties broken by
+    document id so results are stable. *)
+let top_k (ix : index) ~(query : string) ~(k : int) : (string * float) list =
+  let qv = embed ix query in
+  ix.doc_vectors
+  |> List.map (fun (id, dv) -> (id, cosine qv dv))
+  |> List.sort (fun (ia, sa) (ib, sb) ->
+         match compare sb sa with 0 -> compare ia ib | c -> c)
+  |> List.filteri (fun i _ -> i < k)

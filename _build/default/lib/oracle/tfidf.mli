@@ -1,0 +1,32 @@
+(** TF-IDF embeddings with cosine similarity — the embedding-model
+    substitute for the paper's OpenAI text-embedding-3-large.
+
+    Documents are tokenized with an identifier-aware tokenizer (camelCase
+    and snake_case split), so related tests and queries land near each
+    other without a learned model. *)
+
+type doc = { doc_id : string; text : string }
+
+type vector = (int * float) list  (** sparse, sorted by dimension, normalized *)
+
+type index = {
+  vocab : (string, int) Hashtbl.t;
+  idf : float array;
+  doc_vectors : (string * vector) list;
+  n_docs : int;
+}
+
+val tokenize : string -> string list
+
+(** Cosine similarity of two normalized sparse vectors, in [0, 1]. *)
+val cosine : vector -> vector -> float
+
+(** Build an index over a document collection. *)
+val build : doc list -> index
+
+(** Embed a query with the index's vocabulary; out-of-vocabulary tokens
+    are dropped. *)
+val embed : index -> string -> vector
+
+(** Top-[k] documents by similarity; ties broken by document id. *)
+val top_k : index -> query:string -> k:int -> (string * float) list

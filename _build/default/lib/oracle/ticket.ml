@@ -1,0 +1,48 @@
+(** Failure-ticket bundles.
+
+    A ticket is the unit of input to the inference pipeline, matching the
+    three inputs of the paper's prompt (Listing 1): failure description
+    and developer discussion, the code patch (diff), and the source code
+    after the patch has been applied.  We additionally keep the buggy
+    source itself (the diff is computed, not stored) and the names of the
+    regression tests the developers added with the fix. *)
+
+type t = {
+  ticket_id : string;  (** e.g. ["ZK-1208"] *)
+  system : string;  (** subject system, e.g. ["zookeeper"] *)
+  title : string;
+  description : string;  (** failure report text *)
+  discussion : string;  (** developer discussion summary *)
+  buggy_source : string;  (** full MiniJava source before the fix *)
+  patched_source : string;  (** full MiniJava source after the fix *)
+  regression_tests : string list;  (** tests added with the fix *)
+}
+
+let make ~ticket_id ~system ~title ~description ~discussion ~buggy_source
+    ~patched_source ~regression_tests =
+  {
+    ticket_id;
+    system;
+    title;
+    description;
+    discussion;
+    buggy_source;
+    patched_source;
+    regression_tests;
+  }
+
+(** The unified diff of the fix, computed from the stored sources. *)
+let diff (t : t) : string =
+  Diffing.Line_diff.to_unified
+    ~old_label:(t.ticket_id ^ "/before")
+    ~new_label:(t.ticket_id ^ "/after")
+    (Diffing.Line_diff.diff t.buggy_source t.patched_source)
+
+let buggy_program (t : t) : Minilang.Ast.program =
+  Minilang.Parser.program ~file:(t.ticket_id ^ "-buggy.mj") t.buggy_source
+
+let patched_program (t : t) : Minilang.Ast.program =
+  Minilang.Parser.program ~file:(t.ticket_id ^ "-patched.mj") t.patched_source
+
+let summary (t : t) : string =
+  Fmt.str "[%s] %s (%s)" t.ticket_id t.title t.system

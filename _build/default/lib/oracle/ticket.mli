@@ -1,0 +1,36 @@
+(** Failure-ticket bundles — the unit of input to inference, matching the
+    three inputs of the paper's Listing 1 prompt: failure description and
+    developer discussion, the code patch (computed, not stored), and the
+    source after the patch. *)
+
+type t = {
+  ticket_id : string;  (** e.g. ["ZK-1208"] *)
+  system : string;  (** subject system, e.g. ["zookeeper"] *)
+  title : string;
+  description : string;  (** failure report text *)
+  discussion : string;  (** developer discussion summary; by convention its
+                            first sentence states the high-level semantics *)
+  buggy_source : string;  (** full source before the fix *)
+  patched_source : string;  (** full source after the fix *)
+  regression_tests : string list;  (** tests added with the fix *)
+}
+
+val make :
+  ticket_id:string ->
+  system:string ->
+  title:string ->
+  description:string ->
+  discussion:string ->
+  buggy_source:string ->
+  patched_source:string ->
+  regression_tests:string list ->
+  t
+
+(** The unified diff of the fix, computed from the stored sources. *)
+val diff : t -> string
+
+val buggy_program : t -> Minilang.Ast.program
+
+val patched_program : t -> Minilang.Ast.program
+
+val summary : t -> string

@@ -1,0 +1,1 @@
+lib/semantics/dsl.ml: Fmt List Minilang Option Rule Smt String

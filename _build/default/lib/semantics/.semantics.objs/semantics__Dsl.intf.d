@@ -1,0 +1,1 @@
+lib/semantics/dsl.mli: Rule Smt

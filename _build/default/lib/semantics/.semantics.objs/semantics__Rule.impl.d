@@ -1,0 +1,1 @@
+lib/semantics/rule.ml: Fmt Minilang Smt

@@ -1,0 +1,1 @@
+lib/semantics/rule.mli: Format Smt

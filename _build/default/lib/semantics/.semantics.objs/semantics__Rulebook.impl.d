@@ -1,0 +1,1 @@
+lib/semantics/rulebook.ml: Ast Fmt List Minilang Pretty Rule String

@@ -1,0 +1,1 @@
+lib/semantics/rulebook.mli: Minilang Rule

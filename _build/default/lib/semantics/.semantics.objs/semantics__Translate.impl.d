@@ -1,0 +1,1 @@
+lib/semantics/translate.ml: Ast Fmt Fun List Minilang Option Printf Smt String

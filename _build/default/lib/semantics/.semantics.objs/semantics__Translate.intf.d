@@ -1,0 +1,1 @@
+lib/semantics/translate.mli: Minilang Smt

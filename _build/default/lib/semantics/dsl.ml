@@ -1,0 +1,281 @@
+(** A structured rule language for developers (§5, open question ii).
+
+    "Besides mining low-level semantics from existing resources, another
+    approach is to enable developers to explicitly express these semantic
+    rules in a more effective way … a structured prompt template to
+    describe expected behaviors."
+
+    The DSL is line-oriented; one rule per block:
+
+    {v
+      rule zk.ephemeral-closing:
+        because "ephemeral nodes must die with their session"
+        when calling createEphemeralNode
+        require Session != null && Session.closing == false
+
+      rule zk.prep-only:
+        when calling createEphemeralNode in PrepRequestProcessor.pRequest2TxnCreate
+        require Session != null
+
+      rule zk.serialize:
+        because "writers must never stall behind a monitor"
+        forbid blocking under lock
+
+      rule zk.serialize-here:
+        forbid blocking under lock in SyncRequestProcessor.serializeNode
+    v}
+
+    - [because "<text>"] (optional) records the high-level semantics;
+    - [when calling <callee> [in <Qualified.method>]] targets statements;
+    - [when at "<statement text>"] targets by canonical statement text;
+    - [require <expr>] gives the condition in MiniJava expression syntax —
+      identifiers are state paths exactly as the checker reports them
+      (class-canonical roots such as [Session.closing]);
+    - [forbid blocking under lock [in <Qualified.method>]] declares a
+      lock-discipline rule.
+
+    Conditions are parsed with the MiniJava expression parser and
+    translated structurally (no program context is needed because paths
+    are already canonical). *)
+
+exception Parse_error of string * int  (** message, 1-based line *)
+
+(* ------------------------------------------------------------------ *)
+(* Condition translation: MiniJava expression -> checker formula        *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_of_expr (e : Minilang.Ast.expr) : Smt.Formula.term option =
+  match e.Minilang.Ast.e with
+  | Minilang.Ast.Int_lit n -> Some (Smt.Formula.tint n)
+  | Minilang.Ast.Bool_lit b -> Some (Smt.Formula.tbool b)
+  | Minilang.Ast.Str_lit s -> Some (Smt.Formula.tstr s)
+  | Minilang.Ast.Null_lit -> Some Smt.Formula.tnull
+  | Minilang.Ast.Var x -> Some (Smt.Formula.tvar x)
+  | Minilang.Ast.Field (o, f) ->
+      Option.map
+        (fun t ->
+          match t with
+          | Smt.Formula.T_var p -> Smt.Formula.tvar (p ^ "." ^ f)
+          | _ -> t)
+        (term_of_expr o)
+  | Minilang.Ast.Unop (Minilang.Ast.Neg, { e = Minilang.Ast.Int_lit n; _ }) ->
+      Some (Smt.Formula.tint (-n))
+  | Minilang.Ast.This | Minilang.Ast.Binop _ | Minilang.Ast.Unop _
+  | Minilang.Ast.Call _ | Minilang.Ast.Method_call _ | Minilang.Ast.New _ ->
+      None
+
+let rec formula_of_expr (e : Minilang.Ast.expr) : Smt.Formula.t option =
+  match e.Minilang.Ast.e with
+  | Minilang.Ast.Bool_lit true -> Some Smt.Formula.True
+  | Minilang.Ast.Bool_lit false -> Some Smt.Formula.False
+  | Minilang.Ast.Unop (Minilang.Ast.Not, a) ->
+      Option.map (fun f -> Smt.Formula.Not f) (formula_of_expr a)
+  | Minilang.Ast.Binop (Minilang.Ast.And, a, b) -> (
+      match (formula_of_expr a, formula_of_expr b) with
+      | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+      | _ -> None)
+  | Minilang.Ast.Binop (Minilang.Ast.Or, a, b) -> (
+      match (formula_of_expr a, formula_of_expr b) with
+      | Some fa, Some fb -> Some (Smt.Formula.Or [ fa; fb ])
+      | _ -> None)
+  | Minilang.Ast.Binop (op, a, b) -> (
+      let rel =
+        match op with
+        | Minilang.Ast.Eq -> Some Smt.Formula.Req
+        | Minilang.Ast.Neq -> Some Smt.Formula.Rneq
+        | Minilang.Ast.Lt -> Some Smt.Formula.Rlt
+        | Minilang.Ast.Le -> Some Smt.Formula.Rle
+        | Minilang.Ast.Gt -> Some Smt.Formula.Rgt
+        | Minilang.Ast.Ge -> Some Smt.Formula.Rge
+        | _ -> None
+      in
+      match rel with
+      | None -> None
+      | Some rel -> (
+          match (term_of_expr a, term_of_expr b) with
+          | Some ta, Some tb -> Some (Smt.Formula.atom rel ta tb)
+          | _ -> None))
+  | Minilang.Ast.Var _ | Minilang.Ast.Field _ ->
+      (* bare boolean path: [Session.closing] means it is true *)
+      Option.map
+        (fun t ->
+          match t with
+          | Smt.Formula.T_var p -> Smt.Formula.bvar p
+          | _ -> Smt.Formula.True)
+        (term_of_expr e)
+  | Minilang.Ast.Int_lit _ | Minilang.Ast.Str_lit _ | Minilang.Ast.Null_lit
+  | Minilang.Ast.This | Minilang.Ast.Call _ | Minilang.Ast.Method_call _
+  | Minilang.Ast.New _
+  | Minilang.Ast.Unop (Minilang.Ast.Neg, _) ->
+      None
+
+(** Parse a condition written in the DSL's expression syntax. *)
+let parse_condition ?(line = 0) (text : string) : Smt.Formula.t =
+  match Minilang.Parser.expression text with
+  | exception Minilang.Parser.Error (m, _) ->
+      raise (Parse_error (Fmt.str "bad condition %S: %s" text m, line))
+  | exception Minilang.Lexer.Error (m, _) ->
+      raise (Parse_error (Fmt.str "bad condition %S: %s" text m, line))
+  | e -> (
+      match formula_of_expr e with
+      | Some f -> Smt.Formula.simplify f
+      | None ->
+          raise
+            (Parse_error
+               ( Fmt.str
+                   "condition %S is outside the predicate fragment (state \
+                    relations, null checks, integer bounds)"
+                   text,
+                 line )))
+
+(* ------------------------------------------------------------------ *)
+(* Block parsing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type partial = {
+  mutable p_id : string;
+  mutable p_because : string option;
+  mutable p_target : Rule.target_spec option;
+  mutable p_condition : Smt.Formula.t option;
+  mutable p_lock_scope : Rule.lock_scope option;
+  p_line : int;
+}
+
+let strip (s : string) : string = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let after prefix s = strip (String.sub s (String.length prefix) (String.length s - String.length prefix))
+
+(* split "callee in Qualified.method" *)
+let parse_call_target (rest : string) : Rule.target_spec =
+  match String.index_opt rest ' ' with
+  | None -> Rule.Call_to { callee = rest; in_method = None }
+  | Some i ->
+      let callee = String.sub rest 0 i in
+      let tail = strip (String.sub rest i (String.length rest - i)) in
+      if starts_with "in " tail then
+        Rule.Call_to { callee; in_method = Some (after "in " tail) }
+      else Rule.Call_to { callee; in_method = None }
+
+let parse_quoted ~line (s : string) : string =
+  let s = strip s in
+  if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    String.sub s 1 (String.length s - 2)
+  else raise (Parse_error (Fmt.str "expected a quoted string, got %S" s, line))
+
+let finalize (p : partial) : Rule.t =
+  let high_level = Option.value ~default:"(developer-authored rule)" p.p_because in
+  match (p.p_target, p.p_condition, p.p_lock_scope) with
+  | Some target, Some condition, None ->
+      Rule.make ~rule_id:p.p_id
+        ~description:
+          (Fmt.str "no execution may reach [%s] unless %s"
+             (Rule.target_spec_to_string target)
+             (Smt.Formula.to_string condition))
+        ~high_level ~origin:"developer-dsl"
+        (Rule.State_guard { target; condition })
+  | None, None, Some scope ->
+      Rule.make ~rule_id:p.p_id
+        ~description:(Rule.lock_scope_to_string scope)
+        ~high_level ~origin:"developer-dsl"
+        (Rule.Lock_discipline { scope })
+  | None, Some _, None ->
+      raise (Parse_error (Fmt.str "rule %s: 'require' without a 'when' target" p.p_id, p.p_line))
+  | Some _, None, None ->
+      raise (Parse_error (Fmt.str "rule %s: 'when' without a 'require' condition" p.p_id, p.p_line))
+  | _, _, Some _ ->
+      raise
+        (Parse_error
+           (Fmt.str "rule %s: 'forbid' cannot be combined with 'when'/'require'" p.p_id, p.p_line))
+  | None, None, None ->
+      raise (Parse_error (Fmt.str "rule %s: empty rule body" p.p_id, p.p_line))
+
+(** Parse a DSL document into rules. *)
+let parse (text : string) : Rule.t list =
+  let lines = String.split_on_char '\n' text in
+  let rules = ref [] in
+  let current : partial option ref = ref None in
+  let close () =
+    match !current with
+    | Some p ->
+        rules := finalize p :: !rules;
+        current := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = strip raw in
+      if s = "" || starts_with "#" s || starts_with "//" s then ()
+      else if starts_with "rule " s then begin
+        close ();
+        let rest = after "rule " s in
+        let id =
+          match String.index_opt rest ':' with
+          | Some j -> strip (String.sub rest 0 j)
+          | None -> raise (Parse_error ("expected ':' after rule name", line))
+        in
+        if id = "" then raise (Parse_error ("empty rule name", line));
+        current :=
+          Some
+            {
+              p_id = id;
+              p_because = None;
+              p_target = None;
+              p_condition = None;
+              p_lock_scope = None;
+              p_line = line;
+            }
+      end
+      else
+        match !current with
+        | None -> raise (Parse_error (Fmt.str "statement outside a rule block: %S" s, line))
+        | Some p ->
+            if starts_with "because " s then
+              p.p_because <- Some (parse_quoted ~line (after "because " s))
+            else if starts_with "when calling " s then
+              p.p_target <- Some (parse_call_target (after "when calling " s))
+            else if starts_with "when at " s then
+              p.p_target <- Some (Rule.Stmt_text (parse_quoted ~line (after "when at " s)))
+            else if starts_with "require " s then
+              p.p_condition <- Some (parse_condition ~line (after "require " s))
+            else if starts_with "forbid blocking under lock in " s then
+              p.p_lock_scope <-
+                Some (Rule.Lock_specific (after "forbid blocking under lock in " s))
+            else if s = "forbid blocking under lock" then
+              p.p_lock_scope <- Some Rule.Lock_blocking
+            else if s = "forbid all calls under lock" then
+              p.p_lock_scope <- Some Rule.Lock_all_calls
+            else raise (Parse_error (Fmt.str "unrecognized directive: %S" s, line)))
+    lines;
+  close ();
+  List.rev !rules
+
+(** Render a rule back into DSL syntax (parse/print round-trips). *)
+let print_rule (r : Rule.t) : string =
+  let header = Fmt.str "rule %s:" r.Rule.rule_id in
+  let because = Fmt.str "  because %S" r.Rule.high_level in
+  match r.Rule.body with
+  | Rule.State_guard { target; condition } ->
+      let when_line =
+        match target with
+        | Rule.Call_to { callee; in_method = None } -> Fmt.str "  when calling %s" callee
+        | Rule.Call_to { callee; in_method = Some m } ->
+            Fmt.str "  when calling %s in %s" callee m
+        | Rule.Stmt_text t -> Fmt.str "  when at %S" t
+      in
+      String.concat "\n"
+        [ header; because; when_line; "  require " ^ Smt.Formula.to_string condition ]
+  | Rule.Lock_discipline { scope } ->
+      let forbid_line =
+        match scope with
+        | Rule.Lock_specific m -> "  forbid blocking under lock in " ^ m
+        | Rule.Lock_blocking -> "  forbid blocking under lock"
+        | Rule.Lock_all_calls -> "  forbid all calls under lock"
+      in
+      String.concat "\n" [ header; because; forbid_line ]
+
+let print_rules (rs : Rule.t list) : string =
+  String.concat "\n\n" (List.map print_rule rs)

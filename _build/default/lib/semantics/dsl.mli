@@ -1,0 +1,33 @@
+(** The developer-facing rule language (§5, open question ii).
+
+    One rule per block:
+    {v
+      rule zk.ephemeral-closing:
+        because "ephemeral nodes must die with their session"
+        when calling createEphemeralNode
+        require Session != null && Session.closing == false
+
+      rule zk.serialize:
+        forbid blocking under lock
+    v}
+
+    Directives: [because "<text>"] (optional high-level semantics),
+    [when calling <callee> [in <Qualified.method>]] or
+    [when at "<statement text>"] (target), [require <expr>] (condition in
+    MiniJava expression syntax over canonical state paths),
+    [forbid blocking under lock [in <Qualified.method>]] and
+    [forbid all calls under lock] (lock rules). *)
+
+exception Parse_error of string * int  (** message, 1-based line *)
+
+(** Parse a condition written in the DSL's expression syntax.
+    @raise Parse_error when the text is outside the predicate fragment. *)
+val parse_condition : ?line:int -> string -> Smt.Formula.t
+
+(** Parse a DSL document into rules. *)
+val parse : string -> Rule.t list
+
+(** Render a rule in DSL syntax; [parse] of the output yields the rule. *)
+val print_rule : Rule.t -> string
+
+val print_rules : Rule.t list -> string

@@ -1,0 +1,127 @@
+(** Low-level semantic rules.
+
+    A low-level semantic (paper §3.1) is a safety contract
+    [<P> s <Q>] where [s] is a target statement identified from a past bug
+    fix and [P] a conjunction of implementation-local predicates over
+    program state.  The paper's running example:
+
+    {v <session.isClosing == false> createEphemeralNode <> v}
+
+    We support two rule families, which cover the paper's corpus:
+
+    - {!State_guard}: a checker formula must hold whenever control reaches
+      the target statement (asserted by concolic execution + SMT);
+    - {!Lock_discipline}: a statement class (blocking I/O) must not execute
+      while holding a monitor — the generalized form of the Figure 6 rules,
+      asserted statically and dynamically.
+
+    Rules carry their natural-language description and the high-level
+    semantics they protect, exactly like the two-phase output of the LLM
+    prompt (Listing 1). *)
+
+(** How the target statement [s] of a contract is located in a program. *)
+type target_spec =
+  | Call_to of { callee : string; in_method : string option }
+      (** any statement that calls [callee]; optionally restricted to one
+          enclosing method (qualified name) — [None] generalizes the rule
+          across the code base *)
+  | Stmt_text of string  (** canonical printed head text must match exactly *)
+
+(** Scope of a lock-discipline rule (Figure 6's generalization ladder). *)
+type lock_scope =
+  | Lock_specific of string
+      (** only the named method's synchronized blocks (the rule as first
+          learned: brittle) *)
+  | Lock_blocking
+      (** no *blocking* operation under any lock — the paper's recommended
+          generalization *)
+  | Lock_all_calls
+      (** no call of any kind under a lock — the naive broadening that
+          produces false positives *)
+
+type body =
+  | State_guard of {
+      target : target_spec;
+      condition : Smt.Formula.t;
+          (** checker formula over canonical state paths, e.g.
+              [Session != null && Session.closing == false] *)
+    }
+  | Lock_discipline of { scope : lock_scope }
+
+type t = {
+  rule_id : string;  (** stable identifier, e.g. ["ZK-1208.r1"] *)
+  description : string;  (** the low-level semantics in natural language *)
+  high_level : string;  (** the system-level property it protects *)
+  origin : string;  (** failure ticket the rule was learned from *)
+  body : body;
+}
+
+let make ~rule_id ~description ~high_level ~origin body =
+  { rule_id; description; high_level; origin; body }
+
+let is_state_guard r = match r.body with State_guard _ -> true | Lock_discipline _ -> false
+
+let is_lock_rule r = match r.body with Lock_discipline _ -> true | State_guard _ -> false
+
+let condition r =
+  match r.body with State_guard { condition; _ } -> Some condition | Lock_discipline _ -> None
+
+let target r =
+  match r.body with State_guard { target; _ } -> Some target | Lock_discipline _ -> None
+
+let target_spec_to_string = function
+  | Call_to { callee; in_method = None } -> Fmt.str "calls %s (any method)" callee
+  | Call_to { callee; in_method = Some m } -> Fmt.str "calls %s in %s" callee m
+  | Stmt_text t -> Fmt.str "statement %S" t
+
+let lock_scope_to_string = function
+  | Lock_specific m -> Fmt.str "blocking I/O under lock in %s" m
+  | Lock_blocking -> "no blocking I/O under any lock"
+  | Lock_all_calls -> "no calls of any kind under any lock (naive)"
+
+let to_string (r : t) =
+  match r.body with
+  | State_guard { target; condition } ->
+      Fmt.str "[%s] <%s> %s <>" r.rule_id
+        (Smt.Formula.to_string condition)
+        (target_spec_to_string target)
+  | Lock_discipline { scope } -> Fmt.str "[%s] %s" r.rule_id (lock_scope_to_string scope)
+
+let pp ppf r = Fmt.string ppf (to_string r)
+
+(** Generalize a rule: drop the method restriction of a [Call_to] target,
+    widen a specific lock rule to all blocking operations.  This is the
+    abstraction step of Figure 6 ("abstract rules to reflect system-level
+    behaviours").
+
+    Picking the abstraction level is the paper's central challenge (§2.2):
+    a target anchored at a *builtin* (e.g. [mapPut]) is too syntactic to
+    generalize — dropping the method scope would constrain every map
+    insertion in the system and drown developers in false positives — so
+    only rules anchored at project-defined callees are widened. *)
+let generalize (r : t) : t =
+  match r.body with
+  | State_guard { target = Call_to { callee; in_method = Some _ }; condition }
+    when not (Minilang.Builtins.is_builtin callee) ->
+      let target = Call_to { callee; in_method = None } in
+      {
+        r with
+        rule_id = r.rule_id ^ ".gen";
+        description =
+          Fmt.str "no execution may reach [%s] unless %s"
+            (target_spec_to_string target)
+            (Smt.Formula.to_string condition);
+        body = State_guard { target; condition };
+      }
+  | State_guard _ -> r
+  | Lock_discipline { scope = Lock_specific _ } ->
+      { r with rule_id = r.rule_id ^ ".gen"; body = Lock_discipline { scope = Lock_blocking } }
+  | Lock_discipline _ -> r
+
+(** The naive broadening of a lock rule (for the E5 false-positive
+    experiment). *)
+let broaden_naively (r : t) : t =
+  match r.body with
+  | Lock_discipline _ ->
+      { r with rule_id = r.rule_id ^ ".naive"; body = Lock_discipline { scope = Lock_all_calls } }
+  | State_guard _ -> r

@@ -1,0 +1,67 @@
+(** Low-level semantic rules: safety contracts [<P> s <>].
+
+    The paper's running example (§3.1):
+    {v <session.isClosing == false> createEphemeralNode <> v}
+
+    Two rule families cover the studied regressions: state-guard contracts
+    (a checker formula must hold whenever control reaches the target
+    statement) and lock-discipline rules (no blocking operation while
+    holding a monitor — the Figure 6 family). *)
+
+(** How the target statement [s] of a contract is located in a program. *)
+type target_spec =
+  | Call_to of { callee : string; in_method : string option }
+      (** any statement calling [callee]; optionally restricted to one
+          qualified method — [None] generalizes across the code base *)
+  | Stmt_text of string  (** canonical printed statement head must match *)
+
+(** Scope of a lock-discipline rule (Figure 6's generalization ladder). *)
+type lock_scope =
+  | Lock_specific of string  (** one method's synchronized blocks only *)
+  | Lock_blocking  (** no blocking operation under any lock *)
+  | Lock_all_calls  (** no call at all under a lock (naive; false positives) *)
+
+type body =
+  | State_guard of { target : target_spec; condition : Smt.Formula.t }
+  | Lock_discipline of { scope : lock_scope }
+
+type t = {
+  rule_id : string;  (** stable identifier, e.g. ["ZK-1208.g27"] *)
+  description : string;  (** the low-level semantics in natural language *)
+  high_level : string;  (** the system-level property it protects *)
+  origin : string;  (** failure ticket the rule was learned from *)
+  body : body;
+}
+
+val make :
+  rule_id:string ->
+  description:string ->
+  high_level:string ->
+  origin:string ->
+  body ->
+  t
+
+val is_state_guard : t -> bool
+
+val is_lock_rule : t -> bool
+
+val condition : t -> Smt.Formula.t option
+
+val target : t -> target_spec option
+
+val target_spec_to_string : target_spec -> string
+
+val lock_scope_to_string : lock_scope -> string
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Abstract a rule to reflect system-level behaviour (Figure 6): drop the
+    method restriction of a call target; widen a specific lock rule to all
+    blocking operations.  Idempotent. *)
+val generalize : t -> t
+
+(** The naive broadening of a lock rule (for the E5 false-positive
+    experiment); identity on state guards. *)
+val broaden_naively : t -> t

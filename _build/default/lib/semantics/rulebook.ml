@@ -1,0 +1,66 @@
+(** A rulebook is the accumulated set of enforced low-level semantics of a
+    system — the "executable contracts" the vision section of the paper
+    wants every fixed failure to leave behind.  The CI gate re-asserts the
+    whole book on every commit. *)
+
+type t = { system : string; mutable rules : Rule.t list }
+
+let create ~system = { system; rules = [] }
+
+let add (book : t) (r : Rule.t) : unit =
+  if not (List.exists (fun r' -> r'.Rule.rule_id = r.Rule.rule_id) book.rules) then
+    book.rules <- book.rules @ [ r ]
+
+let add_all (book : t) rs = List.iter (add book) rs
+
+let rules (book : t) = book.rules
+
+let size (book : t) = List.length book.rules
+
+let find (book : t) rule_id =
+  List.find_opt (fun r -> r.Rule.rule_id = rule_id) book.rules
+
+let state_guards (book : t) = List.filter Rule.is_state_guard book.rules
+
+let lock_rules (book : t) = List.filter Rule.is_lock_rule book.rules
+
+let of_rules ~system rs =
+  let book = create ~system in
+  add_all book rs;
+  book
+
+let to_string (book : t) =
+  Fmt.str "rulebook for %s (%d rules):\n%s" book.system (size book)
+    (String.concat "\n" (List.map (fun r -> "  " ^ Rule.to_string r) book.rules))
+
+(** Find the statements of [p] that a target spec denotes. *)
+let resolve_targets (p : Minilang.Ast.program) (spec : Rule.target_spec) :
+    (string * Minilang.Ast.stmt) list =
+  let open Minilang in
+  let methods = Ast.methods_of_program p in
+  match spec with
+  | Rule.Call_to { callee; in_method } ->
+      List.concat_map
+        (fun (cls, m) ->
+          let qname = Ast.qualified_name cls m in
+          if in_method <> None && in_method <> Some qname then []
+          else
+            let acc = ref [] in
+            Ast.iter_stmts
+              (fun st ->
+                if List.mem callee (Ast.callees_of_stmt st) then acc := (qname, st) :: !acc)
+              m.Ast.m_body;
+            List.rev !acc)
+        methods
+  | Rule.Stmt_text text ->
+      List.concat_map
+        (fun (cls, m) ->
+          let qname = Ast.qualified_name cls m in
+          let acc = ref [] in
+          Ast.iter_stmts
+            (fun st ->
+              if String.equal (Pretty.stmt_head_to_string st) text then
+                acc := (qname, st) :: !acc)
+            m.Ast.m_body;
+          List.rev !acc)
+        methods

@@ -1,0 +1,31 @@
+(** Rulebooks: the accumulated low-level semantics of a system — the
+    "executable contracts" the paper's vision leaves behind after every
+    fixed failure.  The CI gate re-asserts the whole book per commit. *)
+
+type t = { system : string; mutable rules : Rule.t list }
+
+val create : system:string -> t
+
+(** Add a rule; duplicates (by [rule_id]) are ignored. *)
+val add : t -> Rule.t -> unit
+
+val add_all : t -> Rule.t list -> unit
+
+val rules : t -> Rule.t list
+
+val size : t -> int
+
+val find : t -> string -> Rule.t option
+
+val state_guards : t -> Rule.t list
+
+val lock_rules : t -> Rule.t list
+
+val of_rules : system:string -> Rule.t list -> t
+
+val to_string : t -> string
+
+(** The statements of a program that a target spec denotes, with the
+    qualified name of each statement's enclosing method. *)
+val resolve_targets :
+  Minilang.Ast.program -> Rule.target_spec -> (string * Minilang.Ast.stmt) list

@@ -1,0 +1,234 @@
+(** Translation of MiniJava boolean expressions into checker formulas, and
+    the *normalization* that aligns rule variables with the names the
+    concolic engine reports (paper §3.2, last paragraph).
+
+    Normalization convention: object-valued roots are canonicalized to
+    their **class name** — a guard over a local [session : Session] and a
+    trace through a differently-named local [s : Session] both speak about
+    the path ["Session"], so formulas from both sides meet in the same
+    vocabulary.  Scalar locals are copy-propagated one level so that a
+    guard on a local that merely caches a field compares against the
+    field's path.  Observer methods (single [return <boolean expr>;])
+    are inlined so that [s.isClosing()] and a direct read of [s.closing]
+    produce the same atom. *)
+
+open Minilang
+
+type env = {
+  program : Ast.program;
+  cls : Ast.class_decl option;  (** enclosing class of the guard, for [this] *)
+  var_types : (string * Ast.typ) list;  (** declared types of locals/params *)
+  var_inits : (string * Ast.expr) list;  (** one-level copy propagation *)
+}
+
+(** Collect declared types and initialisers of all locals and params of a
+    method (flow-insensitive; first declaration wins). *)
+let env_of_method (program : Ast.program) (cls : Ast.class_decl option)
+    (m : Ast.method_decl) : env =
+  let types = ref m.Ast.m_params in
+  let inits = ref [] in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Decl (x, ty, init) ->
+          if not (List.mem_assoc x !types) then types := (x, ty) :: !types;
+          (match init with
+          | Some e when not (List.mem_assoc x !inits) -> inits := (x, e) :: !inits
+          | Some _ | None -> ())
+      | Ast.Assign _ | Ast.If _ | Ast.While _ | Ast.Return _ | Ast.Throw _
+      | Ast.Try _ | Ast.Sync _ | Ast.Expr _ | Ast.Assert _ | Ast.Break
+      | Ast.Continue ->
+          ())
+    m.Ast.m_body;
+  { program; cls; var_types = !types; var_inits = !inits }
+
+let class_name_of_typ (env : env) (ty : Ast.typ) : string option =
+  match ty with
+  | Ast.T_ref c when c <> "" && Ast.find_class env.program c <> None -> Some c
+  | _ -> None
+
+(* Canonical path of an expression, if it denotes state. *)
+let rec path_of (env : env) (e : Ast.expr) : string option =
+  match e.Ast.e with
+  | Ast.This -> (
+      match env.cls with Some c -> Some c.Ast.c_name | None -> Some "this")
+  | Ast.Var x -> (
+      match List.assoc_opt x env.var_types with
+      | Some ty -> (
+          match class_name_of_typ env ty with
+          | Some cname -> Some cname (* canonicalize object roots by class *)
+          | None -> (
+              (* scalar local: copy-propagate its initialiser if it is a path *)
+              match List.assoc_opt x env.var_inits with
+              | Some init -> ( match path_of env init with Some p -> Some p | None -> Some x)
+              | None -> Some x))
+      | None -> Some x)
+  | Ast.Field (o, f) -> (
+      (* class-canonical naming also for intermediate objects: [x.f] with
+         [x : C] is ["C.f"], matching the concolic engine's runtime-class
+         naming for receivers *)
+      match receiver_class env o with
+      | Some c -> Some (c.Ast.c_name ^ "." ^ f)
+      | None -> (
+          match path_of env o with Some p -> Some (p ^ "." ^ f) | None -> None))
+  | Ast.Method_call (o, m, []) -> (
+      (* observer inlining: resolve o's class, look at m's body *)
+      match receiver_class env o with
+      | Some cls -> (
+          match Ast.find_method_in_class cls m with
+          | Some md -> (
+              match md.Ast.m_body with
+              | [ { s = Ast.Return (Some ret); _ } ] ->
+                  (* substitute [this] by the receiver's path *)
+                  path_of { env with cls = Some cls } ret
+              | _ -> Option.map (fun p -> p ^ "." ^ m ^ "()") (path_of env o))
+          | None -> Option.map (fun p -> p ^ "." ^ m ^ "()") (path_of env o))
+      | None -> Option.map (fun p -> p ^ "." ^ m ^ "()") (path_of env o))
+  | Ast.Method_call _ | Ast.Call _ | Ast.New _ | Ast.Int_lit _ | Ast.Bool_lit _
+  | Ast.Str_lit _ | Ast.Null_lit | Ast.Binop _ | Ast.Unop _ ->
+      None
+
+and receiver_class (env : env) (o : Ast.expr) : Ast.class_decl option =
+  match o.Ast.e with
+  | Ast.This -> env.cls
+  | Ast.Var x -> (
+      match List.assoc_opt x env.var_types with
+      | Some (Ast.T_ref c) -> Ast.find_class env.program c
+      | Some _ -> None
+      | None -> (
+          (* maybe the variable is initialised from a typed expression *)
+          match List.assoc_opt x env.var_inits with
+          | Some init -> receiver_class env init
+          | None -> None))
+  | Ast.Field (o', f) -> (
+      match receiver_class env o' with
+      | Some c -> (
+          match
+            List.find_opt (fun (fd : Ast.field_decl) -> fd.Ast.f_name = f) c.Ast.c_fields
+          with
+          | Some fd -> (
+              match fd.Ast.f_typ with
+              | Ast.T_ref cname -> Ast.find_class env.program cname
+              | _ -> None)
+          | None -> None)
+      | None -> None)
+  | Ast.New (c, _) -> Ast.find_class env.program c
+  | Ast.Method_call _ | Ast.Call _ | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Str_lit _
+  | Ast.Null_lit | Ast.Binop _ | Ast.Unop _ ->
+      None
+
+(* Translate an expression in *term* position. *)
+let term_of (env : env) (e : Ast.expr) : Smt.Formula.term option =
+  match e.Ast.e with
+  | Ast.Int_lit n -> Some (Smt.Formula.tint n)
+  | Ast.Bool_lit b -> Some (Smt.Formula.tbool b)
+  | Ast.Str_lit s -> Some (Smt.Formula.tstr s)
+  | Ast.Null_lit -> Some Smt.Formula.tnull
+  | Ast.Var _ | Ast.This | Ast.Field _ | Ast.Method_call _ ->
+      Option.map Smt.Formula.tvar (path_of env e)
+  | Ast.Call _ | Ast.New _ | Ast.Binop _ | Ast.Unop _ -> None
+
+let rel_of_binop : Ast.binop -> Smt.Formula.rel option = function
+  | Ast.Eq -> Some Smt.Formula.Req
+  | Ast.Neq -> Some Smt.Formula.Rneq
+  | Ast.Lt -> Some Smt.Formula.Rlt
+  | Ast.Le -> Some Smt.Formula.Rle
+  | Ast.Gt -> Some Smt.Formula.Rgt
+  | Ast.Ge -> Some Smt.Formula.Rge
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or -> None
+
+(** Translate a boolean MiniJava expression to a checker formula.
+    Sub-expressions outside the supported predicate fragment become opaque
+    boolean variables named by their canonical path (when they have one),
+    so translation is total on guard conditions; [None] is returned only
+    when no reasonable reading exists. *)
+let rec formula_of (env : env) (e : Ast.expr) : Smt.Formula.t option =
+  match e.Ast.e with
+  | Ast.Bool_lit true -> Some Smt.Formula.True
+  | Ast.Bool_lit false -> Some Smt.Formula.False
+  | Ast.Unop (Ast.Not, a) -> Option.map (fun f -> Smt.Formula.Not f) (formula_of env a)
+  | Ast.Binop (Ast.And, a, b) -> (
+      match (formula_of env a, formula_of env b) with
+      | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+      | _ -> None)
+  | Ast.Binop (Ast.Or, a, b) -> (
+      match (formula_of env a, formula_of env b) with
+      | Some fa, Some fb -> Some (Smt.Formula.Or [ fa; fb ])
+      | _ -> None)
+  | Ast.Binop (op, a, b) -> (
+      match rel_of_binop op with
+      | Some rel -> (
+          match (term_of env a, term_of env b) with
+          | Some ta, Some tb -> Some (Smt.Formula.atom rel ta tb)
+          | _ -> None)
+      | None -> None)
+  | Ast.Var _ | Ast.This | Ast.Field _ -> (
+      match path_of env e with
+      | Some p -> Some (Smt.Formula.bvar p)
+      | None -> None)
+  | Ast.Method_call (o, m, []) -> (
+      (* observer inlining in boolean position *)
+      match receiver_class env o with
+      | Some cls -> (
+          match Ast.find_method_in_class cls m with
+          | Some md -> (
+              match md.Ast.m_body with
+              | [ { s = Ast.Return (Some ret); _ } ] -> (
+                  let inner_env =
+                    { env with cls = Some cls; var_types = md.Ast.m_params; var_inits = [] }
+                  in
+                  (* [this] inside the observer is the receiver; the
+                     receiver's canonical path is the class name, which is
+                     exactly what [path_of] yields for [this] there. *)
+                  match formula_of inner_env ret with
+                  | Some f -> Some f
+                  | None -> Option.map Smt.Formula.bvar (path_of env e))
+              | _ -> Option.map Smt.Formula.bvar (path_of env e))
+          | None -> Option.map Smt.Formula.bvar (path_of env e))
+      | None -> Option.map Smt.Formula.bvar (path_of env e))
+  | Ast.Method_call _ | Ast.Call _ -> (
+      (* opaque boolean call, e.g. mapContains(...): name it canonically *)
+      match opaque_name env e with Some p -> Some (Smt.Formula.bvar p) | None -> None)
+  | Ast.Int_lit _ | Ast.Str_lit _ | Ast.Null_lit | Ast.New _
+  | Ast.Unop (Ast.Neg, _) ->
+      None
+
+and opaque_name (env : env) (e : Ast.expr) : string option =
+  match e.Ast.e with
+  | Ast.Call (f, args) ->
+      let parts = List.map (opaque_arg env) args in
+      if List.for_all (fun p -> p <> None) parts then
+        Some (Fmt.str "%s(%s)" f (String.concat ", " (List.filter_map Fun.id parts)))
+      else None
+  | Ast.Method_call (o, m, args) -> (
+      match path_of env o with
+      | Some p ->
+          let parts = List.map (opaque_arg env) args in
+          if List.for_all (fun x -> x <> None) parts then
+            Some (Fmt.str "%s.%s(%s)" p m (String.concat ", " (List.filter_map Fun.id parts)))
+          else None
+      | None -> None)
+  | Ast.Var _ | Ast.This | Ast.Field _ | Ast.Int_lit _ | Ast.Bool_lit _
+  | Ast.Str_lit _ | Ast.Null_lit | Ast.New _ | Ast.Binop _ | Ast.Unop _ ->
+      None
+
+and opaque_arg (env : env) (e : Ast.expr) : string option =
+  match e.Ast.e with
+  | Ast.Int_lit n -> Some (string_of_int n)
+  | Ast.Bool_lit b -> Some (string_of_bool b)
+  | Ast.Str_lit s -> Some (Printf.sprintf "%S" s)
+  | Ast.Null_lit -> Some "null"
+  | Ast.Var _ | Ast.This | Ast.Field _ | Ast.Method_call _ -> path_of env e
+  | Ast.Call _ -> opaque_name env e
+  | Ast.New _ | Ast.Binop _ | Ast.Unop _ -> None
+
+(** Translate a *guard* into the safety condition of a contract:
+    for an early-exit guard [if (G) { throw/return; }] the safe condition
+    is [!G]; for a wrapper guard [if (G) { protected }] it is [G]. *)
+let guard_condition (env : env) ~(early_exit : bool) (g : Ast.expr) :
+    Smt.Formula.t option =
+  match formula_of env g with
+  | None -> None
+  | Some f ->
+      let f = if early_exit then Smt.Formula.Not f else f in
+      Some (Smt.Formula.simplify (Smt.Formula.nnf f))

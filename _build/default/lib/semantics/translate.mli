@@ -1,0 +1,46 @@
+(** Translation of MiniJava boolean expressions into checker formulas —
+    the paper's *normalization* between symbolic output and inferred
+    semantics (§3.2).
+
+    Conventions shared with the concolic engine:
+    - object roots are canonicalized to their class name;
+    - [x.f] with [x : C] is the path ["C.f"] (also through chains);
+    - observer methods (single [return <bool expr>;]) are inlined, so
+      [s.isClosing()] and a direct read of [s.closing] coincide;
+    - scalar locals are copy-propagated one level, so a guard on a local
+      that caches a field compares against the field's path. *)
+
+type env = {
+  program : Minilang.Ast.program;
+  cls : Minilang.Ast.class_decl option;  (** enclosing class, for [this] *)
+  var_types : (string * Minilang.Ast.typ) list;
+  var_inits : (string * Minilang.Ast.expr) list;
+}
+
+(** Environment of a method: declared types and first initialisers of its
+    parameters and locals (flow-insensitive). *)
+val env_of_method :
+  Minilang.Ast.program ->
+  Minilang.Ast.class_decl option ->
+  Minilang.Ast.method_decl ->
+  env
+
+(** Canonical state path of an expression, when it denotes state. *)
+val path_of : env -> Minilang.Ast.expr -> string option
+
+(** The static class of a receiver expression, when known. *)
+val receiver_class : env -> Minilang.Ast.expr -> Minilang.Ast.class_decl option
+
+(** Translate an expression in term position. *)
+val term_of : env -> Minilang.Ast.expr -> Smt.Formula.term option
+
+(** Translate a boolean expression to a checker formula; opaque boolean
+    sub-expressions become variables named by their canonical printed
+    form. *)
+val formula_of : env -> Minilang.Ast.expr -> Smt.Formula.t option
+
+(** The safety condition of a guard: for an early-exit guard
+    [if (G) { throw/return; }] it is [!G] (normalized); for a wrapper
+    guard it is [G]. *)
+val guard_condition :
+  env -> early_exit:bool -> Minilang.Ast.expr -> Smt.Formula.t option

@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Fmt List Option Printf String

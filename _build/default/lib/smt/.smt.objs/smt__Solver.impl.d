@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Formula List Option String Theory

@@ -1,0 +1,1 @@
+lib/smt/theory.ml: Array Formula Hashtbl List

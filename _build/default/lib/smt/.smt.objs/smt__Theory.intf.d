@@ -1,0 +1,1 @@
+lib/smt/theory.mli: Formula

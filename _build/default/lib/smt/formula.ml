@@ -1,0 +1,304 @@
+(** Quantifier-free formulas over implementation-local predicates.
+
+    This is the checker-formula language of the paper (§3.1): low-level
+    semantics restrict conditions to conjunctions/disjunctions of
+    predicates over concrete state — state relations ([v = c]), null-ness
+    ([s != null]), boolean observers ([s.closing == false]) and integer
+    bounds ([s.ttl > 0]).  Variables are dotted paths such as
+    ["session.closing"]; their types are implicit and enforced by the
+    theory layer ({!Theory}). *)
+
+type term =
+  | T_var of string  (** a state variable, e.g. ["s.ttl"] *)
+  | T_int of int
+  | T_bool of bool
+  | T_str of string
+  | T_null
+
+type rel = Req | Rneq | Rlt | Rle | Rgt | Rge
+
+type atom = { rel : rel; lhs : term; rhs : term }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t list
+  | Or of t list
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tvar x = T_var x
+
+let tint n = T_int n
+
+let tbool b = T_bool b
+
+let tstr s = T_str s
+
+let tnull = T_null
+
+let atom rel lhs rhs = Atom { rel; lhs; rhs }
+
+let eq a b = atom Req a b
+
+let neq a b = atom Rneq a b
+
+let lt a b = atom Rlt a b
+
+let le a b = atom Rle a b
+
+let gt a b = atom Rgt a b
+
+let ge a b = atom Rge a b
+
+(** Boolean state variable asserted true: [v == true]. *)
+let bvar x = eq (tvar x) (tbool true)
+
+let conj = function [] -> True | [ f ] -> f | fs -> And fs
+
+let disj = function [] -> False | [ f ] -> f | fs -> Or fs
+
+let negate f = Not f
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let term_compare (a : term) (b : term) : int = compare a b
+
+let term_equal a b = term_compare a b = 0
+
+let flip_rel = function
+  | Req -> Req
+  | Rneq -> Rneq
+  | Rlt -> Rgt
+  | Rle -> Rge
+  | Rgt -> Rlt
+  | Rge -> Rle
+
+(** Relation satisfied exactly when [rel] is not. *)
+let negate_rel = function
+  | Req -> Rneq
+  | Rneq -> Req
+  | Rlt -> Rge
+  | Rle -> Rgt
+  | Rgt -> Rle
+  | Rge -> Rlt
+
+(** Canonical form of an atom: symmetric relations get sorted operands;
+    [>] and [>=] are rewritten to [<] / [<=].  Canonicalisation makes atom
+    identity meaningful for the DPLL abstraction. *)
+let canon_atom (a : atom) : atom =
+  let a =
+    match a.rel with
+    | Rgt -> { rel = Rlt; lhs = a.rhs; rhs = a.lhs }
+    | Rge -> { rel = Rle; lhs = a.rhs; rhs = a.lhs }
+    | Req | Rneq | Rlt | Rle -> a
+  in
+  match a.rel with
+  | (Req | Rneq) when term_compare a.lhs a.rhs > 0 -> { a with lhs = a.rhs; rhs = a.lhs }
+  | Req | Rneq | Rlt | Rle | Rgt | Rge -> a
+
+let atom_equal a b = canon_atom a = canon_atom b
+
+(** All distinct canonical atoms of a formula, in first-occurrence order. *)
+let atoms (f : t) : atom list =
+  let acc = ref [] in
+  let add a =
+    let c = canon_atom a in
+    if not (List.exists (fun x -> x = c) !acc) then acc := c :: !acc
+  in
+  let rec go = function
+    | True | False -> ()
+    | Atom a -> add a
+    | Not f -> go f
+    | And fs | Or fs -> List.iter go fs
+  in
+  go f;
+  List.rev !acc
+
+(** Free state variables of a formula. *)
+let variables (f : t) : string list =
+  let acc = ref [] in
+  let add_term = function
+    | T_var x -> if not (List.mem x !acc) then acc := x :: !acc
+    | T_int _ | T_bool _ | T_str _ | T_null -> ()
+  in
+  List.iter
+    (fun a ->
+      add_term a.lhs;
+      add_term a.rhs)
+    (atoms f);
+  List.rev !acc
+
+let rec size = function
+  | True | False -> 1
+  | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun n f -> n + size f) 1 fs
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Concrete values for ground evaluation (used by tests to cross-check the
+    solver against brute-force enumeration). *)
+type value = V_int of int | V_bool of bool | V_str of string | V_null
+
+let value_of_term (env : (string * value) list) : term -> value option = function
+  | T_var x -> List.assoc_opt x env
+  | T_int n -> Some (V_int n)
+  | T_bool b -> Some (V_bool b)
+  | T_str s -> Some (V_str s)
+  | T_null -> Some V_null
+
+let eval_atom (env : (string * value) list) (a : atom) : bool option =
+  match (value_of_term env a.lhs, value_of_term env a.rhs) with
+  | Some l, Some r -> (
+      match a.rel with
+      | Req -> Some (l = r)
+      | Rneq -> Some (l <> r)
+      | Rlt | Rle | Rgt | Rge -> (
+          match (l, r) with
+          | V_int x, V_int y ->
+              Some
+                (match a.rel with
+                | Rlt -> x < y
+                | Rle -> x <= y
+                | Rgt -> x > y
+                | Rge -> x >= y
+                | Req | Rneq -> assert false)
+          | _ -> None))
+  | _ -> None
+
+(** Ground evaluation; [None] when a variable is unbound or an order atom
+    compares non-integers. *)
+let rec eval (env : (string * value) list) (f : t) : bool option =
+  match f with
+  | True -> Some true
+  | False -> Some false
+  | Atom a -> eval_atom env a
+  | Not f -> Option.map not (eval env f)
+  | And fs ->
+      List.fold_left
+        (fun acc f ->
+          match (acc, eval env f) with
+          | Some false, _ -> Some false
+          | _, Some false -> Some false
+          | Some true, Some true -> Some true
+          | _ -> None)
+        (Some true) fs
+  | Or fs ->
+      List.fold_left
+        (fun acc f ->
+          match (acc, eval env f) with
+          | Some true, _ -> Some true
+          | _, Some true -> Some true
+          | Some false, Some false -> Some false
+          | _ -> None)
+        (Some false) fs
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let term_to_string = function
+  | T_var x -> x
+  | T_int n -> string_of_int n
+  | T_bool true -> "true"
+  | T_bool false -> "false"
+  | T_str s -> Printf.sprintf "%S" s
+  | T_null -> "null"
+
+let rel_to_string = function
+  | Req -> "=="
+  | Rneq -> "!="
+  | Rlt -> "<"
+  | Rle -> "<="
+  | Rgt -> ">"
+  | Rge -> ">="
+
+let atom_to_string (a : atom) =
+  Fmt.str "%s %s %s" (term_to_string a.lhs) (rel_to_string a.rel) (term_to_string a.rhs)
+
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Atom a -> atom_to_string a
+  | Not f -> "!(" ^ to_string f ^ ")"
+  | And fs -> "(" ^ String.concat " && " (List.map to_string fs) ^ ")"
+  | Or fs -> "(" ^ String.concat " || " (List.map to_string fs) ^ ")"
+
+let pp ppf f = Fmt.string ppf (to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Normal forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Negation normal form: negations pushed onto atoms (then folded into the
+    atom's relation, so the result contains no [Not] at all). *)
+let rec nnf (f : t) : t =
+  match f with
+  | True | False | Atom _ -> f
+  | And fs -> And (List.map nnf fs)
+  | Or fs -> Or (List.map nnf fs)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom a -> Atom { a with rel = negate_rel a.rel }
+      | Not h -> nnf h
+      | And fs -> Or (List.map (fun f -> nnf (Not f)) fs)
+      | Or fs -> And (List.map (fun f -> nnf (Not f)) fs))
+
+(** Basic simplification: constant folding, flattening of nested
+    conjunctions/disjunctions, duplicate removal, and complementary-literal
+    detection within one level.  Semantics-preserving. *)
+let rec simplify (f : t) : t =
+  match f with
+  | True | False | Atom _ -> f
+  | Not g -> (
+      match simplify g with
+      | True -> False
+      | False -> True
+      | Atom a -> Atom { a with rel = negate_rel a.rel }
+      | Not h -> h
+      | g' -> Not g')
+  | And fs ->
+      let fs = List.map simplify fs in
+      let fs = List.concat_map (function And gs -> gs | g -> [ g ]) fs in
+      let fs = List.filter (fun g -> g <> True) fs in
+      if List.exists (fun g -> g = False) fs then False
+      else
+        let fs = dedup fs in
+        if has_complementary fs then False else conj fs
+  | Or fs ->
+      let fs = List.map simplify fs in
+      let fs = List.concat_map (function Or gs -> gs | g -> [ g ]) fs in
+      let fs = List.filter (fun g -> g <> False) fs in
+      if List.exists (fun g -> g = True) fs then True
+      else
+        let fs = dedup fs in
+        if has_complementary fs then True else disj fs
+
+and dedup fs =
+  let key = function Atom a -> Atom (canon_atom a) | g -> g in
+  let rec go seen = function
+    | [] -> []
+    | g :: rest ->
+        let k = key g in
+        if List.mem k seen then go seen rest else g :: go (k :: seen) rest
+  in
+  go [] fs
+
+and has_complementary fs =
+  let lits =
+    List.filter_map (function Atom a -> Some (canon_atom a) | _ -> None) fs
+  in
+  List.exists
+    (fun a -> List.exists (fun b -> b = canon_atom { a with rel = negate_rel a.rel }) lits)
+    lits

@@ -1,0 +1,126 @@
+(** Quantifier-free checker formulas over implementation-local predicates.
+
+    This is the condition language of low-level semantics (paper §3.1):
+    conjunctions/disjunctions of state relations ([v = c]), null-ness
+    ([s != null]), boolean observers ([s.closing == false]) and integer
+    bounds ([s.ttl > 0]).  Variables are dotted state paths such as
+    ["Session.closing"]. *)
+
+(** Terms: flat — a state variable or a constant. *)
+type term =
+  | T_var of string  (** a state variable, e.g. ["s.ttl"] *)
+  | T_int of int
+  | T_bool of bool
+  | T_str of string
+  | T_null
+
+(** Binary relations between terms. *)
+type rel = Req | Rneq | Rlt | Rle | Rgt | Rge
+
+type atom = { rel : rel; lhs : term; rhs : term }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t list
+  | Or of t list
+
+(** {1 Constructors} *)
+
+val tvar : string -> term
+
+val tint : int -> term
+
+val tbool : bool -> term
+
+val tstr : string -> term
+
+val tnull : term
+
+val atom : rel -> term -> term -> t
+
+val eq : term -> term -> t
+
+val neq : term -> term -> t
+
+val lt : term -> term -> t
+
+val le : term -> term -> t
+
+val gt : term -> term -> t
+
+val ge : term -> term -> t
+
+(** Boolean state variable asserted true: [bvar x] is [x == true]. *)
+val bvar : string -> t
+
+(** N-ary conjunction; [conj []] is [True], singletons are unwrapped. *)
+val conj : t list -> t
+
+(** N-ary disjunction; [disj []] is [False]. *)
+val disj : t list -> t
+
+val negate : t -> t
+
+(** {1 Structure} *)
+
+val term_compare : term -> term -> int
+
+val term_equal : term -> term -> bool
+
+(** The relation with swapped operands ([<] becomes [>], ...). *)
+val flip_rel : rel -> rel
+
+(** The relation satisfied exactly when the argument is not. *)
+val negate_rel : rel -> rel
+
+(** Canonical form: [>]/[>=] rewritten to [<]/[<=] by swapping; symmetric
+    relations get sorted operands.  Canonical atoms are the identity used
+    by the DPLL abstraction. *)
+val canon_atom : atom -> atom
+
+val atom_equal : atom -> atom -> bool
+
+(** All distinct canonical atoms, in first-occurrence order. *)
+val atoms : t -> atom list
+
+(** Free state variables, in first-occurrence order. *)
+val variables : t -> string list
+
+val size : t -> int
+
+(** {1 Ground evaluation} (used to cross-check the solver in tests) *)
+
+type value = V_int of int | V_bool of bool | V_str of string | V_null
+
+val value_of_term : (string * value) list -> term -> value option
+
+val eval_atom : (string * value) list -> atom -> bool option
+
+(** [None] when a variable is unbound or an order atom compares
+    non-integers. *)
+val eval : (string * value) list -> t -> bool option
+
+(** {1 Printing} *)
+
+val term_to_string : term -> string
+
+val rel_to_string : rel -> string
+
+val atom_to_string : atom -> string
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Normal forms} *)
+
+(** Negation normal form; the result contains no [Not] (negations are
+    folded into atom relations). *)
+val nnf : t -> t
+
+(** Semantics-preserving simplification: constant folding, flattening,
+    duplicate removal, complementary-literal detection. *)
+val simplify : t -> t

@@ -1,0 +1,128 @@
+(** Satisfiability and validity for checker formulas.
+
+    A small DPLL(T): the boolean structure is decided by backtracking over
+    the formula's canonical atoms with three-valued early evaluation, and
+    every partial assignment is checked against the theory
+    ({!Theory.consistent}) so that theory-inconsistent branches are pruned
+    immediately.  Complete for the supported fragment; formulas in this
+    project have at most a few dozen atoms.
+
+    The module also implements the paper's *complement check* (§3.2): a
+    trace with path condition [pc] **violates** a semantic with checker
+    formula [c] iff [pc /\ !c] is satisfiable — under-constrained
+    variables (the "missing checks") leave room for the complement, which
+    is exactly the behaviour the paper motivates with the missing
+    [s.ttl > 0] example. *)
+
+type verdict = Sat of (Formula.atom * bool) list | Unsat
+
+let verdict_is_sat = function Sat _ -> true | Unsat -> false
+
+(* three-valued evaluation of a formula under a partial atom assignment *)
+let rec eval3 (assign : (Formula.atom * bool) list) (f : Formula.t) : bool option =
+  match f with
+  | Formula.True -> Some true
+  | Formula.False -> Some false
+  | Formula.Atom a -> List.assoc_opt (Formula.canon_atom a) assign
+  | Formula.Not g -> Option.map not (eval3 assign g)
+  | Formula.And fs ->
+      let rec go unknown = function
+        | [] -> if unknown then None else Some true
+        | g :: rest -> (
+            match eval3 assign g with
+            | Some false -> Some false
+            | Some true -> go unknown rest
+            | None -> go true rest)
+      in
+      go false fs
+  | Formula.Or fs ->
+      let rec go unknown = function
+        | [] -> if unknown then None else Some false
+        | g :: rest -> (
+            match eval3 assign g with
+            | Some true -> Some true
+            | Some false -> go unknown rest
+            | None -> go true rest)
+      in
+      go false fs
+
+let lits_of_assign (assign : (Formula.atom * bool) list) : Theory.lit list =
+  List.map (fun (a, sign) -> Theory.lit sign a) assign
+
+(** Decide satisfiability.  On success the model is a sign assignment to
+    the formula's canonical atoms that satisfies both the boolean
+    structure and the theory. *)
+let solve (f : Formula.t) : verdict =
+  let f = Formula.simplify f in
+  match f with
+  | Formula.True -> Sat []
+  | Formula.False -> Unsat
+  | _ ->
+      let atoms = Formula.atoms f in
+      let rec search assign remaining =
+        if not (Theory.consistent (lits_of_assign assign)) then None
+        else
+          match eval3 assign f with
+          | Some false -> None
+          | Some true -> Some assign
+          | None -> (
+              match remaining with
+              | [] -> None (* unreachable: all atoms assigned means no None *)
+              | a :: rest -> (
+                  match search ((a, true) :: assign) rest with
+                  | Some model -> Some model
+                  | None -> search ((a, false) :: assign) rest))
+      in
+      (match search [] atoms with Some model -> Sat model | None -> Unsat)
+
+let is_sat f = verdict_is_sat (solve f)
+
+let is_unsat f = not (is_sat f)
+
+(** [is_valid f] iff [!f] has no model. *)
+let is_valid f = is_unsat (Formula.Not f)
+
+(** [entails pc c]: every state satisfying [pc] satisfies [c]. *)
+let entails pc c = is_unsat (Formula.And [ pc; Formula.Not c ])
+
+(** [equivalent a b] iff they have the same models. *)
+let equivalent a b = entails a b && entails b a
+
+(* ------------------------------------------------------------------ *)
+(* The paper's trace checks                                            *)
+(* ------------------------------------------------------------------ *)
+
+type trace_check =
+  | Verified  (** the path condition implies the checker formula *)
+  | Violation of (Formula.atom * bool) list
+      (** satisfiable overlap with the complement; the model is the
+          counterexample the developer sees in the report *)
+
+(** Complement check (the paper's method): the trace's [pc] violates
+    checker formula [c] iff [pc /\ !c] is satisfiable.  Missing conditions
+    in [pc] are unconstrained atoms, which is precisely what lets the
+    complement be satisfied ("missing checks treated as true"). *)
+let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
+  match solve (Formula.And [ pc; Formula.Not checker ]) with
+  | Unsat -> Verified
+  | Sat model -> Violation model
+
+(** The naive *direct* check used as an ablation (experiment E8): flag a
+    trace only if its path condition outright contradicts the checker
+    formula.  Traces that merely *miss* a required check satisfy
+    [sat (pc /\ c)] and slip through — the false-negative mode the paper
+    argues against. *)
+let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
+  match solve (Formula.And [ pc; checker ]) with
+  | Unsat -> Violation []
+  | Sat _ -> Verified
+
+let model_to_string (model : (Formula.atom * bool) list) : string =
+  model
+  |> List.map (fun (a, sign) ->
+         if sign then Formula.atom_to_string a
+         else Formula.atom_to_string { a with Formula.rel = Formula.negate_rel a.Formula.rel })
+  |> String.concat " && "
+  |> function
+  | "" -> "(trivial)"
+  | s -> s

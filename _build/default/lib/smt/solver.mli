@@ -1,0 +1,46 @@
+(** Satisfiability, validity, and the paper's trace checks.
+
+    A small DPLL(T): boolean backtracking over canonical atoms with
+    three-valued early evaluation, pruned by the theory solver on every
+    partial assignment.  Complete for the checker-formula fragment. *)
+
+type verdict = Sat of (Formula.atom * bool) list | Unsat
+
+val verdict_is_sat : verdict -> bool
+
+(** Decide satisfiability.  A [Sat] model assigns a sign to each canonical
+    atom of the (simplified) formula. *)
+val solve : Formula.t -> verdict
+
+val is_sat : Formula.t -> bool
+
+val is_unsat : Formula.t -> bool
+
+val is_valid : Formula.t -> bool
+
+(** [entails pc c]: every state satisfying [pc] satisfies [c]. *)
+val entails : Formula.t -> Formula.t -> bool
+
+val equivalent : Formula.t -> Formula.t -> bool
+
+(** {1 Trace checks (paper §3.2)} *)
+
+type trace_check =
+  | Verified  (** the path condition implies the checker formula *)
+  | Violation of (Formula.atom * bool) list
+      (** a state admitted by the path that violates the semantics *)
+
+(** The complement check: a trace with path condition [pc] violates the
+    semantic with checker formula [checker] iff [pc /\ !checker] is
+    satisfiable.  Under-constrained variables ("missing checks") leave
+    room for the complement, which is exactly how the paper catches the
+    missing [s.ttl > 0] example. *)
+val check_trace : pc:Formula.t -> checker:Formula.t -> trace_check
+
+(** The naive direct check (ablation E8): flags a trace only when its path
+    condition outright contradicts the checker formula; traces that merely
+    miss a check slip through. *)
+val check_trace_direct : pc:Formula.t -> checker:Formula.t -> trace_check
+
+(** Render a model as a human-readable conjunction. *)
+val model_to_string : (Formula.atom * bool) list -> string

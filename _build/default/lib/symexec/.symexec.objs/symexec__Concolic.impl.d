@@ -1,0 +1,1 @@
+lib/symexec/concolic.ml: Ast Builtins Fmt Hashtbl Interp List Loc Minilang Smt String Sym Value

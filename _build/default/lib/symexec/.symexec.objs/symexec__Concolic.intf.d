@@ -1,0 +1,1 @@
+lib/symexec/concolic.mli: Minilang Smt Sym

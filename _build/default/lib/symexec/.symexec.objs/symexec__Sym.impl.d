@@ -1,0 +1,1 @@
+lib/symexec/sym.ml: List Minilang Printf Smt String

@@ -1,0 +1,763 @@
+(** Concolic execution engine over MiniJava (the WeBridge substitute).
+
+    Execution is driven by concrete inputs (existing tests, per §3.2 of the
+    paper); alongside each concrete value the engine tracks a symbolic
+    shadow ({!Sym}).  At every branch it records the *reason* for the
+    outcome — the conjunction of literals over state paths that the
+    evaluated (short-circuited) part of the guard established — and
+    accumulates these facts into the path condition.  Following the
+    paper's pruning strategy, only facts that mention a variable relevant
+    to the semantic under check are kept (the full, unpruned condition is
+    retained for the ablation experiment).
+
+    When control reaches a *target statement* of the semantic, the engine
+    snapshots the current path condition: that snapshot is what the SMT
+    complement check ({!Smt.Solver.check_trace}) judges.
+
+    Shadow-naming rules (the engine side of normalization):
+    - a field read [o.f] has shadow [root(o) ^ "." ^ f], where [root(o)]
+      is [o]'s own shadow path if any, else the runtime class of [o];
+    - a local declared [var x: C = ...] whose initialiser has no shadow is
+      given the fresh root [C] (class-canonical naming);
+    - scalar constants shadow as themselves; arithmetic results are
+      opaque (their guards contribute no facts). *)
+
+open Minilang
+
+type tagged = { v : Value.t; sym : Sym.t option }
+
+let untagged v = { v; sym = None }
+
+type hit = {
+  h_target_sid : int;
+  h_method : string;  (** qualified method containing the target *)
+  h_entry : string;  (** test / entry function driving this execution *)
+  h_pc : Smt.Formula.t list;  (** pruned path condition (conjunction) *)
+  h_full_pc : Smt.Formula.t list;  (** unpruned path condition *)
+  h_decisions : (int * bool) list;
+      (** first-occurrence branch decisions of the enclosing frame *)
+  h_locks_held : int;
+}
+
+type blocking_event = {
+  be_sid : int;
+  be_op : string;
+  be_locks : int;  (** number of monitors held *)
+  be_method : string;
+  be_entry : string;
+}
+
+type config = {
+  targets : int list;
+  relevant_roots : string list;
+  prune : bool;
+  fuel : int;
+  max_call_depth : int;
+}
+
+let default_config =
+  { targets = []; relevant_roots = []; prune = true; fuel = 200_000; max_call_depth = 400 }
+
+type frame = {
+  vars : (string, tagged) Hashtbl.t;
+  self : tagged;
+  qname : string;
+  mutable decisions : (int * bool) list;  (** reversed *)
+  mutable f_pc : Smt.Formula.t list;  (** pruned facts of this frame, newest first *)
+  mutable f_full_pc : Smt.Formula.t list;
+}
+
+type state = {
+  program : Ast.program;
+  heap : Value.heap;
+  mutable fuel_left : int;
+  mutable locks : int list;
+  mutable depth : int;
+  mutable stack : frame list;  (** live call stack, innermost first *)
+  mutable hits : hit list;
+  mutable blocking : blocking_event list;
+  mutable branches_total : int;
+  mutable branches_recorded : int;
+  mutable entry : string;
+  config : config;
+}
+
+(* The path condition at a program point is the concatenation of the facts
+   of all *live* frames, outermost first: exactly the conditions along the
+   execution-tree path from the entry function to the current statement.
+   Facts established by calls that already returned are not part of any
+   path to the target and must not leak into later checks. *)
+let stack_pc (st : state) : Smt.Formula.t list =
+  List.concat_map (fun f -> List.rev f.f_pc) (List.rev st.stack)
+
+let stack_full_pc (st : state) : Smt.Formula.t list =
+  List.concat_map (fun f -> List.rev f.f_full_pc) (List.rev st.stack)
+
+let create ?(config = default_config) (program : Ast.program) : state =
+  {
+    program;
+    heap = Value.heap_create ();
+    fuel_left = config.fuel;
+    locks = [];
+    depth = 0;
+    stack = [];
+    hits = [];
+    blocking = [];
+    branches_total = 0;
+    branches_recorded = 0;
+    entry = "<none>";
+    config;
+  }
+
+let tick st =
+  st.fuel_left <- st.fuel_left - 1;
+  if st.fuel_left <= 0 then raise Interp.Out_of_fuel
+
+let runtime_error loc fmt =
+  Fmt.kstr (fun m -> raise (Interp.Runtime_error (m, loc))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Shadow helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let class_of_ref (st : state) (v : Value.t) : string option =
+  match v with
+  | Value.V_ref addr -> (
+      match Value.heap_get st.heap addr with
+      | Some (Value.C_obj o) -> Some o.Value.o_class
+      | Some _ | None -> None)
+  | Value.V_int _ | Value.V_bool _ | Value.V_str _ | Value.V_null -> None
+
+(* Root path for a receiver.  Objects are named by their runtime class
+   (class-canonical naming, matching {!Semantics.Translate}); the shadow
+   path is only used when no class is available. *)
+let root_of (st : state) (t : tagged) : string option =
+  match class_of_ref st t.v with
+  | Some c -> Some c
+  | None -> ( match t.sym with Some (Sym.S_var p) -> Some p | Some _ | None -> None)
+
+(* term for one side of a comparison: shadow if present, else the concrete
+   scalar value *)
+let term_of (t : tagged) : Smt.Formula.term option =
+  match t.sym with
+  | Some s -> Some (Sym.to_term s)
+  | None -> (
+      match t.v with
+      | Value.V_int n -> Some (Smt.Formula.tint n)
+      | Value.V_bool b -> Some (Smt.Formula.tbool b)
+      | Value.V_str s -> Some (Smt.Formula.tstr s)
+      | Value.V_null -> Some Smt.Formula.tnull
+      | Value.V_ref _ -> None)
+
+let term_has_var = function Smt.Formula.T_var _ -> true | _ -> false
+
+(* a signed atom fact, if expressible and non-trivial *)
+let atom_fact (rel : Smt.Formula.rel) (a : tagged) (b : tagged) (holds : bool) :
+    Smt.Formula.t option =
+  match (term_of a, term_of b) with
+  | Some ta, Some tb when term_has_var ta || term_has_var tb ->
+      let rel = if holds then rel else Smt.Formula.negate_rel rel in
+      Some (Smt.Formula.atom rel ta tb)
+  | _ -> None
+
+let combine (a : Smt.Formula.t option) (b : Smt.Formula.t option) :
+    Smt.Formula.t option =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+
+(* facts are conjunctions of literals; keep the conjuncts that mention a
+   relevant root *)
+let rec filter_relevant (roots : string list) (f : Smt.Formula.t) :
+    Smt.Formula.t option =
+  match f with
+  | Smt.Formula.And fs ->
+      let kept = List.filter_map (filter_relevant roots) fs in
+      if kept = [] then None else Some (Smt.Formula.conj kept)
+  | Smt.Formula.Atom a ->
+      let mentions t =
+        match t with
+        | Smt.Formula.T_var p -> List.mem (Sym.root_of_path p) roots
+        | _ -> false
+      in
+      if mentions a.Smt.Formula.lhs || mentions a.Smt.Formula.rhs then Some f else None
+  | Smt.Formula.Not g -> (
+      match filter_relevant roots g with Some g' -> Some (Smt.Formula.Not g') | None -> None)
+  | Smt.Formula.Or _ | Smt.Formula.True | Smt.Formula.False -> None
+
+let record_fact (st : state) (frame : frame) (fact : Smt.Formula.t option) : unit =
+  match fact with
+  | None -> ()
+  | Some f ->
+      frame.f_full_pc <- f :: frame.f_full_pc;
+      let keep =
+        if st.config.prune then filter_relevant st.config.relevant_roots f else Some f
+      in
+      (match keep with
+      | Some f' ->
+          frame.f_pc <- f' :: frame.f_pc;
+          st.branches_recorded <- st.branches_recorded + 1
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Builtins (concrete semantics shared with Interp, shadows dropped)    *)
+(* ------------------------------------------------------------------ *)
+
+let as_int loc = function
+  | Value.V_int n -> n
+  | v -> runtime_error loc "expected int, got %s" (Value.type_name v)
+
+let as_str loc = function
+  | Value.V_str s -> s
+  | v -> runtime_error loc "expected str, got %s" (Value.type_name v)
+
+let as_map st loc = function
+  | Value.V_ref addr -> (
+      match Value.heap_get st.heap addr with
+      | Some (Value.C_map m) -> m
+      | _ -> runtime_error loc "expected map reference")
+  | Value.V_null -> runtime_error loc "null map dereference"
+  | v -> runtime_error loc "expected map, got %s" (Value.type_name v)
+
+let as_list st loc = function
+  | Value.V_ref addr -> (
+      match Value.heap_get st.heap addr with
+      | Some (Value.C_list l) -> l
+      | _ -> runtime_error loc "expected list reference")
+  | Value.V_null -> runtime_error loc "null list dereference"
+  | v -> runtime_error loc "expected list, got %s" (Value.type_name v)
+
+let call_builtin (st : state) (frame : frame) ~sid ~loc name (args : tagged list) :
+    tagged =
+  let argv = List.map (fun t -> t.v) args in
+  let blocking op =
+    st.blocking <-
+      {
+        be_sid = sid;
+        be_op = op;
+        be_locks = List.length st.locks;
+        be_method = frame.qname;
+        be_entry = st.entry;
+      }
+      :: st.blocking
+  in
+  let ret v = untagged v in
+  match (name, argv) with
+  | "mapNew", [] -> ret (Value.V_ref (Value.heap_alloc st.heap (Value.C_map (ref []))))
+  | "mapGet", [ m; k ] -> (
+      match Value.map_get (as_map st loc m) k with
+      | Some v -> ret v
+      | None -> ret Value.V_null)
+  | "mapPut", [ m; k; v ] ->
+      Value.map_put (as_map st loc m) k v;
+      ret Value.V_null
+  | "mapRemove", [ m; k ] ->
+      Value.map_remove (as_map st loc m) k;
+      ret Value.V_null
+  | "mapContains", [ m; k ] -> ret (Value.V_bool (Value.map_contains (as_map st loc m) k))
+  | "mapSize", [ m ] -> ret (Value.V_int (List.length !(as_map st loc m)))
+  | "mapKeys", [ m ] ->
+      let keys = List.map fst !(as_map st loc m) in
+      ret (Value.V_ref (Value.heap_alloc st.heap (Value.C_list (ref keys))))
+  | "listNew", [] -> ret (Value.V_ref (Value.heap_alloc st.heap (Value.C_list (ref []))))
+  | "listAdd", [ l; v ] ->
+      let cell = as_list st loc l in
+      cell := !cell @ [ v ];
+      ret Value.V_null
+  | "listGet", [ l; i ] -> (
+      let cell = as_list st loc l in
+      let i = as_int loc i in
+      match List.nth_opt !cell i with
+      | Some v -> ret v
+      | None -> runtime_error loc "list index %d out of bounds" i)
+  | "listSet", [ l; i; v ] ->
+      let cell = as_list st loc l in
+      let i = as_int loc i in
+      if i < 0 || i >= List.length !cell then runtime_error loc "index out of bounds";
+      cell := List.mapi (fun j x -> if j = i then v else x) !cell;
+      ret Value.V_null
+  | "listSize", [ l ] -> ret (Value.V_int (List.length !(as_list st loc l)))
+  | "listContains", [ l; v ] ->
+      ret (Value.V_bool (List.exists (Value.equal v) !(as_list st loc l)))
+  | "listRemoveAt", [ l; i ] ->
+      let cell = as_list st loc l in
+      let i = as_int loc i in
+      cell := List.filteri (fun j _ -> j <> i) !cell;
+      ret Value.V_null
+  | "toStr", [ v ] -> ret (Value.V_str (Value.to_string ~heap:st.heap v))
+  | "strLen", [ s ] -> ret (Value.V_int (String.length (as_str loc s)))
+  | "concat", [ a; b ] -> ret (Value.V_str (as_str loc a ^ as_str loc b))
+  | "startsWith", [ s; p ] ->
+      let s = as_str loc s and p = as_str loc p in
+      ret
+        (Value.V_bool
+           (String.length p <= String.length s && String.sub s 0 (String.length p) = p))
+  | "abs", [ n ] -> ret (Value.V_int (abs (as_int loc n)))
+  | "min", [ a; b ] -> ret (Value.V_int (min (as_int loc a) (as_int loc b)))
+  | "max", [ a; b ] -> ret (Value.V_int (max (as_int loc a) (as_int loc b)))
+  | "now", [] -> ret (Value.V_int (st.config.fuel - st.fuel_left))
+  | "print", [ _ ] | "log", [ _ ] -> ret Value.V_null
+  | "fail", [ v ] -> raise (Interp.Mini_throw v)
+  | "writeRecord", [ _ ] ->
+      blocking "writeRecord";
+      ret Value.V_null
+  | "readRecord", [ v ] ->
+      blocking "readRecord";
+      ret v
+  | "networkSend", [ _; _ ] ->
+      blocking "networkSend";
+      ret Value.V_null
+  | "networkRecv", [ v ] ->
+      blocking "networkRecv";
+      ret v
+  | "fsync", [ _ ] ->
+      blocking "fsync";
+      ret Value.V_null
+  | "rpcCall", [ _; v ] ->
+      blocking "rpcCall";
+      ret v
+  | "sleepMs", [ _ ] ->
+      blocking "sleepMs";
+      ret Value.V_null
+  | _ -> runtime_error loc "builtin %s: bad arity (%d args)" name (List.length argv)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation with shadows                                  *)
+(* ------------------------------------------------------------------ *)
+
+type flow = F_normal | F_return of tagged | F_break | F_continue
+
+let rec eval (st : state) (frame : frame) (e : Ast.expr) : tagged =
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Int_lit n -> { v = Value.V_int n; sym = Some (Sym.S_int n) }
+  | Ast.Bool_lit b -> { v = Value.V_bool b; sym = Some (Sym.S_bool b) }
+  | Ast.Str_lit s -> { v = Value.V_str s; sym = Some (Sym.S_str s) }
+  | Ast.Null_lit -> { v = Value.V_null; sym = Some Sym.S_null }
+  | Ast.This -> frame.self
+  | Ast.Var x -> (
+      match Hashtbl.find_opt frame.vars x with
+      | Some t -> t
+      | None -> runtime_error loc "unbound variable %s" x)
+  | Ast.Field (o, f) -> (
+      let ot = eval st frame o in
+      match ot.v with
+      | Value.V_ref addr -> (
+          match Value.heap_get st.heap addr with
+          | Some (Value.C_obj obj) -> (
+              match Value.obj_get obj f with
+              | Some v ->
+                  let sym =
+                    match root_of st ot with
+                    | Some root -> Some (Sym.S_var (root ^ "." ^ f))
+                    | None -> None
+                  in
+                  { v; sym }
+              | None -> runtime_error loc "object %s has no field %s" obj.Value.o_class f)
+          | Some _ -> runtime_error loc "field access %s on non-object" f
+          | None -> runtime_error loc "dangling reference")
+      | Value.V_null -> runtime_error loc "null dereference reading field %s" f
+      | v -> runtime_error loc "field access %s on %s" f (Value.type_name v))
+  | Ast.Binop _ | Ast.Unop _ ->
+      (* boolean-typed expressions get facts via eval_bool; in value
+         position we still want correct concrete semantics *)
+      let v, _fact, sym = eval_complex st frame e in
+      { v; sym }
+  | Ast.Call (name, args) ->
+      let argt = List.map (eval st frame) args in
+      if Builtins.is_builtin name then call_builtin st frame ~sid:(-1) ~loc name argt
+      else (
+        match Ast.find_func st.program name with
+        | Some f -> invoke st ~qname:name f (untagged Value.V_null) argt loc
+        | None -> runtime_error loc "unknown function %s" name)
+  | Ast.Method_call (o, m, args) -> (
+      let ot = eval st frame o in
+      let argt = List.map (eval st frame) args in
+      match ot.v with
+      | Value.V_ref addr -> (
+          match Value.heap_get st.heap addr with
+          | Some (Value.C_obj obj) -> (
+              match Ast.find_class st.program obj.Value.o_class with
+              | None -> runtime_error loc "object of unknown class %s" obj.Value.o_class
+              | Some cls -> (
+                  match Ast.find_method_in_class cls m with
+                  | Some md -> invoke st ~qname:(cls.Ast.c_name ^ "." ^ m) md ot argt loc
+                  | None -> runtime_error loc "class %s has no method %s" cls.Ast.c_name m))
+          | Some _ -> runtime_error loc "method call %s on non-object" m
+          | None -> runtime_error loc "dangling reference")
+      | Value.V_null -> runtime_error loc "null dereference calling method %s" m
+      | v -> runtime_error loc "method call %s on %s" m (Value.type_name v))
+  | Ast.New (cls_name, args) -> (
+      match Ast.find_class st.program cls_name with
+      | None -> runtime_error loc "unknown class %s" cls_name
+      | Some cls ->
+          let obj = Value.new_obj ~cls:cls_name in
+          let addr = Value.heap_alloc st.heap (Value.C_obj obj) in
+          let self = untagged (Value.V_ref addr) in
+          List.iter
+            (fun (fd : Ast.field_decl) ->
+              let v =
+                match fd.Ast.f_init with
+                | Some e -> (eval st frame e).v
+                | None -> (
+                    match fd.Ast.f_typ with
+                    | Ast.T_int -> Value.V_int 0
+                    | Ast.T_bool -> Value.V_bool false
+                    | Ast.T_str -> Value.V_str ""
+                    | Ast.T_map -> Value.V_ref (Value.heap_alloc st.heap (Value.C_map (ref [])))
+                    | Ast.T_list ->
+                        Value.V_ref (Value.heap_alloc st.heap (Value.C_list (ref [])))
+                    | Ast.T_ref _ | Ast.T_void | Ast.T_any -> Value.V_null)
+              in
+              Value.obj_set obj fd.Ast.f_name v)
+            cls.Ast.c_fields;
+          let argt = List.map (eval st frame) args in
+          (match Ast.find_method_in_class cls "init" with
+          | Some md -> ignore (invoke st ~qname:(cls_name ^ ".init") md self argt loc)
+          | None ->
+              if argt <> [] then
+                runtime_error loc "class %s has no init method but 'new' got args" cls_name);
+          self)
+
+(* Evaluate a boolean expression: concrete result plus the *fact* (signed
+   conjunction of literals) the evaluation established.  Also returns the
+   shadow for value position. *)
+and eval_complex (st : state) (frame : frame) (e : Ast.expr) :
+    Value.t * Smt.Formula.t option * Sym.t option =
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Binop (Ast.And, a, b) -> (
+      let va, fa, _ = eval_complex st frame a in
+      match va with
+      | Value.V_bool false -> (Value.V_bool false, fa, None)
+      | Value.V_bool true ->
+          let vb, fb, _ = eval_complex st frame b in
+          (match vb with
+          | Value.V_bool _ -> (vb, combine fa fb, None)
+          | v -> runtime_error loc "'&&' applied to %s" (Value.type_name v))
+      | v -> runtime_error loc "'&&' applied to %s" (Value.type_name v))
+  | Ast.Binop (Ast.Or, a, b) -> (
+      let va, fa, _ = eval_complex st frame a in
+      match va with
+      | Value.V_bool true -> (Value.V_bool true, fa, None)
+      | Value.V_bool false ->
+          let vb, fb, _ = eval_complex st frame b in
+          (match vb with
+          | Value.V_bool _ -> (vb, combine fa fb, None)
+          | v -> runtime_error loc "'||' applied to %s" (Value.type_name v))
+      | v -> runtime_error loc "'||' applied to %s" (Value.type_name v))
+  | Ast.Unop (Ast.Not, a) -> (
+      let va, fa, _ = eval_complex st frame a in
+      match va with
+      | Value.V_bool b -> (Value.V_bool (not b), fa, None)
+      | v -> runtime_error loc "'!' applied to %s" (Value.type_name v))
+  | Ast.Binop (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b)
+    -> (
+      let ta = eval st frame a in
+      let tb = eval st frame b in
+      let concrete =
+        match op with
+        | Ast.Eq -> Some (Value.equal ta.v tb.v)
+        | Ast.Neq -> Some (not (Value.equal ta.v tb.v))
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+            match (ta.v, tb.v) with
+            | Value.V_int x, Value.V_int y ->
+                Some
+                  (match op with
+                  | Ast.Lt -> x < y
+                  | Ast.Le -> x <= y
+                  | Ast.Gt -> x > y
+                  | Ast.Ge -> x >= y
+                  | _ -> assert false)
+            | Value.V_str x, Value.V_str y when op = Ast.Lt -> Some (x < y)
+            | Value.V_str x, Value.V_str y when op = Ast.Gt -> Some (x > y)
+            | _ -> None)
+        | _ -> None
+      in
+      match concrete with
+      | None ->
+          runtime_error loc "'%s' applied to %s and %s" (Ast.binop_to_string op)
+            (Value.type_name ta.v) (Value.type_name tb.v)
+      | Some holds ->
+          let rel =
+            match op with
+            | Ast.Eq -> Smt.Formula.Req
+            | Ast.Neq -> Smt.Formula.Rneq
+            | Ast.Lt -> Smt.Formula.Rlt
+            | Ast.Le -> Smt.Formula.Rle
+            | Ast.Gt -> Smt.Formula.Rgt
+            | Ast.Ge -> Smt.Formula.Rge
+            | _ -> assert false
+          in
+          let fact =
+            (* only atoms where both sides are pure state/constants *)
+            atom_fact rel ta tb holds
+          in
+          (Value.V_bool holds, fact, None))
+  | Ast.Binop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op), a, b) -> (
+      let ta = eval st frame a in
+      let tb = eval st frame b in
+      match (ta.v, tb.v) with
+      | Value.V_int x, Value.V_int y ->
+          let r =
+            match op with
+            | Ast.Add -> x + y
+            | Ast.Sub -> x - y
+            | Ast.Mul -> x * y
+            | Ast.Div -> if y = 0 then runtime_error loc "division by zero" else x / y
+            | Ast.Mod -> if y = 0 then runtime_error loc "modulo by zero" else x mod y
+            | _ -> assert false
+          in
+          (Value.V_int r, None, None)
+      | Value.V_str x, _ when op = Ast.Add ->
+          (Value.V_str (x ^ Value.to_string ~heap:st.heap tb.v), None, None)
+      | x, y ->
+          runtime_error loc "'%s' applied to %s and %s" (Ast.binop_to_string op)
+            (Value.type_name x) (Value.type_name y))
+  | Ast.Unop (Ast.Neg, a) -> (
+      match (eval st frame a).v with
+      | Value.V_int n -> (Value.V_int (-n), None, None)
+      | v -> runtime_error loc "unary '-' applied to %s" (Value.type_name v))
+  | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Str_lit _ | Ast.Null_lit | Ast.Var _
+  | Ast.This | Ast.Field _ | Ast.Call _ | Ast.Method_call _ | Ast.New _ -> (
+      (* boolean-valued simple expression used as a guard *)
+      let t = eval st frame e in
+      match t.v with
+      | Value.V_bool b ->
+          let fact =
+            match t.sym with
+            | Some (Sym.S_var p) ->
+                Some
+                  (Smt.Formula.eq (Smt.Formula.tvar p) (Smt.Formula.tbool b))
+            | Some _ | None -> None
+          in
+          (t.v, fact, t.sym)
+      | _ -> (t.v, None, t.sym))
+
+(* Full guard evaluation: concrete bool + recorded fact *)
+and eval_guard (st : state) (frame : frame) (e : Ast.expr) : bool =
+  let v, fact, _ = eval_complex st frame e in
+  match v with
+  | Value.V_bool b ->
+      st.branches_total <- st.branches_total + 1;
+      record_fact st frame fact;
+      b
+  | v -> runtime_error e.Ast.eloc "condition is %s, not bool" (Value.type_name v)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and exec_block (st : state) (frame : frame) (b : Ast.block) : flow =
+  match b with
+  | [] -> F_normal
+  | stmt :: rest -> (
+      match exec_stmt st frame stmt with
+      | F_normal -> exec_block st frame rest
+      | (F_return _ | F_break | F_continue) as f -> f)
+
+and exec_stmt (st : state) (frame : frame) (stmt : Ast.stmt) : flow =
+  tick st;
+  let loc = stmt.Ast.sloc in
+  (* target instrumentation: snapshot the path condition on arrival *)
+  if List.mem stmt.Ast.sid st.config.targets then
+    st.hits <-
+      {
+        h_target_sid = stmt.Ast.sid;
+        h_method = frame.qname;
+        h_entry = st.entry;
+        h_pc = stack_pc st;
+        h_full_pc = stack_full_pc st;
+        h_decisions = List.rev frame.decisions;
+        h_locks_held = List.length st.locks;
+      }
+      :: st.hits;
+  match stmt.Ast.s with
+  | Ast.Decl (x, ty, init) ->
+      let t =
+        match init with Some e -> eval st frame e | None -> untagged Value.V_null
+      in
+      let t =
+        (* class-canonical naming for opaque object sources *)
+        match (t.sym, ty) with
+        | None, Ast.T_ref c when Ast.find_class st.program c <> None ->
+            { t with sym = Some (Sym.S_var c) }
+        | _ -> t
+      in
+      Hashtbl.replace frame.vars x t;
+      F_normal
+  | Ast.Assign (Ast.Lv_var x, e) ->
+      Hashtbl.replace frame.vars x (eval st frame e);
+      F_normal
+  | Ast.Assign (Ast.Lv_field (o, f), e) -> (
+      let ot = eval st frame o in
+      let t = eval st frame e in
+      match ot.v with
+      | Value.V_ref addr -> (
+          match Value.heap_get st.heap addr with
+          | Some (Value.C_obj obj) ->
+              Value.obj_set obj f t.v;
+              F_normal
+          | Some _ -> runtime_error loc "field write %s on non-object" f
+          | None -> runtime_error loc "dangling reference")
+      | Value.V_null -> runtime_error loc "null dereference writing field %s" f
+      | v -> runtime_error loc "field write %s on %s" f (Value.type_name v))
+  | Ast.If (cond, b1, b2) ->
+      let taken = eval_guard st frame cond in
+      if not (List.mem_assoc stmt.Ast.sid frame.decisions) then
+        frame.decisions <- (stmt.Ast.sid, taken) :: frame.decisions;
+      if taken then exec_block st frame b1 else exec_block st frame b2
+  | Ast.While (cond, body) ->
+      let rec loop first =
+        let taken = eval_guard st frame cond in
+        if first && not (List.mem_assoc stmt.Ast.sid frame.decisions) then
+          frame.decisions <- (stmt.Ast.sid, taken) :: frame.decisions;
+        if not taken then F_normal
+        else (
+          tick st;
+          match exec_block st frame body with
+          | F_normal | F_continue -> loop false
+          | F_break -> F_normal
+          | F_return _ as f -> f)
+      in
+      loop true
+  | Ast.Return None -> F_return (untagged Value.V_null)
+  | Ast.Return (Some e) -> F_return (eval st frame e)
+  | Ast.Throw e -> raise (Interp.Mini_throw (eval st frame e).v)
+  | Ast.Try (body, exn_var, handler) -> (
+      try exec_block st frame body
+      with Interp.Mini_throw v ->
+        Hashtbl.replace frame.vars exn_var (untagged v);
+        exec_block st frame handler)
+  | Ast.Sync (obj_e, body) -> (
+      let ot = eval st frame obj_e in
+      let addr =
+        match ot.v with
+        | Value.V_ref a -> a
+        | v -> runtime_error loc "synchronized on %s" (Value.type_name v)
+      in
+      st.locks <- addr :: st.locks;
+      let release () =
+        match st.locks with
+        | a :: rest when a = addr -> st.locks <- rest
+        | _ -> st.locks <- List.filter (fun a -> a <> addr) st.locks
+      in
+      match exec_block st frame body with
+      | f ->
+          release ();
+          f
+      | exception e ->
+          release ();
+          raise e)
+  | Ast.Expr e ->
+      (match e.Ast.e with
+      | Ast.Call (name, args) when Builtins.is_builtin name ->
+          let argt = List.map (eval st frame) args in
+          ignore (call_builtin st frame ~sid:stmt.Ast.sid ~loc:e.Ast.eloc name argt)
+      | _ -> ignore (eval st frame e));
+      F_normal
+  | Ast.Assert (cond, msg) -> (
+      match (eval st frame cond).v with
+      | Value.V_bool true -> F_normal
+      | Value.V_bool false -> raise (Interp.Assertion_failure (msg, stmt.Ast.sid))
+      | v -> runtime_error loc "assert condition is %s" (Value.type_name v))
+  | Ast.Break -> F_break
+  | Ast.Continue -> F_continue
+
+and invoke (st : state) ~qname (m : Ast.method_decl) (self : tagged)
+    (args : tagged list) (loc : Loc.t) : tagged =
+  if st.depth >= st.config.max_call_depth then
+    runtime_error loc "call depth limit exceeded calling %s" qname;
+  if List.length args <> List.length m.Ast.m_params then
+    runtime_error loc "%s expects %d args, got %d" qname (List.length m.Ast.m_params)
+      (List.length args);
+  let vars = Hashtbl.create 16 in
+  List.iter2
+    (fun (p, ty) t ->
+      let t =
+        match ty with
+        (* class-canonical naming for object parameters without a shadow *)
+        | Ast.T_ref c when t.sym = None && Ast.find_class st.program c <> None ->
+            { t with sym = Some (Sym.S_var c) }
+        (* scalar parameters are symbolic inputs named by the parameter, so
+           that rule conditions mentioning a parameter (e.g. a TTL or an
+           epoch argument) meet the trace in the same vocabulary *)
+        | Ast.T_int | Ast.T_str | Ast.T_bool -> { t with sym = Some (Sym.S_var p) }
+        | Ast.T_ref _ | Ast.T_map | Ast.T_list | Ast.T_void | Ast.T_any -> t
+      in
+      Hashtbl.replace vars p t)
+    m.Ast.m_params args;
+  let frame = { vars; self; qname; decisions = []; f_pc = []; f_full_pc = [] } in
+  st.depth <- st.depth + 1;
+  st.stack <- frame :: st.stack;
+  let finish () =
+    st.depth <- st.depth - 1;
+    st.stack <- (match st.stack with _ :: rest -> rest | [] -> [])
+  in
+  match exec_block st frame m.Ast.m_body with
+  | F_normal ->
+      finish ();
+      untagged Value.V_null
+  | F_return t ->
+      finish ();
+      t
+  | F_break | F_continue ->
+      finish ();
+      runtime_error loc "break/continue outside loop in %s" qname
+  | exception e ->
+      finish ();
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  r_entry : string;
+  r_outcome : Interp.test_outcome;
+  r_hits : hit list;  (** in execution order *)
+  r_blocking : blocking_event list;  (** in execution order *)
+  r_branches_total : int;
+  r_branches_recorded : int;
+}
+
+(** Run one entry function (usually a test) under the concolic engine. *)
+let run ?(config = default_config) (program : Ast.program) (entry : string) :
+    run_result =
+  let st = create ~config program in
+  st.entry <- entry;
+  let outcome =
+    match Ast.find_func program entry with
+    | None -> Interp.Errored (Fmt.str "no entry function %s" entry)
+    | Some f -> (
+        match invoke st ~qname:entry f (untagged Value.V_null) [] Loc.dummy with
+        | _ -> Interp.Passed
+        | exception Interp.Assertion_failure (msg, sid) ->
+            Interp.Failed (Fmt.str "%s (at statement %d)" msg sid)
+        | exception Interp.Mini_throw v ->
+            Interp.Errored (Fmt.str "uncaught throw: %s" (Value.to_string v))
+        | exception Interp.Runtime_error (msg, loc) ->
+            Interp.Errored (Fmt.str "runtime error: %s at %a" msg Loc.pp loc)
+        | exception Interp.Out_of_fuel -> Interp.Errored "out of fuel")
+  in
+  {
+    r_entry = entry;
+    r_outcome = outcome;
+    r_hits = List.rev st.hits;
+    r_blocking = List.rev st.blocking;
+    r_branches_total = st.branches_total;
+    r_branches_recorded = st.branches_recorded;
+  }
+
+(** Run several entries, concatenating results. *)
+let run_all ?(config = default_config) (program : Ast.program)
+    (entries : string list) : run_result list =
+  List.map (fun e -> run ~config program e) entries
+
+let hit_pc_formula (h : hit) : Smt.Formula.t = Smt.Formula.conj h.h_pc
+
+let hit_full_pc_formula (h : hit) : Smt.Formula.t = Smt.Formula.conj h.h_full_pc
+
+let hit_to_string (h : hit) =
+  Fmt.str "hit@%d in %s (entry %s): pc = %s" h.h_target_sid h.h_method h.h_entry
+    (Smt.Formula.to_string (hit_pc_formula h))

@@ -1,0 +1,61 @@
+(** Concolic execution engine over MiniJava (the WeBridge role, §3.2).
+
+    Execution is driven by concrete inputs — the subject system's own
+    tests — while a shadow symbolic state tracks provenance.  At each
+    branch the engine records the {e fact} the (short-circuited) guard
+    evaluation established, restricted to the semantic's relevant
+    variables; at each target statement it snapshots the path condition
+    accumulated along the live call stack (the execution-tree path from
+    the entry function to the target). *)
+
+type tagged = { v : Minilang.Value.t; sym : Sym.t option }
+
+type hit = {
+  h_target_sid : int;
+  h_method : string;  (** qualified method containing the target *)
+  h_entry : string;  (** test / entry function driving this execution *)
+  h_pc : Smt.Formula.t list;  (** pruned path condition (a conjunction) *)
+  h_full_pc : Smt.Formula.t list;  (** unpruned path condition *)
+  h_decisions : (int * bool) list;
+      (** first-occurrence branch decisions of the enclosing frame *)
+  h_locks_held : int;
+}
+
+type blocking_event = {
+  be_sid : int;
+  be_op : string;
+  be_locks : int;  (** number of monitors held *)
+  be_method : string;
+  be_entry : string;
+}
+
+type config = {
+  targets : int list;  (** sids at which to snapshot the path condition *)
+  relevant_roots : string list;  (** roots of the semantic's variables *)
+  prune : bool;  (** record only relevant facts (paper default) *)
+  fuel : int;
+  max_call_depth : int;
+}
+
+val default_config : config
+
+type run_result = {
+  r_entry : string;
+  r_outcome : Minilang.Interp.test_outcome;
+  r_hits : hit list;  (** in execution order *)
+  r_blocking : blocking_event list;  (** in execution order *)
+  r_branches_total : int;
+  r_branches_recorded : int;
+}
+
+(** Run one entry function (usually a test) under the engine. *)
+val run : ?config:config -> Minilang.Ast.program -> string -> run_result
+
+val run_all : ?config:config -> Minilang.Ast.program -> string list -> run_result list
+
+(** The hit's path condition as one conjunction. *)
+val hit_pc_formula : hit -> Smt.Formula.t
+
+val hit_full_pc_formula : hit -> Smt.Formula.t
+
+val hit_to_string : hit -> string

@@ -1,0 +1,50 @@
+(** Symbolic shadows for concolic execution.
+
+    Every concrete value flowing through the concolic interpreter may carry
+    a *shadow*: a canonical state path ([Session.closing]) or a constant.
+    Shadows record provenance, not current value — they are what path
+    conditions are written in terms of.
+
+    Naming convention (shared with {!Semantics.Translate}): object roots
+    are canonicalized to their class name, so a trace through local [s] and
+    a rule learned from local [session] agree on the path ["Session"]. *)
+
+type t =
+  | S_var of string  (** canonical state path *)
+  | S_int of int
+  | S_bool of bool
+  | S_str of string
+  | S_null
+
+let of_value (v : Minilang.Value.t) : t option =
+  match v with
+  | Minilang.Value.V_int n -> Some (S_int n)
+  | Minilang.Value.V_bool b -> Some (S_bool b)
+  | Minilang.Value.V_str s -> Some (S_str s)
+  | Minilang.Value.V_null -> Some S_null
+  | Minilang.Value.V_ref _ -> None
+
+let to_term : t -> Smt.Formula.term = function
+  | S_var p -> Smt.Formula.tvar p
+  | S_int n -> Smt.Formula.tint n
+  | S_bool b -> Smt.Formula.tbool b
+  | S_str s -> Smt.Formula.tstr s
+  | S_null -> Smt.Formula.tnull
+
+let is_var = function S_var _ -> true | S_int _ | S_bool _ | S_str _ | S_null -> false
+
+let to_string = function
+  | S_var p -> p
+  | S_int n -> string_of_int n
+  | S_bool b -> string_of_bool b
+  | S_str s -> Printf.sprintf "%S" s
+  | S_null -> "null"
+
+(** Root of a state path: ["Session.closing"] -> ["Session"]. *)
+let root_of_path (p : string) : string =
+  match String.index_opt p '.' with Some i -> String.sub p 0 i | None -> p
+
+let mentions_root (roots : string list) (t : t) : bool =
+  match t with
+  | S_var p -> List.mem (root_of_path p) roots
+  | S_int _ | S_bool _ | S_str _ | S_null -> false

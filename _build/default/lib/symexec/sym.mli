@@ -1,0 +1,27 @@
+(** Symbolic shadows for concolic execution.
+
+    A shadow records a value's provenance as a canonical state path (or a
+    constant); path conditions are written in terms of shadows.  Object
+    roots are canonicalized to their class name, matching
+    {!Semantics.Translate}'s normalization. *)
+
+type t =
+  | S_var of string  (** canonical state path, e.g. ["Session.closing"] *)
+  | S_int of int
+  | S_bool of bool
+  | S_str of string
+  | S_null
+
+(** Shadow of a concrete scalar; [None] for references. *)
+val of_value : Minilang.Value.t -> t option
+
+val to_term : t -> Smt.Formula.term
+
+val is_var : t -> bool
+
+val to_string : t -> string
+
+(** Root of a state path: ["Session.closing"] -> ["Session"]. *)
+val root_of_path : string -> string
+
+val mentions_root : string list -> t -> bool

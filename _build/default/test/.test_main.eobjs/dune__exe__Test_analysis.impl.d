@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Callgraph List Lockscope Minilang Parser Paths Pretty

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Astring_contains Corpus Fmt Gen Lisa List Minilang Option Oracle QCheck QCheck_alcotest String

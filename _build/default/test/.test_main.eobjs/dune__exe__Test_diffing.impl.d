@@ -1,0 +1,1 @@
+test/test_diffing.ml: Alcotest Astring_contains Diffing Line_diff List Minilang Prog_diff QCheck QCheck_alcotest String Textutil

@@ -1,0 +1,1 @@
+test/test_edgecases.ml: Alcotest Ast Astring_contains Buffer Fmt Interp List Minilang Parser Smt String Value

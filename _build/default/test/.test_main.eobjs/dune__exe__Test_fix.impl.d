@@ -1,0 +1,1 @@
+test/test_fix.ml: Alcotest Astring_contains Corpus Fmt Lisa List Minilang Option Semantics

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ast Astring_contains Corpus Fmt Interp Lisa List Minilang Parser Pretty Semantics Smt Value

@@ -1,0 +1,1 @@
+test/test_lisa.ml: Alcotest Astring_contains Corpus Fmt Lisa List Mc Minilang Oracle Semantics Smt String

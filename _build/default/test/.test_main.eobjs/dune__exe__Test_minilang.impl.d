@@ -1,0 +1,1 @@
+test/test_minilang.ml: Alcotest Ast Astring_contains Fmt Gen Interp Lexer List Loc Minilang Parser Pretty Printf QCheck QCheck_alcotest String Token Typecheck Value

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Analysis Ast Astring_contains Corpus Lisa List Mc Minilang Option Oracle Parser Semantics

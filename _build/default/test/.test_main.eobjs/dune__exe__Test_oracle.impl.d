@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Analysis Astring_contains Corpus List Minilang Option Oracle QCheck QCheck_alcotest Semantics Smt String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Corpus Fmt Fun Lisa List Minilang Oracle Semantics String

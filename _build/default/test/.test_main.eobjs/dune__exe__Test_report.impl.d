@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Corpus Gen Lisa List Minilang QCheck QCheck_alcotest Semantics Smt

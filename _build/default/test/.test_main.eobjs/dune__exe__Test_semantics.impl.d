@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Ast Astring_contains Corpus Lisa List Minilang Option Parser Pretty Semantics Smt

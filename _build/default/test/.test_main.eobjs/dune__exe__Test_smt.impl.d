@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Astring_contains Formula Gen List QCheck QCheck_alcotest Smt Solver Theory

@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Ast Astring_contains Concolic Interp List Minilang Option Parser Smt Symexec

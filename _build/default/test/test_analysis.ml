@@ -1,0 +1,234 @@
+(* Tests for call graphs, execution trees, path enumeration, and the
+   lock-scope analysis. *)
+
+open Minilang
+open Analysis
+
+let src =
+  {|
+class Store {
+  field data: map;
+  method save(x: int) {
+    synchronized (this) {
+      this.persist(x);
+    }
+  }
+  method persist(x: int) {
+    writeRecord(x);
+  }
+  method get(k: int): any {
+    return mapGet(this.data, k);
+  }
+}
+class Api {
+  field store: Store;
+  method init() {
+    this.store = new Store();
+  }
+  method handlePut(x: int) {
+    if (x > 0) {
+      this.store.save(x);
+    }
+  }
+  method handleGet(k: int): any {
+    return this.store.get(k);
+  }
+}
+method test_put_positive() {
+  var api: Api = new Api();
+  api.handlePut(5);
+}
+method test_get_missing() {
+  var api: Api = new Api();
+  var v: any = api.handleGet(1);
+}
+|}
+
+let program () = Parser.program ~file:"api.mj" src
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_edges () =
+  let g = Callgraph.build (program ()) in
+  Alcotest.(check (list string)) "handlePut calls save" [ "Store.save" ]
+    (Callgraph.callees g "Api.handlePut");
+  Alcotest.(check (list string)) "save calls persist" [ "Store.persist" ]
+    (Callgraph.callees g "Store.save");
+  Alcotest.(check bool) "persist has no callees" true
+    (Callgraph.callees g "Store.persist" = []);
+  Alcotest.(check (list string)) "persist called by save" [ "Store.save" ]
+    (Callgraph.callers g "Store.persist")
+
+let test_callgraph_entries () =
+  let g = Callgraph.build (program ()) in
+  Alcotest.(check (list string)) "entries are top-level functions"
+    [ "test_put_positive"; "test_get_missing" ]
+    (Callgraph.entries g)
+
+let test_callgraph_reachable () =
+  let g = Callgraph.build (program ()) in
+  let r = Callgraph.reachable_from g "test_put_positive" in
+  Alcotest.(check bool) "reaches persist" true (List.mem "Store.persist" r);
+  Alcotest.(check bool) "does not reach get" false (List.mem "Store.get" r)
+
+let test_call_chains () =
+  let g = Callgraph.build (program ()) in
+  let chains = Callgraph.call_chains g ~target:"Store.persist" in
+  Alcotest.(check (list (list string)))
+    "one chain from the test entry"
+    [ [ "test_put_positive"; "Api.handlePut"; "Store.save"; "Store.persist" ] ]
+    chains
+
+let test_may_predicate () =
+  let p = program () in
+  let g = Callgraph.build p in
+  let may_block = Lockscope.method_may_block p g in
+  Alcotest.(check bool) "persist may block" true (may_block "Store.persist");
+  Alcotest.(check bool) "save may block (transitively)" true (may_block "Store.save");
+  Alcotest.(check bool) "get may not block" false (may_block "Store.get")
+
+let test_callgraph_recursion_no_loop () =
+  let p = Parser.program "method f(n: int) { if (n > 0) { f(n - 1); } }" in
+  let g = Callgraph.build p in
+  let chains = Callgraph.call_chains g ~target:"f" in
+  Alcotest.(check bool) "recursion terminates enumeration" true (List.length chains >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Path enumeration                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_call_sid p meth callee =
+  match Ast.methods_named p meth with
+  | (_, m) :: _ -> (
+      match Paths.call_sites m callee with
+      | st :: _ -> (m, st.Ast.sid)
+      | [] -> Alcotest.fail ("no call to " ^ callee))
+  | [] -> Alcotest.fail ("no method " ^ meth)
+
+let test_paths_through_if () =
+  let p = program () in
+  let m, sid = find_call_sid p "handlePut" "save" in
+  let paths = Paths.paths_to_stmt m sid in
+  Alcotest.(check int) "one path" 1 (List.length paths);
+  match paths with
+  | [ [ d ] ] ->
+      Alcotest.(check bool) "guard taken" true d.Paths.d_taken;
+      Alcotest.(check string) "guard text" "x > 0"
+        (Pretty.expr_to_string d.Paths.d_cond)
+  | _ -> Alcotest.fail "expected a single single-decision path"
+
+let test_paths_if_else_counts () =
+  let p =
+    Parser.program
+      "method f(x: int): int { if (x > 0) { return g(); } else { return g(); } } method g(): int { return 1; }"
+  in
+  let m = match Ast.find_func p "f" with Some m -> m | None -> assert false in
+  let sites = Paths.paths_to_call m "g" in
+  Alcotest.(check int) "two call sites, one path each" 2 (List.length sites)
+
+let test_paths_early_return () =
+  let p =
+    Parser.program
+      "method f(x: int) { if (x == 0) { return; } g(); } method g() { }"
+  in
+  let m = match Ast.find_func p "f" with Some m -> m | None -> assert false in
+  let sites = Paths.paths_to_call m "g" in
+  match sites with
+  | [ (_, [ d ]) ] ->
+      Alcotest.(check bool) "must not take the early return" false d.Paths.d_taken
+  | _ -> Alcotest.fail "expected one path with one decision"
+
+let test_paths_loop_bounded () =
+  let p =
+    Parser.program
+      "method f(n: int) { var i: int = 0; while (i < n) { g(); i = i + 1; } } method g() { }"
+  in
+  let m = match Ast.find_func p "f" with Some m -> m | None -> assert false in
+  let sites = Paths.paths_to_call m "g" in
+  Alcotest.(check int) "call inside loop reachable" 1 (List.length sites);
+  match sites with
+  | [ (_, [ d ]) ] -> Alcotest.(check bool) "loop entered once" true d.Paths.d_taken
+  | _ -> Alcotest.fail "expected one single-decision path"
+
+let test_exec_tree () =
+  let p = program () in
+  let g = Callgraph.build p in
+  let _, sid = find_call_sid p "persist" "writeRecord" in
+  let tree = Paths.exec_tree p g sid in
+  Alcotest.(check string) "target method" "Store.persist" tree.Paths.et_target_method;
+  Alcotest.(check int) "one execution path" 1 (List.length tree.Paths.et_paths);
+  let ep = List.hd tree.Paths.et_paths in
+  Alcotest.(check string) "leaf is the entry" "test_put_positive" ep.Paths.ep_entry
+
+(* ------------------------------------------------------------------ *)
+(* Lock scope                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_lockscope_direct_and_indirect () =
+  let p = program () in
+  let vs = Lockscope.analyze p in
+  (* save's sync block contains a call to persist, which blocks *)
+  let indirect =
+    List.filter (fun (v : Lockscope.violation) -> not v.Lockscope.v_direct) vs
+  in
+  Alcotest.(check bool) "indirect violation found" true
+    (List.exists
+       (fun (v : Lockscope.violation) ->
+         v.Lockscope.v_method = "Store.save" && v.Lockscope.v_op = "persist")
+       indirect)
+
+let test_lockscope_direct () =
+  let p =
+    Parser.program
+      "class C { method f() { synchronized (this) { fsync(1); } } }"
+  in
+  let vs = Lockscope.analyze p in
+  Alcotest.(check int) "one violation" 1 (List.length vs);
+  let v = List.hd vs in
+  Alcotest.(check bool) "direct" true v.Lockscope.v_direct;
+  Alcotest.(check string) "op" "fsync" v.Lockscope.v_op
+
+let test_lockscope_clean_after_hoist () =
+  let p =
+    Parser.program
+      "class C { field x: int; method f() { var v: int = 0; synchronized (this) { v = this.x; } fsync(v); } }"
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (Lockscope.analyze p))
+
+let test_lockscope_nested_sync () =
+  let p =
+    Parser.program
+      "class C { method f() { synchronized (this) { if (true) { writeRecord(1); } } } }"
+  in
+  let vs = Lockscope.analyze p in
+  Alcotest.(check int) "violation found through nesting" 1 (List.length vs)
+
+let suite =
+  [
+    ( "analysis.callgraph",
+      [
+        Alcotest.test_case "edges" `Quick test_callgraph_edges;
+        Alcotest.test_case "entries" `Quick test_callgraph_entries;
+        Alcotest.test_case "reachability" `Quick test_callgraph_reachable;
+        Alcotest.test_case "call chains" `Quick test_call_chains;
+        Alcotest.test_case "may predicate" `Quick test_may_predicate;
+        Alcotest.test_case "recursion" `Quick test_callgraph_recursion_no_loop;
+      ] );
+    ( "analysis.paths",
+      [
+        Alcotest.test_case "path through if" `Quick test_paths_through_if;
+        Alcotest.test_case "if/else call sites" `Quick test_paths_if_else_counts;
+        Alcotest.test_case "early return" `Quick test_paths_early_return;
+        Alcotest.test_case "loop bounded" `Quick test_paths_loop_bounded;
+        Alcotest.test_case "execution tree" `Quick test_exec_tree;
+      ] );
+    ( "analysis.lockscope",
+      [
+        Alcotest.test_case "direct and indirect" `Quick test_lockscope_direct_and_indirect;
+        Alcotest.test_case "direct" `Quick test_lockscope_direct;
+        Alcotest.test_case "clean after hoist" `Quick test_lockscope_clean_after_hoist;
+        Alcotest.test_case "nested sync" `Quick test_lockscope_nested_sync;
+      ] );
+  ]

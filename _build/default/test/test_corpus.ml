@@ -1,0 +1,160 @@
+(* Corpus-level tests: ticket integrity for all 16 cases, version assembly,
+   commit histories, and random-workload fuzzing of the fixed releases. *)
+
+let all = Corpus.Registry.all_cases
+
+(* ------------------------------------------------------------------ *)
+(* Ticket integrity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_every_case_has_tickets () =
+  List.iter
+    (fun (c : Corpus.Case.t) ->
+      let tickets = Corpus.Case.tickets c in
+      Alcotest.(check bool)
+        (c.Corpus.Case.case_id ^ " has >= 2 tickets")
+        true
+        (List.length tickets >= 2);
+      List.iter
+        (fun (t : Oracle.Ticket.t) ->
+          (* sources parse *)
+          ignore (Oracle.Ticket.buggy_program t);
+          ignore (Oracle.Ticket.patched_program t);
+          (* the diff is non-trivial *)
+          let d = Oracle.Ticket.diff t in
+          Alcotest.(check bool)
+            (t.Oracle.Ticket.ticket_id ^ " diff non-trivial")
+            true
+            (Astring_contains.contains d "+");
+          (* every fix ships at least one regression test, and it exists in
+             the patched program *)
+          Alcotest.(check bool)
+            (t.Oracle.Ticket.ticket_id ^ " ships a regression test")
+            true
+            (t.Oracle.Ticket.regression_tests <> []);
+          let patched_tests = Minilang.Interp.test_names (Oracle.Ticket.patched_program t) in
+          List.iter
+            (fun test ->
+              Alcotest.(check bool) (test ^ " exists in patched") true
+                (List.mem test patched_tests))
+            t.Oracle.Ticket.regression_tests)
+        tickets)
+    all
+
+let test_regression_tests_catch_their_own_bug () =
+  (* each fix's regression test fails on the version just before the fix *)
+  List.iter
+    (fun (c : Corpus.Case.t) ->
+      List.iter
+        (fun (stage, ticket_id, _, _) ->
+          match Corpus.Case.ticket_at c stage with
+          | None -> ()
+          | Some t ->
+              let before = Corpus.Case.program_at c (stage - 1) in
+              let patched_only =
+                List.filter
+                  (fun name ->
+                    Minilang.Ast.find_func before name <> None)
+                  t.Oracle.Ticket.regression_tests
+              in
+              (* tests added with the fix usually do not even exist before;
+                 when they do, they must fail there *)
+              List.iter
+                (fun name ->
+                  match Minilang.Interp.run_test before name with
+                  | Minilang.Interp.Passed ->
+                      Alcotest.fail
+                        (Fmt.str "%s: %s passes on the pre-fix version" ticket_id name)
+                  | Minilang.Interp.Failed _ | Minilang.Interp.Errored _ -> ())
+                patched_only)
+        c.Corpus.Case.ticket_meta)
+    all
+
+let test_bug_ids_unique () =
+  let ids = List.concat_map (fun (c : Corpus.Case.t) -> c.Corpus.Case.bug_ids) all in
+  Alcotest.(check int) "bug ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_unknown_bug_cases () =
+  let unknowns =
+    List.filter (fun (c : Corpus.Case.t) -> c.Corpus.Case.latest_has_unknown_bug) all
+  in
+  Alcotest.(check (list string)) "exactly the two paper cases"
+    [ "hbase-snapshot-ttl"; "hdfs-observer-locations" ]
+    (List.map (fun (c : Corpus.Case.t) -> c.Corpus.Case.case_id) unknowns);
+  List.iter
+    (fun (c : Corpus.Case.t) ->
+      Alcotest.(check int) (c.Corpus.Case.case_id ^ " latest is stage 4") 4
+        c.Corpus.Case.latest_stage;
+      Alcotest.(check int) (c.Corpus.Case.case_id ^ " has 3 bugs") 3 (Corpus.Case.n_bugs c))
+    unknowns
+
+let test_commit_history_mentions_tickets () =
+  List.iter
+    (fun system ->
+      let history = Corpus.Registry.commit_history system in
+      Alcotest.(check int) (system ^ " history length") (Corpus.Registry.max_version + 1)
+        (List.length history);
+      (* v1 commits mention the first fix of some case of the system *)
+      let _, msg = List.nth history 1 in
+      Alcotest.(check bool) (system ^ " v1 mentions a ticket: " ^ msg) true
+        (List.exists
+           (fun (c : Corpus.Case.t) ->
+             Astring_contains.contains msg (List.hd c.Corpus.Case.bug_ids))
+           (Corpus.Registry.cases_of_system system)))
+    Corpus.Registry.systems
+
+let test_system_source_deterministic () =
+  List.iter
+    (fun system ->
+      let a = Corpus.Registry.system_source system ~version:2 in
+      let b = Corpus.Registry.system_source system ~version:2 in
+      Alcotest.(check bool) (system ^ " deterministic assembly") true (String.equal a b))
+    Corpus.Registry.systems
+
+(* ------------------------------------------------------------------ *)
+(* Random-workload fuzzing of the fixed releases                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive the composition scenarios with random operation sequences (longer
+   than the exhaustive bound) on the *fixed* stage: the high-level
+   invariants must survive arbitrary client behaviour. *)
+let fuzz_scenario (sd : Lisa.Composition.scenario_def) =
+  let c = Option.get (Corpus.Registry.find_case sd.Lisa.Composition.sd_case) in
+  QCheck.Test.make ~count:60
+    ~name:(sd.Lisa.Composition.sd_case ^ " fixed release survives random workloads")
+    QCheck.(make Gen.(list_size (int_range 1 10) (int_bound 1000)))
+    (fun choices ->
+      let stage = 3 in
+      let ops = sd.Lisa.Composition.sd_ops stage in
+      let seq = List.map (fun i -> List.nth ops (i mod List.length ops)) choices in
+      let src = c.Corpus.Case.source stage ^ Lisa.Composition.stage_harness sd stage in
+      let program = Minilang.Parser.program src in
+      let st = Minilang.Interp.create program in
+      let state_value = Minilang.Interp.call st "mcInit" [] in
+      List.iter
+        (fun op ->
+          match Minilang.Interp.call st op [ state_value ] with
+          | _ -> ()
+          | exception Minilang.Interp.Mini_throw _ -> () (* guard rejection *))
+        seq;
+      match Minilang.Interp.call st "mcInv" [ state_value ] with
+      | Minilang.Value.V_bool ok -> ok
+      | _ -> false)
+
+let fuzz_tests = List.map fuzz_scenario Lisa.Composition.scenarios
+
+let suite =
+  [
+    ( "corpus.tickets",
+      [
+        Alcotest.test_case "every case has tickets" `Quick test_every_case_has_tickets;
+        Alcotest.test_case "regression tests catch their bug" `Quick
+          test_regression_tests_catch_their_own_bug;
+        Alcotest.test_case "bug ids unique" `Quick test_bug_ids_unique;
+        Alcotest.test_case "unknown-bug cases" `Quick test_unknown_bug_cases;
+        Alcotest.test_case "commit history" `Quick test_commit_history_mentions_tickets;
+        Alcotest.test_case "deterministic assembly" `Quick test_system_source_deterministic;
+      ] );
+    ("corpus.fuzz", List.map QCheck_alcotest.to_alcotest fuzz_tests);
+  ]

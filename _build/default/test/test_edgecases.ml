@@ -1,0 +1,247 @@
+(* Edge-case tests: interpreter builtins and control flow, parser corners,
+   solver corners — behaviours the main suites don't pin down. *)
+
+open Minilang
+
+let run body =
+  let p = Parser.program (Fmt.str "method main(): any { %s }" body) in
+  let _, v = Interp.run_function p "main" [] in
+  v
+
+let check_int name expected body =
+  Alcotest.test_case name `Quick (fun () ->
+      match run body with
+      | Value.V_int n -> Alcotest.(check int) name expected n
+      | v -> Alcotest.fail (Fmt.str "%s: got %s" name (Value.type_name v)))
+
+let check_bool name expected body =
+  Alcotest.test_case name `Quick (fun () ->
+      match run body with
+      | Value.V_bool b -> Alcotest.(check bool) name expected b
+      | v -> Alcotest.fail (Fmt.str "%s: got %s" name (Value.type_name v)))
+
+let check_str name expected body =
+  Alcotest.test_case name `Quick (fun () ->
+      match run body with
+      | Value.V_str s -> Alcotest.(check string) name expected s
+      | v -> Alcotest.fail (Fmt.str "%s: got %s" name (Value.type_name v)))
+
+let interp_builtin_cases =
+  [
+    check_int "abs negative" 5 "return abs(0 - 5);";
+    check_int "min/max" 7 "return min(9, 7) + max(0, 0);";
+    check_int "strLen" 5 {|return strLen("hello");|};
+    check_str "concat builtin" "ab" {|return concat("a", "b");|};
+    check_bool "startsWith true" true {|return startsWith("foobar", "foo");|};
+    check_bool "startsWith false" false {|return startsWith("foo", "foobar");|};
+    check_str "toStr of bool" "true" "return toStr(1 == 1);";
+    check_str "toStr of null" "null" "return toStr(null);";
+    check_int "listSet" 42
+      "var l: list = listNew(); listAdd(l, 1); listSet(l, 0, 42); return listGet(l, 0);";
+    check_int "listRemoveAt" 3
+      "var l: list = listNew(); listAdd(l, 1); listAdd(l, 3); listRemoveAt(l, 0); return listGet(l, 0);";
+    check_bool "listContains" true
+      "var l: list = listNew(); listAdd(l, 9); return listContains(l, 9);";
+    check_int "mapRemove" 0
+      {|var m: map = mapNew(); mapPut(m, "k", 1); mapRemove(m, "k"); return mapSize(m);|};
+    check_str "mapKeys insertion order" "ab"
+      {|var m: map = mapNew(); mapPut(m, "a", 1); mapPut(m, "b", 2); mapPut(m, "a", 3);
+        var ks: list = mapKeys(m);
+        var s: str = "";
+        var i: int = 0;
+        while (i < listSize(ks)) { s = s + listGet(ks, i); i = i + 1; }
+        return s;|};
+    check_int "readRecord passes value" 11 "return readRecord(11);";
+    check_int "rpcCall passes value" 12 {|return rpcCall("peer", 12);|};
+    check_bool "string compare lt" true {|return "abc" < "abd";|};
+    check_int "mod" 2 "return 17 % 5;";
+    check_int "division truncates" 3 "return 10 / 3;";
+    check_str "string plus value" "n=3" {|return "n=" + 3;|};
+  ]
+
+let interp_control_cases =
+  [
+    check_int "nested try rethrow" 2
+      {|try {
+          try { fail("inner"); } catch (e) { fail("outer"); }
+        } catch (e2) {
+          if (e2 == "outer") { return 2; }
+          return 1;
+        }|};
+    check_int "while false never runs" 0
+      "var n: int = 0; while (false) { n = 9; } return n;";
+    check_int "nested loops with break" 6
+      {|var acc: int = 0;
+        var i: int = 0;
+        while (i < 3) {
+          var j: int = 0;
+          while (true) {
+            j = j + 1;
+            if (j >= 2) { break; }
+          }
+          acc = acc + j;
+          i = i + 1;
+        }
+        return acc;|};
+    Alcotest.test_case "recursion fib" `Quick (fun () ->
+        let p =
+          Parser.program
+            "method fib(n: int): int { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+             method main(): int { return fib(7); }"
+        in
+        let _, v = Interp.run_function p "main" [] in
+        Alcotest.(check bool) "fib 7 = 13" true (Value.equal v (Value.V_int 13)));
+  ]
+
+let test_call_depth_limit () =
+  let p = Parser.program "method f(n: int): int { return f(n + 1); }" in
+  let config = { Interp.default_config with Interp.max_call_depth = 50 } in
+  match Interp.run_function ~config p "f" [ Value.V_int 0 ] with
+  | _ -> Alcotest.fail "expected depth limit"
+  | exception Interp.Runtime_error (m, _) ->
+      Alcotest.(check bool) "depth error" true (Astring_contains.contains m "depth")
+  | exception Interp.Out_of_fuel -> Alcotest.fail "hit fuel before depth"
+
+let test_division_by_zero () =
+  match run "return 1 / 0;" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Interp.Runtime_error (m, _) ->
+      Alcotest.(check bool) "div by zero" true (Astring_contains.contains m "zero")
+
+let test_list_out_of_bounds () =
+  match run "var l: list = listNew(); return listGet(l, 0);" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Interp.Runtime_error (m, _) ->
+      Alcotest.(check bool) "bounds" true (Astring_contains.contains m "bounds")
+
+let test_clock_advances () =
+  let p = Parser.program "method main(): int { var a: int = now(); var b: int = 1; return now() - a; }" in
+  let _, v = Interp.run_function p "main" [] in
+  match v with
+  | Value.V_int d -> Alcotest.(check bool) "clock advanced" true (d > 0)
+  | _ -> Alcotest.fail "expected int"
+
+let test_console_capture () =
+  let p = Parser.program {|method main() { print("hello"); print(42); }|} in
+  let st, _ = Interp.run_function p "main" [] in
+  Alcotest.(check string) "console" "hello\n42\n" (Buffer.contents st.Interp.console)
+
+(* parser corners *)
+let test_parse_trailing_garbage () =
+  match Parser.expression "1 + 2 extra" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Parser.Error (m, _) ->
+      Alcotest.(check bool) "trailing" true (Astring_contains.contains m "trailing")
+
+let test_parse_deep_nesting () =
+  let e = Parser.expression (String.make 40 '(' ^ "x" ^ String.make 40 ')') in
+  match e.Ast.e with Ast.Var "x" -> () | _ -> Alcotest.fail "parens collapse"
+
+let test_parse_keyword_not_ident () =
+  match Parser.program "method class() { }" with
+  | _ -> Alcotest.fail "keyword as name must fail"
+  | exception Parser.Error _ -> ()
+
+let test_parse_negative_literal_argument () =
+  let e = Parser.expression "f(-3)" in
+  match e.Ast.e with
+  | Ast.Call ("f", [ { e = Ast.Unop (Ast.Neg, { e = Ast.Int_lit 3; _ }); _ } ]) -> ()
+  | _ -> Alcotest.fail "negative arg shape"
+
+(* solver corners *)
+let v = Smt.Formula.tvar
+
+let i = Smt.Formula.tint
+
+let test_smt_string_equalities () =
+  Alcotest.(check bool) "x=\"a\" && x=\"b\" unsat" true
+    (Smt.Solver.is_unsat
+       (Smt.Formula.And
+          [
+            Smt.Formula.eq (v "x") (Smt.Formula.tstr "a");
+            Smt.Formula.eq (v "x") (Smt.Formula.tstr "b");
+          ]))
+
+let test_smt_long_order_chain () =
+  (* x1 < x2 < ... < x6, all in [0,5] is satisfiable only with exact fit *)
+  let vars = List.init 6 (fun k -> v (Fmt.str "x%d" k)) in
+  let rec chain = function
+    | a :: (b :: _ as rest) -> Smt.Formula.lt a b :: chain rest
+    | _ -> []
+  in
+  let bounds =
+    List.concat_map (fun x -> [ Smt.Formula.ge x (i 0); Smt.Formula.le x (i 5) ]) vars
+  in
+  Alcotest.(check bool) "fits exactly" true
+    (Smt.Solver.is_sat (Smt.Formula.And (chain vars @ bounds)));
+  let tight =
+    List.concat_map (fun x -> [ Smt.Formula.ge x (i 0); Smt.Formula.le x (i 4) ]) vars
+  in
+  Alcotest.(check bool) "one slot short" true
+    (Smt.Solver.is_unsat (Smt.Formula.And (chain vars @ tight)))
+
+let test_smt_mixed_null_int () =
+  (* a variable equal to null cannot satisfy an order atom *)
+  Alcotest.(check bool) "null ordering unsat" true
+    (Smt.Solver.is_unsat
+       (Smt.Formula.And [ Smt.Formula.eq (v "x") Smt.Formula.tnull; Smt.Formula.lt (v "x") (i 3) ]))
+
+let test_smt_empty_and_or () =
+  Alcotest.(check bool) "And [] valid" true (Smt.Solver.is_valid (Smt.Formula.And []));
+  Alcotest.(check bool) "Or [] unsat" true (Smt.Solver.is_unsat (Smt.Formula.Or []))
+
+let test_smt_model_satisfies () =
+  let f =
+    Smt.Formula.And
+      [
+        Smt.Formula.Or [ Smt.Formula.bvar "p"; Smt.Formula.bvar "q" ];
+        Smt.Formula.Not (Smt.Formula.bvar "p");
+      ]
+  in
+  match Smt.Solver.solve f with
+  | Smt.Solver.Sat model ->
+      (* q must be true, p false in any model *)
+      (* the model assigns signs to canonical atoms; read off the sign of
+         the atom [name == true] specifically *)
+      let lookup name =
+        List.find_map
+          (fun ((a : Smt.Formula.atom), sign) ->
+            match (a.Smt.Formula.rel, a.Smt.Formula.lhs, a.Smt.Formula.rhs) with
+            | Smt.Formula.Req, Smt.Formula.T_var x, Smt.Formula.T_bool true
+              when x = name ->
+                Some sign
+            | _ -> None)
+          model
+      in
+      Alcotest.(check (option bool)) "p false" (Some false) (lookup "p");
+      Alcotest.(check (option bool)) "q true" (Some true) (lookup "q")
+  | Smt.Solver.Unsat -> Alcotest.fail "should be sat"
+
+let suite =
+  [
+    ("edge.interp.builtins", interp_builtin_cases);
+    ( "edge.interp.control",
+      interp_control_cases
+      @ [
+          Alcotest.test_case "call depth limit" `Quick test_call_depth_limit;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "list bounds" `Quick test_list_out_of_bounds;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "console capture" `Quick test_console_capture;
+        ] );
+    ( "edge.parser",
+      [
+        Alcotest.test_case "trailing garbage" `Quick test_parse_trailing_garbage;
+        Alcotest.test_case "deep nesting" `Quick test_parse_deep_nesting;
+        Alcotest.test_case "keyword as name" `Quick test_parse_keyword_not_ident;
+        Alcotest.test_case "negative literal arg" `Quick test_parse_negative_literal_argument;
+      ] );
+    ( "edge.smt",
+      [
+        Alcotest.test_case "string equalities" `Quick test_smt_string_equalities;
+        Alcotest.test_case "long order chain" `Quick test_smt_long_order_chain;
+        Alcotest.test_case "null vs order" `Quick test_smt_mixed_null_int;
+        Alcotest.test_case "empty connectives" `Quick test_smt_empty_and_or;
+        Alcotest.test_case "model shape" `Quick test_smt_model_satisfies;
+      ] );
+  ]
