@@ -1,0 +1,21 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate plus the engine acceptance smoke: build, full test
+# suite, and the serial/parallel/incremental equivalence checks on the
+# zookeeper slice of the E11 workload.
+check:
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -10,10 +10,14 @@
      E8 ablations    — §3.2 mechanism knobs
      E9 noise        — §5 open question (i)
      CI              — the vision: gated histories for all 16 cases
+     engine          — serial vs parallel vs incremental enforcement engine
      micro           — Bechamel micro-benchmarks of every engine component
 
    `bench/main.exe` with no arguments runs everything;
-   `--experiment <name>` selects one. *)
+   `--experiment <name>` selects one.  `--smoke` shrinks the engine
+   experiment to one system (the `make check` fast path). *)
+
+let smoke_flag = ref false
 
 let section title =
   Printf.printf "\n%s\n%s\n" (String.make 78 '=') title;
@@ -74,6 +78,99 @@ let run_ci () =
     Corpus.Registry.all_cases;
   Printf.printf "total commits blocked before release across %d histories: %d\n"
     Corpus.Registry.n_cases !blocked
+
+(* ------------------------------------------------------------------ *)
+(* Enforcement-engine benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The E11 workload (every system's rulebook against releases v1/v2/v3/v5)
+   pushed through the engine in three configurations:
+
+     serial cold   — jobs=1, every caching layer off: the historic
+                     serial checker, the baseline
+     parallel cold — jobs=4, caches still off: pool determinism check
+     incremental   — jobs=1, diff pre-pass + report cache + SMT verdict
+                     cache on: the production configuration
+
+   Prints wall time, Solver.solve counts and cache-hit counters per
+   mode, then asserts the two acceptance properties: identical findings
+   in every mode, and strictly fewer solver calls cached than cold. *)
+let run_engine_bench () =
+  section "ENGINE: serial vs parallel vs incremental enforcement";
+  let systems =
+    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+  in
+  let workload =
+    List.map
+      (fun system ->
+        let book = Lisa.System_scan.learn_system_book system in
+        ( system,
+          book,
+          List.map
+            (fun v -> (v, Corpus.Registry.system_program system ~version:v))
+            [ 1; 2; 3; 5 ] ))
+      systems
+  in
+  Printf.printf "workload: %d system(s) x 4 versions%s\n\n"
+    (List.length systems)
+    (if !smoke_flag then " (smoke)" else "");
+  let run_mode name config =
+    (* the verdict cache is global: start every mode from a clean slate *)
+    Smt.Memo.reset ();
+    let engine = Engine.Scheduler.create ~config () in
+    let t0 = Unix.gettimeofday () in
+    let ids =
+      List.concat_map
+        (fun (system, book, versions) ->
+          List.concat_map
+            (fun (v, p) ->
+              let reports = Engine.Scheduler.enforce engine p book in
+              List.map
+                (fun id -> Printf.sprintf "%s v%d %s" system v id)
+                (Engine.Scheduler.finding_ids reports))
+            versions)
+        workload
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Engine.Scheduler.stats engine in
+    Printf.printf "%-14s %6.2fs  %s\n" name wall (Engine.Stats.to_string stats);
+    (ids, stats)
+  in
+  let cold = Engine.Scheduler.cold_config in
+  let serial_ids, serial_stats = run_mode "serial-cold" cold in
+  let par_ids, _ =
+    run_mode "parallel-cold" { cold with Engine.Scheduler.jobs = 4 }
+  in
+  let inc_ids, inc_stats = run_mode "incremental" Engine.Scheduler.default_config in
+  let par_inc_ids, _ =
+    run_mode "par-incr"
+      { Engine.Scheduler.default_config with Engine.Scheduler.jobs = 4 }
+  in
+  Printf.printf "\nfindings (%d):\n" (List.length serial_ids);
+  List.iter (fun id -> Printf.printf "  %s\n" id) serial_ids;
+  Printf.printf "\nsolver calls: serial-cold %d, incremental %d (%d saved by the verdict cache)\n"
+    serial_stats.Engine.Stats.solver_calls inc_stats.Engine.Stats.solver_calls
+    (Engine.Stats.solver_calls_saved inc_stats);
+  Printf.printf "slowest jobs (serial-cold):\n%s\n"
+    (Engine.Stats.slowest_jobs ~n:3 serial_stats);
+  let check cond msg =
+    if cond then Printf.printf "OK: %s\n" msg
+    else begin
+      Printf.printf "FAIL: %s\n" msg;
+      exit 1
+    end
+  in
+  check (serial_ids = par_ids) "findings identical, jobs=1 vs jobs=4 (cold)";
+  check (serial_ids = inc_ids) "findings identical, cold vs incremental+cached";
+  check (serial_ids = par_inc_ids) "findings identical, jobs=4 incremental+cached";
+  check
+    (inc_stats.Engine.Stats.solver_calls < serial_stats.Engine.Stats.solver_calls)
+    (Printf.sprintf "cached run makes strictly fewer solver calls (%d < %d)"
+       inc_stats.Engine.Stats.solver_calls serial_stats.Engine.Stats.solver_calls);
+  check
+    (inc_stats.Engine.Stats.report_hits + inc_stats.Engine.Stats.incremental_reuses
+     > 0)
+    "incremental/report layers reused work"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -174,11 +271,21 @@ let all_experiments : (string * (unit -> unit)) list =
     ("system-scan", run_system_scan);
     ("composition", run_composition);
     ("ci", run_ci);
+    ("engine", run_engine_bench);
     ("micro", run_micro);
   ]
 
 let () =
-  let args = Array.to_list Sys.argv in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke_flag := true;
+          false
+        end
+        else true)
+      (Array.to_list Sys.argv)
+  in
   match args with
   | _ :: "--experiment" :: name :: _ -> (
       match List.assoc_opt name all_experiments with

@@ -8,6 +8,7 @@
      check             learn from a case's first ticket and enforce the
                        rulebook against a chosen stage
      ci                replay a case's gated version history
+     engine            whole-system scan through the enforcement engine
      run-tests         run a corpus program's test suite (any case/stage)
      parse             parse and typecheck a MiniJava file from disk *)
 
@@ -48,6 +49,17 @@ let case_arg =
 let stage_arg =
   let doc = "Stage of the case's history (0 = original buggy version)." in
   Arg.(value & opt int 2 & info [ "stage" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the enforcement engine.  Defaults to the machine's \
+     recommended domain count minus one (never below 1); $(b,--jobs 1) runs \
+     on the calling domain and is bit-for-bit deterministic."
+  in
+  Arg.(
+    value
+    & opt int (Engine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* ------------------------------------------------------------------ *)
 
@@ -165,11 +177,29 @@ let report_cmd =
     Term.(const (fun () c s -> run c s) $ logs_t $ case_arg $ stage_arg)
 
 let ci_cmd =
-  let run case_id =
-    print_endline (Lisa.Ci.run_to_string (Lisa.Ci.replay (find_case_exn case_id)))
+  let run case_id jobs =
+    print_endline
+      (Lisa.Ci.run_to_string (Lisa.Ci.replay ~jobs (find_case_exn case_id)))
   in
   Cmd.v (Cmd.info "ci" ~doc:"Replay a case's gated version history")
-    Term.(const (fun () c -> run c) $ logs_t $ case_arg)
+    Term.(const (fun () c j -> run c j) $ logs_t $ case_arg $ jobs_arg)
+
+let engine_cmd =
+  let run jobs =
+    let engine_config =
+      { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
+    in
+    print_string
+      (Lisa.System_scan.print_with_stats
+         (Lisa.System_scan.run_engine ~engine_config ()))
+  in
+  Cmd.v
+    (Cmd.info "engine"
+       ~doc:
+         "Run the whole-system scan (every rulebook against releases \
+          v1/v2/v3/v5) through the parallel, incremental, cached enforcement \
+          engine and print its statistics")
+    Term.(const (fun () j -> run j) $ logs_t $ jobs_arg)
 
 let run_tests_cmd =
   let run case_id stage =
@@ -237,6 +267,7 @@ let () =
             check_cmd;
             report_cmd;
             ci_cmd;
+            engine_cmd;
             run_tests_cmd;
             parse_cmd;
           ]))

@@ -1,0 +1,30 @@
+(** Generic mutex-protected memo cache with hit/miss counters and
+    bounded epoch eviction (clear-on-overflow).  Safe to share across the
+    engine's worker domains. *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> name:string -> unit -> ('k, 'v) t
+
+val name : ('k, 'v) t -> string
+
+(** Counted lookup: bumps the hit or miss counter. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** Uncounted lookup. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Counted lookup, computing and storing on a miss ([compute] runs
+    outside the lock). *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val size : ('k, 'v) t -> int
+
+(** Clear entries and counters. *)
+val reset : ('k, 'v) t -> unit

@@ -1,0 +1,27 @@
+(** Incremental invalidation between consecutive program versions, via
+    [lib/diffing]'s structural diff plus call-graph regions.
+
+    Invalidation rule: a rule is re-enforced iff a method of its region
+    changed, an added/removed statement matches its target spec, or it is
+    a lock rule (whole-program region) and anything changed.  Unaffected
+    rules reuse their previous report verbatim. *)
+
+open Minilang
+
+type change_summary = {
+  ch_methods : string list;
+      (** qualified names added, removed, or changed, sorted *)
+  ch_stmt_texts : string list;
+      (** printed heads of every added/removed statement, including every
+          statement of added/removed methods *)
+}
+
+val no_changes : change_summary -> bool
+
+(** Structural diff of two versions, summarized for invalidation. *)
+val summarize : prev:Ast.program -> cur:Ast.program -> change_summary
+
+(** Must [rule] be re-enforced after [changes]?  [region] is the method
+    set recorded when the rule last ran. *)
+val rule_affected :
+  change_summary -> region:string list -> Semantics.Rule.t -> bool

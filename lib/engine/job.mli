@@ -1,0 +1,43 @@
+(** The engine's job model: one job per (program-version fingerprint ×
+    rule), with deterministic digest ids and a cost-estimate priority
+    (most-expensive-first minimizes the parallel makespan tail; ties
+    break on job id so scheduling is fully deterministic). *)
+
+type t = {
+  job_id : string;  (** digest of (program fingerprint, rule id) *)
+  rule_id : string;
+  key : string;  (** report-cache key ({!Fingerprint.job_key}) *)
+  priority : int;  (** estimated cost; higher schedules earlier *)
+  prepared : Checker.prepared;
+}
+
+(** Estimated dynamic-phase cost (tests × static paths for guards; a
+    large constant plus the suite size for lock rules). *)
+val estimate_cost : Checker.prepared -> int
+
+val make : program_fp:string -> key:string -> Checker.prepared -> t
+
+(** Strict scheduling order: higher priority first, job-id tie-break. *)
+val before : t -> t -> bool
+
+(** Array-backed binary max-heap over {!before}. *)
+module Heap : sig
+  type job = t
+
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> job -> unit
+
+  val pop : t -> job option
+
+  val of_list : job list -> t
+end
+
+(** Jobs in scheduling order (heap drain; deterministic). *)
+val schedule : t list -> t list

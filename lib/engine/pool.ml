@@ -1,0 +1,51 @@
+(** Domain-based worker pool (OCaml 5, no external dependencies).
+
+    [map ~jobs f items] applies [f] to every item and returns the
+    results in input order.  With [jobs <= 1] it is a plain [Array.map]
+    on the calling domain — bit-for-bit the serial semantics, which is
+    what keeps tier-1 tests stable.  With [jobs > 1] it spawns up to
+    [jobs] domains that drain a shared atomic index; because results land
+    in their input slot, the output is identical for every pool width as
+    long as [f] is deterministic per item (the checker's dynamic phase
+    is: it shares no mutable state apart from the mutex-protected
+    caches, whose hits return the same verdicts the misses compute).
+
+    An exception in any worker is caught, the surviving workers finish
+    their current items, and the first exception (by input index, so
+    deterministically the same one) is re-raised on the caller. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ~(jobs : int) (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then Array.map f items
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (match f items.(i) with v -> Ok v | exception e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index below [n] was claimed *))
+      results
+  end
+
+(** [map] over a list. *)
+let map_list ~(jobs : int) (f : 'a -> 'b) (items : 'a list) : 'b list =
+  Array.to_list (map ~jobs f (Array.of_list items))

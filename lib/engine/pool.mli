@@ -1,0 +1,14 @@
+(** Domain-based worker pool.  [jobs <= 1] is a plain serial map on the
+    calling domain (bit-for-bit deterministic); [jobs > 1] spawns up to
+    [jobs] domains draining a shared atomic index, with results returned
+    in input order — so output is independent of the pool width whenever
+    the mapped function is deterministic per item.  Worker exceptions are
+    re-raised on the caller (first by input index). *)
+
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core to
+    the scheduler. *)
+val default_jobs : unit -> int
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

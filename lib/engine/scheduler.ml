@@ -1,0 +1,203 @@
+(** The enforcement engine: job-scheduled, parallel, incremental, cached
+    rulebook enforcement.
+
+    One [enforce] call turns a (program version, rulebook) pair into one
+    job per rule and drains the job queue through four layers, cheapest
+    first:
+
+    1. {e incremental pre-pass} — if this engine enforced a previous
+       version, diff the two ({!Incremental}) and reuse the previous
+       report for every rule whose region is untouched (no prepare, no
+       fingerprint, no execution);
+    2. {e report cache} — remaining rules run {!Checker.prepare} (cheap
+       statics) and look up their {!Fingerprint.job_key}; a hit returns
+       the memoized report;
+    3. {e worker pool} — true misses become prioritized jobs executed on
+       {!Pool} ([jobs = 1] is bit-for-bit the serial semantics);
+    4. {e SMT verdict cache} — inside every executed job, path-condition
+       judgments go through {!Smt.Memo}.
+
+    Reports come back in rulebook order regardless of pool width, and
+    every layer can be disabled independently (the cold-serial
+    configuration reproduces the historic [Checker.check_book]
+    behaviour exactly). *)
+
+open Minilang
+
+type config = {
+  jobs : int;  (** worker domains; 1 = serial on the calling domain *)
+  report_cache : bool;  (** layer 2: fingerprint-keyed report memo *)
+  smt_cache : bool;  (** layer 4: {!Smt.Memo} verdict cache *)
+  incremental : bool;  (** layer 1: diff-based cross-version reuse *)
+  checker : Checker.config;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    report_cache = true;
+    smt_cache = true;
+    incremental = true;
+    checker = Checker.default_config;
+  }
+
+(** The cold, serial configuration: every layer off.  Reproduces the
+    historic one-shot checker exactly; the benchmark's baseline. *)
+let cold_config =
+  { default_config with report_cache = false; smt_cache = false; incremental = false }
+
+(* what the engine remembers about the last version it enforced *)
+type memory = {
+  mem_program : Ast.program;
+  mem_fp : string;
+  mem_entries : (string * (string list * Checker.rule_report)) list;
+      (** rule id -> (region at last run, report) *)
+}
+
+type t = {
+  config : config;
+  stats : Stats.t;
+  reports : (string, Checker.rule_report) Cache.t;
+  mutable last : memory option;
+}
+
+let create ?(config = default_config) () : t =
+  {
+    config;
+    stats = Stats.create ();
+    reports = Cache.create ~name:"reports" ();
+    last = None;
+  }
+
+let config t = t.config
+
+let stats t = t.stats
+
+let report_cache_size t = Cache.size t.reports
+
+(** Drop all cached state (reports and version memory). *)
+let invalidate t =
+  Cache.reset t.reports;
+  t.last <- None
+
+let no_change_summary =
+  { Incremental.ch_methods = []; Incremental.ch_stmt_texts = [] }
+
+(** Enforce a rulebook against a program version through the engine. *)
+let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
+    Checker.rule_report list =
+  let cfg = t.config in
+  let t0 = Unix.gettimeofday () in
+  let smt_hits0 = Smt.Memo.hits () and smt_misses0 = Smt.Memo.misses () in
+  let solver0 = Smt.Solver.solve_count () in
+  let memo_was = Smt.Memo.enabled () in
+  Smt.Memo.set_enabled cfg.smt_cache;
+  let rules = Semantics.Rulebook.rules book in
+  let program_fp = Fingerprint.program p in
+  (* layer 1: incremental pre-pass against the previous version *)
+  let reused, fresh =
+    match t.last with
+    | Some mem when cfg.incremental ->
+        let changes =
+          if mem.mem_fp = program_fp then no_change_summary
+          else Incremental.summarize ~prev:mem.mem_program ~cur:p
+        in
+        List.partition_map
+          (fun (rule : Semantics.Rule.t) ->
+            match List.assoc_opt rule.Semantics.Rule.rule_id mem.mem_entries with
+            | Some (region, report)
+              when not (Incremental.rule_affected changes ~region rule) ->
+                Either.Left (rule.Semantics.Rule.rule_id, (region, report))
+            | _ -> Either.Right rule)
+          rules
+    | _ -> ([], rules)
+  in
+  t.stats.Stats.incremental_reuses <-
+    t.stats.Stats.incremental_reuses + List.length reused;
+  (* layer 2: prepare the rest and consult the report cache *)
+  let graph = Analysis.Callgraph.build p in
+  let methods = Fingerprint.methods p in
+  let prepared_rules =
+    List.map
+      (fun rule ->
+        let pr = Checker.prepare ~config:cfg.checker ~graph p rule in
+        let key = Fingerprint.job_key ~config:cfg.checker ~graph ~methods pr in
+        let region = Fingerprint.region graph pr in
+        (Job.make ~program_fp ~key pr, region))
+      fresh
+  in
+  let cached, to_run =
+    List.partition_map
+      (fun ((job : Job.t), region) ->
+        match if cfg.report_cache then Cache.find t.reports job.Job.key else None with
+        | Some report -> Either.Left (job.Job.rule_id, (region, report))
+        | None -> Either.Right (job, region))
+      prepared_rules
+  in
+  t.stats.Stats.report_hits <- t.stats.Stats.report_hits + List.length cached;
+  t.stats.Stats.report_misses <- t.stats.Stats.report_misses + List.length to_run;
+  (* layer 3: execute the misses on the worker pool, expensive first *)
+  let scheduled = Job.schedule (List.map fst to_run) in
+  let executed =
+    Pool.map_list ~jobs:cfg.jobs
+      (fun (job : Job.t) ->
+        let j0 = Unix.gettimeofday () in
+        let report = Checker.execute ~config:cfg.checker p job.Job.prepared in
+        (job, report, Unix.gettimeofday () -. j0))
+      scheduled
+  in
+  let region_of_job (job : Job.t) =
+    match
+      List.find_opt (fun ((j : Job.t), _) -> j.Job.job_id = job.Job.job_id) to_run
+    with
+    | Some (_, region) -> region
+    | None -> []
+  in
+  let ran =
+    List.map
+      (fun ((job : Job.t), report, wall) ->
+        if cfg.report_cache then Cache.add t.reports job.Job.key report;
+        t.stats.Stats.jobs_run <- t.stats.Stats.jobs_run + 1;
+        t.stats.Stats.job_times <-
+          {
+            Stats.jt_job_id = job.Job.job_id;
+            Stats.jt_rule_id = job.Job.rule_id;
+            Stats.jt_wall_s = wall;
+          }
+          :: t.stats.Stats.job_times;
+        (job.Job.rule_id, (region_of_job job, report)))
+      executed
+  in
+  (* assemble in rulebook order and refresh the version memory *)
+  let entries = reused @ cached @ ran in
+  let reports_in_order =
+    List.map
+      (fun (rule : Semantics.Rule.t) ->
+        match List.assoc_opt rule.Semantics.Rule.rule_id entries with
+        | Some (_, report) -> report
+        | None -> assert false (* every rule fell into exactly one layer *))
+      rules
+  in
+  t.last <- Some { mem_program = p; mem_fp = program_fp; mem_entries = entries };
+  (* bookkeeping *)
+  Smt.Memo.set_enabled memo_was;
+  t.stats.Stats.enforcements <- t.stats.Stats.enforcements + 1;
+  t.stats.Stats.smt_hits <-
+    t.stats.Stats.smt_hits + (Smt.Memo.hits () - smt_hits0);
+  t.stats.Stats.smt_misses <-
+    t.stats.Stats.smt_misses + (Smt.Memo.misses () - smt_misses0);
+  t.stats.Stats.solver_calls <-
+    t.stats.Stats.solver_calls + (Smt.Solver.solve_count () - solver0);
+  t.stats.Stats.wall_s <- t.stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  reports_in_order
+
+(** The reports that carry violations. *)
+let findings (reports : Checker.rule_report list) : Checker.rule_report list =
+  List.filter Checker.has_violations reports
+
+(** Violating rule ids of an enforcement, in rulebook order — the
+    stable summary benchmarks and tests compare across configurations. *)
+let finding_ids (reports : Checker.rule_report list) : string list =
+  List.map
+    (fun (r : Checker.rule_report) -> r.Checker.rep_rule.Semantics.Rule.rule_id)
+    (findings reports)

@@ -1,0 +1,73 @@
+(** Engine run statistics.
+
+    One record per {!Scheduler.t}, accumulated across every [enforce]
+    call the engine serves.  "Solver calls saved" counts SMT verdict
+    cache hits — each one is a {!Smt.Solver.solve} invocation that did
+    not happen — plus nothing else: report reuse savings show up
+    indirectly as the drop in [solver_calls] itself. *)
+
+type job_time = {
+  jt_job_id : string;
+  jt_rule_id : string;
+  jt_wall_s : float;  (** dynamic-phase wall time of this job *)
+}
+
+type t = {
+  mutable enforcements : int;  (** [enforce] calls served *)
+  mutable jobs_run : int;  (** dynamic phases actually executed *)
+  mutable report_hits : int;  (** jobs answered from the report cache *)
+  mutable report_misses : int;
+  mutable incremental_reuses : int;
+      (** jobs skipped by the diff-based incremental pre-pass (no
+          fingerprinting, no prepare: the previous report was reused) *)
+  mutable smt_hits : int;  (** verdict-cache hits during our runs *)
+  mutable smt_misses : int;
+  mutable solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
+  mutable wall_s : float;  (** total [enforce] wall time *)
+  mutable job_times : job_time list;  (** newest first *)
+}
+
+let create () =
+  {
+    enforcements = 0;
+    jobs_run = 0;
+    report_hits = 0;
+    report_misses = 0;
+    incremental_reuses = 0;
+    smt_hits = 0;
+    smt_misses = 0;
+    solver_calls = 0;
+    wall_s = 0.;
+    job_times = [];
+  }
+
+let reset (s : t) =
+  s.enforcements <- 0;
+  s.jobs_run <- 0;
+  s.report_hits <- 0;
+  s.report_misses <- 0;
+  s.incremental_reuses <- 0;
+  s.smt_hits <- 0;
+  s.smt_misses <- 0;
+  s.solver_calls <- 0;
+  s.wall_s <- 0.;
+  s.job_times <- []
+
+(** SMT verdict-cache hits: solver invocations that never happened. *)
+let solver_calls_saved (s : t) : int = s.smt_hits
+
+let to_string (s : t) : string =
+  Fmt.str
+    "engine: %d enforcement(s), %d job(s) run, report cache %d/%d hit/miss, %d \
+     incremental reuse(s), smt cache %d/%d hit/miss, %d solver call(s) (%d \
+     saved), %.3fs wall"
+    s.enforcements s.jobs_run s.report_hits s.report_misses s.incremental_reuses
+    s.smt_hits s.smt_misses s.solver_calls (solver_calls_saved s) s.wall_s
+
+(** The [n] slowest jobs, one per line. *)
+let slowest_jobs ?(n = 5) (s : t) : string =
+  s.job_times
+  |> List.sort (fun a b -> compare b.jt_wall_s a.jt_wall_s)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map (fun jt -> Fmt.str "  %-24s %8.1f ms" jt.jt_rule_id (1000. *. jt.jt_wall_s))
+  |> String.concat "\n"

@@ -1,0 +1,35 @@
+(** Engine run statistics: jobs run, cache hits/misses, incremental
+    reuses, solver calls (and calls saved by the verdict cache), wall
+    time overall and per job. *)
+
+type job_time = {
+  jt_job_id : string;
+  jt_rule_id : string;
+  jt_wall_s : float;  (** dynamic-phase wall time of this job *)
+}
+
+type t = {
+  mutable enforcements : int;  (** [enforce] calls served *)
+  mutable jobs_run : int;  (** dynamic phases actually executed *)
+  mutable report_hits : int;
+  mutable report_misses : int;
+  mutable incremental_reuses : int;
+      (** jobs skipped wholesale by the diff-based incremental pre-pass *)
+  mutable smt_hits : int;
+  mutable smt_misses : int;
+  mutable solver_calls : int;
+  mutable wall_s : float;
+  mutable job_times : job_time list;  (** newest first *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** SMT verdict-cache hits: solver invocations that never happened. *)
+val solver_calls_saved : t -> int
+
+val to_string : t -> string
+
+(** The [n] slowest jobs (default 5), one per line. *)
+val slowest_jobs : ?n:int -> t -> string

@@ -5,7 +5,12 @@
     rulebook.  When a fix lands, its ticket is fed through the learning
     pipeline and the accepted rules extend the rulebook — so the next
     commit that re-violates the semantics is blocked before release,
-    instead of after the next production incident. *)
+    instead of after the next production incident.
+
+    Enforcement goes through the {!Engine} scheduler: one engine per
+    replay, so stage N+1 reuses stage N's clean reports for every rule
+    whose region the commit left untouched, and the SMT verdict cache
+    spans the whole history. *)
 
 type event =
   | Shipped of { stage : int; tests : int }
@@ -13,7 +18,12 @@ type event =
   | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
   | Test_failure of { stage : int; failures : string list }
 
-type run = { case_id : string; events : event list; book : Semantics.Rulebook.t }
+type run = {
+  case_id : string;
+  events : event list;
+  book : Semantics.Rulebook.t;
+  stats : Engine.Stats.t;  (** the replay engine's counters *)
+}
 
 let run_tests (p : Minilang.Ast.program) : string list =
   List.filter_map
@@ -25,9 +35,21 @@ let run_tests (p : Minilang.Ast.program) : string list =
 
 (** Replay one case's history through the gate.
 
-    [enforce_from] is the first stage at which the rulebook gate is armed
-    (rules exist only after the first incident is learned). *)
-let replay ?(config = Pipeline.default_config) (c : Corpus.Case.t) : run =
+    [jobs] is the engine's worker-pool width (1 = serial, deterministic
+    bit-for-bit).  Rules exist only after the first incident is learned,
+    so the rulebook gate arms itself as the history unfolds. *)
+let replay ?(config = Pipeline.default_config) ?(jobs = 1) (c : Corpus.Case.t) :
+    run =
+  let engine =
+    Engine.Scheduler.create
+      ~config:
+        {
+          Engine.Scheduler.default_config with
+          Engine.Scheduler.jobs;
+          checker = config.Pipeline.checker;
+        }
+      ()
+  in
   let book = Semantics.Rulebook.create ~system:c.Corpus.Case.system in
   let events = ref [] in
   let push e = events := e :: !events in
@@ -37,8 +59,8 @@ let replay ?(config = Pipeline.default_config) (c : Corpus.Case.t) : run =
     let failures = run_tests p in
     if failures <> [] then push (Test_failure { stage; failures })
     else begin
-      (* 2. the LISA gate: the accumulated rulebook *)
-      let reports = Pipeline.enforce ~config p book in
+      (* 2. the LISA gate: the accumulated rulebook, via the engine *)
+      let reports = Pipeline.enforce_with engine p book in
       let findings = Pipeline.findings reports in
       if findings <> [] then push (Blocked { stage; findings })
       else
@@ -59,7 +81,12 @@ let replay ?(config = Pipeline.default_config) (c : Corpus.Case.t) : run =
                rejected = List.length outcome.Pipeline.rejected;
              })
   done;
-  { case_id = c.Corpus.Case.case_id; events = List.rev !events; book }
+  {
+    case_id = c.Corpus.Case.case_id;
+    events = List.rev !events;
+    book;
+    stats = Engine.Scheduler.stats engine;
+  }
 
 let blocked_stages (r : run) : int list =
   List.filter_map (function Blocked { stage; _ } -> Some stage | _ -> None) r.events
@@ -80,5 +107,6 @@ let event_to_string = function
       Fmt.str "v%d test failures: %s" stage (String.concat "; " failures)
 
 let run_to_string (r : run) : string =
-  Fmt.str "=== CI history for %s ===\n%s" r.case_id
+  Fmt.str "=== CI history for %s ===\n%s\n[%s]" r.case_id
     (String.concat "\n" (List.map event_to_string r.events))
+    (Engine.Stats.to_string r.stats)

@@ -1,6 +1,8 @@
-(** CI/CD enforcement: replay a case's version history through a gated
-    pipeline (tests + accumulated rulebook); fixes feed the learning
-    pipeline, so later regressions are blocked at commit time. *)
+(** CI/CD enforcement: gated replay of a case's version history (the
+    paper's executable-contract vision), engine-backed — one
+    {!Engine.Scheduler} per replay, so later stages reuse earlier
+    stages' clean reports for rules whose region a commit left
+    untouched. *)
 
 type event =
   | Shipped of { stage : int; tests : int }
@@ -8,11 +10,21 @@ type event =
   | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
   | Test_failure of { stage : int; failures : string list }
 
-type run = { case_id : string; events : event list; book : Semantics.Rulebook.t }
+type run = {
+  case_id : string;
+  events : event list;
+  book : Semantics.Rulebook.t;
+  stats : Engine.Stats.t;  (** the replay engine's counters *)
+}
 
-(** Replay one case's history through the gate. *)
-val replay : ?config:Pipeline.config -> Corpus.Case.t -> run
+(** Failing tests of a version, rendered. *)
+val run_tests : Minilang.Ast.program -> string list
 
+(** Replay a case's history through the gate.  [jobs] (default 1) is the
+    engine worker-pool width; 1 is bit-for-bit deterministic. *)
+val replay : ?config:Pipeline.config -> ?jobs:int -> Corpus.Case.t -> run
+
+(** Stages blocked by the rulebook gate. *)
 val blocked_stages : run -> int list
 
 val event_to_string : event -> string

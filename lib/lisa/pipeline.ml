@@ -131,5 +131,20 @@ let enforce ?(config = default_config) (p : Minilang.Ast.program)
     reports;
   reports
 
+(** Enforce a rulebook through a running enforcement engine: same report
+    contract and logging as {!enforce}, but scheduling, parallelism, and
+    caching are the engine's ({!Engine.Scheduler.enforce}). *)
+let enforce_with (engine : Engine.Scheduler.t) (p : Minilang.Ast.program)
+    (book : Semantics.Rulebook.t) : Checker.rule_report list =
+  Log.info "engine-enforcing %d rule(s) of the %s rulebook"
+    (Semantics.Rulebook.size book) book.Semantics.Rulebook.system;
+  let reports = Engine.Scheduler.enforce engine p book in
+  List.iter
+    (fun (r : Checker.rule_report) ->
+      if Checker.has_violations r then Log.warn "%s" (Checker.report_summary r)
+      else Log.debug "%s" (Checker.report_summary r))
+    reports;
+  reports
+
 let findings (reports : Checker.rule_report list) : Checker.rule_report list =
   List.filter Checker.has_violations reports

@@ -43,5 +43,13 @@ val enforce :
   Semantics.Rulebook.t ->
   Checker.rule_report list
 
+(** Enforce a rulebook through a running enforcement engine (same report
+    contract as {!enforce}; scheduling/caching are the engine's). *)
+val enforce_with :
+  Engine.Scheduler.t ->
+  Minilang.Ast.program ->
+  Semantics.Rulebook.t ->
+  Checker.rule_report list
+
 (** The reports that carry violations. *)
 val findings : Checker.rule_report list -> Checker.rule_report list

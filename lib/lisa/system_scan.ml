@@ -8,6 +8,12 @@
     v2 (everything regressed), v3 (regressions fixed) and v5 ("latest",
     carrying the two §4 unknown bugs).
 
+    The 4-system × 4-version sweep is one engine run: a single
+    {!Engine.Scheduler} serves all sixteen enforcements, so versions
+    that leave a rule's region untouched (v3 → v5 for every already-
+    stable case) reuse cached reports, and repeated path conditions hit
+    the SMT verdict cache across the whole scan.
+
     Shape to expect: v1 clean, one finding per case at v2, v3 clean again,
     and exactly the HBASE-29296 / HDFS-17768 paths at v5 — with zero
     cross-feature false positives, which is only true because rule
@@ -36,10 +42,8 @@ let learn_system_book ?(config = Pipeline.default_config) (system : string) :
   let book, _ = Pipeline.learn_all ~config ~system tickets in
   book
 
-let scan_version ?(config = Pipeline.default_config) (system : string)
-    (book : Semantics.Rulebook.t) (version : int) : version_row =
-  let p = Corpus.Registry.system_program system ~version in
-  let reports = Pipeline.enforce ~config p book in
+let row_of_reports (book : Semantics.Rulebook.t) (version : int)
+    (reports : Checker.rule_report list) : version_row =
   {
     vr_version = version;
     vr_rules = Semantics.Rulebook.size book;
@@ -60,15 +64,40 @@ let scan_version ?(config = Pipeline.default_config) (system : string)
         0 reports;
   }
 
+let scan_version ?(config = Pipeline.default_config) (system : string)
+    (book : Semantics.Rulebook.t) (version : int) : version_row =
+  let p = Corpus.Registry.system_program system ~version in
+  row_of_reports book version (Pipeline.enforce ~config p book)
+
+(** The whole scan as one engine run.  Returns per-system rows plus the
+    engine's accumulated statistics. *)
+let run_engine ?(config = Pipeline.default_config)
+    ?(engine_config = Engine.Scheduler.default_config) () :
+    system_result list * Engine.Stats.t =
+  let engine =
+    Engine.Scheduler.create
+      ~config:{ engine_config with Engine.Scheduler.checker = config.Pipeline.checker }
+      ()
+  in
+  let results =
+    List.map
+      (fun system ->
+        let book = learn_system_book ~config system in
+        {
+          sys_name = system;
+          sys_rows =
+            List.map
+              (fun version ->
+                let p = Corpus.Registry.system_program system ~version in
+                row_of_reports book version (Pipeline.enforce_with engine p book))
+              [ 1; 2; 3; 5 ];
+        })
+      Corpus.Registry.systems
+  in
+  (results, Engine.Scheduler.stats engine)
+
 let run ?(config = Pipeline.default_config) () : system_result list =
-  List.map
-    (fun system ->
-      let book = learn_system_book ~config system in
-      {
-        sys_name = system;
-        sys_rows = List.map (scan_version ~config system book) [ 1; 2; 3; 5 ];
-      })
-    Corpus.Registry.systems
+  fst (run_engine ~config ())
 
 let print (results : system_result list) : string =
   let buf = Buffer.create 1024 in
@@ -93,3 +122,7 @@ let print (results : system_result list) : string =
   pf "expected shape: v1 and v3 clean; one finding per case at v2; only the";
   pf "two Section-4 unknown bugs at v5; no cross-feature false positives.";
   Buffer.contents buf
+
+let print_with_stats ((results, stats) : system_result list * Engine.Stats.t) :
+    string =
+  print results ^ "\n" ^ Engine.Stats.to_string stats ^ "\n"

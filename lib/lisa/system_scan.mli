@@ -1,6 +1,8 @@
 (** Experiment E11 — whole-system enforcement: one rulebook per system
     (learned from every original incident), enforced on the assembled
-    releases v1/v2/v3/v5. *)
+    releases v1/v2/v3/v5.  The 4-system × 4-version sweep is a single
+    {!Engine.Scheduler} run, so unchanged-region versions reuse cached
+    reports and repeated path conditions hit the SMT verdict cache. *)
 
 type version_row = {
   vr_version : int;
@@ -15,9 +17,20 @@ type system_result = { sys_name : string; sys_rows : version_row list }
 
 val learn_system_book : ?config:Pipeline.config -> string -> Semantics.Rulebook.t
 
+(** One version through the plain serial pipeline (no engine). *)
 val scan_version :
   ?config:Pipeline.config -> string -> Semantics.Rulebook.t -> int -> version_row
 
+(** The whole scan as one engine run, with the engine's statistics. *)
+val run_engine :
+  ?config:Pipeline.config ->
+  ?engine_config:Engine.Scheduler.config ->
+  unit ->
+  system_result list * Engine.Stats.t
+
+(** [run_engine] with the default engine, rows only. *)
 val run : ?config:Pipeline.config -> unit -> system_result list
 
 val print : system_result list -> string
+
+val print_with_stats : system_result list * Engine.Stats.t -> string

@@ -1,0 +1,102 @@
+(** Global SMT verdict cache.
+
+    The enforcement engine re-decides the same path-condition formulas
+    over and over: consecutive program versions share most of their
+    traces, and every rule of a book re-explores overlapping paths.  This
+    module wraps {!Solver.solve} / {!Solver.check_trace} with a memo
+    table keyed by the canonical rendering of the simplified formula —
+    two queries with the same key denote the same formula, so a cached
+    verdict is always sound to reuse.
+
+    The cache is process-global and mutex-protected (the engine's worker
+    domains share it), disabled by default so that code paths outside the
+    engine behave exactly as before.  Hit/miss counters feed the engine's
+    "solver calls saved" statistic. *)
+
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+
+let lock = Mutex.create ()
+
+let table : (string, Solver.verdict) Hashtbl.t = Hashtbl.create 1024
+
+let max_entries = 1 lsl 17
+
+let hit_count = ref 0
+
+let miss_count = ref 0
+
+let hits () =
+  Mutex.lock lock;
+  let n = !hit_count in
+  Mutex.unlock lock;
+  n
+
+let misses () =
+  Mutex.lock lock;
+  let n = !miss_count in
+  Mutex.unlock lock;
+  n
+
+let size () =
+  Mutex.lock lock;
+  let n = Hashtbl.length table in
+  Mutex.unlock lock;
+  n
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  hit_count := 0;
+  miss_count := 0;
+  Mutex.unlock lock
+
+(* The cache key: print the simplified formula.  [Formula.simplify]
+   dedups and flattens (modulo canonical atoms) and printing is
+   injective on the simplified structure, so equal keys imply equal
+   formulas — the soundness requirement.  Syntactically different but
+   equivalent formulas may miss; that only costs a solver call. *)
+let key_of (f : Formula.t) : string * Formula.t =
+  let s = Formula.simplify f in
+  (Formula.to_string s, s)
+
+(** [solve f]: like {!Solver.solve}, but consults the verdict cache when
+    enabled.  Verdicts (including models) are deterministic functions of
+    the formula, so cached and uncached runs agree. *)
+let solve (f : Formula.t) : Solver.verdict =
+  if not (enabled ()) then Solver.solve f
+  else begin
+    let key, simplified = key_of f in
+    let cached =
+      Mutex.lock lock;
+      let r = Hashtbl.find_opt table key in
+      (match r with Some _ -> incr hit_count | None -> incr miss_count);
+      Mutex.unlock lock;
+      r
+    in
+    match cached with
+    | Some v -> v
+    | None ->
+        let v = Solver.solve simplified in
+        Mutex.lock lock;
+        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+        Hashtbl.replace table key v;
+        Mutex.unlock lock;
+        v
+  end
+
+(** Cached complement check (same contract as {!Solver.check_trace}). *)
+let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
+  match solve (Formula.And [ pc; Formula.Not checker ]) with
+  | Solver.Unsat -> Solver.Verified
+  | Solver.Sat model -> Solver.Violation model
+
+(** Cached direct check (same contract as {!Solver.check_trace_direct}). *)
+let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) :
+    Solver.trace_check =
+  match solve (Formula.And [ pc; checker ]) with
+  | Solver.Unsat -> Solver.Violation []
+  | Solver.Sat _ -> Solver.Verified

@@ -1,0 +1,36 @@
+(** Global SMT verdict cache wrapping {!Solver}.
+
+    Keyed by the canonical rendering of the simplified formula: equal
+    keys denote equal formulas, so reusing a verdict is always sound.
+    Process-global, mutex-protected (safe to share across the engine's
+    worker domains), and disabled by default — when disabled every call
+    passes straight through to {!Solver}. *)
+
+(** Turn the cache on or off (default: off). *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** Like {!Solver.solve}, consulting the cache when enabled.  Verdicts
+    are deterministic functions of the formula, so cached and uncached
+    runs agree (see the qcheck property in [test/test_engine.ml]). *)
+val solve : Formula.t -> Solver.verdict
+
+(** Cached complement check; contract of {!Solver.check_trace}. *)
+val check_trace : pc:Formula.t -> checker:Formula.t -> Solver.trace_check
+
+(** Cached direct check; contract of {!Solver.check_trace_direct}. *)
+val check_trace_direct :
+  pc:Formula.t -> checker:Formula.t -> Solver.trace_check
+
+(** {1 Counters} *)
+
+val hits : unit -> int
+
+val misses : unit -> int
+
+(** Number of formulas currently cached. *)
+val size : unit -> int
+
+(** Clear the table and zero the counters. *)
+val reset : unit -> unit

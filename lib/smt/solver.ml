@@ -18,6 +18,15 @@ type verdict = Sat of (Formula.atom * bool) list | Unsat
 
 let verdict_is_sat = function Sat _ -> true | Unsat -> false
 
+(* Calls to [solve] since the last reset.  Atomic so the engine's worker
+   domains can share the counter; the enforcement engine reads it to
+   report how many solver invocations a cached run saved. *)
+let solve_calls = Atomic.make 0
+
+let solve_count () = Atomic.get solve_calls
+
+let reset_solve_count () = Atomic.set solve_calls 0
+
 (* three-valued evaluation of a formula under a partial atom assignment *)
 let rec eval3 (assign : (Formula.atom * bool) list) (f : Formula.t) : bool option =
   match f with
@@ -49,18 +58,83 @@ let rec eval3 (assign : (Formula.atom * bool) list) (f : Formula.t) : bool optio
 let lits_of_assign (assign : (Formula.atom * bool) list) : Theory.lit list =
   List.map (fun (a, sign) -> Theory.lit sign a) assign
 
+(* ------------------------------------------------------------------ *)
+(* Theory-consistency memo                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [Theory.consistent] is called on every node of the DPLL search tree,
+   and under engine traffic the same partial assignments recur across
+   thousands of structurally similar path conditions.  Memoize verdicts
+   globally, keyed by the order-insensitive rendering of the literal set.
+   Mutex-protected (worker domains share the table); bounded by epoch
+   clearing so it cannot grow without bound. *)
+let theory_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+
+let theory_memo_lock = Mutex.create ()
+
+let theory_memo_max = 1 lsl 16
+
+let lit_key (a, sign) =
+  (if sign then "+" else "-") ^ Formula.atom_to_string (Formula.canon_atom a)
+
+let consistent_memo (assign : (Formula.atom * bool) list) : bool =
+  match assign with
+  | [] -> true
+  | _ -> (
+      let key = String.concat "&" (List.sort compare (List.map lit_key assign)) in
+      let cached =
+        Mutex.lock theory_memo_lock;
+        let r = Hashtbl.find_opt theory_memo key in
+        Mutex.unlock theory_memo_lock;
+        r
+      in
+      match cached with
+      | Some b -> b
+      | None ->
+          let b = Theory.consistent (lits_of_assign assign) in
+          Mutex.lock theory_memo_lock;
+          if Hashtbl.length theory_memo >= theory_memo_max then
+            Hashtbl.reset theory_memo;
+          Hashtbl.replace theory_memo key b;
+          Mutex.unlock theory_memo_lock;
+          b)
+
+(* ------------------------------------------------------------------ *)
+(* Branch ordering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Decision order for the backtracking search: most-occurring atoms first
+   (the classic DLIS-style static heuristic) — assigning an atom that
+   appears in many clauses lets the three-valued evaluation collapse the
+   formula earliest.  Ties keep first-occurrence order, so the search is
+   deterministic. *)
+let order_atoms (f : Formula.t) (atoms : Formula.atom list) : Formula.atom list =
+  let count = Hashtbl.create 16 in
+  let rec tally = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Atom a ->
+        let c = Formula.canon_atom a in
+        Hashtbl.replace count c (1 + Option.value ~default:0 (Hashtbl.find_opt count c))
+    | Formula.Not g -> tally g
+    | Formula.And fs | Formula.Or fs -> List.iter tally fs
+  in
+  tally f;
+  let occ a = Option.value ~default:0 (Hashtbl.find_opt count a) in
+  List.stable_sort (fun a b -> compare (occ b) (occ a)) atoms
+
 (** Decide satisfiability.  On success the model is a sign assignment to
     the formula's canonical atoms that satisfies both the boolean
     structure and the theory. *)
 let solve (f : Formula.t) : verdict =
+  Atomic.incr solve_calls;
   let f = Formula.simplify f in
   match f with
   | Formula.True -> Sat []
   | Formula.False -> Unsat
   | _ ->
-      let atoms = Formula.atoms f in
+      let atoms = order_atoms f (Formula.atoms f) in
       let rec search assign remaining =
-        if not (Theory.consistent (lits_of_assign assign)) then None
+        if not (consistent_memo assign) then None
         else
           match eval3 assign f with
           | Some false -> None

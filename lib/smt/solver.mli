@@ -8,6 +8,13 @@ type verdict = Sat of (Formula.atom * bool) list | Unsat
 
 val verdict_is_sat : verdict -> bool
 
+(** Number of [solve] invocations since the last {!reset_solve_count}.
+    Shared (atomically) across domains; the enforcement engine uses the
+    delta to report solver calls saved by caching. *)
+val solve_count : unit -> int
+
+val reset_solve_count : unit -> unit
+
 (** Decide satisfiability.  A [Sat] model assigns a sign to each canonical
     atom of the (simplified) formula. *)
 val solve : Formula.t -> verdict
