@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench chaos clean
 
 all: build
 
@@ -8,14 +8,20 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate plus the engine acceptance smoke: build, full test
-# suite, and the serial/parallel/incremental equivalence checks on the
-# zookeeper slice of the E11 workload.
+# The tier-1 gate plus the engine acceptance smokes: build, full test
+# suite, the serial/parallel/incremental equivalence checks, and the
+# chaos fault-injection invariants, both on the zookeeper slice of the
+# E11 workload.
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke && dune exec bench/main.exe -- --experiment chaos --smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Full chaos suite: all four systems, seeds 1-3, plus the jobs=4 leg
+# and the post-chaos byte-identical re-run check.
+chaos:
+	dune exec bench/main.exe -- --experiment chaos
 
 clean:
 	dune clean

@@ -11,6 +11,7 @@
      E9 noise        — §5 open question (i)
      CI              — the vision: gated histories for all 16 cases
      engine          — serial vs parallel vs incremental enforcement engine
+     chaos           — fault-injected enforcement (resilience invariants)
      micro           — Bechamel micro-benchmarks of every engine component
 
    `bench/main.exe` with no arguments runs everything;
@@ -173,6 +174,22 @@ let run_engine_bench () =
     "incremental/report layers reused work"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos suite                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* E11 workload under seeded fault plans; exits non-zero if any
+   resilience invariant fails (never crash, same-seed determinism,
+   findings subset of baseline, post-chaos run byte-identical). *)
+let run_chaos () =
+  section "CHAOS: fault-injected enforcement (resilience invariants)";
+  let result =
+    if !smoke_flag then Lisa.Chaos.run ~seeds:[ 1; 2 ] ~smoke:true ()
+    else Lisa.Chaos.run ()
+  in
+  print_string (Lisa.Chaos.print result);
+  if not (Lisa.Chaos.invariants_ok result) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +289,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("composition", run_composition);
     ("ci", run_ci);
     ("engine", run_engine_bench);
+    ("chaos", run_chaos);
     ("micro", run_micro);
   ]
 

@@ -143,7 +143,7 @@ let check_cmd =
                   t.Lisa.Checker.tv_method t.Lisa.Checker.tv_entry
                   (Smt.Formula.to_string t.Lisa.Checker.tv_pc)
                   (Smt.Solver.model_to_string m)
-            | Smt.Solver.Verified -> ())
+            | Smt.Solver.Verified | Smt.Solver.Undecided _ -> ())
           r.Lisa.Checker.rep_violations;
         List.iter
           (fun (f : Lisa.Checker.lock_finding) ->
@@ -178,20 +178,41 @@ let report_cmd =
 
 let ci_cmd =
   let run case_id jobs =
-    print_endline
-      (Lisa.Ci.run_to_string (Lisa.Ci.replay ~jobs (find_case_exn case_id)))
+    let r = Lisa.Ci.replay ~jobs (find_case_exn case_id) in
+    print_endline (Lisa.Ci.run_to_string r);
+    (* exit 2: the history replayed, but some stage's verdict is
+       best-effort (lost evidence) — distinct from eval errors (1) *)
+    if Lisa.Ci.degraded_stages r <> [] then exit 2
   in
   Cmd.v (Cmd.info "ci" ~doc:"Replay a case's gated version history")
     Term.(const (fun () c j -> run c j) $ logs_t $ case_arg $ jobs_arg)
 
 let engine_cmd =
-  let run jobs =
+  let fault_seed_arg =
+    let doc =
+      "Arm the deterministic fault injector with this seed before the scan \
+       (chaos mode: solver, concolic, oracle, and cache calls may fail)."
+    in
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Per-call fault probability when $(b,--fault-seed) is set." in
+    Arg.(value & opt float 0.05 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let run jobs fault_seed fault_rate =
+    (match fault_seed with
+    | Some seed ->
+        Resilience.Injector.arm (Resilience.Plan.make ~seed ~rate:fault_rate ())
+    | None -> ());
+    Fun.protect ~finally:Resilience.Injector.disarm @@ fun () ->
     let engine_config =
       { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
     in
-    print_string
-      (Lisa.System_scan.print_with_stats
-         (Lisa.System_scan.run_engine ~engine_config ()))
+    let results, stats = Lisa.System_scan.run_engine ~engine_config () in
+    print_string (Lisa.System_scan.print_with_stats (results, stats));
+    (* exit 3: some rules were quarantined — their verdicts are missing,
+       so the scan must not read as a clean pass *)
+    if stats.Engine.Stats.quarantined <> [] then exit 3
   in
   Cmd.v
     (Cmd.info "engine"
@@ -199,7 +220,9 @@ let engine_cmd =
          "Run the whole-system scan (every rulebook against releases \
           v1/v2/v3/v5) through the parallel, incremental, cached enforcement \
           engine and print its statistics")
-    Term.(const (fun () j -> run j) $ logs_t $ jobs_arg)
+    Term.(
+      const (fun () j s r -> run j s r)
+      $ logs_t $ jobs_arg $ fault_seed_arg $ fault_rate_arg)
 
 let run_tests_cmd =
   let run case_id stage =

@@ -57,7 +57,7 @@ let () =
                 \  a state admitted by the path: %s@."
                 t.Lisa.Checker.tv_method t.Lisa.Checker.tv_entry
                 (Smt.Solver.model_to_string m)
-          | Smt.Solver.Verified -> ())
+          | Smt.Solver.Verified | Smt.Solver.Undecided _ -> ())
         r.Lisa.Checker.rep_violations)
     reports;
   if !found then begin

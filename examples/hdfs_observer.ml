@@ -55,7 +55,7 @@ method scenario_empty_locations(): str {
           | Smt.Solver.Violation m ->
               Fmt.pr "  NEW BUG in %s: %s@." t.Lisa.Checker.tv_method
                 (Smt.Solver.model_to_string m)
-          | Smt.Solver.Verified -> ())
+          | Smt.Solver.Verified | Smt.Solver.Undecided _ -> ())
         r.Lisa.Checker.rep_violations)
     reports;
   Fmt.pr

@@ -106,7 +106,9 @@ let () =
       | Smt.Solver.Violation model ->
           Fmt.pr "VIOLATION %s — a reachable state slips past the checks: %s@."
             t.Lisa.Checker.tv_method
-            (Smt.Solver.model_to_string model))
+            (Smt.Solver.model_to_string model)
+      | Smt.Solver.Undecided reason ->
+          Fmt.pr "UNDECIDED %s — %s@." t.Lisa.Checker.tv_method reason)
     report.Lisa.Checker.rep_traces;
 
   (* the withdraw path verifies; instantTransfer misses the frozen check *)

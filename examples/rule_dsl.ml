@@ -51,7 +51,7 @@ let () =
             | Smt.Solver.Violation m ->
                 Fmt.pr "  VIOLATION in %s: %s@." t.Lisa.Checker.tv_method
                   (Smt.Solver.model_to_string m)
-            | Smt.Solver.Verified -> ())
+            | Smt.Solver.Verified | Smt.Solver.Undecided _ -> ())
           report.Lisa.Checker.rep_violations;
         List.iter
           (fun (f : Lisa.Checker.lock_finding) ->

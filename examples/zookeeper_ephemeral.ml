@@ -64,7 +64,7 @@ let () =
                 t.Lisa.Checker.tv_method
                 (Smt.Formula.to_string t.Lisa.Checker.tv_pc)
                 (Smt.Solver.model_to_string m)
-          | Smt.Solver.Verified -> ())
+          | Smt.Solver.Verified | Smt.Solver.Undecided _ -> ())
         r.Lisa.Checker.rep_violations)
     reports;
 

@@ -88,10 +88,58 @@ type rule_report = {
           sanity check" requirement of §3.2 (state-guard rules only) *)
   rep_branches_total : int;
   rep_branches_recorded : int;
+  rep_undecided : trace_verdict list;
+      (** subset of traces the solver could not judge (node budget hit,
+          circuit open, injected budget fault) *)
+  rep_degraded : string list;
+      (** degradation reasons: why this report may under-approximate the
+          truth — skipped/out-of-fuel concolic runs, undecided solver
+          verdicts, quarantined jobs.  Empty on a healthy run. *)
 }
 
 let has_violations (r : rule_report) =
   r.rep_violations <> [] || r.rep_lock_findings <> []
+
+(** A report that may under-approximate the truth: some of its evidence
+    was lost to budget exhaustion, open breakers, or quarantine.  A
+    degraded report without violations is "pass with an asterisk", never
+    a clean pass. *)
+let is_degraded (r : rule_report) = r.rep_degraded <> []
+
+(* runs whose outcome means "evidence lost", not "program misbehaved" *)
+let degraded_run_reasons (runs : Symexec.Concolic.run_result list) :
+    string list =
+  List.filter_map
+    (fun (r : Symexec.Concolic.run_result) ->
+      match r.Symexec.Concolic.r_outcome with
+      | Interp.Errored
+          (( "out of fuel" | "out of fuel (injected)"
+           | "circuit open: concolic run skipped" ) as msg) ->
+          Some (Fmt.str "concolic %s: %s" r.Symexec.Concolic.r_entry msg)
+      | _ -> None)
+    runs
+
+(** Placeholder report for a rule whose job exhausted its retries: no
+    evidence either way, the reason on record.  [rep_sanity_ok] is false
+    — a quarantined rule must never read as a verified one. *)
+let quarantined_report (rule : Semantics.Rule.t) ~(reason : string) :
+    rule_report =
+  {
+    rep_rule = rule;
+    rep_targets = 0;
+    rep_static_paths = 0;
+    rep_tests_run = [];
+    rep_traces = [];
+    rep_violations = [];
+    rep_verified = [];
+    rep_uncovered_paths = [];
+    rep_lock_findings = [];
+    rep_sanity_ok = false;
+    rep_branches_total = 0;
+    rep_branches_recorded = 0;
+    rep_undecided = [];
+    rep_degraded = [ Fmt.str "quarantined: %s" reason ];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Prepared jobs (static phase)                                        *)
@@ -202,9 +250,28 @@ let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
       (fun t -> match t.tv_result with Smt.Solver.Verified -> true | _ -> false)
       traces
   in
+  let undecided =
+    List.filter
+      (fun t ->
+        match t.tv_result with Smt.Solver.Undecided _ -> true | _ -> false)
+      traces
+  in
   let uncovered =
     List.filter (fun ep -> not (List.exists (fun h -> covers h ep) hits)) static_paths
     |> List.map Analysis.Paths.exec_path_to_string
+  in
+  let degraded =
+    degraded_run_reasons runs
+    @ List.map
+        (fun t ->
+          let why =
+            match t.tv_result with
+            | Smt.Solver.Undecided reason -> reason
+            | _ -> assert false
+          in
+          Fmt.str "solver undecided on %s (driven by %s): %s" t.tv_method
+            t.tv_entry why)
+        undecided
   in
   {
     rep_rule = pr.prep_rule;
@@ -221,6 +288,8 @@ let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
       List.fold_left (fun n r -> n + r.Symexec.Concolic.r_branches_total) 0 runs;
     rep_branches_recorded =
       List.fold_left (fun n r -> n + r.Symexec.Concolic.r_branches_recorded) 0 runs;
+    rep_undecided = undecided;
+    rep_degraded = degraded;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -326,6 +395,8 @@ let execute_lock_rule (config : config) (p : Ast.program) (pr : prepared)
     rep_sanity_ok = true;
     rep_branches_total = 0;
     rep_branches_recorded = 0;
+    rep_undecided = [];
+    rep_degraded = degraded_run_reasons runs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -384,14 +455,23 @@ let check_book ?(config = default_config) (p : Ast.program)
     (Semantics.Rulebook.rules book)
 
 let report_summary (r : rule_report) : string =
-  Fmt.str
-    "%s: targets=%d static_paths=%d tests=%d traces=%d verified=%d violations=%d \
-     uncovered=%d lock_findings=%d sanity=%b"
-    r.rep_rule.Semantics.Rule.rule_id r.rep_targets r.rep_static_paths
-    (List.length r.rep_tests_run)
-    (List.length r.rep_traces)
-    (List.length r.rep_verified)
-    (List.length r.rep_violations)
-    (List.length r.rep_uncovered_paths)
-    (List.length r.rep_lock_findings)
-    r.rep_sanity_ok
+  let base =
+    Fmt.str
+      "%s: targets=%d static_paths=%d tests=%d traces=%d verified=%d \
+       violations=%d uncovered=%d lock_findings=%d sanity=%b"
+      r.rep_rule.Semantics.Rule.rule_id r.rep_targets r.rep_static_paths
+      (List.length r.rep_tests_run)
+      (List.length r.rep_traces)
+      (List.length r.rep_verified)
+      (List.length r.rep_violations)
+      (List.length r.rep_uncovered_paths)
+      (List.length r.rep_lock_findings)
+      r.rep_sanity_ok
+  in
+  (* degraded counters only appear on degraded reports: the healthy-run
+     summary stays byte-identical to the pre-resilience checker *)
+  if r.rep_undecided = [] && r.rep_degraded = [] then base
+  else
+    Fmt.str "%s undecided=%d degraded=%d" base
+      (List.length r.rep_undecided)
+      (List.length r.rep_degraded)

@@ -59,9 +59,23 @@ type rule_report = {
           our sanity check" requirement (state-guard rules only) *)
   rep_branches_total : int;
   rep_branches_recorded : int;
+  rep_undecided : trace_verdict list;
+      (** subset of traces the solver could not judge (node budget hit,
+          circuit open, injected budget fault) *)
+  rep_degraded : string list;
+      (** degradation reasons: why this report may under-approximate the
+          truth.  Empty on a healthy run. *)
 }
 
 val has_violations : rule_report -> bool
+
+(** Some of this report's evidence was lost (budgets, breakers,
+    quarantine): a pass with an asterisk, never a clean pass. *)
+val is_degraded : rule_report -> bool
+
+(** Placeholder report for a rule whose job exhausted its retries: no
+    evidence either way, the reason on record, [rep_sanity_ok = false]. *)
+val quarantined_report : Semantics.Rule.t -> reason:string -> rule_report
 
 (** {1 The two-phase API used by the engine} *)
 

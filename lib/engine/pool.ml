@@ -1,24 +1,30 @@
 (** Domain-based worker pool (OCaml 5, no external dependencies).
 
-    [map ~jobs f items] applies [f] to every item and returns the
-    results in input order.  With [jobs <= 1] it is a plain [Array.map]
-    on the calling domain — bit-for-bit the serial semantics, which is
-    what keeps tier-1 tests stable.  With [jobs > 1] it spawns up to
-    [jobs] domains that drain a shared atomic index; because results land
-    in their input slot, the output is identical for every pool width as
-    long as [f] is deterministic per item (the checker's dynamic phase
-    is: it shares no mutable state apart from the mutex-protected
-    caches, whose hits return the same verdicts the misses compute).
+    [map_results ~jobs f items] applies [f] to every item and returns a
+    per-slot [('b, exn) result] array in input order — {e every} failed
+    job keeps its own exception in its own slot, so a caller can report
+    (and retry) each failure instead of losing all but the first.  With
+    [jobs <= 1] it runs serially on the calling domain — bit-for-bit
+    the serial semantics, which is what keeps tier-1 tests stable.
+    With [jobs > 1] it spawns up to [jobs] domains that drain a shared
+    atomic index; because results land in their input slot, the output
+    is identical for every pool width as long as [f] is deterministic
+    per item (the checker's dynamic phase is: it shares no mutable
+    state apart from the mutex-protected caches, whose hits return the
+    same verdicts the misses compute).
 
-    An exception in any worker is caught, the surviving workers finish
-    their current items, and the first exception (by input index, so
-    deterministically the same one) is re-raised on the caller. *)
+    A worker exception never kills the pool: the surviving workers
+    finish the remaining items, and the failure stays in its slot.
+    [map] is the historic raising wrapper (first error by input index,
+    so deterministically the same one at any pool width). *)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let map ~(jobs : int) (f : 'a -> 'b) (items : 'a array) : 'b array =
+let map_results ~(jobs : int) (f : 'a -> 'b) (items : 'a array) :
+    ('b, exn) result array =
   let n = Array.length items in
-  if jobs <= 1 || n <= 1 then Array.map f items
+  let apply x = match f x with v -> Ok v | exception e -> Error e in
+  if jobs <= 1 || n <= 1 then Array.map apply items
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
@@ -26,8 +32,7 @@ let map ~(jobs : int) (f : 'a -> 'b) (items : 'a array) : 'b array =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <-
-            Some (match f items.(i) with v -> Ok v | exception e -> Error e);
+          results.(i) <- Some (apply items.(i));
           loop ()
         end
       in
@@ -40,11 +45,22 @@ let map ~(jobs : int) (f : 'a -> 'b) (items : 'a array) : 'b array =
     List.iter Domain.join domains;
     Array.map
       (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
+        | Some r -> r
         | None -> assert false (* every index below [n] was claimed *))
       results
   end
+
+(** Indexed failures of a [map_results] run, in slot order. *)
+let failures (results : ('b, exn) result array) : (int * exn) list =
+  let acc = ref [] in
+  Array.iteri
+    (fun i r -> match r with Error e -> acc := (i, e) :: !acc | Ok _ -> ())
+    results;
+  List.rev !acc
+
+let map ~(jobs : int) (f : 'a -> 'b) (items : 'a array) : 'b array =
+  let results = map_results ~jobs f items in
+  Array.map (function Ok v -> v | Error e -> raise e) results
 
 (** [map] over a list. *)
 let map_list ~(jobs : int) (f : 'a -> 'b) (items : 'a list) : 'b list =

@@ -30,6 +30,11 @@ type config = {
   smt_cache : bool;  (** layer 4: {!Smt.Memo} verdict cache *)
   incremental : bool;  (** layer 1: diff-based cross-version reuse *)
   checker : Checker.config;
+  max_retries : int;
+      (** failed jobs are re-run up to this many times before quarantine *)
+  retry_backoff_ms : int;
+      (** base backoff before a retry round, doubled per attempt and
+          capped at 8x; 0 = retry immediately (what tests use) *)
 }
 
 let default_config =
@@ -39,6 +44,8 @@ let default_config =
     smt_cache = true;
     incremental = true;
     checker = Checker.default_config;
+    max_retries = 2;
+    retry_backoff_ms = 5;
   }
 
 (** The cold, serial configuration: every layer off.  Reproduces the
@@ -83,6 +90,13 @@ let invalidate t =
 let no_change_summary =
   { Incremental.ch_methods = []; Incremental.ch_stmt_texts = [] }
 
+(* capped exponential backoff: base, 2*base, 4*base, ... <= 8*base *)
+let backoff_ms (cfg : config) ~(attempt : int) : int =
+  if cfg.retry_backoff_ms <= 0 then 0
+  else
+    let factor = 1 lsl min 3 (max 0 (attempt - 1)) in
+    min (cfg.retry_backoff_ms * factor) (8 * cfg.retry_backoff_ms)
+
 (** Enforce a rulebook against a program version through the engine. *)
 let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
     Checker.rule_report list =
@@ -92,6 +106,7 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   let solver0 = Smt.Solver.solve_count () in
   let memo_was = Smt.Memo.enabled () in
   Smt.Memo.set_enabled cfg.smt_cache;
+  Fun.protect ~finally:(fun () -> Smt.Memo.set_enabled memo_was) @@ fun () ->
   let rules = Semantics.Rulebook.rules book in
   let program_fp = Fingerprint.program p in
   (* layer 1: incremental pre-pass against the previous version *)
@@ -136,15 +151,68 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   in
   t.stats.Stats.report_hits <- t.stats.Stats.report_hits + List.length cached;
   t.stats.Stats.report_misses <- t.stats.Stats.report_misses + List.length to_run;
-  (* layer 3: execute the misses on the worker pool, expensive first *)
-  let scheduled = Job.schedule (List.map fst to_run) in
+  (* layer 3: execute the misses on the worker pool, expensive first.
+     The pool collects per-slot results instead of re-raising: failed
+     jobs are retried with capped deterministic backoff, and jobs still
+     failing after [max_retries] rounds are quarantined behind a
+     placeholder report — one crashing rule never takes down the run. *)
+  let scheduled = Array.of_list (Job.schedule (List.map fst to_run)) in
+  let run_job (job : Job.t) =
+    let j0 = Unix.gettimeofday () in
+    let report = Checker.execute ~config:cfg.checker p job.Job.prepared in
+    (job, report, Unix.gettimeofday () -. j0)
+  in
+  let results = Pool.map_results ~jobs:cfg.jobs run_job scheduled in
+  let rec retry_failures attempt =
+    let failed = Pool.failures results in
+    if failed <> [] && attempt <= cfg.max_retries then begin
+      let ms = backoff_ms cfg ~attempt in
+      List.iter
+        (fun (slot, e) ->
+          Resilience.Events.emit
+            (Resilience.Events.Job_retry
+               {
+                 job = scheduled.(slot).Job.rule_id;
+                 attempt;
+                 backoff_ms = ms;
+                 reason = Printexc.to_string e;
+               }))
+        failed;
+      t.stats.Stats.retries <- t.stats.Stats.retries + List.length failed;
+      if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.);
+      let slots = Array.of_list (List.map fst failed) in
+      let rerun =
+        Pool.map_results ~jobs:cfg.jobs
+          (fun slot -> run_job scheduled.(slot))
+          slots
+      in
+      Array.iteri (fun k r -> results.(slots.(k)) <- r) rerun;
+      retry_failures (attempt + 1)
+    end
+  in
+  retry_failures 1;
   let executed =
-    Pool.map_list ~jobs:cfg.jobs
-      (fun (job : Job.t) ->
-        let j0 = Unix.gettimeofday () in
-        let report = Checker.execute ~config:cfg.checker p job.Job.prepared in
-        (job, report, Unix.gettimeofday () -. j0))
-      scheduled
+    Array.to_list results
+    |> List.mapi (fun slot result ->
+           match result with
+           | Ok v -> v
+           | Error e ->
+               let job = scheduled.(slot) in
+               let reason = Printexc.to_string e in
+               Resilience.Events.emit
+                 (Resilience.Events.Job_quarantined
+                    {
+                      job = job.Job.rule_id;
+                      attempts = cfg.max_retries + 1;
+                      reason;
+                    });
+               t.stats.Stats.quarantined <-
+                 job.Job.rule_id :: t.stats.Stats.quarantined;
+               let report =
+                 Checker.quarantined_report
+                   job.Job.prepared.Checker.prep_rule ~reason
+               in
+               (job, report, 0.))
   in
   let region_of_job (job : Job.t) =
     match
@@ -156,7 +224,13 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   let ran =
     List.map
       (fun ((job : Job.t), report, wall) ->
-        if cfg.report_cache then Cache.add t.reports job.Job.key report;
+        (* degraded reports never enter the cache: they describe a bad
+           moment (open breaker, exhausted budget), not the program, and
+           must not poison later healthy enforcements *)
+        if cfg.report_cache && not (Checker.is_degraded report) then
+          Cache.add t.reports job.Job.key report;
+        if Checker.is_degraded report then
+          t.stats.Stats.degraded_jobs <- t.stats.Stats.degraded_jobs + 1;
         t.stats.Stats.jobs_run <- t.stats.Stats.jobs_run + 1;
         t.stats.Stats.job_times <-
           {
@@ -178,9 +252,16 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
         | None -> assert false (* every rule fell into exactly one layer *))
       rules
   in
-  t.last <- Some { mem_program = p; mem_fp = program_fp; mem_entries = entries };
+  (* degraded reports are also kept out of the incremental memory: the
+     next enforcement must re-run those rules, not reuse their gaps *)
+  let durable_entries =
+    List.filter
+      (fun (_, (_, report)) -> not (Checker.is_degraded report))
+      entries
+  in
+  t.last <-
+    Some { mem_program = p; mem_fp = program_fp; mem_entries = durable_entries };
   (* bookkeeping *)
-  Smt.Memo.set_enabled memo_was;
   t.stats.Stats.enforcements <- t.stats.Stats.enforcements + 1;
   t.stats.Stats.smt_hits <-
     t.stats.Stats.smt_hits + (Smt.Memo.hits () - smt_hits0);
@@ -201,3 +282,13 @@ let finding_ids (reports : Checker.rule_report list) : string list =
   List.map
     (fun (r : Checker.rule_report) -> r.Checker.rep_rule.Semantics.Rule.rule_id)
     (findings reports)
+
+(** Rule ids whose reports are degraded (lost evidence), in rulebook
+    order.  A clean run returns []. *)
+let degraded_ids (reports : Checker.rule_report list) : string list =
+  List.filter_map
+    (fun (r : Checker.rule_report) ->
+      if Checker.is_degraded r then
+        Some r.Checker.rep_rule.Semantics.Rule.rule_id
+      else None)
+    reports

@@ -16,6 +16,11 @@ type config = {
   smt_cache : bool;
   incremental : bool;
   checker : Checker.config;
+  max_retries : int;
+      (** failed jobs are re-run up to this many times before quarantine *)
+  retry_backoff_ms : int;
+      (** base backoff before a retry round, doubled per attempt and
+          capped at 8x; 0 = retry immediately *)
 }
 
 (** jobs = 1, all layers on. *)
@@ -49,3 +54,7 @@ val findings : Checker.rule_report list -> Checker.rule_report list
 (** Violating rule ids in rulebook order — the stable summary compared
     across engine configurations. *)
 val finding_ids : Checker.rule_report list -> string list
+
+(** Rule ids whose reports are degraded (lost evidence), in rulebook
+    order.  A clean run returns []. *)
+val degraded_ids : Checker.rule_report list -> string list

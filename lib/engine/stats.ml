@@ -25,6 +25,12 @@ type t = {
   mutable solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
   mutable wall_s : float;  (** total [enforce] wall time *)
   mutable job_times : job_time list;  (** newest first *)
+  mutable retries : int;  (** failed jobs re-run after backoff *)
+  mutable degraded_jobs : int;
+      (** jobs whose report carries a degradation reason (out-of-fuel
+          runs, undecided verdicts, quarantine placeholders) *)
+  mutable quarantined : string list;
+      (** rule ids whose jobs exhausted their retries, newest first *)
 }
 
 let create () =
@@ -39,6 +45,9 @@ let create () =
     solver_calls = 0;
     wall_s = 0.;
     job_times = [];
+    retries = 0;
+    degraded_jobs = 0;
+    quarantined = [];
   }
 
 let reset (s : t) =
@@ -51,18 +60,31 @@ let reset (s : t) =
   s.smt_misses <- 0;
   s.solver_calls <- 0;
   s.wall_s <- 0.;
-  s.job_times <- []
+  s.job_times <- [];
+  s.retries <- 0;
+  s.degraded_jobs <- 0;
+  s.quarantined <- []
 
 (** SMT verdict-cache hits: solver invocations that never happened. *)
 let solver_calls_saved (s : t) : int = s.smt_hits
 
 let to_string (s : t) : string =
-  Fmt.str
-    "engine: %d enforcement(s), %d job(s) run, report cache %d/%d hit/miss, %d \
-     incremental reuse(s), smt cache %d/%d hit/miss, %d solver call(s) (%d \
-     saved), %.3fs wall"
-    s.enforcements s.jobs_run s.report_hits s.report_misses s.incremental_reuses
-    s.smt_hits s.smt_misses s.solver_calls (solver_calls_saved s) s.wall_s
+  let base =
+    Fmt.str
+      "engine: %d enforcement(s), %d job(s) run, report cache %d/%d hit/miss, \
+       %d incremental reuse(s), smt cache %d/%d hit/miss, %d solver call(s) \
+       (%d saved), %.3fs wall"
+      s.enforcements s.jobs_run s.report_hits s.report_misses
+      s.incremental_reuses s.smt_hits s.smt_misses s.solver_calls
+      (solver_calls_saved s) s.wall_s
+  in
+  (* Resilience counters only appear once something went wrong, so the
+     healthy-run string is byte-identical to the pre-resilience engine. *)
+  if s.retries = 0 && s.degraded_jobs = 0 && s.quarantined = [] then base
+  else
+    Fmt.str "%s, %d retrie(s), %d degraded job(s), %d quarantined" base
+      s.retries s.degraded_jobs
+      (List.length s.quarantined)
 
 (** The [n] slowest jobs, one per line. *)
 let slowest_jobs ?(n = 5) (s : t) : string =

@@ -20,6 +20,10 @@ type t = {
   mutable solver_calls : int;
   mutable wall_s : float;
   mutable job_times : job_time list;  (** newest first *)
+  mutable retries : int;  (** failed jobs re-run after backoff *)
+  mutable degraded_jobs : int;  (** jobs whose report carries a degradation *)
+  mutable quarantined : string list;
+      (** rule ids whose jobs exhausted their retries, newest first *)
 }
 
 val create : unit -> t

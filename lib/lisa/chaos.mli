@@ -1,0 +1,48 @@
+(** Chaos suite: the E11 whole-system workload under seeded fault plans
+    ({!Resilience}), checking the engine's fault-tolerance contract —
+    no fault escapes [enforce], same-seed runs replay identically, chaos
+    findings are a subset of the no-fault baseline, and a post-chaos
+    no-fault run renders byte-identical to it. *)
+
+type observation = {
+  ob_findings : (string * int * string list) list;
+      (** (system, version, violating rule ids) in scan order *)
+  ob_degraded : (string * int * string list) list;
+      (** (system, version, degraded rule ids) in scan order *)
+  ob_quarantined : string list;  (** sorted rule ids *)
+  ob_retries : int;
+  ob_faults : int;  (** faults injected during this run *)
+  ob_crash : string option;  (** an exception escaped [enforce] *)
+}
+
+type seed_result = {
+  sr_seed : int;
+  sr_first : observation;
+  sr_second : observation;  (** same seed, fresh state: must equal first *)
+}
+
+type result = {
+  res_systems : string list;
+  res_rate : float;
+  res_baseline : observation;
+  res_baseline_render : string;  (** full Markdown of the no-fault scan *)
+  res_seeds : seed_result list;
+  res_parallel : observation;  (** jobs = 4 leg under the first seed *)
+  res_post_render : string;  (** no-fault re-run after all the chaos *)
+  res_oracle_outage_ok : bool;
+}
+
+(** Reset the process-global shared state every chaos run starts from:
+    injector disarmed and rewound, breakers closed, SMT cache empty. *)
+val reset_shared_state : unit -> unit
+
+(** Run the suite.  [smoke] restricts to zookeeper (the CI gate);
+    default seeds [1; 2; 3], default per-call fault rate 0.05. *)
+val run : ?seeds:int list -> ?rate:float -> ?smoke:bool -> unit -> result
+
+(** Named invariant checks, in report order. *)
+val invariants : result -> (string * bool) list
+
+val invariants_ok : result -> bool
+
+val print : result -> string

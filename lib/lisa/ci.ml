@@ -17,6 +17,9 @@ type event =
   | Blocked of { stage : int; findings : Checker.rule_report list }
   | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
   | Test_failure of { stage : int; failures : string list }
+  | Degraded of { stage : int; rules : string list }
+      (** enforcement lost evidence for these rules (budgets, breakers,
+          quarantine): the stage's verdict is best-effort, not final *)
 
 type run = {
   case_id : string;
@@ -62,6 +65,9 @@ let replay ?(config = Pipeline.default_config) ?(jobs = 1) (c : Corpus.Case.t) :
       (* 2. the LISA gate: the accumulated rulebook, via the engine *)
       let reports = Pipeline.enforce_with engine p book in
       let findings = Pipeline.findings reports in
+      (match Engine.Scheduler.degraded_ids reports with
+      | [] -> ()
+      | rules -> push (Degraded { stage; rules }));
       if findings <> [] then push (Blocked { stage; findings })
       else
         push (Shipped { stage; tests = List.length (Minilang.Interp.test_names p) })
@@ -91,6 +97,10 @@ let replay ?(config = Pipeline.default_config) ?(jobs = 1) (c : Corpus.Case.t) :
 let blocked_stages (r : run) : int list =
   List.filter_map (function Blocked { stage; _ } -> Some stage | _ -> None) r.events
 
+(** Stages whose enforcement was degraded (lost evidence). *)
+let degraded_stages (r : run) : int list =
+  List.filter_map (function Degraded { stage; _ } -> Some stage | _ -> None) r.events
+
 let event_to_string = function
   | Shipped { stage; tests } -> Fmt.str "v%d SHIPPED (%d tests green)" stage tests
   | Blocked { stage; findings } ->
@@ -105,6 +115,9 @@ let event_to_string = function
         accepted rejected
   | Test_failure { stage; failures } ->
       Fmt.str "v%d test failures: %s" stage (String.concat "; " failures)
+  | Degraded { stage; rules } ->
+      Fmt.str "v%d DEGRADED enforcement (evidence lost): %s" stage
+        (String.concat "; " rules)
 
 let run_to_string (r : run) : string =
   Fmt.str "=== CI history for %s ===\n%s\n[%s]" r.case_id

@@ -9,6 +9,9 @@ type event =
   | Blocked of { stage : int; findings : Checker.rule_report list }
   | Learned of { stage : int; ticket_id : string; accepted : int; rejected : int }
   | Test_failure of { stage : int; failures : string list }
+  | Degraded of { stage : int; rules : string list }
+      (** enforcement lost evidence for these rules (budgets, breakers,
+          quarantine): the stage's verdict is best-effort, not final *)
 
 type run = {
   case_id : string;
@@ -26,6 +29,9 @@ val replay : ?config:Pipeline.config -> ?jobs:int -> Corpus.Case.t -> run
 
 (** Stages blocked by the rulebook gate. *)
 val blocked_stages : run -> int list
+
+(** Stages whose enforcement was degraded (lost evidence). *)
+val degraded_stages : run -> int list
 
 val event_to_string : event -> string
 

@@ -68,7 +68,8 @@ method scenario_kafka_zombie(): str {
               ( t.Checker.tv_method,
                 match t.Checker.tv_result with
                 | Smt.Solver.Violation m -> Smt.Solver.model_to_string m
-                | Smt.Solver.Verified -> "verified" ))
+                | Smt.Solver.Verified -> "verified"
+                | Smt.Solver.Undecided reason -> "undecided: " ^ reason ))
             r.Checker.rep_violations)
         (check stage)
     in
@@ -239,7 +240,7 @@ module Unknown_bugs = struct
           (fun (t : Checker.trace_verdict) ->
             match t.Checker.tv_result with
             | Smt.Solver.Violation m -> Some (Smt.Solver.model_to_string m)
-            | Smt.Solver.Verified -> None)
+            | Smt.Solver.Verified | Smt.Solver.Undecided _ -> None)
           violations;
     }
 

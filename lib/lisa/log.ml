@@ -1,7 +1,13 @@
 (** Logging source for the LISA pipeline.
 
     Consumers (the CLI's [-v], tests, or a host application) install a
-    {!Logs} reporter and set the level; the library only emits. *)
+    {!Logs} reporter and set the level; the library only emits.
+
+    Loading this module also reroutes the resilience event bus
+    ({!Resilience.Events}) into this source, so retry, quarantine, and
+    circuit-breaker events land in the same stream as the pipeline's own
+    logs: warnings for recoverable faults, errors for quarantine and
+    opened breakers. *)
 
 let src = Logs.Src.create "lisa" ~doc:"LISA pipeline events"
 
@@ -12,3 +18,16 @@ let info fmt = Format.kasprintf (fun s -> L.info (fun m -> m "%s" s)) fmt
 let debug fmt = Format.kasprintf (fun s -> L.debug (fun m -> m "%s" s)) fmt
 
 let warn fmt = Format.kasprintf (fun s -> L.warn (fun m -> m "%s" s)) fmt
+
+let err fmt = Format.kasprintf (fun s -> L.err (fun m -> m "%s" s)) fmt
+
+(* The engine layers cannot depend on lisa, so they publish resilience
+   events through a swappable sink; we claim it here. *)
+let install_resilience_sink () =
+  Resilience.Events.set_sink (fun ev ->
+      let line = Resilience.Events.to_string ev in
+      match Resilience.Events.severity ev with
+      | Resilience.Events.Error -> err "%s" line
+      | Resilience.Events.Warn -> warn "%s" line)
+
+let () = install_resilience_sink ()

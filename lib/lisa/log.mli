@@ -1,5 +1,7 @@
 (** Logging source for the LISA pipeline ("lisa").  Consumers install a
-    {!Logs} reporter and set the level; the library only emits. *)
+    {!Logs} reporter and set the level; the library only emits.  Loading
+    this module reroutes {!Resilience.Events} into this source (faults
+    and retries as warnings, quarantine and opened breakers as errors). *)
 
 val src : Logs.src
 
@@ -8,3 +10,9 @@ val info : ('a, Format.formatter, unit, unit) format4 -> 'a
 val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
 
 val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val err : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Route resilience events through this log source (done once at module
+    load; exposed so a consumer can re-install after swapping sinks). *)
+val install_resilience_sink : unit -> unit

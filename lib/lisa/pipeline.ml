@@ -75,7 +75,34 @@ let learn ?(config = default_config) (ticket : Oracle.Ticket.t) : outcome =
     (Fmt.str "ticket %s: %d-token bundle (description + diff + patched source)"
        ticket.Oracle.Ticket.ticket_id
        (Oracle.Prompt.token_estimate prompt));
-  let inference = Oracle.Inference.infer ~noise:config.noise ticket in
+  (* the oracle is an outage-prone external service: retry crashes and
+     transients a couple of times, then settle for a degraded (empty)
+     inference so learning continues with the remaining tickets *)
+  let inference =
+    let rec attempt n =
+      match Oracle.Inference.infer ~noise:config.noise ticket with
+      | inf -> inf
+      | exception Resilience.Fault.Injected (point, kind) ->
+          if n >= 2 then
+            Oracle.Inference.degraded_inference ticket
+              (Fmt.str "oracle unavailable after %d attempt(s)" (n + 1))
+          else begin
+            Resilience.Events.emit
+              (Resilience.Events.Job_retry
+                 {
+                   job = "infer:" ^ ticket.Oracle.Ticket.ticket_id;
+                   attempt = n + 1;
+                   backoff_ms = 0;
+                   reason =
+                     Fmt.str "injected %s fault at %s"
+                       (Resilience.Fault.kind_to_string kind)
+                       (Resilience.Fault.point_to_string point);
+                 });
+            attempt (n + 1)
+          end
+    in
+    attempt 0
+  in
   push "infer"
     (Fmt.str "high-level: %s; %d candidate low-level semantics"
        inference.Oracle.Inference.inf_high_level
@@ -91,9 +118,53 @@ let learn ?(config = default_config) (ticket : Oracle.Ticket.t) : outcome =
     if not config.cross_check then (rules, [])
     else begin
       let patched = Oracle.Ticket.patched_program ticket in
+      (* cross-checking runs the concolic checker directly (no engine
+         pool underneath to retry for us): retry injected faults a
+         couple of times, then reject the rule as unverifiable rather
+         than let the fault escape learning *)
+      let cross_check_with_retries rule =
+        let rec attempt n =
+          match cross_check_rule config patched rule with
+          | outcome -> outcome
+          | exception Resilience.Fault.Injected (point, kind) ->
+              let job =
+                "cross-check:" ^ rule.Semantics.Rule.rule_id
+              in
+              if n >= 2 then begin
+                Resilience.Events.emit
+                  (Resilience.Events.Component_degraded
+                     {
+                       component = job;
+                       reason = "cross-check unavailable, rule rejected";
+                     });
+                Error
+                  (Fmt.str
+                     "cross-check unavailable after %d attempt(s) (injected \
+                      %s fault at %s): rule cannot be verified"
+                     (n + 1)
+                     (Resilience.Fault.kind_to_string kind)
+                     (Resilience.Fault.point_to_string point))
+              end
+              else begin
+                Resilience.Events.emit
+                  (Resilience.Events.Job_retry
+                     {
+                       job;
+                       attempt = n + 1;
+                       backoff_ms = 0;
+                       reason =
+                         Fmt.str "injected %s fault at %s"
+                           (Resilience.Fault.kind_to_string kind)
+                           (Resilience.Fault.point_to_string point);
+                     });
+                attempt (n + 1)
+              end
+        in
+        attempt 0
+      in
       List.fold_left
         (fun (acc, rej) rule ->
-          match cross_check_rule config patched rule with
+          match cross_check_with_retries rule with
           | Ok r -> (acc @ [ r ], rej)
           | Error reason -> (acc, rej @ [ (rule, reason) ]))
         ([], []) rules

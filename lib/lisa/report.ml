@@ -22,6 +22,10 @@ let render_trace (t : Checker.trace_verdict) : string =
            "**VIOLATION** — %s (driven by %s); the path admits %s"
            (code t.Checker.tv_method) (code t.Checker.tv_entry)
            (code (Smt.Solver.model_to_string model)))
+  | Smt.Solver.Undecided reason ->
+      bullet
+        (Fmt.str "UNDECIDED — %s (driven by %s): %s"
+           (code t.Checker.tv_method) (code t.Checker.tv_entry) reason)
 
 let render_lock_finding (f : Checker.lock_finding) : string =
   bullet
@@ -63,14 +67,29 @@ let render_rule_report (r : Checker.rule_report) : string =
         ("" :: bullet "uncovered execution paths (developer verdict needed):"
         :: List.map (fun p -> "  " ^ bullet (code p)) paths)
   in
-  String.concat "\n" (lines @ [ "" ] @ traces @ locks @ uncovered)
+  (* absent on a healthy run, so clean reports render byte-identically
+     to the pre-resilience pipeline *)
+  let degraded =
+    match r.Checker.rep_degraded with
+    | [] -> []
+    | reasons ->
+        ("" :: bullet "**DEGRADED** — evidence lost, verdict is best-effort:"
+        :: List.map (fun why -> "  " ^ bullet why) reasons)
+  in
+  String.concat "\n" (lines @ [ "" ] @ traces @ locks @ uncovered @ degraded)
 
 (** Full Markdown report for an enforcement run. *)
 let render ?(title = "LISA enforcement report") (reports : Checker.rule_report list)
     : string =
   let violating = List.filter Checker.has_violations reports in
+  let degraded = List.filter Checker.is_degraded reports in
   let verdict =
-    if violating = [] then
+    if violating = [] && degraded <> [] then
+      Fmt.str
+        "**PASS (degraded)** — %d rule(s) checked, no violations, but %d \
+         report(s) lost evidence."
+        (List.length reports) (List.length degraded)
+    else if violating = [] then
       Fmt.str "**PASS** — %d rule(s) checked, no violations." (List.length reports)
     else
       Fmt.str "**BLOCK** — %d of %d rule(s) violated: %s." (List.length violating)

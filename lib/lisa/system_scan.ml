@@ -27,6 +27,7 @@ type version_row = {
   vr_traces : int;
   vr_branches_total : int;
   vr_branches_recorded : int;
+  vr_degraded : string list;  (** rule ids with degraded (lossy) reports *)
 }
 
 type system_result = {
@@ -62,6 +63,7 @@ let row_of_reports (book : Semantics.Rulebook.t) (version : int)
       List.fold_left
         (fun n (r : Checker.rule_report) -> n + r.Checker.rep_branches_recorded)
         0 reports;
+    vr_degraded = Engine.Scheduler.degraded_ids reports;
   }
 
 let scan_version ?(config = Pipeline.default_config) (system : string)
@@ -110,12 +112,17 @@ let print (results : system_result list) : string =
       List.iter
         (fun vr ->
           pf
-            "  v%d: %d rules, %d traces judged, branches %d/%d recorded, findings: %s"
+            "  v%d: %d rules, %d traces judged, branches %d/%d recorded, findings: %s%s"
             vr.vr_version vr.vr_rules vr.vr_traces vr.vr_branches_recorded
             vr.vr_branches_total
             (match vr.vr_violating_rules with
             | [] -> "none"
-            | ids -> String.concat ", " ids))
+            | ids -> String.concat ", " ids)
+            (* only non-empty on a faulted run: the healthy scan output
+               stays byte-identical to the pre-resilience engine *)
+            (match vr.vr_degraded with
+            | [] -> ""
+            | ids -> Fmt.str " [degraded: %s]" (String.concat ", " ids)))
         r.sys_rows)
     results;
   pf "";

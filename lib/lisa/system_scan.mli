@@ -11,6 +11,7 @@ type version_row = {
   vr_traces : int;
   vr_branches_total : int;
   vr_branches_recorded : int;
+  vr_degraded : string list;  (** rule ids with degraded (lossy) reports *)
 }
 
 type system_result = { sys_name : string; sys_rows : version_row list }

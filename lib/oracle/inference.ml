@@ -263,18 +263,48 @@ let apply_noise (noise : noise) (ticket_id : string) (rules : Semantics.Rule.t l
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** Run inference on one ticket.  Deterministic for a fixed [noise]. *)
-let infer ?(noise = no_noise) (t : Ticket.t) : inferred =
-  let high_level = first_sentence t.Ticket.discussion in
-  let guard_rules, guard_reasoning = state_guard_rules t high_level in
-  let lock_rules, lock_reasoning = lock_rules t high_level in
-  let rules = apply_noise noise t.Ticket.ticket_id (guard_rules @ lock_rules) in
+(** The degraded answer an unavailable oracle gives: no rules, reason
+    recorded.  Downstream cross-checking accepts nothing from it, so an
+    oracle outage shrinks the rulebook instead of crashing learning. *)
+let degraded_inference (t : Ticket.t) (reason : string) : inferred =
+  Resilience.Events.emit
+    (Resilience.Events.Component_degraded
+       { component = "oracle:" ^ t.Ticket.ticket_id; reason });
   {
     inf_ticket = t.Ticket.ticket_id;
-    inf_high_level = high_level;
-    inf_rules = rules;
-    inf_reasoning = guard_reasoning @ lock_reasoning;
+    inf_high_level = Fmt.str "(oracle degraded: %s)" reason;
+    inf_rules = [];
+    inf_reasoning = [ reason ];
   }
+
+(** Run inference on one ticket.  Deterministic for a fixed [noise].
+
+    The oracle is an injection point ({!Resilience.Fault.Oracle}):
+    crash/transient faults raise {!Resilience.Fault.Injected} (the
+    learning pipeline retries, then degrades); budget faults and an
+    open breaker return a {!degraded_inference} with no rules. *)
+let infer ?(noise = no_noise) (t : Ticket.t) : inferred =
+  if not (Resilience.Breaker.proceed Resilience.Fault.Oracle) then
+    degraded_inference t "oracle circuit open"
+  else
+    match Resilience.Injector.draw Resilience.Fault.Oracle with
+    | Some (Resilience.Fault.Crash | Resilience.Fault.Transient) as k ->
+        Resilience.Injector.raise_fault Resilience.Fault.Oracle (Option.get k)
+    | Some Resilience.Fault.Budget ->
+        Resilience.Breaker.failure Resilience.Fault.Oracle;
+        degraded_inference t "injected budget exhaustion"
+    | None ->
+        let high_level = first_sentence t.Ticket.discussion in
+        let guard_rules, guard_reasoning = state_guard_rules t high_level in
+        let lock_rules, lock_reasoning = lock_rules t high_level in
+        let rules = apply_noise noise t.Ticket.ticket_id (guard_rules @ lock_rules) in
+        Resilience.Breaker.success Resilience.Fault.Oracle;
+        {
+          inf_ticket = t.Ticket.ticket_id;
+          inf_high_level = high_level;
+          inf_rules = rules;
+          inf_reasoning = guard_reasoning @ lock_reasoning;
+        }
 
 (** Pluggable client type: a real LLM backend would map the prompt text to
     the same structured output. *)

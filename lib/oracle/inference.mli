@@ -21,7 +21,15 @@ type noise = { epsilon : float; seed : int }
 
 val no_noise : noise
 
-(** Run inference on one ticket; deterministic for a fixed [noise]. *)
+(** The degraded answer of an unavailable oracle: no rules, the reason
+    recorded in [inf_reasoning].  Also emitted on the resilience event
+    bus. *)
+val degraded_inference : Ticket.t -> string -> inferred
+
+(** Run inference on one ticket; deterministic for a fixed [noise].
+    An injection point: crash/transient faults raise
+    {!Resilience.Fault.Injected}; budget faults and an open breaker
+    return {!degraded_inference}. *)
 val infer : ?noise:noise -> Ticket.t -> inferred
 
 (** Pluggable client type: a real LLM backend maps the same ticket bundle

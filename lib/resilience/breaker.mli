@@ -1,0 +1,24 @@
+(** Per-component circuit breakers: after [threshold] consecutive
+    failures a point is skipped for [cooldown] calls, then probed
+    half-open.  Deterministic (cooldown is counted in calls, not wall
+    time); global and mutex-protected. *)
+
+(** Set the global thresholds (clamped to >= 1). *)
+val configure : ?threshold:int -> ?cooldown:int -> unit -> unit
+
+(** May the component run?  [false] = breaker open, answer degraded. *)
+val proceed : Fault.point -> bool
+
+val success : Fault.point -> unit
+
+val failure : Fault.point -> unit
+
+val is_open : Fault.point -> bool
+
+(** Times this point's breaker has opened. *)
+val trips : Fault.point -> int
+
+val total_trips : unit -> int
+
+(** Close every breaker and zero its counters (chaos-run hygiene). *)
+val reset_all : unit -> unit

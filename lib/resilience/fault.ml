@@ -1,0 +1,50 @@
+(** Fault taxonomy for the injection harness.
+
+    An injection {e point} names a component the enforcement pipeline
+    leans on and cannot fully trust: the SMT solver, the concolic
+    runner, the LLM oracle, and cache lookups.  A fault {e kind} names
+    the way such a component fails in practice: an outright crash, a
+    budget that runs out (solver nodes, concolic fuel, oracle tokens),
+    or a transient error that a retry may clear.
+
+    The single {!Injected} exception carries both, so callers can
+    distinguish retryable faults without a per-component exception
+    zoo. *)
+
+type point = Solver | Concolic | Oracle | Cache_lookup
+
+type kind = Crash | Budget | Transient
+
+(** Raised by an injection point when the active plan selects [Crash]
+    or [Transient] there ([Budget] never raises: each component maps it
+    to its own degraded answer). *)
+exception Injected of point * kind
+
+let all_points = [ Solver; Concolic; Oracle; Cache_lookup ]
+
+let all_kinds = [ Crash; Budget; Transient ]
+
+let point_index = function
+  | Solver -> 0
+  | Concolic -> 1
+  | Oracle -> 2
+  | Cache_lookup -> 3
+
+let n_points = List.length all_points
+
+let point_to_string = function
+  | Solver -> "solver"
+  | Concolic -> "concolic"
+  | Oracle -> "oracle"
+  | Cache_lookup -> "cache"
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Budget -> "budget-exhaustion"
+  | Transient -> "transient"
+
+let () =
+  Printexc.register_printer (function
+    | Injected (p, k) ->
+        Some (Fmt.str "Resilience.Fault.Injected(%s, %s)" (point_to_string p) (kind_to_string k))
+    | _ -> None)

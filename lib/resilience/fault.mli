@@ -1,0 +1,24 @@
+(** Fault taxonomy: injection points (the unreliable components) and
+    fault kinds (how they fail). *)
+
+type point = Solver | Concolic | Oracle | Cache_lookup
+
+type kind = Crash | Budget | Transient
+
+(** Raised by an injection point on [Crash] / [Transient] faults.
+    [Budget] never raises: each component degrades it to its own
+    "budget exhausted" answer. *)
+exception Injected of point * kind
+
+val all_points : point list
+
+val all_kinds : kind list
+
+(** Dense index of a point, for per-point counters. *)
+val point_index : point -> int
+
+val n_points : int
+
+val point_to_string : point -> string
+
+val kind_to_string : kind -> string

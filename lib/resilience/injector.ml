@@ -1,0 +1,54 @@
+(** The armed fault plan and the per-point call counters.
+
+    Components call {!draw} at their injection point; with no plan
+    armed the call is a single atomic load, so production and tier-1
+    paths pay (and change) nothing.  With a plan armed, the draw for
+    the [n]-th call at a point is {!Plan.decide} — deterministic per
+    (seed, point, n) — and every injected fault is emitted on the
+    event bus.
+
+    {!reset} rewinds the call counters so the same plan replays the
+    same fault sequence; chaos runs call it (plus
+    {!Breaker.reset_all}) before each run to make two runs of one seed
+    bit-for-bit comparable. *)
+
+let armed : Plan.t option Atomic.t = Atomic.make None
+
+let counters : int Atomic.t array =
+  Array.init Fault.n_points (fun _ -> Atomic.make 0)
+
+let injected = Atomic.make 0
+
+let arm (p : Plan.t) : unit = Atomic.set armed (Some p)
+
+let disarm () : unit = Atomic.set armed None
+
+let active () : Plan.t option = Atomic.get armed
+
+(** Rewind call counters and the injected-fault count (not the plan). *)
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Atomic.set injected 0
+
+let injected_count () = Atomic.get injected
+
+(** [draw point]: the fault (if any) to inject at this call.  Advances
+    the point's call counter only while a plan is armed. *)
+let draw (point : Fault.point) : Fault.kind option =
+  match Atomic.get armed with
+  | None -> None
+  | Some plan -> (
+      let n = Atomic.fetch_and_add counters.(Fault.point_index point) 1 in
+      match Plan.decide plan point n with
+      | None -> None
+      | Some kind ->
+          Atomic.incr injected;
+          Events.emit (Events.Fault_injected { point; kind; seq = n });
+          Some kind)
+
+(** [raise_fault point kind]: record the breaker trip and raise the
+    injected exception — the shared [Crash]/[Transient] path of every
+    injection point. *)
+let raise_fault (point : Fault.point) (kind : Fault.kind) : 'a =
+  Breaker.failure point;
+  raise (Fault.Injected (point, kind))

@@ -1,0 +1,22 @@
+(** Global injection state: the armed {!Plan.t} and per-point call
+    counters.  With no plan armed, {!draw} is one atomic load. *)
+
+val arm : Plan.t -> unit
+
+val disarm : unit -> unit
+
+val active : unit -> Plan.t option
+
+(** Rewind the call counters and injected count (keeps the plan), so
+    the armed plan replays the same fault sequence. *)
+val reset : unit -> unit
+
+(** Faults injected since the last {!reset}. *)
+val injected_count : unit -> int
+
+(** The fault (if any) to inject at this call of [point].  Emits a
+    {!Events.Fault_injected} event when one fires. *)
+val draw : Fault.point -> Fault.kind option
+
+(** Record a breaker trip at [point] and raise {!Fault.Injected}. *)
+val raise_fault : Fault.point -> Fault.kind -> 'a

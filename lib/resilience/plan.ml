@@ -1,0 +1,47 @@
+(** Seeded fault plans.
+
+    A plan is a pure description of chaos: which injection points are
+    live, which fault kinds may fire, and the per-call injection rate.
+    The decision for the [n]-th call at a point is a {e pure function}
+    of (seed, point, n) — the same deterministic LCG family the noise
+    model in [Oracle.Inference] uses — so a chaos run is reproducible
+    bit for bit from its seed, and two runs of the same plan inject the
+    same faults at the same call sites. *)
+
+type t = {
+  seed : int;
+  rate : float;  (** per-call injection probability, in [0, 1] *)
+  points : Fault.point list;
+  kinds : Fault.kind list;
+}
+
+let make ?(points = Fault.all_points) ?(kinds = Fault.all_kinds) ~seed ~rate () =
+  { seed; rate = Float.max 0.0 (Float.min 1.0 rate); points; kinds }
+
+(* deterministic LCG; numerical recipes constants (same family as the
+   oracle noise model) *)
+let lcg_next s = (s * 1664525) + 1013904223
+
+(* fold (seed, point, n) into one well-mixed state *)
+let mix (seed : int) (point : Fault.point) (n : int) : int =
+  let s = seed + (Fault.point_index point * 7919) + (n * 104729) in
+  lcg_next (lcg_next (lcg_next s))
+
+let unit_float (s : int) : float =
+  float_of_int (abs s mod 1_000_000) /. 1_000_000.0
+
+(** [decide plan point n]: the fault (if any) injected at the [n]-th
+    call of [point] under [plan].  Pure and total. *)
+let decide (plan : t) (point : Fault.point) (n : int) : Fault.kind option =
+  if plan.kinds = [] || not (List.mem point plan.points) then None
+  else
+    let s = mix plan.seed point n in
+    if unit_float s >= plan.rate then None
+    else
+      let s' = lcg_next s in
+      Some (List.nth plan.kinds (abs s' mod List.length plan.kinds))
+
+let to_string (p : t) : string =
+  Fmt.str "plan{seed=%d rate=%.2f points=[%s] kinds=[%s]}" p.seed p.rate
+    (String.concat "," (List.map Fault.point_to_string p.points))
+    (String.concat "," (List.map Fault.kind_to_string p.kinds))

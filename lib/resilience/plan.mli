@@ -1,0 +1,23 @@
+(** Seeded fault plans: a pure, reproducible description of which
+    faults fire at which calls.  [decide plan point n] depends only on
+    (seed, point, n), so chaos runs replay exactly. *)
+
+type t = {
+  seed : int;
+  rate : float;  (** per-call injection probability, clamped to [0, 1] *)
+  points : Fault.point list;
+  kinds : Fault.kind list;
+}
+
+val make :
+  ?points:Fault.point list ->
+  ?kinds:Fault.kind list ->
+  seed:int ->
+  rate:float ->
+  unit ->
+  t
+
+(** The fault (if any) injected at the [n]-th call of [point].  Pure. *)
+val decide : t -> Fault.point -> int -> Fault.kind option
+
+val to_string : t -> string

@@ -79,13 +79,20 @@ let solve (f : Formula.t) : Solver.verdict =
     in
     match cached with
     | Some v -> v
-    | None ->
+    | None -> (
         let v = Solver.solve simplified in
-        Mutex.lock lock;
-        if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-        Hashtbl.replace table key v;
-        Mutex.unlock lock;
-        v
+        match v with
+        | Solver.Unknown _ ->
+            (* undecided verdicts come from budgets, faults, or open
+               breakers — transient conditions that must not poison the
+               cache; the next query recomputes *)
+            v
+        | Solver.Sat _ | Solver.Unsat ->
+            Mutex.lock lock;
+            if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+            Hashtbl.replace table key v;
+            Mutex.unlock lock;
+            v)
   end
 
 (** Cached complement check (same contract as {!Solver.check_trace}). *)
@@ -93,6 +100,7 @@ let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
   match solve (Formula.And [ pc; Formula.Not checker ]) with
   | Solver.Unsat -> Solver.Verified
   | Solver.Sat model -> Solver.Violation model
+  | Solver.Unknown reason -> Solver.Undecided reason
 
 (** Cached direct check (same contract as {!Solver.check_trace_direct}). *)
 let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) :
@@ -100,3 +108,4 @@ let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) :
   match solve (Formula.And [ pc; checker ]) with
   | Solver.Unsat -> Solver.Violation []
   | Solver.Sat _ -> Solver.Verified
+  | Solver.Unknown reason -> Solver.Undecided reason

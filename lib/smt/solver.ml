@@ -14,9 +14,9 @@
     is exactly the behaviour the paper motivates with the missing
     [s.ttl > 0] example. *)
 
-type verdict = Sat of (Formula.atom * bool) list | Unsat
+type verdict = Sat of (Formula.atom * bool) list | Unsat | Unknown of string
 
-let verdict_is_sat = function Sat _ -> true | Unsat -> false
+let verdict_is_sat = function Sat _ -> true | Unsat | Unknown _ -> false
 
 (* Calls to [solve] since the last reset.  Atomic so the engine's worker
    domains can share the counter; the enforcement engine reads it to
@@ -72,7 +72,32 @@ let theory_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
 
 let theory_memo_lock = Mutex.create ()
 
-let theory_memo_max = 1 lsl 16
+let theory_memo_max = ref (1 lsl 16)
+
+let set_theory_memo_max n =
+  Mutex.lock theory_memo_lock;
+  theory_memo_max := max 2 n;
+  Mutex.unlock theory_memo_lock
+
+let theory_memo_size () =
+  Mutex.lock theory_memo_lock;
+  let n = Hashtbl.length theory_memo in
+  Mutex.unlock theory_memo_lock;
+  n
+
+(* Epoch halving: drop every other entry instead of resetting the whole
+   table, so a full memo sheds weight without cold-starting every
+   in-flight domain at once.  Caller holds [theory_memo_lock]. *)
+let halve_theory_memo () =
+  let keep = ref false in
+  let victims =
+    Hashtbl.fold
+      (fun k _ acc ->
+        keep := not !keep;
+        if !keep then k :: acc else acc)
+      theory_memo []
+  in
+  List.iter (Hashtbl.remove theory_memo) victims
 
 let lit_key (a, sign) =
   (if sign then "+" else "-") ^ Formula.atom_to_string (Formula.canon_atom a)
@@ -93,8 +118,7 @@ let consistent_memo (assign : (Formula.atom * bool) list) : bool =
       | None ->
           let b = Theory.consistent (lits_of_assign assign) in
           Mutex.lock theory_memo_lock;
-          if Hashtbl.length theory_memo >= theory_memo_max then
-            Hashtbl.reset theory_memo;
+          if Hashtbl.length theory_memo >= !theory_memo_max then halve_theory_memo ();
           Hashtbl.replace theory_memo key b;
           Mutex.unlock theory_memo_lock;
           b)
@@ -122,36 +146,88 @@ let order_atoms (f : Formula.t) (atoms : Formula.atom list) : Formula.atom list 
   let occ a = Option.value ~default:0 (Hashtbl.find_opt count a) in
   List.stable_sort (fun a b -> compare (occ b) (occ a)) atoms
 
+(* ------------------------------------------------------------------ *)
+(* Node budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* DPLL search-node budget: an adversarial formula (many independent
+   atoms the theory cannot prune) can force an exponential search, so
+   every [solve] is bounded and answers [Unknown] instead of diverging.
+   The default is far above anything the checker-formula fragment
+   produces (a few dozen atoms, heavily theory-pruned), so no-fault
+   behaviour is unchanged. *)
+let default_node_budget_cell = Atomic.make 200_000
+
+let default_node_budget () = Atomic.get default_node_budget_cell
+
+let set_default_node_budget n = Atomic.set default_node_budget_cell (max 1 n)
+
+exception Budget_hit
+
 (** Decide satisfiability.  On success the model is a sign assignment to
     the formula's canonical atoms that satisfies both the boolean
-    structure and the theory. *)
-let solve (f : Formula.t) : verdict =
+    structure and the theory.  The backtracking search is bounded by
+    [node_budget] visited nodes and answers [Unknown] past it; a faulted
+    or circuit-broken solver also answers [Unknown] rather than crash
+    the caller. *)
+let solve ?node_budget (f : Formula.t) : verdict =
   Atomic.incr solve_calls;
-  let f = Formula.simplify f in
-  match f with
-  | Formula.True -> Sat []
-  | Formula.False -> Unsat
-  | _ ->
-      let atoms = order_atoms f (Formula.atoms f) in
-      let rec search assign remaining =
-        if not (consistent_memo assign) then None
-        else
-          match eval3 assign f with
-          | Some false -> None
-          | Some true -> Some assign
-          | None -> (
-              match remaining with
-              | [] -> None (* unreachable: all atoms assigned means no None *)
-              | a :: rest -> (
-                  match search ((a, true) :: assign) rest with
-                  | Some model -> Some model
-                  | None -> search ((a, false) :: assign) rest))
-      in
-      (match search [] atoms with Some model -> Sat model | None -> Unsat)
+  if not (Resilience.Breaker.proceed Resilience.Fault.Solver) then
+    Unknown "solver circuit open"
+  else
+    match Resilience.Injector.draw Resilience.Fault.Solver with
+    | Some Resilience.Fault.Budget ->
+        Resilience.Breaker.failure Resilience.Fault.Solver;
+        Unknown "injected budget exhaustion"
+    | Some (Resilience.Fault.Crash | Resilience.Fault.Transient) as k ->
+        Resilience.Injector.raise_fault Resilience.Fault.Solver (Option.get k)
+    | None -> (
+        let budget =
+          match node_budget with Some b -> max 1 b | None -> default_node_budget ()
+        in
+        let f = Formula.simplify f in
+        match f with
+        | Formula.True ->
+            Resilience.Breaker.success Resilience.Fault.Solver;
+            Sat []
+        | Formula.False ->
+            Resilience.Breaker.success Resilience.Fault.Solver;
+            Unsat
+        | _ -> (
+            let atoms = order_atoms f (Formula.atoms f) in
+            let nodes = ref 0 in
+            let rec search assign remaining =
+              incr nodes;
+              if !nodes > budget then raise Budget_hit;
+              if not (consistent_memo assign) then None
+              else
+                match eval3 assign f with
+                | Some false -> None
+                | Some true -> Some assign
+                | None -> (
+                    match remaining with
+                    | [] -> None (* unreachable: all atoms assigned means no None *)
+                    | a :: rest -> (
+                        match search ((a, true) :: assign) rest with
+                        | Some model -> Some model
+                        | None -> search ((a, false) :: assign) rest))
+            in
+            match search [] atoms with
+            | Some model ->
+                Resilience.Breaker.success Resilience.Fault.Solver;
+                Sat model
+            | None ->
+                Resilience.Breaker.success Resilience.Fault.Solver;
+                Unsat
+            | exception Budget_hit ->
+                Resilience.Breaker.failure Resilience.Fault.Solver;
+                Unknown (Fmt.str "node budget %d exhausted" budget)))
 
 let is_sat f = verdict_is_sat (solve f)
 
-let is_unsat f = not (is_sat f)
+(** [Unknown] is conservatively {e not} unsat: an undecided formula
+    neither proves nor refutes anything downstream. *)
+let is_unsat f = match solve f with Unsat -> true | Sat _ | Unknown _ -> false
 
 (** [is_valid f] iff [!f] has no model. *)
 let is_valid f = is_unsat (Formula.Not f)
@@ -171,6 +247,10 @@ type trace_check =
   | Violation of (Formula.atom * bool) list
       (** satisfiable overlap with the complement; the model is the
           counterexample the developer sees in the report *)
+  | Undecided of string
+      (** the solver could not decide (budget, fault, open breaker);
+          the reason is recorded and the rule's report degrades to an
+          [unknown] verdict instead of killing the run *)
 
 (** Complement check (the paper's method): the trace's [pc] violates
     checker formula [c] iff [pc /\ !c] is satisfiable.  Missing conditions
@@ -180,6 +260,7 @@ let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
   match solve (Formula.And [ pc; Formula.Not checker ]) with
   | Unsat -> Verified
   | Sat model -> Violation model
+  | Unknown reason -> Undecided reason
 
 (** The naive *direct* check used as an ablation (experiment E8): flag a
     trace only if its path condition outright contradicts the checker
@@ -190,6 +271,7 @@ let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
   match solve (Formula.And [ pc; checker ]) with
   | Unsat -> Violation []
   | Sat _ -> Verified
+  | Unknown reason -> Undecided reason
 
 let model_to_string (model : (Formula.atom * bool) list) : string =
   model

@@ -4,7 +4,12 @@
     three-valued early evaluation, pruned by the theory solver on every
     partial assignment.  Complete for the checker-formula fragment. *)
 
-type verdict = Sat of (Formula.atom * bool) list | Unsat
+type verdict =
+  | Sat of (Formula.atom * bool) list
+  | Unsat
+  | Unknown of string
+      (** undecided: node budget exhausted, injected fault, or open
+          circuit breaker; the payload records why *)
 
 val verdict_is_sat : verdict -> bool
 
@@ -15,12 +20,32 @@ val solve_count : unit -> int
 
 val reset_solve_count : unit -> unit
 
+(** DPLL search-node budget used when [solve] is not given one
+    explicitly.  Defaults to 200k nodes — far above the checker-formula
+    fragment, so [Unknown] only appears under adversarial formulas or
+    injected faults. *)
+val default_node_budget : unit -> int
+
+val set_default_node_budget : int -> unit
+
+(** {2 Theory-consistency memo knobs (diagnostics/tests)} *)
+
+val theory_memo_size : unit -> int
+
+(** Capacity at which the memo sheds half its entries (epoch halving;
+    clamped to >= 2). *)
+val set_theory_memo_max : int -> unit
+
 (** Decide satisfiability.  A [Sat] model assigns a sign to each canonical
-    atom of the (simplified) formula. *)
-val solve : Formula.t -> verdict
+    atom of the (simplified) formula.  The search visits at most
+    [node_budget] nodes and answers [Unknown] past it; injected faults
+    and an open solver breaker also answer [Unknown] (or raise
+    {!Resilience.Fault.Injected} for crash/transient kinds). *)
+val solve : ?node_budget:int -> Formula.t -> verdict
 
 val is_sat : Formula.t -> bool
 
+(** [Unknown] is conservatively not unsat. *)
 val is_unsat : Formula.t -> bool
 
 val is_valid : Formula.t -> bool
@@ -36,6 +61,9 @@ type trace_check =
   | Verified  (** the path condition implies the checker formula *)
   | Violation of (Formula.atom * bool) list
       (** a state admitted by the path that violates the semantics *)
+  | Undecided of string
+      (** the solver could not decide; the reason degrades the rule's
+          report instead of killing the run *)
 
 (** The complement check: a trace with path condition [pc] violates the
     semantic with checker formula [checker] iff [pc /\ !checker] is

@@ -721,33 +721,64 @@ type run_result = {
   r_branches_recorded : int;
 }
 
-(** Run one entry function (usually a test) under the concolic engine. *)
-let run ?(config = default_config) (program : Ast.program) (entry : string) :
-    run_result =
-  let st = create ~config program in
-  st.entry <- entry;
-  let outcome =
-    match Ast.find_func program entry with
-    | None -> Interp.Errored (Fmt.str "no entry function %s" entry)
-    | Some f -> (
-        match invoke st ~qname:entry f (untagged Value.V_null) [] Loc.dummy with
-        | _ -> Interp.Passed
-        | exception Interp.Assertion_failure (msg, sid) ->
-            Interp.Failed (Fmt.str "%s (at statement %d)" msg sid)
-        | exception Interp.Mini_throw v ->
-            Interp.Errored (Fmt.str "uncaught throw: %s" (Value.to_string v))
-        | exception Interp.Runtime_error (msg, loc) ->
-            Interp.Errored (Fmt.str "runtime error: %s at %a" msg Loc.pp loc)
-        | exception Interp.Out_of_fuel -> Interp.Errored "out of fuel")
-  in
+let skipped_run (entry : string) (msg : string) : run_result =
   {
     r_entry = entry;
-    r_outcome = outcome;
-    r_hits = List.rev st.hits;
-    r_blocking = List.rev st.blocking;
-    r_branches_total = st.branches_total;
-    r_branches_recorded = st.branches_recorded;
+    r_outcome = Interp.Errored msg;
+    r_hits = [];
+    r_blocking = [];
+    r_branches_total = 0;
+    r_branches_recorded = 0;
   }
+
+(** Run one entry function (usually a test) under the concolic engine.
+
+    The run is an injection point ({!Resilience.Fault.Concolic}): a
+    faulted run either raises {!Resilience.Fault.Injected}
+    (crash/transient — the engine's job retry handles it) or degrades
+    to an out-of-fuel outcome (budget).  An open circuit breaker skips
+    the run entirely; genuine fuel exhaustion trips the breaker the
+    same way an injected budget fault does. *)
+let run ?(config = default_config) (program : Ast.program) (entry : string) :
+    run_result =
+  if not (Resilience.Breaker.proceed Resilience.Fault.Concolic) then
+    skipped_run entry "circuit open: concolic run skipped"
+  else
+    match Resilience.Injector.draw Resilience.Fault.Concolic with
+    | Some (Resilience.Fault.Crash | Resilience.Fault.Transient) as k ->
+        Resilience.Injector.raise_fault Resilience.Fault.Concolic (Option.get k)
+    | Some Resilience.Fault.Budget ->
+        Resilience.Breaker.failure Resilience.Fault.Concolic;
+        skipped_run entry "out of fuel (injected)"
+    | None ->
+        let st = create ~config program in
+        st.entry <- entry;
+        let outcome =
+          match Ast.find_func program entry with
+          | None -> Interp.Errored (Fmt.str "no entry function %s" entry)
+          | Some f -> (
+              match invoke st ~qname:entry f (untagged Value.V_null) [] Loc.dummy with
+              | _ -> Interp.Passed
+              | exception Interp.Assertion_failure (msg, sid) ->
+                  Interp.Failed (Fmt.str "%s (at statement %d)" msg sid)
+              | exception Interp.Mini_throw v ->
+                  Interp.Errored (Fmt.str "uncaught throw: %s" (Value.to_string v))
+              | exception Interp.Runtime_error (msg, loc) ->
+                  Interp.Errored (Fmt.str "runtime error: %s at %a" msg Loc.pp loc)
+              | exception Interp.Out_of_fuel -> Interp.Errored "out of fuel")
+        in
+        (match outcome with
+        | Interp.Errored "out of fuel" ->
+            Resilience.Breaker.failure Resilience.Fault.Concolic
+        | _ -> Resilience.Breaker.success Resilience.Fault.Concolic);
+        {
+          r_entry = entry;
+          r_outcome = outcome;
+          r_hits = List.rev st.hits;
+          r_blocking = List.rev st.blocking;
+          r_branches_total = st.branches_total;
+          r_branches_recorded = st.branches_recorded;
+        }
 
 (** Run several entries, concatenating results. *)
 let run_all ?(config = default_config) (program : Ast.program)

@@ -215,7 +215,7 @@ let test_smt_model_satisfies () =
       in
       Alcotest.(check (option bool)) "p false" (Some false) (lookup "p");
       Alcotest.(check (option bool)) "q true" (Some true) (lookup "q")
-  | Smt.Solver.Unsat -> Alcotest.fail "should be sat"
+  | Smt.Solver.Unsat | Smt.Solver.Unknown _ -> Alcotest.fail "should be sat"
 
 let suite =
   [

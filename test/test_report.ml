@@ -78,7 +78,7 @@ let prop_self_check_verifies =
     (fun f ->
       match Smt.Solver.check_trace ~pc:f ~checker:f with
       | Smt.Solver.Verified -> true
-      | Smt.Solver.Violation _ -> false)
+      | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false)
 
 let prop_true_pc_flags_nonvalid =
   QCheck.Test.make ~count:200 ~name:"empty pc verifies iff checker valid" gen_formula
@@ -86,7 +86,7 @@ let prop_true_pc_flags_nonvalid =
       let verified =
         match Smt.Solver.check_trace ~pc:Smt.Formula.True ~checker:f with
         | Smt.Solver.Verified -> true
-        | Smt.Solver.Violation _ -> false
+        | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false
       in
       verified = Smt.Solver.is_valid f)
 
@@ -96,7 +96,7 @@ let prop_stronger_pc_stays_verified =
       let pc = Smt.Formula.And [ checker; pc_extra ] in
       match Smt.Solver.check_trace ~pc ~checker with
       | Smt.Solver.Verified -> true
-      | Smt.Solver.Violation _ -> false)
+      | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false)
 
 let prop_verified_means_entails =
   QCheck.Test.make ~count:200 ~name:"Verified iff pc entails checker"
@@ -104,7 +104,7 @@ let prop_verified_means_entails =
       let verified =
         match Smt.Solver.check_trace ~pc ~checker with
         | Smt.Solver.Verified -> true
-        | Smt.Solver.Violation _ -> false
+        | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false
       in
       verified = Smt.Solver.entails pc checker)
 

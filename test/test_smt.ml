@@ -186,7 +186,7 @@ let test_paper_example_null_trace () =
   (* trace condition (s == null) fulfills the complement -> violation *)
   match Solver.check_trace ~pc:snull ~checker with
   | Solver.Violation _ -> ()
-  | Solver.Verified -> Alcotest.fail "expected violation"
+  | Solver.Verified | Solver.Undecided _ -> Alcotest.fail "expected violation/verdict"
 
 let test_paper_example_missing_ttl () =
   (* (s != null && !closing) misses the ttl check -> violation *)
@@ -197,7 +197,7 @@ let test_paper_example_missing_ttl () =
       let s = Solver.model_to_string model in
       Alcotest.(check bool) "model mentions ttl" true
         (Astring_contains.contains s "ttl")
-  | Solver.Verified -> Alcotest.fail "expected violation"
+  | Solver.Verified | Solver.Undecided _ -> Alcotest.fail "expected violation/verdict"
 
 let test_paper_example_full_guard () =
   let pc = Formula.And [ snotnull; not_closing; ttl_pos ] in
@@ -205,6 +205,7 @@ let test_paper_example_full_guard () =
   | Solver.Verified -> ()
   | Solver.Violation m ->
       Alcotest.fail ("unexpected violation: " ^ Solver.model_to_string m)
+      | Solver.Undecided reason -> Alcotest.fail ("unexpected undecided: " ^ reason)
 
 let test_paper_example_stronger_guard () =
   (* a trace with an even stronger condition still verifies *)
@@ -213,6 +214,7 @@ let test_paper_example_stronger_guard () =
   | Solver.Verified -> ()
   | Solver.Violation m ->
       Alcotest.fail ("unexpected violation: " ^ Solver.model_to_string m)
+      | Solver.Undecided reason -> Alcotest.fail ("unexpected undecided: " ^ reason)
 
 let test_direct_check_misses_missing_ttl () =
   (* ablation: the direct check fails to flag the missing-ttl trace *)
@@ -220,6 +222,7 @@ let test_direct_check_misses_missing_ttl () =
   match Solver.check_trace_direct ~pc ~checker with
   | Solver.Verified -> () (* the false negative the paper warns about *)
   | Solver.Violation _ -> Alcotest.fail "direct check should miss this"
+  | Solver.Undecided reason -> Alcotest.fail ("unexpected undecided: " ^ reason)
 
 (* ------------------------------------------------------------------ *)
 (* Properties: solver soundness vs brute-force on a finite domain       *)

@@ -166,10 +166,12 @@ let test_complement_check_flags_missing_path () =
   (match verdict good with
   | Smt.Solver.Verified -> ()
   | Smt.Solver.Violation m ->
-      Alcotest.fail ("guarded path flagged: " ^ Smt.Solver.model_to_string m));
+      Alcotest.fail ("guarded path flagged: " ^ Smt.Solver.model_to_string m)
+      | Smt.Solver.Undecided reason -> Alcotest.fail ("unexpected undecided: " ^ reason));
   match verdict bad with
   | Smt.Solver.Violation _ -> ()
   | Smt.Solver.Verified -> Alcotest.fail "missing-check path not flagged"
+  | Smt.Solver.Undecided reason -> Alcotest.fail ("unexpected undecided: " ^ reason)
 
 let test_pruning_reduces_recorded_branches () =
   let p = program () in
