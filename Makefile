@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos clean
+.PHONY: all build test check bench chaos trace clean
 
 all: build
 
@@ -8,12 +8,24 @@ build:
 test:
 	dune runtest
 
+# Every span/counter name the trace export must mention for the engine
+# workload (tools/trace_check validates the JSON and greps for these).
+TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
+  engine.execute engine.job checker.prepare checker.execute smt.solve \
+  concolic.run oracle.infer engine.report_cache engine.smt_cache
+
 # The tier-1 gate plus the engine acceptance smokes: build, full test
-# suite, the serial/parallel/incremental equivalence checks, and the
-# chaos fault-injection invariants, both on the zookeeper slice of the
-# E11 workload.
+# suite, the serial/parallel/incremental equivalence checks (with a
+# trace-export smoke), and the chaos fault-injection invariants, both
+# on the zookeeper slice of the E11 workload.
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke && dune exec bench/main.exe -- --experiment chaos --smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke
+
+# Record the full E11 engine workload through the telemetry tracer,
+# validate the Chrome-trace JSON, and check every pipeline stage shows
+# up.  Load trace.json in chrome://tracing or https://ui.perfetto.dev.
+trace:
+	dune exec bench/main.exe -- --experiment engine --trace trace.json && dune exec tools/trace_check.exe -- trace.json $(TRACE_SPANS)
 
 bench:
 	dune exec bench/main.exe

@@ -16,9 +16,13 @@
 
    `bench/main.exe` with no arguments runs everything;
    `--experiment <name>` selects one.  `--smoke` shrinks the engine
-   experiment to one system (the `make check` fast path). *)
+   experiment to one system (the `make check` fast path).
+   `--trace out.json` records every stage through [Telemetry.Trace] and
+   writes Chrome-trace JSON plus a per-span summary table on exit. *)
 
 let smoke_flag = ref false
+
+let trace_path : string option ref = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" (String.make 78 '=') title;
@@ -119,7 +123,7 @@ let run_engine_bench () =
     (* the verdict cache is global: start every mode from a clean slate *)
     Smt.Memo.reset ();
     let engine = Engine.Scheduler.create ~config () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.Clock.now () in
     let ids =
       List.concat_map
         (fun (system, book, versions) ->
@@ -132,7 +136,7 @@ let run_engine_bench () =
             versions)
         workload
     in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Telemetry.Clock.now () -. t0 in
     let stats = Engine.Scheduler.stats engine in
     Printf.printf "%-14s %6.2fs  %s\n" name wall (Engine.Stats.to_string stats);
     (ids, stats)
@@ -294,17 +298,19 @@ let all_experiments : (string * (unit -> unit)) list =
   ]
 
 let () =
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--smoke" then begin
-          smoke_flag := true;
-          false
-        end
-        else true)
-      (Array.to_list Sys.argv)
+  let rec strip = function
+    | [] -> []
+    | "--smoke" :: rest ->
+        smoke_flag := true;
+        strip rest
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        strip rest
+    | a :: rest -> a :: strip rest
   in
-  match args with
+  let args = strip (Array.to_list Sys.argv) in
+  if !trace_path <> None then Telemetry.Trace.set_enabled true;
+  (match args with
   | _ :: "--experiment" :: name :: _ -> (
       match List.assoc_opt name all_experiments with
       | Some f -> f ()
@@ -313,4 +319,12 @@ let () =
             (String.concat ", " (List.map fst all_experiments));
           exit 1)
   | _ :: "--list" :: _ -> List.iter (fun (n, _) -> print_endline n) all_experiments
-  | _ -> List.iter (fun (_, f) -> f ()) all_experiments
+  | _ -> List.iter (fun (_, f) -> f ()) all_experiments);
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+      Telemetry.Trace.export_to_file path;
+      Printf.printf "\ntrace: %d event(s) written to %s\n\n%s"
+        (Telemetry.Trace.event_count ())
+        path
+        (Telemetry.Trace.summary ())

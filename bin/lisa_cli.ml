@@ -199,17 +199,34 @@ let engine_cmd =
     let doc = "Per-call fault probability when $(b,--fault-seed) is set." in
     Arg.(value & opt float 0.05 & info [ "fault-rate" ] ~docv:"P" ~doc)
   in
-  let run jobs fault_seed fault_rate =
+  let trace_arg =
+    let doc =
+      "Record every pipeline stage through the telemetry tracer and write \
+       Chrome-trace JSON (chrome://tracing, Perfetto) to $(docv), plus a \
+       per-span summary table on stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs fault_seed fault_rate trace =
     (match fault_seed with
     | Some seed ->
         Resilience.Injector.arm (Resilience.Plan.make ~seed ~rate:fault_rate ())
     | None -> ());
+    if trace <> None then Telemetry.Trace.set_enabled true;
     Fun.protect ~finally:Resilience.Injector.disarm @@ fun () ->
     let engine_config =
       { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
     in
     let results, stats = Lisa.System_scan.run_engine ~engine_config () in
     print_string (Lisa.System_scan.print_with_stats (results, stats));
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Telemetry.Trace.export_to_file path;
+        Fmt.pr "@.trace: %d event(s) written to %s@.@.%s"
+          (Telemetry.Trace.event_count ())
+          path
+          (Telemetry.Trace.summary ()));
     (* exit 3: some rules were quarantined — their verdicts are missing,
        so the scan must not read as a clean pass *)
     if stats.Engine.Stats.quarantined <> [] then exit 3
@@ -221,8 +238,8 @@ let engine_cmd =
           v1/v2/v3/v5) through the parallel, incremental, cached enforcement \
           engine and print its statistics")
     Term.(
-      const (fun () j s r -> run j s r)
-      $ logs_t $ jobs_arg $ fault_seed_arg $ fault_rate_arg)
+      const (fun () j s r t -> run j s r t)
+      $ logs_t $ jobs_arg $ fault_seed_arg $ fault_rate_arg $ trace_arg)
 
 let run_tests_cmd =
   let run case_id stage =

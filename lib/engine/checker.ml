@@ -408,6 +408,10 @@ let execute_lock_rule (config : config) (p : Ast.program) (pr : prepared)
     program version instead of rebuilding it per rule. *)
 let prepare ?(config = default_config) ?graph (p : Ast.program)
     (rule : Semantics.Rule.t) : prepared =
+  Telemetry.Trace.with_span ~cat:"checker"
+    ~args:[ ("rule", rule.Semantics.Rule.rule_id) ]
+    "checker.prepare"
+  @@ fun () ->
   match rule.Semantics.Rule.body with
   | Semantics.Rule.State_guard { target; condition } ->
       let targets = Semantics.Rulebook.resolve_targets p target in
@@ -435,6 +439,10 @@ let prepare ?(config = default_config) ?graph (p : Ast.program)
     pool and memoizes in the report cache. *)
 let execute ?(config = default_config) (p : Ast.program) (pr : prepared) :
     rule_report =
+  Telemetry.Trace.with_span ~cat:"checker"
+    ~args:[ ("rule", pr.prep_rule.Semantics.Rule.rule_id) ]
+    "checker.execute"
+  @@ fun () ->
   match pr.prep_kind with
   | Prep_guard { pg_condition; pg_targets; pg_trees } ->
       execute_state_guard config p pr ~condition:pg_condition ~targets:pg_targets

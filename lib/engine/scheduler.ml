@@ -20,9 +20,17 @@
     Reports come back in rulebook order regardless of pool width, and
     every layer can be disabled independently (the cold-serial
     configuration reproduces the historic [Checker.check_book]
-    behaviour exactly). *)
+    behaviour exactly).
+
+    Telemetry: every phase runs under a [Telemetry.Trace] span
+    ([engine.enforce] > [engine.incremental] / [engine.prepare] /
+    [engine.execute] > [engine.job]), counts accumulate through the
+    {!Stats} recorder into [Telemetry.Metrics], and all wall time is
+    read from [Telemetry.Clock]. *)
 
 open Minilang
+module Trace = Telemetry.Trace
+module Clock = Telemetry.Clock
 
 type config = {
   jobs : int;  (** worker domains; 1 = serial on the calling domain *)
@@ -35,6 +43,8 @@ type config = {
   retry_backoff_ms : int;
       (** base backoff before a retry round, doubled per attempt and
           capped at 8x; 0 = retry immediately (what tests use) *)
+  job_times_cap : int;
+      (** ring capacity for per-job wall times kept in {!Stats} *)
 }
 
 let default_config =
@@ -46,6 +56,7 @@ let default_config =
     checker = Checker.default_config;
     max_retries = 2;
     retry_backoff_ms = 5;
+    job_times_cap = 1024;
   }
 
 (** The cold, serial configuration: every layer off.  Reproduces the
@@ -63,7 +74,7 @@ type memory = {
 
 type t = {
   config : config;
-  stats : Stats.t;
+  recorder : Stats.recorder;
   reports : (string, Checker.rule_report) Cache.t;
   mutable last : memory option;
 }
@@ -71,14 +82,14 @@ type t = {
 let create ?(config = default_config) () : t =
   {
     config;
-    stats = Stats.create ();
+    recorder = Stats.recorder ~job_times_cap:config.job_times_cap ();
     reports = Cache.create ~name:"reports" ();
     last = None;
   }
 
 let config t = t.config
 
-let stats t = t.stats
+let stats t = Stats.snapshot t.recorder
 
 let report_cache_size t = Cache.size t.reports
 
@@ -97,11 +108,30 @@ let backoff_ms (cfg : config) ~(attempt : int) : int =
     let factor = 1 lsl min 3 (max 0 (attempt - 1)) in
     min (cfg.retry_backoff_ms * factor) (8 * cfg.retry_backoff_ms)
 
+(* trace-only counter snapshots of the two cache tiers *)
+let trace_cache_counters t =
+  if Trace.enabled () then begin
+    let s = Stats.snapshot t.recorder in
+    Trace.counter "engine.report_cache"
+      [
+        ("hits", float_of_int s.Stats.report_hits);
+        ("misses", float_of_int s.Stats.report_misses);
+        ("entries", float_of_int (Cache.size t.reports));
+      ];
+    Trace.counter "engine.smt_cache"
+      [
+        ("hits", float_of_int s.Stats.smt_hits);
+        ("misses", float_of_int s.Stats.smt_misses);
+        ("solver_calls", float_of_int s.Stats.solver_calls);
+      ]
+  end
+
 (** Enforce a rulebook against a program version through the engine. *)
 let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
     Checker.rule_report list =
+  Trace.with_span ~cat:"engine" "engine.enforce" @@ fun () ->
   let cfg = t.config in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let smt_hits0 = Smt.Memo.hits () and smt_misses0 = Smt.Memo.misses () in
   let solver0 = Smt.Solver.solve_count () in
   let memo_was = Smt.Memo.enabled () in
@@ -111,6 +141,7 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   let program_fp = Fingerprint.program p in
   (* layer 1: incremental pre-pass against the previous version *)
   let reused, fresh =
+    Trace.with_span ~cat:"engine" "engine.incremental" @@ fun () ->
     match t.last with
     | Some mem when cfg.incremental ->
         let changes =
@@ -127,12 +158,12 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
           rules
     | _ -> ([], rules)
   in
-  t.stats.Stats.incremental_reuses <-
-    t.stats.Stats.incremental_reuses + List.length reused;
+  Stats.bump ~by:(List.length reused) t.recorder Stats.Incremental_reuses;
   (* layer 2: prepare the rest and consult the report cache *)
-  let graph = Analysis.Callgraph.build p in
-  let methods = Fingerprint.methods p in
   let prepared_rules =
+    Trace.with_span ~cat:"engine" "engine.prepare" @@ fun () ->
+    let graph = Analysis.Callgraph.build p in
+    let methods = Fingerprint.methods p in
     List.map
       (fun rule ->
         let pr = Checker.prepare ~config:cfg.checker ~graph p rule in
@@ -149,8 +180,8 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
         | None -> Either.Right (job, region))
       prepared_rules
   in
-  t.stats.Stats.report_hits <- t.stats.Stats.report_hits + List.length cached;
-  t.stats.Stats.report_misses <- t.stats.Stats.report_misses + List.length to_run;
+  Stats.bump ~by:(List.length cached) t.recorder Stats.Report_hits;
+  Stats.bump ~by:(List.length to_run) t.recorder Stats.Report_misses;
   (* layer 3: execute the misses on the worker pool, expensive first.
      The pool collects per-slot results instead of re-raising: failed
      jobs are retried with capped deterministic backoff, and jobs still
@@ -158,39 +189,49 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
      placeholder report — one crashing rule never takes down the run. *)
   let scheduled = Array.of_list (Job.schedule (List.map fst to_run)) in
   let run_job (job : Job.t) =
-    let j0 = Unix.gettimeofday () in
+    Trace.with_span ~cat:"engine" ~args:[ ("rule", job.Job.rule_id) ]
+      "engine.job"
+    @@ fun () ->
+    let j0 = Clock.now () in
     let report = Checker.execute ~config:cfg.checker p job.Job.prepared in
-    (job, report, Unix.gettimeofday () -. j0)
+    (job, report, Clock.now () -. j0)
   in
-  let results = Pool.map_results ~jobs:cfg.jobs run_job scheduled in
-  let rec retry_failures attempt =
-    let failed = Pool.failures results in
-    if failed <> [] && attempt <= cfg.max_retries then begin
-      let ms = backoff_ms cfg ~attempt in
-      List.iter
-        (fun (slot, e) ->
-          Resilience.Events.emit
-            (Resilience.Events.Job_retry
-               {
-                 job = scheduled.(slot).Job.rule_id;
-                 attempt;
-                 backoff_ms = ms;
-                 reason = Printexc.to_string e;
-               }))
-        failed;
-      t.stats.Stats.retries <- t.stats.Stats.retries + List.length failed;
-      if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.);
-      let slots = Array.of_list (List.map fst failed) in
-      let rerun =
-        Pool.map_results ~jobs:cfg.jobs
-          (fun slot -> run_job scheduled.(slot))
-          slots
-      in
-      Array.iteri (fun k r -> results.(slots.(k)) <- r) rerun;
-      retry_failures (attempt + 1)
-    end
+  let results =
+    Trace.with_span ~cat:"engine"
+      ~args:[ ("scheduled", string_of_int (Array.length scheduled)) ]
+      "engine.execute"
+    @@ fun () ->
+    let results = Pool.map_results ~jobs:cfg.jobs run_job scheduled in
+    let rec retry_failures attempt =
+      let failed = Pool.failures results in
+      if failed <> [] && attempt <= cfg.max_retries then begin
+        let ms = backoff_ms cfg ~attempt in
+        List.iter
+          (fun (slot, e) ->
+            Resilience.Events.emit
+              (Resilience.Events.Job_retry
+                 {
+                   job = scheduled.(slot).Job.rule_id;
+                   attempt;
+                   backoff_ms = ms;
+                   reason = Printexc.to_string e;
+                 }))
+          failed;
+        Stats.bump ~by:(List.length failed) t.recorder Stats.Retries;
+        if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.);
+        let slots = Array.of_list (List.map fst failed) in
+        let rerun =
+          Pool.map_results ~jobs:cfg.jobs
+            (fun slot -> run_job scheduled.(slot))
+            slots
+        in
+        Array.iteri (fun k r -> results.(slots.(k)) <- r) rerun;
+        retry_failures (attempt + 1)
+      end
+    in
+    retry_failures 1;
+    results
   in
-  retry_failures 1;
   let executed =
     Array.to_list results
     |> List.mapi (fun slot result ->
@@ -206,8 +247,7 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
                       attempts = cfg.max_retries + 1;
                       reason;
                     });
-               t.stats.Stats.quarantined <-
-                 job.Job.rule_id :: t.stats.Stats.quarantined;
+               Stats.quarantine t.recorder job.Job.rule_id;
                let report =
                  Checker.quarantined_report
                    job.Job.prepared.Checker.prep_rule ~reason
@@ -230,15 +270,14 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
         if cfg.report_cache && not (Checker.is_degraded report) then
           Cache.add t.reports job.Job.key report;
         if Checker.is_degraded report then
-          t.stats.Stats.degraded_jobs <- t.stats.Stats.degraded_jobs + 1;
-        t.stats.Stats.jobs_run <- t.stats.Stats.jobs_run + 1;
-        t.stats.Stats.job_times <-
+          Stats.bump t.recorder Stats.Degraded_jobs;
+        Stats.bump t.recorder Stats.Jobs_run;
+        Stats.add_job_time t.recorder
           {
             Stats.jt_job_id = job.Job.job_id;
             Stats.jt_rule_id = job.Job.rule_id;
             Stats.jt_wall_s = wall;
-          }
-          :: t.stats.Stats.job_times;
+          };
         (job.Job.rule_id, (region_of_job job, report)))
       executed
   in
@@ -262,14 +301,14 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   t.last <-
     Some { mem_program = p; mem_fp = program_fp; mem_entries = durable_entries };
   (* bookkeeping *)
-  t.stats.Stats.enforcements <- t.stats.Stats.enforcements + 1;
-  t.stats.Stats.smt_hits <-
-    t.stats.Stats.smt_hits + (Smt.Memo.hits () - smt_hits0);
-  t.stats.Stats.smt_misses <-
-    t.stats.Stats.smt_misses + (Smt.Memo.misses () - smt_misses0);
-  t.stats.Stats.solver_calls <-
-    t.stats.Stats.solver_calls + (Smt.Solver.solve_count () - solver0);
-  t.stats.Stats.wall_s <- t.stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  Stats.bump t.recorder Stats.Enforcements;
+  Stats.bump ~by:(Smt.Memo.hits () - smt_hits0) t.recorder Stats.Smt_hits;
+  Stats.bump ~by:(Smt.Memo.misses () - smt_misses0) t.recorder Stats.Smt_misses;
+  Stats.bump
+    ~by:(Smt.Solver.solve_count () - solver0)
+    t.recorder Stats.Solver_calls;
+  Stats.add_wall t.recorder (Clock.now () -. t0);
+  trace_cache_counters t;
   reports_in_order
 
 (** The reports that carry violations. *)

@@ -21,6 +21,8 @@ type config = {
   retry_backoff_ms : int;
       (** base backoff before a retry round, doubled per attempt and
           capped at 8x; 0 = retry immediately *)
+  job_times_cap : int;
+      (** ring capacity for per-job wall times kept in {!Stats} *)
 }
 
 (** jobs = 1, all layers on. *)
@@ -36,6 +38,7 @@ val create : ?config:config -> unit -> t
 
 val config : t -> config
 
+(** A point-in-time snapshot of the engine's telemetry counters. *)
 val stats : t -> Stats.t
 
 val report_cache_size : t -> int

@@ -1,10 +1,16 @@
 (** Engine run statistics.
 
-    One record per {!Scheduler.t}, accumulated across every [enforce]
-    call the engine serves.  "Solver calls saved" counts SMT verdict
-    cache hits — each one is a {!Smt.Solver.solve} invocation that did
-    not happen — plus nothing else: report reuse savings show up
-    indirectly as the drop in [solver_calls] itself. *)
+    The engine owns a {!recorder} per {!Scheduler.t}; every count lands
+    in the process-global [Telemetry.Metrics] registry under a
+    per-recorder namespace ("engine.<id>.<field>"), so an engine run is
+    observable through telemetry snapshots and traces with no second
+    bookkeeping path.  {!snapshot} materialises the namespace back into
+    the plain record consumers have always read.
+
+    "Solver calls saved" counts SMT verdict cache hits — each one is a
+    {!Smt.Solver.solve} invocation that did not happen — plus nothing
+    else: report reuse savings show up indirectly as the drop in
+    [solver_calls] itself. *)
 
 type job_time = {
   jt_job_id : string;
@@ -13,57 +19,140 @@ type job_time = {
 }
 
 type t = {
-  mutable enforcements : int;  (** [enforce] calls served *)
-  mutable jobs_run : int;  (** dynamic phases actually executed *)
-  mutable report_hits : int;  (** jobs answered from the report cache *)
-  mutable report_misses : int;
-  mutable incremental_reuses : int;
+  enforcements : int;  (** [enforce] calls served *)
+  jobs_run : int;  (** dynamic phases actually executed *)
+  report_hits : int;  (** jobs answered from the report cache *)
+  report_misses : int;
+  incremental_reuses : int;
       (** jobs skipped by the diff-based incremental pre-pass (no
           fingerprinting, no prepare: the previous report was reused) *)
-  mutable smt_hits : int;  (** verdict-cache hits during our runs *)
-  mutable smt_misses : int;
-  mutable solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
-  mutable wall_s : float;  (** total [enforce] wall time *)
-  mutable job_times : job_time list;  (** newest first *)
-  mutable retries : int;  (** failed jobs re-run after backoff *)
-  mutable degraded_jobs : int;
+  smt_hits : int;  (** verdict-cache hits during our runs *)
+  smt_misses : int;
+  solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
+  wall_s : float;  (** total [enforce] wall time *)
+  job_times : job_time list;  (** newest first, bounded by the ring *)
+  retries : int;  (** failed jobs re-run after backoff *)
+  degraded_jobs : int;
       (** jobs whose report carries a degradation reason (out-of-fuel
           runs, undecided verdicts, quarantine placeholders) *)
-  mutable quarantined : string list;
+  quarantined : string list;
       (** rule ids whose jobs exhausted their retries, newest first *)
 }
 
-let create () =
+type counter =
+  | Enforcements
+  | Jobs_run
+  | Report_hits
+  | Report_misses
+  | Incremental_reuses
+  | Smt_hits
+  | Smt_misses
+  | Solver_calls
+  | Retries
+  | Degraded_jobs
+
+let counter_name = function
+  | Enforcements -> "enforcements"
+  | Jobs_run -> "jobs_run"
+  | Report_hits -> "report_hits"
+  | Report_misses -> "report_misses"
+  | Incremental_reuses -> "incremental_reuses"
+  | Smt_hits -> "smt_hits"
+  | Smt_misses -> "smt_misses"
+  | Solver_calls -> "solver_calls"
+  | Retries -> "retries"
+  | Degraded_jobs -> "degraded_jobs"
+
+type recorder = {
+  ns : string;  (** metric namespace, "engine.<id>" *)
+  cap : int;  (** ring capacity for job times *)
+  lock : Mutex.t;
+  ring : job_time option array;
+  mutable head : int;  (** next write slot *)
+  mutable total : int;  (** job times ever recorded *)
+  mutable quarantined_ids : string list;  (** newest first *)
+}
+
+let next_recorder_id = Atomic.make 0
+
+let default_job_times_cap = 1024
+
+let recorder ?(job_times_cap = default_job_times_cap) () =
+  let cap = max 1 job_times_cap in
   {
-    enforcements = 0;
-    jobs_run = 0;
-    report_hits = 0;
-    report_misses = 0;
-    incremental_reuses = 0;
-    smt_hits = 0;
-    smt_misses = 0;
-    solver_calls = 0;
-    wall_s = 0.;
-    job_times = [];
-    retries = 0;
-    degraded_jobs = 0;
-    quarantined = [];
+    ns = Printf.sprintf "engine.%d" (Atomic.fetch_and_add next_recorder_id 1);
+    cap;
+    lock = Mutex.create ();
+    ring = Array.make cap None;
+    head = 0;
+    total = 0;
+    quarantined_ids = [];
   }
 
-let reset (s : t) =
-  s.enforcements <- 0;
-  s.jobs_run <- 0;
-  s.report_hits <- 0;
-  s.report_misses <- 0;
-  s.incremental_reuses <- 0;
-  s.smt_hits <- 0;
-  s.smt_misses <- 0;
-  s.solver_calls <- 0;
-  s.wall_s <- 0.;
-  s.job_times <- [];
-  s.retries <- 0;
-  s.degraded_jobs <- 0;
-  s.quarantined <- []
+let namespace r = r.ns
+
+let key r c = r.ns ^ "." ^ counter_name c
+
+let bump ?(by = 1) r c = Telemetry.Metrics.incr ~by (key r c)
+
+let read r c = Telemetry.Metrics.get (key r c)
+
+let add_wall r dt = Telemetry.Metrics.addf (r.ns ^ ".wall_s") dt
+
+let add_job_time r jt =
+  Mutex.lock r.lock;
+  r.ring.(r.head) <- Some jt;
+  r.head <- (r.head + 1) mod r.cap;
+  r.total <- r.total + 1;
+  Mutex.unlock r.lock
+
+let quarantine r rule_id =
+  Mutex.lock r.lock;
+  r.quarantined_ids <- rule_id :: r.quarantined_ids;
+  Mutex.unlock r.lock
+
+let reset r =
+  Telemetry.Metrics.reset_prefix (r.ns ^ ".");
+  Mutex.lock r.lock;
+  Array.fill r.ring 0 r.cap None;
+  r.head <- 0;
+  r.total <- 0;
+  r.quarantined_ids <- [];
+  Mutex.unlock r.lock
+
+(* newest first, at most [cap] entries *)
+let job_times_of r =
+  let n = min r.total r.cap in
+  let rec collect i acc =
+    if i >= n then List.rev acc
+    else
+      let slot = (r.head - 1 - i + (2 * r.cap)) mod r.cap in
+      match r.ring.(slot) with
+      | Some jt -> collect (i + 1) (jt :: acc)
+      | None -> List.rev acc
+  in
+  collect 0 []
+
+let snapshot r : t =
+  Mutex.lock r.lock;
+  let job_times = job_times_of r in
+  let quarantined = r.quarantined_ids in
+  Mutex.unlock r.lock;
+  {
+    enforcements = read r Enforcements;
+    jobs_run = read r Jobs_run;
+    report_hits = read r Report_hits;
+    report_misses = read r Report_misses;
+    incremental_reuses = read r Incremental_reuses;
+    smt_hits = read r Smt_hits;
+    smt_misses = read r Smt_misses;
+    solver_calls = read r Solver_calls;
+    wall_s = Telemetry.Metrics.getf (r.ns ^ ".wall_s");
+    job_times;
+    retries = read r Retries;
+    degraded_jobs = read r Degraded_jobs;
+    quarantined;
+  }
 
 (** SMT verdict-cache hits: solver invocations that never happened. *)
 let solver_calls_saved (s : t) : int = s.smt_hits
@@ -86,10 +175,25 @@ let to_string (s : t) : string =
       s.retries s.degraded_jobs
       (List.length s.quarantined)
 
+(* Bounded selection of the [n] largest by [jt_wall_s] — O(len × n)
+   instead of sorting the whole list, with exactly the tie order a
+   stable descending sort would give: a later element never displaces
+   an equal earlier one. *)
+let top_n n jts =
+  let insert acc jt =
+    let rec go = function
+      | [] -> [ jt ]
+      | x :: rest when x.jt_wall_s >= jt.jt_wall_s -> x :: go rest
+      | rest -> jt :: rest
+    in
+    let acc = go acc in
+    if List.length acc > n then List.filteri (fun i _ -> i < n) acc else acc
+  in
+  List.fold_left insert [] jts
+
 (** The [n] slowest jobs, one per line. *)
 let slowest_jobs ?(n = 5) (s : t) : string =
-  s.job_times
-  |> List.sort (fun a b -> compare b.jt_wall_s a.jt_wall_s)
-  |> List.filteri (fun i _ -> i < n)
-  |> List.map (fun jt -> Fmt.str "  %-24s %8.1f ms" jt.jt_rule_id (1000. *. jt.jt_wall_s))
+  top_n n s.job_times
+  |> List.map (fun jt ->
+         Fmt.str "  %-24s %8.1f ms" jt.jt_rule_id (1000. *. jt.jt_wall_s))
   |> String.concat "\n"

@@ -1,6 +1,10 @@
 (** Engine run statistics: jobs run, cache hits/misses, incremental
     reuses, solver calls (and calls saved by the verdict cache), wall
-    time overall and per job. *)
+    time overall and per job.
+
+    Counts live in [Telemetry.Metrics] under a per-recorder namespace
+    ("engine.<id>.<field>"); {!snapshot} materialises them into the
+    plain record below. *)
 
 type job_time = {
   jt_job_id : string;
@@ -8,32 +12,69 @@ type job_time = {
   jt_wall_s : float;  (** dynamic-phase wall time of this job *)
 }
 
+(** An immutable snapshot of a recorder. *)
 type t = {
-  mutable enforcements : int;  (** [enforce] calls served *)
-  mutable jobs_run : int;  (** dynamic phases actually executed *)
-  mutable report_hits : int;
-  mutable report_misses : int;
-  mutable incremental_reuses : int;
+  enforcements : int;  (** [enforce] calls served *)
+  jobs_run : int;  (** dynamic phases actually executed *)
+  report_hits : int;
+  report_misses : int;
+  incremental_reuses : int;
       (** jobs skipped wholesale by the diff-based incremental pre-pass *)
-  mutable smt_hits : int;
-  mutable smt_misses : int;
-  mutable solver_calls : int;
-  mutable wall_s : float;
-  mutable job_times : job_time list;  (** newest first *)
-  mutable retries : int;  (** failed jobs re-run after backoff *)
-  mutable degraded_jobs : int;  (** jobs whose report carries a degradation *)
-  mutable quarantined : string list;
+  smt_hits : int;
+  smt_misses : int;
+  solver_calls : int;
+  wall_s : float;
+  job_times : job_time list;  (** newest first, bounded by the ring *)
+  retries : int;  (** failed jobs re-run after backoff *)
+  degraded_jobs : int;  (** jobs whose report carries a degradation *)
+  quarantined : string list;
       (** rule ids whose jobs exhausted their retries, newest first *)
 }
 
-val create : unit -> t
+type counter =
+  | Enforcements
+  | Jobs_run
+  | Report_hits
+  | Report_misses
+  | Incremental_reuses
+  | Smt_hits
+  | Smt_misses
+  | Solver_calls
+  | Retries
+  | Degraded_jobs
 
-val reset : t -> unit
+(** The engine's accumulation handle: telemetry-backed counters plus a
+    bounded ring of per-job wall times. *)
+type recorder
+
+(** [job_times_cap] bounds the per-job wall-time ring (default 1024);
+    older entries are overwritten. *)
+val recorder : ?job_times_cap:int -> unit -> recorder
+
+(** The recorder's metric namespace ("engine.<id>"). *)
+val namespace : recorder -> string
+
+val bump : ?by:int -> recorder -> counter -> unit
+
+val read : recorder -> counter -> int
+
+val add_wall : recorder -> float -> unit
+
+val add_job_time : recorder -> job_time -> unit
+
+(** Record a quarantined rule id (newest first in the snapshot). *)
+val quarantine : recorder -> string -> unit
+
+(** Zero the recorder: drops its metric namespace, ring, quarantines. *)
+val reset : recorder -> unit
+
+val snapshot : recorder -> t
 
 (** SMT verdict-cache hits: solver invocations that never happened. *)
 val solver_calls_saved : t -> int
 
 val to_string : t -> string
 
-(** The [n] slowest jobs (default 5), one per line. *)
+(** The [n] slowest jobs (default 5), one per line; bounded selection,
+    same order as a stable descending sort. *)
 val slowest_jobs : ?n:int -> t -> string

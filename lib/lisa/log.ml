@@ -1,33 +1,45 @@
-(** Logging source for the LISA pipeline.
+(** Logging façade for the LISA pipeline.
 
-    Consumers (the CLI's [-v], tests, or a host application) install a
-    {!Logs} reporter and set the level; the library only emits.
+    A thin severity layer over the [Telemetry.Event] scope "lisa":
+    formatting is deferred into the event thunk ([Format.kdprintf]), so
+    a suppressed message costs a closure, not a render.  Consumers (the
+    CLI's [-v], tests, or a host application) install a {!Logs} reporter
+    and set the level as before; the source is the scope's.
 
     Loading this module also reroutes the resilience event bus
-    ({!Resilience.Events}) into this source, so retry, quarantine, and
+    ({!Resilience.Events}) into this scope, so retry, quarantine, and
     circuit-breaker events land in the same stream as the pipeline's own
     logs: warnings for recoverable faults, errors for quarantine and
     opened breakers. *)
 
-let src = Logs.Src.create "lisa" ~doc:"LISA pipeline events"
+let scope = Telemetry.Event.scope "lisa"
 
-module L = (val Logs.src_log src : Logs.LOG)
+let src = Telemetry.Event.logs_src scope
 
-let info fmt = Format.kasprintf (fun s -> L.info (fun m -> m "%s" s)) fmt
+let emitk sev fmt =
+  Format.kdprintf
+    (fun pp ->
+      Telemetry.Event.emit scope sev (fun () -> Format.asprintf "%t" pp))
+    fmt
 
-let debug fmt = Format.kasprintf (fun s -> L.debug (fun m -> m "%s" s)) fmt
+let info fmt = emitk Telemetry.Event.Info fmt
 
-let warn fmt = Format.kasprintf (fun s -> L.warn (fun m -> m "%s" s)) fmt
+let debug fmt = emitk Telemetry.Event.Debug fmt
 
-let err fmt = Format.kasprintf (fun s -> L.err (fun m -> m "%s" s)) fmt
+let warn fmt = emitk Telemetry.Event.Warn fmt
+
+let err fmt = emitk Telemetry.Event.Error fmt
 
 (* The engine layers cannot depend on lisa, so they publish resilience
    events through a swappable sink; we claim it here. *)
 let install_resilience_sink () =
   Resilience.Events.set_sink (fun ev ->
-      let line = Resilience.Events.to_string ev in
-      match Resilience.Events.severity ev with
-      | Resilience.Events.Error -> err "%s" line
-      | Resilience.Events.Warn -> warn "%s" line)
+      let sev =
+        match Resilience.Events.severity ev with
+        | Resilience.Events.Error -> Telemetry.Event.Error
+        | Resilience.Events.Warn -> Telemetry.Event.Warn
+      in
+      Telemetry.Event.emit scope sev (fun () ->
+          Resilience.Events.to_string ev))
 
 let () = install_resilience_sink ()

@@ -1,9 +1,14 @@
-(** Logging source for the LISA pipeline ("lisa").  Consumers install a
-    {!Logs} reporter and set the level; the library only emits.  Loading
-    this module reroutes {!Resilience.Events} into this source (faults
-    and retries as warnings, quarantine and opened breakers as errors). *)
+(** Logging façade for the LISA pipeline: a severity layer over the
+    [Telemetry.Event] scope "lisa".  Formatting is lazy — suppressed
+    messages are never rendered.  Consumers install a {!Logs} reporter
+    and set the level; the library only emits.  Loading this module
+    reroutes {!Resilience.Events} into this scope (faults and retries as
+    warnings, quarantine and opened breakers as errors). *)
 
 val src : Logs.src
+
+(** The underlying telemetry scope, for direct [Telemetry.Event.emit]. *)
+val scope : Telemetry.Event.scope
 
 val info : ('a, Format.formatter, unit, unit) format4 -> 'a
 

@@ -284,6 +284,10 @@ let degraded_inference (t : Ticket.t) (reason : string) : inferred =
     learning pipeline retries, then degrades); budget faults and an
     open breaker return a {!degraded_inference} with no rules. *)
 let infer ?(noise = no_noise) (t : Ticket.t) : inferred =
+  Telemetry.Trace.with_span ~cat:"oracle"
+    ~args:[ ("ticket", t.Ticket.ticket_id) ]
+    "oracle.infer"
+  @@ fun () ->
   if not (Resilience.Breaker.proceed Resilience.Fault.Oracle) then
     degraded_inference t "oracle circuit open"
   else

@@ -5,11 +5,13 @@
     degrading its answer — is emitted here, so failures are logged
     rather than silently folded into counters.
 
-    The default sink routes events through a {!Logs} source named
+    The default sink routes events through the [Telemetry.Event] scope
     "resilience" (warnings for recoveries, errors for quarantines and
-    open breakers).  A host library can install its own sink —
-    [Lisa.Log] re-routes events through the "lisa" source so one [-v]
-    flag covers the whole pipeline. *)
+    open breakers), which formats lazily, logs through the scope's
+    {!Logs} source, and records a trace instant when tracing is on.  A
+    host library can install its own sink — [Lisa.Log] re-routes events
+    through the "lisa" scope so one [-v] flag covers the whole
+    pipeline. *)
 
 type severity = Warn | Error
 
@@ -42,15 +44,20 @@ let to_string = function
   | Breaker_closed { point } ->
       Fmt.str "circuit breaker closed for %s" (Fault.point_to_string point)
 
-let src = Logs.Src.create "resilience" ~doc:"Fault-injection and recovery events"
+let scope = Telemetry.Event.scope "resilience"
 
-module L = (val Logs.src_log src : Logs.LOG)
+let src = Telemetry.Event.logs_src scope
 
+(* Route through the telemetry funnel: [to_string] is only forced when
+   the event is wanted (level, tracer, or test sink), and a tracing run
+   records the event as a trace instant too. *)
 let default_sink (e : t) : unit =
-  let s = to_string e in
-  match severity e with
-  | Warn -> L.warn (fun m -> m "%s" s)
-  | Error -> L.err (fun m -> m "%s" s)
+  let sev =
+    match severity e with
+    | Warn -> Telemetry.Event.Warn
+    | Error -> Telemetry.Event.Error
+  in
+  Telemetry.Event.emit scope sev (fun () -> to_string e)
 
 let sink : (t -> unit) Atomic.t = Atomic.make default_sink
 

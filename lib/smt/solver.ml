@@ -170,7 +170,7 @@ exception Budget_hit
     [node_budget] visited nodes and answers [Unknown] past it; a faulted
     or circuit-broken solver also answers [Unknown] rather than crash
     the caller. *)
-let solve ?node_budget (f : Formula.t) : verdict =
+let solve_untraced ?node_budget (f : Formula.t) : verdict =
   Atomic.incr solve_calls;
   if not (Resilience.Breaker.proceed Resilience.Fault.Solver) then
     Unknown "solver circuit open"
@@ -222,6 +222,17 @@ let solve ?node_budget (f : Formula.t) : verdict =
             | exception Budget_hit ->
                 Resilience.Breaker.failure Resilience.Fault.Solver;
                 Unknown (Fmt.str "node budget %d exhausted" budget)))
+
+(* The traced wrapper only pays for the span and the latency histogram
+   while tracing is on; the healthy fast path is one atomic load. *)
+let solve ?node_budget (f : Formula.t) : verdict =
+  if not (Telemetry.Trace.enabled ()) then solve_untraced ?node_budget f
+  else
+    Telemetry.Trace.with_span ~cat:"smt" "smt.solve" @@ fun () ->
+    let t0 = Telemetry.Clock.now () in
+    let v = solve_untraced ?node_budget f in
+    Telemetry.Metrics.observe "smt.solve_s" (Telemetry.Clock.now () -. t0);
+    v
 
 let is_sat f = verdict_is_sat (solve f)
 

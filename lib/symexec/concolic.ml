@@ -741,6 +741,9 @@ let skipped_run (entry : string) (msg : string) : run_result =
     same way an injected budget fault does. *)
 let run ?(config = default_config) (program : Ast.program) (entry : string) :
     run_result =
+  Telemetry.Trace.with_span ~cat:"symexec" ~args:[ ("entry", entry) ]
+    "concolic.run"
+  @@ fun () ->
   if not (Resilience.Breaker.proceed Resilience.Fault.Concolic) then
     skipped_run entry "circuit open: concolic run skipped"
   else

@@ -1,0 +1,57 @@
+(** The pipeline's one source of wall-clock time.
+
+    Every layer that measures time ({!Trace} spans, the engine's per-job
+    wall times, the benchmark harness) reads this clock instead of
+    calling [Unix.gettimeofday] directly, so the clock can be swapped:
+
+    - {!real} — the process clock ([Unix.gettimeofday]; the only call
+      site in the repository);
+    - {!mock} — a deterministic logical clock: every read advances a
+      per-domain tick counter by one [step].  Two runs of the same
+      deterministic code make the same number of reads in the same
+      per-domain order, so durations are bit-for-bit reproducible —
+      including across pool widths, because each worker domain counts
+      its own reads.
+
+    The installed clock lives in an [Atomic.t]: worker domains may read
+    it while the main domain swaps it. *)
+
+type t =
+  | Real
+  | Mock of { step : float; ticks : int ref Domain.DLS.key }
+
+let real = Real
+
+(** A fresh mock clock.  [step] is the simulated duration of one read,
+    in seconds.  The default is 2⁻¹⁰ s (~1ms): a power-of-two step keeps
+    every tick value and every tick difference exact in floating point,
+    so a duration depends only on the {e number} of reads between its
+    endpoints, never on how far the counter had already advanced.  Tick
+    state is per-domain ([Domain.DLS]) and per-[mock] instance, so a new
+    mock always starts at zero. *)
+let mock ?(step = 0x1p-10) () =
+  Mock { step; ticks = Domain.DLS.new_key (fun () -> ref 0) }
+
+let current : t Atomic.t = Atomic.make Real
+
+let set c = Atomic.set current c
+
+let get () = Atomic.get current
+
+let is_mock () = match Atomic.get current with Real -> false | Mock _ -> true
+
+(** Current time in seconds.  Under {!real} this is wall-clock time;
+    under a {!mock} every call advances the calling domain's tick. *)
+let now () =
+  match Atomic.get current with
+  | Real -> Unix.gettimeofday ()
+  | Mock { step; ticks } ->
+      let r = Domain.DLS.get ticks in
+      incr r;
+      float_of_int !r *. step
+
+(** Run [f] with [c] installed, restoring the previous clock after. *)
+let with_clock c f =
+  let prev = Atomic.get current in
+  Atomic.set current c;
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f

@@ -1,0 +1,28 @@
+(** Injectable wall clock: {!real} ([Unix.gettimeofday] — the only call
+    site in the repository) or a deterministic per-domain {!mock}.
+    Everything that measures time reads {!now}, which makes
+    timing-dependent behaviour testable bit-for-bit. *)
+
+type t
+
+(** The process clock. *)
+val real : t
+
+(** A fresh deterministic clock: every {!now} advances the calling
+    domain's tick counter by [step] seconds (default 2⁻¹⁰ s, ~1ms — a
+    power of two, so tick differences are exact in floating point and
+    durations depend only on the number of reads between endpoints). *)
+val mock : ?step:float -> unit -> t
+
+(** Current time in seconds via the installed clock. *)
+val now : unit -> float
+
+val set : t -> unit
+
+val get : unit -> t
+
+val is_mock : unit -> bool
+
+(** Run [f] with the given clock installed, restoring the previous
+    clock afterwards (also on exceptions). *)
+val with_clock : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,154 @@
+(** A minimal recursive-descent JSON validator — enough to assert the
+    trace exporter emits well-formed JSON without depending on a JSON
+    library the tree doesn't already carry.  Validates structure only;
+    it builds no document. *)
+
+type state = { s : string; mutable pos : int }
+
+exception Bad of string * int
+
+let error st msg = raise (Bad (msg, st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error st (Printf.sprintf "expected '%c', got '%c'" c c')
+  | None -> error st (Printf.sprintf "expected '%c', got end of input" c)
+
+let literal st word =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then
+    st.pos <- st.pos + n
+  else error st (Printf.sprintf "expected literal %s" word)
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let string_body st =
+  expect st '"';
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance st;
+            loop ()
+        | Some 'u' ->
+            advance st;
+            for _ = 1 to 4 do
+              match peek st with
+              | Some c when is_hex c -> advance st
+              | _ -> error st "bad \\u escape"
+            done;
+            loop ()
+        | _ -> error st "bad escape")
+    | Some c when Char.code c < 0x20 -> error st "control char in string"
+    | Some _ ->
+        advance st;
+        loop ()
+  in
+  loop ()
+
+let number st =
+  let digits () =
+    let started = ref false in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+          started := true;
+          advance st;
+          go ()
+      | _ -> if not !started then error st "expected digit"
+    in
+    go ()
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  digits ();
+  (match peek st with
+  | Some '.' ->
+      advance st;
+      digits ()
+  | _ -> ());
+  match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      digits ()
+  | _ -> ()
+
+let rec value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> obj st
+  | Some '[' -> arr st
+  | Some '"' -> string_body st
+  | Some 't' -> literal st "true"
+  | Some 'f' -> literal st "false"
+  | Some 'n' -> literal st "null"
+  | Some ('-' | '0' .. '9') -> number st
+  | Some c -> error st (Printf.sprintf "unexpected '%c'" c)
+  | None -> error st "unexpected end of input"
+
+and obj st =
+  expect st '{';
+  skip_ws st;
+  match peek st with
+  | Some '}' -> advance st
+  | _ ->
+      let rec members () =
+        skip_ws st;
+        string_body st;
+        skip_ws st;
+        expect st ':';
+        value st;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            members ()
+        | Some '}' -> advance st
+        | _ -> error st "expected ',' or '}'"
+      in
+      members ()
+
+and arr st =
+  expect st '[';
+  skip_ws st;
+  match peek st with
+  | Some ']' -> advance st
+  | _ ->
+      let rec elements () =
+        value st;
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+            advance st;
+            elements ()
+        | Some ']' -> advance st
+        | _ -> error st "expected ',' or ']'"
+      in
+      elements ()
+
+let validate s =
+  let st = { s; pos = 0 } in
+  match
+    value st;
+    skip_ws st;
+    peek st
+  with
+  | None -> Ok ()
+  | Some c -> Error (Printf.sprintf "trailing garbage '%c' at %d" c st.pos)
+  | exception Bad (msg, pos) -> Error (Printf.sprintf "%s at %d" msg pos)

@@ -1,0 +1,7 @@
+(** Minimal JSON well-formedness check (no document built, no external
+    dependency).  Used by the trace export smoke tests and
+    [tools/trace_check]. *)
+
+(** [validate s] is [Ok ()] iff [s] is one well-formed JSON value with
+    nothing but whitespace after it. *)
+val validate : string -> (unit, string) result

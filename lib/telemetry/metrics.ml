@@ -1,0 +1,124 @@
+(** Process-global metric registry: integer counters, float
+    accumulators, and fixed-bucket histograms, keyed by dotted names
+    (see DESIGN.md for the naming conventions).
+
+    One mutex guards all three tables — metrics are updated from the
+    engine's worker domains as well as the main domain.  The registry is
+    passive: nothing is exported unless a caller asks for a
+    {!snapshot}, so recording is cheap enough for per-job (though not
+    per-solver-node) frequencies. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let fcounters : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+type hist = {
+  h_buckets : float array;  (** upper bounds, ascending; +inf implied *)
+  h_counts : int array;  (** length = buckets + 1 (overflow bucket) *)
+  mutable h_sum : float;
+  mutable h_n : int;
+}
+
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+(** Latency buckets in seconds: 1µs … 10s, one decade per bucket. *)
+let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+let incr ?(by = 1) name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace counters name (ref by))
+
+let get name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
+
+let addf name v =
+  locked (fun () ->
+      match Hashtbl.find_opt fcounters name with
+      | Some r -> r := !r +. v
+      | None -> Hashtbl.replace fcounters name (ref v))
+
+let getf name =
+  locked (fun () ->
+      match Hashtbl.find_opt fcounters name with Some r -> !r | None -> 0.)
+
+let observe ?(buckets = default_buckets) name v =
+  locked (fun () ->
+      let h =
+        match Hashtbl.find_opt hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                h_buckets = buckets;
+                h_counts = Array.make (Array.length buckets + 1) 0;
+                h_sum = 0.;
+                h_n = 0;
+              }
+            in
+            Hashtbl.replace hists name h;
+            h
+      in
+      let rec slot i =
+        if i >= Array.length h.h_buckets then i
+        else if v <= h.h_buckets.(i) then i
+        else slot (i + 1)
+      in
+      let i = slot 0 in
+      h.h_counts.(i) <- h.h_counts.(i) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_n <- h.h_n + 1)
+
+(** [(upper_bound, count)] pairs (infinity for the overflow bucket),
+    plus the observation sum and count; [None] if never observed. *)
+let histogram name : ((float * int) list * float * int) option =
+  locked (fun () ->
+      Hashtbl.find_opt hists name
+      |> Option.map (fun h ->
+             let rows =
+               Array.to_list
+                 (Array.mapi
+                    (fun i c ->
+                      ( (if i < Array.length h.h_buckets then h.h_buckets.(i)
+                         else infinity),
+                        c ))
+                    h.h_counts)
+             in
+             (rows, h.h_sum, h.h_n)))
+
+(** Every counter and float accumulator as [(name, value)], sorted by
+    name (histograms are reported via {!histogram}). *)
+let snapshot () : (string * float) list =
+  locked (fun () ->
+      let ints =
+        Hashtbl.fold (fun k r acc -> (k, float_of_int !r) :: acc) counters []
+      in
+      let floats = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) fcounters [] in
+      List.sort compare (ints @ floats))
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset fcounters;
+      Hashtbl.reset hists)
+
+(** Drop every metric whose name starts with [prefix] (a recorder
+    resetting its own namespace without touching anyone else's). *)
+let reset_prefix prefix =
+  let starts k = String.length k >= String.length prefix
+                 && String.sub k 0 (String.length prefix) = prefix in
+  locked (fun () ->
+      let victims tbl =
+        Hashtbl.fold (fun k _ acc -> if starts k then k :: acc else acc) tbl []
+      in
+      List.iter (Hashtbl.remove counters) (victims counters);
+      List.iter (Hashtbl.remove fcounters) (victims fcounters);
+      List.iter (Hashtbl.remove hists) (victims hists))

@@ -1,0 +1,31 @@
+(** Process-global metric registry: integer counters, float
+    accumulators, and fixed-bucket histograms keyed by dotted names.
+    Mutex-protected (worker domains record too); passive until a caller
+    takes a {!snapshot}. *)
+
+(** Latency buckets in seconds: 1µs … 10s, one decade per bucket. *)
+val default_buckets : float array
+
+val incr : ?by:int -> string -> unit
+
+val get : string -> int
+
+val addf : string -> float -> unit
+
+val getf : string -> float
+
+(** Record one observation into the named histogram (buckets are fixed
+    on first use). *)
+val observe : ?buckets:float array -> string -> float -> unit
+
+(** [(upper_bound, count)] per bucket (infinity = overflow), the
+    observation sum, and the observation count. *)
+val histogram : string -> ((float * int) list * float * int) option
+
+(** Every counter and float accumulator, sorted by name. *)
+val snapshot : unit -> (string * float) list
+
+val reset : unit -> unit
+
+(** Drop every metric whose name starts with [prefix]. *)
+val reset_prefix : string -> unit

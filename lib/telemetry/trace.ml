@@ -1,0 +1,254 @@
+(** In-process tracing: nested spans, instant events, and counter
+    snapshots, exportable as Chrome trace format
+    (chrome://tracing / Perfetto: a JSON array of events with [name],
+    [cat], [ph], [ts] (µs), [dur], [pid], [tid]).
+
+    Disabled by default — {!with_span} then costs one atomic load and a
+    closure call, so healthy-run output and timing stay byte-identical
+    to an untraced build.  When enabled:
+
+    - span ids are deterministic (a global counter, allocated in
+      begin order);
+    - nesting is tracked per domain ([Domain.DLS]), so spans opened on
+      an engine worker nest under that worker's current span and carry
+      the worker's [tid];
+    - timestamps come from {!Clock.now}, so a mock clock produces
+      deterministic traces. *)
+
+type arg = string * string
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_cat : string;
+  sp_ts : float;  (** begin, seconds *)
+  sp_dur : float;  (** seconds *)
+  sp_tid : int;
+  sp_args : arg list;
+}
+
+type event =
+  | Span of span
+  | Instant of { i_name : string; i_cat : string; i_ts : float; i_tid : int; i_args : arg list }
+  | Counter of { c_name : string; c_cat : string; c_ts : float; c_tid : int; c_values : (string * float) list }
+
+let enabled_cell = Atomic.make false
+
+let enabled () = Atomic.get enabled_cell
+
+let set_enabled b = Atomic.set enabled_cell b
+
+let lock = Mutex.create ()
+
+let events : event list ref = ref [] (* newest first *)
+
+let next_id = Atomic.make 1
+
+(* the per-domain stack of open span ids *)
+let stack_key : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let record ev =
+  Mutex.lock lock;
+  events := ev :: !events;
+  Mutex.unlock lock
+
+let reset () =
+  Mutex.lock lock;
+  events := [];
+  Mutex.unlock lock;
+  Atomic.set next_id 1
+
+let tid () = (Domain.self () :> int)
+
+(** Run [f] under a named span.  A no-op (beyond one atomic load) while
+    tracing is disabled.  The span is recorded on completion, also when
+    [f] raises. *)
+let with_span ?(cat = "lisa") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := id :: !stack;
+    let t0 = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.now () -. t0 in
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        record
+          (Span
+             {
+               sp_id = id;
+               sp_parent = parent;
+               sp_name = name;
+               sp_cat = cat;
+               sp_ts = t0;
+               sp_dur = dur;
+               sp_tid = tid ();
+               sp_args = args;
+             }))
+      f
+  end
+
+let instant ?(cat = "lisa") ?(args = []) name =
+  if enabled () then
+    record
+      (Instant
+         { i_name = name; i_cat = cat; i_ts = Clock.now (); i_tid = tid (); i_args = args })
+
+(** A Chrome counter ("C") event: named numeric series sampled now. *)
+let counter ?(cat = "metrics") name values =
+  if enabled () then
+    record
+      (Counter
+         { c_name = name; c_cat = cat; c_ts = Clock.now (); c_tid = tid (); c_values = values })
+
+(* oldest first *)
+let all_events () =
+  Mutex.lock lock;
+  let evs = List.rev !events in
+  Mutex.unlock lock;
+  evs
+
+let event_count () =
+  Mutex.lock lock;
+  let n = List.length !events in
+  Mutex.unlock lock;
+  n
+
+(** Completed spans, completion order (oldest first). *)
+let spans () =
+  List.filter_map (function Span s -> Some s | _ -> None) (all_events ())
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace JSON export                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape_into buf s;
+  Buffer.add_char buf '"'
+
+let us t = t *. 1e6
+
+let add_common buf ~name ~cat ~ph ~ts ~tid =
+  Buffer.add_string buf "{\"name\":";
+  add_str buf name;
+  Buffer.add_string buf ",\"cat\":";
+  add_str buf cat;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d" ph (us ts) tid)
+
+let add_string_args buf args =
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_str buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let add_event buf = function
+  | Span s ->
+      add_common buf ~name:s.sp_name ~cat:s.sp_cat ~ph:"X" ~ts:s.sp_ts ~tid:s.sp_tid;
+      Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" (us s.sp_dur));
+      let id_args =
+        ("span_id", string_of_int s.sp_id)
+        :: (match s.sp_parent with
+           | Some p -> [ ("parent_id", string_of_int p) ]
+           | None -> [])
+      in
+      add_string_args buf (id_args @ s.sp_args);
+      Buffer.add_char buf '}'
+  | Instant i ->
+      add_common buf ~name:i.i_name ~cat:i.i_cat ~ph:"i" ~ts:i.i_ts ~tid:i.i_tid;
+      Buffer.add_string buf ",\"s\":\"t\"";
+      add_string_args buf i.i_args;
+      Buffer.add_char buf '}'
+  | Counter c ->
+      add_common buf ~name:c.c_name ~cat:c.c_cat ~ph:"C" ~ts:c.c_ts ~tid:c.c_tid;
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_str buf k;
+          Buffer.add_string buf (Printf.sprintf ":%g" v))
+        c.c_values;
+      Buffer.add_string buf "}}"
+
+(** The whole buffer as a Chrome-trace JSON array, oldest event first. *)
+let export_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_event buf ev)
+    (all_events ());
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let export_to_file path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Per-stage summary                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Spans aggregated by name: count, total/mean/max wall — the
+    "where did this run spend its time" table. *)
+let summary () =
+  let tbl : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun s ->
+      let n, total, mx =
+        match Hashtbl.find_opt tbl s.sp_name with
+        | Some row -> row
+        | None ->
+            let row = (ref 0, ref 0., ref 0.) in
+            Hashtbl.replace tbl s.sp_name row;
+            row
+      in
+      incr n;
+      total := !total +. s.sp_dur;
+      if s.sp_dur > !mx then mx := s.sp_dur)
+    (spans ());
+  let rows = Hashtbl.fold (fun name (n, t, m) acc -> (name, !n, !t, !m) :: acc) tbl [] in
+  let rows =
+    List.sort
+      (fun (na, _, ta, _) (nb, _, tb, _) -> compare (tb, na) (ta, nb))
+      rows
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %8s %12s %12s %12s\n" "span" "count" "total ms"
+       "mean ms" "max ms");
+  List.iter
+    (fun (name, n, total, mx) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %8d %12.2f %12.2f %12.2f\n" name n (1000. *. total)
+           (1000. *. total /. float_of_int n)
+           (1000. *. mx)))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** In-process tracing: nested spans (deterministic ids, per-domain
+    nesting, {!Clock}-driven timestamps), instant events, and counter
+    snapshots, exportable as Chrome trace format.  Disabled by default;
+    a disabled {!with_span} costs one atomic load. *)
+
+type arg = string * string
+
+type span = {
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_cat : string;
+  sp_ts : float;  (** begin, seconds *)
+  sp_dur : float;  (** seconds *)
+  sp_tid : int;
+  sp_args : arg list;
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** Drop every recorded event and restart span ids from 1. *)
+val reset : unit -> unit
+
+(** Run [f] under a named span, recorded on completion (also when [f]
+    raises).  No-op while tracing is disabled. *)
+val with_span : ?cat:string -> ?args:arg list -> string -> (unit -> 'a) -> 'a
+
+(** A point-in-time event (telemetry events use this). *)
+val instant : ?cat:string -> ?args:arg list -> string -> unit
+
+(** A Chrome counter ("C") event: named numeric series sampled now. *)
+val counter : ?cat:string -> string -> (string * float) list -> unit
+
+(** Completed spans, oldest first. *)
+val spans : unit -> span list
+
+val event_count : unit -> int
+
+(** The whole buffer as a Chrome-trace JSON array, oldest first. *)
+val export_json : unit -> string
+
+val export_to_file : string -> unit
+
+(** Spans aggregated by name: count, total/mean/max wall, one row per
+    span name, largest total first. *)
+val summary : unit -> string

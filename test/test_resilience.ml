@@ -373,6 +373,31 @@ let test_log_err_smoke () =
   Lisa.Log.err "resilience smoke %d %s" 42 "ok";
   Alcotest.(check pass) "err emits" () ()
 
+(* [set_sink] is an Atomic swap: a domain emitting full-tilt while the
+   main domain keeps swapping sinks must never crash, and every event
+   must reach exactly one of the installed sinks. *)
+let test_set_sink_two_domain_smoke () =
+  let delivered = Atomic.make 0 in
+  let sink _ = Atomic.incr delivered in
+  Resilience.Events.set_sink sink;
+  Fun.protect ~finally:Lisa.Log.install_resilience_sink @@ fun () ->
+  let n = 1000 in
+  let emitter =
+    Domain.spawn (fun () ->
+        for _ = 1 to n do
+          Resilience.Events.emit
+            (Resilience.Events.Component_degraded
+               { component = "smoke"; reason = "two-domain sink test" })
+        done)
+  in
+  (* churn the sink from the main domain while the emitter runs; every
+     candidate sink counts into the same atomic *)
+  for _ = 1 to 100 do
+    Resilience.Events.set_sink sink
+  done;
+  Domain.join emitter;
+  Alcotest.(check int) "every event hit a sink" n (Atomic.get delivered)
+
 let suite =
   [
     ( "resilience.pool",
@@ -422,5 +447,7 @@ let suite =
         Alcotest.test_case "sink capture and severity" `Quick
           (isolated test_event_sink_capture);
         Alcotest.test_case "Log.err smoke" `Quick (isolated test_log_err_smoke);
+        Alcotest.test_case "set_sink two-domain smoke" `Quick
+          (isolated test_set_sink_two_domain_smoke);
       ] );
   ]

@@ -1,0 +1,59 @@
+(* trace_check FILE [REQUIRED_NAME ...]
+
+   Validates a Chrome-trace JSON file produced by `--trace`: the file
+   must be well-formed JSON (checked with Telemetry.Json_check, the
+   same validator the unit tests use), contain at least one complete
+   ("ph":"X") span, and mention every required event name given on the
+   command line.  Exit 0 on success, 1 with a message otherwise.  Used
+   by `make trace` and the `make check` trace smoke. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: required ->
+      let body =
+        try read_file path
+        with Sys_error e ->
+          Printf.eprintf "trace_check: cannot read %s: %s\n" path e;
+          exit 1
+      in
+      (match Telemetry.Json_check.validate body with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "trace_check: %s is not valid JSON: %s\n" path e;
+          exit 1);
+      if not (contains body "\"ph\":\"X\"") then begin
+        Printf.eprintf "trace_check: %s has no complete (\"ph\":\"X\") spans\n"
+          path;
+        exit 1
+      end;
+      let missing =
+        List.filter
+          (fun name ->
+            not (contains body (Printf.sprintf "\"name\":%S" name)))
+          required
+      in
+      if missing <> [] then begin
+        Printf.eprintf "trace_check: %s is missing event name(s): %s\n" path
+          (String.concat ", " missing);
+        exit 1
+      end;
+      Printf.printf "trace_check: %s OK (%d required name(s) present)\n" path
+        (List.length required)
+  | _ ->
+      prerr_endline "usage: trace_check FILE [REQUIRED_NAME ...]";
+      exit 1
