@@ -1,4 +1,4 @@
-.PHONY: all build test check bench chaos trace clean
+.PHONY: all build test check bench bench-smoke chaos trace clean
 
 all: build
 
@@ -19,7 +19,13 @@ TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
 # trace-export smoke), and the chaos fault-injection invariants, both
 # on the zookeeper slice of the E11 workload.
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && $(MAKE) bench-smoke
+
+# Fast hash-consing benchmark: intern throughput and the id-keyed vs
+# string-keyed memo lookup comparison; fails if the id key loses.
+# Writes BENCH_formula.json.
+bench-smoke:
+	dune exec bench/main.exe -- --experiment formula --smoke
 
 # Record the full E11 engine workload through the telemetry tracer,
 # validate the Chrome-trace JSON, and check every pipeline stage shows

@@ -13,6 +13,8 @@
      engine          — serial vs parallel vs incremental enforcement engine
      chaos           — fault-injected enforcement (resilience invariants)
      micro           — Bechamel micro-benchmarks of every engine component
+     formula         — hash-consed core: intern throughput + memo key cost
+                       (writes BENCH_formula.json)
 
    `bench/main.exe` with no arguments runs everything;
    `--experiment <name>` selects one.  `--smoke` shrinks the engine
@@ -202,7 +204,7 @@ let micro_tests () =
   let zk_src = (List.hd Corpus.Zookeeper.cases).Corpus.Case.source 3 in
   let zk_prog = Minilang.Parser.program zk_src in
   let checker =
-    Smt.Formula.And
+    Smt.Formula.conj
       [
         Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
         Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
@@ -210,11 +212,36 @@ let micro_tests () =
       ]
   in
   let pc =
-    Smt.Formula.And
+    Smt.Formula.conj
       [
         Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
         Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
       ]
+  in
+  (* id-keyed vs string-keyed verdict-memo probes over the same entries:
+     the id path probes with the interned formula's int id, the string
+     path re-renders the canonical text on every lookup (the
+     pre-hash-consing design) *)
+  let memo_formulas =
+    Array.init 64 (fun i ->
+        Smt.Formula.conj
+          [
+            Smt.Formula.neq (Smt.Formula.tvar (Printf.sprintf "S%d" i)) Smt.Formula.tnull;
+            Smt.Formula.gt (Smt.Formula.tvar (Printf.sprintf "S%d.ttl" i)) (Smt.Formula.tint i);
+          ])
+  in
+  let id_tbl : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let str_tbl : (string, bool) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun f ->
+      let s = Smt.Formula.simplify f in
+      Hashtbl.replace id_tbl (Smt.Formula.id s) true;
+      Hashtbl.replace str_tbl (Smt.Formula.to_string s) true)
+    memo_formulas;
+  let memo_i = ref 0 in
+  let next_memo_formula () =
+    memo_i := (!memo_i + 1) land 63;
+    memo_formulas.(!memo_i)
   in
   let ticket = Corpus.Case.original_ticket (List.hd Corpus.Zookeeper.cases) in
   let tfidf_docs =
@@ -240,6 +267,24 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Analysis.Callgraph.build zk_prog)));
     Test.make ~name:"smt: complement check"
       (Staged.stage (fun () -> ignore (Smt.Solver.check_trace ~pc ~checker)));
+    Test.make ~name:"formula: intern checker (hit path)"
+      (Staged.stage (fun () ->
+           ignore
+             (Smt.Formula.conj
+                [
+                  Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
+                  Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
+                  Smt.Formula.gt (Smt.Formula.tvar "Session.ttl") (Smt.Formula.tint 0);
+                ])));
+    Test.make ~name:"memo: id-keyed lookup"
+      (Staged.stage (fun () ->
+           let f = next_memo_formula () in
+           ignore (Hashtbl.find_opt id_tbl (Smt.Formula.id (Smt.Formula.simplify f)))));
+    Test.make ~name:"memo: string-keyed lookup"
+      (Staged.stage (fun () ->
+           let f = next_memo_formula () in
+           ignore
+             (Hashtbl.find_opt str_tbl (Smt.Formula.to_string (Smt.Formula.simplify f)))));
     Test.make ~name:"inference: ZK-1208 ticket"
       (Staged.stage (fun () -> ignore (Oracle.Inference.infer ticket)));
     Test.make ~name:"tfidf: build corpus index"
@@ -279,6 +324,92 @@ let run_micro () =
       | Some _ | None -> Printf.printf "%-52s %14s\n" name "n/a")
     (List.sort compare rows)
 
+(* Hash-consed formula core: intern throughput plus the before/after
+   verdict-memo key cost, written to BENCH_formula.json.  "before" is the
+   pre-interning design — the memo keyed by the canonical rendering of the
+   simplified formula, re-rendered on every lookup; "after" keys the same
+   table by the interned formula's int id.  Both sides pay the same
+   (memoized) simplify, so the delta isolates the key computation. *)
+let run_formula () =
+  section "formula: hash-consed core — intern throughput, memo key cost";
+  let iters = if !smoke_flag then 20_000 else 400_000 in
+  let mk i =
+    let v s = Smt.Formula.tvar (Printf.sprintf "%s%d" s (i land 63)) in
+    Smt.Formula.conj
+      [
+        Smt.Formula.neq (v "Session") Smt.Formula.tnull;
+        Smt.Formula.eq (v "Session.closing") (Smt.Formula.tbool false);
+        Smt.Formula.gt (v "Session.ttl") (Smt.Formula.tint (i land 15));
+      ]
+  in
+  let now () = Unix.gettimeofday () in
+  (* 1. intern throughput: after warm-up every rebuild is pure hit path *)
+  ignore (mk 0);
+  let h0 = Smt.Formula.intern_hits () and m0 = Smt.Formula.intern_misses () in
+  let t0 = now () in
+  for i = 1 to iters do
+    ignore (mk i)
+  done;
+  let intern_ns = 1e9 *. (now () -. t0) /. float_of_int iters in
+  let hits = Smt.Formula.intern_hits () - h0
+  and misses = Smt.Formula.intern_misses () - m0 in
+  (* 2. memo probes: id key vs rendered-string key over the same entries *)
+  let formulas = Array.init 64 mk in
+  let id_tbl : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let str_tbl : (string, bool) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun f ->
+      let s = Smt.Formula.simplify f in
+      Hashtbl.replace id_tbl (Smt.Formula.id s) true;
+      Hashtbl.replace str_tbl (Smt.Formula.to_string s) true)
+    formulas;
+  let t1 = now () in
+  for i = 1 to iters do
+    let f = formulas.(i land 63) in
+    ignore (Hashtbl.find_opt id_tbl (Smt.Formula.id (Smt.Formula.simplify f)))
+  done;
+  let id_ns = 1e9 *. (now () -. t1) /. float_of_int iters in
+  let t2 = now () in
+  for i = 1 to iters do
+    let f = formulas.(i land 63) in
+    ignore
+      (Hashtbl.find_opt str_tbl (Smt.Formula.to_string (Smt.Formula.simplify f)))
+  done;
+  let str_ns = 1e9 *. (now () -. t2) /. float_of_int iters in
+  let speedup = if id_ns > 0. then str_ns /. id_ns else infinity in
+  let s = Smt.Formula.intern_stats () in
+  Printf.printf "intern: %.0f ns/construction (%d hit(s), %d miss(es))\n"
+    intern_ns hits misses;
+  Printf.printf
+    "tables: %d term(s), %d formula(s), %d string(s) live\n"
+    s.Smt.Formula.term_stats.Core.Hc.size s.Smt.Formula.formula_stats.Core.Hc.size
+    s.Smt.Formula.string_stats.Core.Hc.size;
+  Printf.printf
+    "memo key: string-keyed (before) %.0f ns, id-keyed (after) %.0f ns — %.1fx\n"
+    str_ns id_ns speedup;
+  let oc = open_out "BENCH_formula.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "formula",
+  "smoke": %b,
+  "iters": %d,
+  "intern": { "ns_per_construction": %.1f, "hits": %d, "misses": %d,
+              "terms": %d, "formulas": %d, "strings": %d },
+  "memo_lookup": { "before_string_keyed_ns": %.1f,
+                   "after_id_keyed_ns": %.1f,
+                   "speedup": %.2f }
+}
+|}
+    !smoke_flag iters intern_ns hits misses
+    s.Smt.Formula.term_stats.Core.Hc.size
+    s.Smt.Formula.formula_stats.Core.Hc.size
+    s.Smt.Formula.string_stats.Core.Hc.size str_ns id_ns speedup;
+  close_out oc;
+  print_endline "wrote BENCH_formula.json";
+  if id_ns >= str_ns then (
+    prerr_endline "FAIL: id-keyed lookup must beat string-keyed lookup";
+    exit 1)
+
 let all_experiments : (string * (unit -> unit)) list =
   [
     ("study", run_study);
@@ -295,6 +426,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("engine", run_engine_bench);
     ("chaos", run_chaos);
     ("micro", run_micro);
+    ("formula", run_formula);
   ]
 
 let () =

@@ -73,7 +73,7 @@ let () =
         missing) account.  Conditions speak about class-canonical state
         paths: the [Account] root is any account object on the path. *)
   let condition =
-    Smt.Formula.And
+    Smt.Formula.conj
       [
         Smt.Formula.neq (Smt.Formula.tvar "Account") Smt.Formula.tnull;
         Smt.Formula.eq (Smt.Formula.tvar "Account.frozen") (Smt.Formula.tbool false);

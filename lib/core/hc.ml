@@ -1,0 +1,69 @@
+type stats = { hits : int; misses : int; size : int }
+
+type ('node, 'elt) t = {
+  name : string;
+  equal : 'node -> 'elt -> bool;
+  build : id:int -> hkey:int -> 'node -> 'elt;
+  lock : Mutex.t;
+  buckets : (int, 'elt list) Hashtbl.t;
+  mutable next_id : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+(* Registry of all tables, for telemetry: the element types differ per
+   table, so we store a stats thunk rather than the table itself. *)
+let registry_lock = Mutex.create ()
+
+let registered : (string * (unit -> stats)) list ref = ref []
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hit_count; misses = t.miss_count; size = t.next_id } in
+  Mutex.unlock t.lock;
+  s
+
+let create ~name ~equal ~build () =
+  let t =
+    {
+      name;
+      equal;
+      build;
+      lock = Mutex.create ();
+      buckets = Hashtbl.create 1024;
+      next_id = 0;
+      hit_count = 0;
+      miss_count = 0;
+    }
+  in
+  Mutex.lock registry_lock;
+  registered := !registered @ [ (name, fun () -> stats t) ];
+  Mutex.unlock registry_lock;
+  t
+
+let name t = t.name
+
+let intern t ~hkey node =
+  Mutex.lock t.lock;
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.buckets hkey) in
+  let elt =
+    match List.find_opt (fun e -> t.equal node e) bucket with
+    | Some e ->
+        t.hit_count <- t.hit_count + 1;
+        e
+    | None ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        t.miss_count <- t.miss_count + 1;
+        let e = t.build ~id ~hkey node in
+        Hashtbl.replace t.buckets hkey (e :: bucket);
+        e
+  in
+  Mutex.unlock t.lock;
+  elt
+
+let registry () =
+  Mutex.lock registry_lock;
+  let tables = !registered in
+  Mutex.unlock registry_lock;
+  List.map (fun (n, get) -> (n, get ())) tables

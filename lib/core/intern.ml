@@ -1,0 +1,17 @@
+type sym = { str : string; sym_id : int; sym_hash : int }
+
+(* The interner is itself a hash-cons table: nodes are raw strings,
+   elements are canonical symbols. *)
+let table : (string, sym) Hc.t =
+  Hc.create ~name:"core.intern"
+    ~equal:(fun s e -> String.equal s e.str)
+    ~build:(fun ~id ~hkey s -> { str = s; sym_id = id; sym_hash = hkey })
+    ()
+
+let get (s : string) : sym = Hc.intern table ~hkey:(Hashtbl.hash s) s
+
+let canonical s = (get s).str
+
+let equal a b = a == b
+
+let stats () = Hc.stats table

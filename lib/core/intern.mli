@@ -1,0 +1,24 @@
+(** Global string interner.
+
+    [get] returns the canonical, physically shared copy of a string
+    together with a stable id and a precomputed hash, so downstream
+    hash-cons tables (variable names in [Smt.Formula] terms) compare
+    symbols with [==] and never rehash the characters.
+
+    Process-global and mutex-protected; the same invariants as {!Hc}
+    apply (ids are interning-order-dependent, hashes are structural). *)
+
+type sym = private {
+  str : string;  (** the canonical copy; physically shared across [get]s *)
+  sym_id : int;
+  sym_hash : int;  (** structural hash of [str], precomputed *)
+}
+
+val get : string -> sym
+
+(** The canonical copy of [s] ([(canonical s) == (canonical s)]). *)
+val canonical : string -> string
+
+val equal : sym -> sym -> bool
+
+val stats : unit -> Hc.stats

@@ -70,11 +70,27 @@ let region (g : Analysis.Callgraph.t) (pr : Checker.prepared) : string list =
 let job_id ~(program_fp : string) ~(rule_id : string) : string =
   Digest.to_hex (Digest.string (program_fp ^ "#" ^ rule_id))
 
+(* Rule-body component of the cache key.  Guard conditions are interned
+   formulas, so the formula *id* stands in for the canonical rendering:
+   ids are injective on structure within a process (hash-consing), and
+   the report cache never outlives the process, so equal key strings
+   still imply equal rule bodies — without re-rendering the condition on
+   every key computation. *)
+let rule_body_tag (r : Semantics.Rule.t) : string =
+  match r.Semantics.Rule.body with
+  | Semantics.Rule.State_guard { target; condition } ->
+      Printf.sprintf "guard:%s#%d"
+        (Semantics.Rule.target_spec_to_string target)
+        (Smt.Formula.id condition)
+  | Semantics.Rule.Lock_discipline { scope } ->
+      "lock:" ^ Semantics.Rule.lock_scope_to_string scope
+
 (** The report-cache key of a prepared rule.  Digests: rule identity and
-    body, checker knobs, resolved target statements, selected tests, and
-    the canonical text of every region method.  Equal keys imply the
-    dynamic phase's inputs are textually identical, so reusing the cached
-    report is sound. *)
+    body (guard conditions by interned formula id — see
+    {!rule_body_tag}), checker knobs, resolved target statements,
+    selected tests, and the canonical text of every region method.
+    Equal keys imply the dynamic phase's inputs are textually identical,
+    so reusing the cached report is sound. *)
 let job_key ~(config : Checker.config) ~(graph : Analysis.Callgraph.t)
     ~(methods : (string * string) list) (pr : Checker.prepared) : string =
   let buf = Buffer.create 1024 in
@@ -82,7 +98,7 @@ let job_key ~(config : Checker.config) ~(graph : Analysis.Callgraph.t)
     Buffer.add_string buf s;
     Buffer.add_char buf '\x00'
   in
-  add (Semantics.Rule.to_string pr.Checker.prep_rule);
+  add (rule_body_tag pr.Checker.prep_rule);
   add pr.Checker.prep_rule.Semantics.Rule.rule_id;
   add (Checker.config_tag config);
   (match pr.Checker.prep_kind with

@@ -123,6 +123,12 @@ let trace_cache_counters t =
         ("hits", float_of_int s.Stats.smt_hits);
         ("misses", float_of_int s.Stats.smt_misses);
         ("solver_calls", float_of_int s.Stats.solver_calls);
+      ];
+    Trace.counter "engine.intern"
+      [
+        ("hits", float_of_int s.Stats.intern_hits);
+        ("misses", float_of_int s.Stats.intern_misses);
+        ("size", float_of_int s.Stats.intern_size);
       ]
   end
 
@@ -133,6 +139,8 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   let cfg = t.config in
   let t0 = Clock.now () in
   let smt_hits0 = Smt.Memo.hits () and smt_misses0 = Smt.Memo.misses () in
+  let intern_hits0 = Smt.Formula.intern_hits ()
+  and intern_misses0 = Smt.Formula.intern_misses () in
   let solver0 = Smt.Solver.solve_count () in
   let memo_was = Smt.Memo.enabled () in
   Smt.Memo.set_enabled cfg.smt_cache;
@@ -304,6 +312,12 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   Stats.bump t.recorder Stats.Enforcements;
   Stats.bump ~by:(Smt.Memo.hits () - smt_hits0) t.recorder Stats.Smt_hits;
   Stats.bump ~by:(Smt.Memo.misses () - smt_misses0) t.recorder Stats.Smt_misses;
+  Stats.bump
+    ~by:(Smt.Formula.intern_hits () - intern_hits0)
+    t.recorder Stats.Intern_hits;
+  Stats.bump
+    ~by:(Smt.Formula.intern_misses () - intern_misses0)
+    t.recorder Stats.Intern_misses;
   Stats.bump
     ~by:(Smt.Solver.solve_count () - solver0)
     t.recorder Stats.Solver_calls;

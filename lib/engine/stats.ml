@@ -28,6 +28,11 @@ type t = {
           fingerprinting, no prepare: the previous report was reused) *)
   smt_hits : int;  (** verdict-cache hits during our runs *)
   smt_misses : int;
+  intern_hits : int;  (** hash-cons table hits during our runs *)
+  intern_misses : int;  (** fresh nodes interned during our runs *)
+  intern_size : int;
+      (** live interned nodes (terms + formulas + strings) at snapshot
+          time — process-global, monotone: hashcons tables never evict *)
   solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
   wall_s : float;  (** total [enforce] wall time *)
   job_times : job_time list;  (** newest first, bounded by the ring *)
@@ -47,6 +52,8 @@ type counter =
   | Incremental_reuses
   | Smt_hits
   | Smt_misses
+  | Intern_hits
+  | Intern_misses
   | Solver_calls
   | Retries
   | Degraded_jobs
@@ -59,6 +66,8 @@ let counter_name = function
   | Incremental_reuses -> "incremental_reuses"
   | Smt_hits -> "smt_hits"
   | Smt_misses -> "smt_misses"
+  | Intern_hits -> "intern_hits"
+  | Intern_misses -> "intern_misses"
   | Solver_calls -> "solver_calls"
   | Retries -> "retries"
   | Degraded_jobs -> "degraded_jobs"
@@ -146,6 +155,9 @@ let snapshot r : t =
     incremental_reuses = read r Incremental_reuses;
     smt_hits = read r Smt_hits;
     smt_misses = read r Smt_misses;
+    intern_hits = read r Intern_hits;
+    intern_misses = read r Intern_misses;
+    intern_size = Smt.Formula.intern_size ();
     solver_calls = read r Solver_calls;
     wall_s = Telemetry.Metrics.getf (r.ns ^ ".wall_s");
     job_times;

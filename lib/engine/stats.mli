@@ -22,6 +22,11 @@ type t = {
       (** jobs skipped wholesale by the diff-based incremental pre-pass *)
   smt_hits : int;
   smt_misses : int;
+  intern_hits : int;  (** hash-cons table hits during our runs *)
+  intern_misses : int;  (** fresh nodes interned during our runs *)
+  intern_size : int;
+      (** live interned nodes (terms + formulas + strings) at snapshot
+          time; process-global and monotone *)
   solver_calls : int;
   wall_s : float;
   job_times : job_time list;  (** newest first, bounded by the ring *)
@@ -39,6 +44,8 @@ type counter =
   | Incremental_reuses
   | Smt_hits
   | Smt_misses
+  | Intern_hits
+  | Intern_misses
   | Solver_calls
   | Retries
   | Degraded_jobs

@@ -76,7 +76,7 @@ let denormalize_path (env : Semantics.Translate.env) (cls : Ast.class_decl optio
               None))
 
 let term_text env cls (t : Smt.Formula.term) : string option =
-  match t with
+  match Smt.Formula.term_view t with
   | Smt.Formula.T_var p -> denormalize_path env cls p
   | Smt.Formula.T_int n -> Some (string_of_int n)
   | Smt.Formula.T_bool b -> Some (string_of_bool b)
@@ -84,7 +84,7 @@ let term_text env cls (t : Smt.Formula.term) : string option =
   | Smt.Formula.T_null -> Some "null"
 
 let rec condition_text env cls (f : Smt.Formula.t) : string option =
-  match f with
+  match Smt.Formula.view f with
   | Smt.Formula.True -> Some "true"
   | Smt.Formula.False -> Some "false"
   | Smt.Formula.Atom a -> (

@@ -209,9 +209,9 @@ let corrupt_rule (kind : int) (r : Semantics.Rule.t) : Semantics.Rule.t =
       | 0 ->
           (* drop a conjunct: plausible-sounding but weaker rule *)
           let condition' =
-            match condition with
+            match Smt.Formula.view condition with
             | Smt.Formula.And (_ :: rest) when rest <> [] -> Smt.Formula.conj rest
-            | c -> c
+            | _ -> condition
           in
           {
             r with
@@ -225,7 +225,7 @@ let corrupt_rule (kind : int) (r : Semantics.Rule.t) : Semantics.Rule.t =
             Semantics.Rule.rule_id = r.Semantics.Rule.rule_id ^ ".flip";
             body =
               Semantics.Rule.State_guard
-                { target; condition = Smt.Formula.nnf (Smt.Formula.Not condition) };
+                { target; condition = Smt.Formula.nnf (Smt.Formula.negate condition) };
           }
       | _ ->
           (* retarget to a nonexistent callee: the rule silently checks nothing *)

@@ -54,7 +54,7 @@ let rec term_of_expr (e : Minilang.Ast.expr) : Smt.Formula.term option =
   | Minilang.Ast.Field (o, f) ->
       Option.map
         (fun t ->
-          match t with
+          match Smt.Formula.term_view t with
           | Smt.Formula.T_var p -> Smt.Formula.tvar (p ^ "." ^ f)
           | _ -> t)
         (term_of_expr o)
@@ -66,17 +66,17 @@ let rec term_of_expr (e : Minilang.Ast.expr) : Smt.Formula.term option =
 
 let rec formula_of_expr (e : Minilang.Ast.expr) : Smt.Formula.t option =
   match e.Minilang.Ast.e with
-  | Minilang.Ast.Bool_lit true -> Some Smt.Formula.True
-  | Minilang.Ast.Bool_lit false -> Some Smt.Formula.False
+  | Minilang.Ast.Bool_lit true -> Some Smt.Formula.tru
+  | Minilang.Ast.Bool_lit false -> Some Smt.Formula.fls
   | Minilang.Ast.Unop (Minilang.Ast.Not, a) ->
-      Option.map (fun f -> Smt.Formula.Not f) (formula_of_expr a)
+      Option.map Smt.Formula.negate (formula_of_expr a)
   | Minilang.Ast.Binop (Minilang.Ast.And, a, b) -> (
       match (formula_of_expr a, formula_of_expr b) with
-      | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+      | Some fa, Some fb -> Some (Smt.Formula.conj [ fa; fb ])
       | _ -> None)
   | Minilang.Ast.Binop (Minilang.Ast.Or, a, b) -> (
       match (formula_of_expr a, formula_of_expr b) with
-      | Some fa, Some fb -> Some (Smt.Formula.Or [ fa; fb ])
+      | Some fa, Some fb -> Some (Smt.Formula.disj [ fa; fb ])
       | _ -> None)
   | Minilang.Ast.Binop (op, a, b) -> (
       let rel =
@@ -99,9 +99,9 @@ let rec formula_of_expr (e : Minilang.Ast.expr) : Smt.Formula.t option =
       (* bare boolean path: [Session.closing] means it is true *)
       Option.map
         (fun t ->
-          match t with
+          match Smt.Formula.term_view t with
           | Smt.Formula.T_var p -> Smt.Formula.bvar p
-          | _ -> Smt.Formula.True)
+          | _ -> Smt.Formula.tru)
         (term_of_expr e)
   | Minilang.Ast.Int_lit _ | Minilang.Ast.Str_lit _ | Minilang.Ast.Null_lit
   | Minilang.Ast.This | Minilang.Ast.Call _ | Minilang.Ast.Method_call _

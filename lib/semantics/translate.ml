@@ -144,16 +144,16 @@ let rel_of_binop : Ast.binop -> Smt.Formula.rel option = function
     when no reasonable reading exists. *)
 let rec formula_of (env : env) (e : Ast.expr) : Smt.Formula.t option =
   match e.Ast.e with
-  | Ast.Bool_lit true -> Some Smt.Formula.True
-  | Ast.Bool_lit false -> Some Smt.Formula.False
-  | Ast.Unop (Ast.Not, a) -> Option.map (fun f -> Smt.Formula.Not f) (formula_of env a)
+  | Ast.Bool_lit true -> Some Smt.Formula.tru
+  | Ast.Bool_lit false -> Some Smt.Formula.fls
+  | Ast.Unop (Ast.Not, a) -> Option.map Smt.Formula.negate (formula_of env a)
   | Ast.Binop (Ast.And, a, b) -> (
       match (formula_of env a, formula_of env b) with
-      | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+      | Some fa, Some fb -> Some (Smt.Formula.conj [ fa; fb ])
       | _ -> None)
   | Ast.Binop (Ast.Or, a, b) -> (
       match (formula_of env a, formula_of env b) with
-      | Some fa, Some fb -> Some (Smt.Formula.Or [ fa; fb ])
+      | Some fa, Some fb -> Some (Smt.Formula.disj [ fa; fb ])
       | _ -> None)
   | Ast.Binop (op, a, b) -> (
       match rel_of_binop op with
@@ -230,5 +230,5 @@ let guard_condition (env : env) ~(early_exit : bool) (g : Ast.expr) :
   match formula_of env g with
   | None -> None
   | Some f ->
-      let f = if early_exit then Smt.Formula.Not f else f in
+      let f = if early_exit then Smt.Formula.negate f else f in
       Some (Smt.Formula.simplify (Smt.Formula.nnf f))

@@ -4,28 +4,47 @@
     conjunctions/disjunctions of state relations ([v = c]), null-ness
     ([s != null]), boolean observers ([s.closing == false]) and integer
     bounds ([s.ttl > 0]).  Variables are dotted state paths such as
-    ["Session.closing"]. *)
+    ["Session.closing"].
+
+    Terms and formulas are {e hash-consed}: construction goes through the
+    smart constructors below, which return maximally shared nodes with a
+    per-node unique id and a precomputed structural hash.  Consequently
+    physical equality coincides with structural equality, and
+    {!equal}/{!hash}/{!compare} are O(1).  The node views stay
+    pattern-matchable ([private] records expose [f_node]/[t_node]), so
+    consumers deconstruct exactly as before but cannot bypass interning. *)
+
+(** Binary relations between terms. *)
+type rel = Req | Rneq | Rlt | Rle | Rgt | Rge
+
+(** Interned term: match on {!term_view} (or the [t_node] field).
+    [t_id] is unique per structure for the process lifetime; [t_hash] is
+    the precomputed structural hash (schedule-independent). *)
+type term = private { t_node : term_node; t_id : int; t_hash : int }
 
 (** Terms: flat — a state variable or a constant. *)
-type term =
+and term_node =
   | T_var of string  (** a state variable, e.g. ["s.ttl"] *)
   | T_int of int
   | T_bool of bool
   | T_str of string
   | T_null
 
-(** Binary relations between terms. *)
-type rel = Req | Rneq | Rlt | Rle | Rgt | Rge
-
+(** Atoms are plain records over interned terms (cheap to rebuild with
+    [{ a with rel = ... }]); atom equality is O(1) because the terms are
+    shared. *)
 type atom = { rel : rel; lhs : term; rhs : term }
 
-type t =
+(** Interned formula: match on {!view} (or the [f_node] field). *)
+type t = private { f_node : f_node; f_id : int; f_hash : int }
+
+and f_node =
   | True
   | False
   | Atom of atom
   | Not of t
-  | And of t list
-  | Or of t list
+  | And of t list  (** always >= 2 conjuncts; built by {!conj} *)
+  | Or of t list  (** always >= 2 disjuncts; built by {!disj} *)
 
 (** {1 Constructors} *)
 
@@ -38,6 +57,11 @@ val tbool : bool -> term
 val tstr : string -> term
 
 val tnull : term
+
+(** The interned [True] / [False] nodes. *)
+val tru : t
+
+val fls : t
 
 val atom : rel -> term -> term -> t
 
@@ -56,18 +80,45 @@ val ge : term -> term -> t
 (** Boolean state variable asserted true: [bvar x] is [x == true]. *)
 val bvar : string -> t
 
-(** N-ary conjunction; [conj []] is [True], singletons are unwrapped. *)
+(** N-ary conjunction; [conj []] is {!tru}, singletons are unwrapped. *)
 val conj : t list -> t
 
-(** N-ary disjunction; [disj []] is [False]. *)
+(** N-ary disjunction; [disj []] is {!fls}. *)
 val disj : t list -> t
 
 val negate : t -> t
 
+(** {1 Identity}
+
+    Sound because of maximal sharing: equal structure ⇔ same node. *)
+
+val view : t -> f_node
+
+val term_view : term -> term_node
+
+(** Unique per structure within this process; never reused.  Ids depend
+    on interning order (and hence scheduling under [--jobs N]) — key
+    in-process tables with them, never order output by them. *)
+val id : t -> int
+
+val term_id : term -> int
+
+(** O(1): physical equality. *)
+val equal : t -> t -> bool
+
+(** O(1): the precomputed structural hash (schedule-independent). *)
+val hash : t -> int
+
+(** O(1): id order.  In-process use only (see {!id}). *)
+val compare : t -> t -> int
+
 (** {1 Structure} *)
 
+(** Structural order (constructor rank, then payload) — deliberately not
+    id order, so {!canon_atom}'s operand sorting is schedule-independent. *)
 val term_compare : term -> term -> int
 
+(** O(1): physical equality. *)
 val term_equal : term -> term -> bool
 
 (** The relation with swapped operands ([<] becomes [>], ...). *)
@@ -83,7 +134,8 @@ val canon_atom : atom -> atom
 
 val atom_equal : atom -> atom -> bool
 
-(** All distinct canonical atoms, in first-occurrence order. *)
+(** All distinct canonical atoms, in first-occurrence order.  Memoized on
+    the interned node; the order is structural and schedule-independent. *)
 val atoms : t -> atom list
 
 (** Free state variables, in first-occurrence order. *)
@@ -118,9 +170,27 @@ val pp : Format.formatter -> t -> unit
 (** {1 Normal forms} *)
 
 (** Negation normal form; the result contains no [Not] (negations are
-    folded into atom relations). *)
+    folded into atom relations).  Memoized on the formula id. *)
 val nnf : t -> t
 
 (** Semantics-preserving simplification: constant folding, flattening,
-    duplicate removal, complementary-literal detection. *)
+    duplicate removal, complementary-literal detection.  Memoized on the
+    formula id. *)
 val simplify : t -> t
+
+(** {1 Intern-table statistics} *)
+
+type intern_stats = {
+  term_stats : Core.Hc.stats;
+  formula_stats : Core.Hc.stats;
+  string_stats : Core.Hc.stats;
+}
+
+val intern_stats : unit -> intern_stats
+
+(** Aggregate hit/miss/size over the term, formula, and string tables. *)
+val intern_hits : unit -> int
+
+val intern_misses : unit -> int
+
+val intern_size : unit -> int

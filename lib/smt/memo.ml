@@ -4,9 +4,11 @@
     over and over: consecutive program versions share most of their
     traces, and every rule of a book re-explores overlapping paths.  This
     module wraps {!Solver.solve} / {!Solver.check_trace} with a memo
-    table keyed by the canonical rendering of the simplified formula —
-    two queries with the same key denote the same formula, so a cached
-    verdict is always sound to reuse.
+    table keyed by the *id* of the simplified formula — formulas are
+    hash-consed, so equal ids denote the same formula and a cached
+    verdict is always sound to reuse.  The hit path allocates nothing:
+    no rendering, one int hash probe (the pre-hash-consing cache keyed
+    by canonical renderings rebuilt a string on every lookup).
 
     The cache is process-global and mutex-protected (the engine's worker
     domains share it), disabled by default so that code paths outside the
@@ -21,7 +23,7 @@ let enabled () = Atomic.get enabled_flag
 
 let lock = Mutex.create ()
 
-let table : (string, Solver.verdict) Hashtbl.t = Hashtbl.create 1024
+let table : (int, Solver.verdict) Hashtbl.t = Hashtbl.create 1024
 
 let max_entries = 1 lsl 17
 
@@ -54,14 +56,16 @@ let reset () =
   miss_count := 0;
   Mutex.unlock lock
 
-(* The cache key: print the simplified formula.  [Formula.simplify]
-   dedups and flattens (modulo canonical atoms) and printing is
-   injective on the simplified structure, so equal keys imply equal
-   formulas — the soundness requirement.  Syntactically different but
-   equivalent formulas may miss; that only costs a solver call. *)
-let key_of (f : Formula.t) : string * Formula.t =
+(* The cache key: the interned id of the simplified formula.
+   [Formula.simplify] dedups and flattens (modulo canonical atoms) and
+   hash-consing makes ids injective on structure, so equal keys imply
+   equal formulas — the soundness requirement.  Syntactically different
+   but equivalent formulas may miss; that only costs a solver call.
+   (Dropping an entry at the [max_entries] reset is equally harmless:
+   ids are never reused, so a stale table can only miss, never lie.) *)
+let key_of (f : Formula.t) : int * Formula.t =
   let s = Formula.simplify f in
-  (Formula.to_string s, s)
+  (Formula.id s, s)
 
 (** [solve f]: like {!Solver.solve}, but consults the verdict cache when
     enabled.  Verdicts (including models) are deterministic functions of
@@ -97,7 +101,7 @@ let solve (f : Formula.t) : Solver.verdict =
 
 (** Cached complement check (same contract as {!Solver.check_trace}). *)
 let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
-  match solve (Formula.And [ pc; Formula.Not checker ]) with
+  match solve (Formula.conj [ pc; Formula.negate checker ]) with
   | Solver.Unsat -> Solver.Verified
   | Solver.Sat model -> Solver.Violation model
   | Solver.Unknown reason -> Solver.Undecided reason
@@ -105,7 +109,7 @@ let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
 (** Cached direct check (same contract as {!Solver.check_trace_direct}). *)
 let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) :
     Solver.trace_check =
-  match solve (Formula.And [ pc; checker ]) with
+  match solve (Formula.conj [ pc; checker ]) with
   | Solver.Unsat -> Solver.Violation []
   | Solver.Sat _ -> Solver.Verified
   | Solver.Unknown reason -> Solver.Undecided reason

@@ -1,7 +1,8 @@
 (** Global SMT verdict cache wrapping {!Solver}.
 
-    Keyed by the canonical rendering of the simplified formula: equal
-    keys denote equal formulas, so reusing a verdict is always sound.
+    Keyed by the interned id of the simplified formula: formulas are
+    hash-consed, so equal keys denote equal formulas and reusing a
+    verdict is always sound — and the hit path allocates no rendering.
     Process-global, mutex-protected (safe to share across the engine's
     worker domains), and disabled by default — when disabled every call
     passes straight through to {!Solver}. *)

@@ -29,7 +29,7 @@ let reset_solve_count () = Atomic.set solve_calls 0
 
 (* three-valued evaluation of a formula under a partial atom assignment *)
 let rec eval3 (assign : (Formula.atom * bool) list) (f : Formula.t) : bool option =
-  match f with
+  match Formula.view f with
   | Formula.True -> Some true
   | Formula.False -> Some false
   | Formula.Atom a -> List.assoc_opt (Formula.canon_atom a) assign
@@ -65,10 +65,14 @@ let lits_of_assign (assign : (Formula.atom * bool) list) : Theory.lit list =
 (* [Theory.consistent] is called on every node of the DPLL search tree,
    and under engine traffic the same partial assignments recur across
    thousands of structurally similar path conditions.  Memoize verdicts
-   globally, keyed by the order-insensitive rendering of the literal set.
+   globally, keyed by the order-insensitive set of literal ids — a sorted
+   list of (sign, rel, lhs id, rhs id) quadruples over the canonical
+   atoms' interned terms, so building a key allocates no strings.
    Mutex-protected (worker domains share the table); bounded by epoch
    clearing so it cannot grow without bound. *)
-let theory_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+type lit_id = int * int * int * int
+
+let theory_memo : (lit_id list, bool) Hashtbl.t = Hashtbl.create 4096
 
 let theory_memo_lock = Mutex.create ()
 
@@ -99,14 +103,26 @@ let halve_theory_memo () =
   in
   List.iter (Hashtbl.remove theory_memo) victims
 
-let lit_key (a, sign) =
-  (if sign then "+" else "-") ^ Formula.atom_to_string (Formula.canon_atom a)
+let rel_code = function
+  | Formula.Req -> 0
+  | Formula.Rneq -> 1
+  | Formula.Rlt -> 2
+  | Formula.Rle -> 3
+  | Formula.Rgt -> 4
+  | Formula.Rge -> 5
+
+let lit_key (a, sign) : lit_id =
+  let c = Formula.canon_atom a in
+  ( (if sign then 1 else 0),
+    rel_code c.Formula.rel,
+    Formula.term_id c.Formula.lhs,
+    Formula.term_id c.Formula.rhs )
 
 let consistent_memo (assign : (Formula.atom * bool) list) : bool =
   match assign with
   | [] -> true
   | _ -> (
-      let key = String.concat "&" (List.sort compare (List.map lit_key assign)) in
+      let key = List.sort compare (List.map lit_key assign) in
       let cached =
         Mutex.lock theory_memo_lock;
         let r = Hashtbl.find_opt theory_memo key in
@@ -134,12 +150,13 @@ let consistent_memo (assign : (Formula.atom * bool) list) : bool =
    deterministic. *)
 let order_atoms (f : Formula.t) (atoms : Formula.atom list) : Formula.atom list =
   let count = Hashtbl.create 16 in
-  let rec tally = function
+  let rec tally g =
+    match Formula.view g with
     | Formula.True | Formula.False -> ()
     | Formula.Atom a ->
         let c = Formula.canon_atom a in
         Hashtbl.replace count c (1 + Option.value ~default:0 (Hashtbl.find_opt count c))
-    | Formula.Not g -> tally g
+    | Formula.Not h -> tally h
     | Formula.And fs | Formula.Or fs -> List.iter tally fs
   in
   tally f;
@@ -186,7 +203,7 @@ let solve_untraced ?node_budget (f : Formula.t) : verdict =
           match node_budget with Some b -> max 1 b | None -> default_node_budget ()
         in
         let f = Formula.simplify f in
-        match f with
+        match Formula.view f with
         | Formula.True ->
             Resilience.Breaker.success Resilience.Fault.Solver;
             Sat []
@@ -241,10 +258,10 @@ let is_sat f = verdict_is_sat (solve f)
 let is_unsat f = match solve f with Unsat -> true | Sat _ | Unknown _ -> false
 
 (** [is_valid f] iff [!f] has no model. *)
-let is_valid f = is_unsat (Formula.Not f)
+let is_valid f = is_unsat (Formula.negate f)
 
 (** [entails pc c]: every state satisfying [pc] satisfies [c]. *)
-let entails pc c = is_unsat (Formula.And [ pc; Formula.Not c ])
+let entails pc c = is_unsat (Formula.conj [ pc; Formula.negate c ])
 
 (** [equivalent a b] iff they have the same models. *)
 let equivalent a b = entails a b && entails b a
@@ -268,7 +285,7 @@ type trace_check =
     in [pc] are unconstrained atoms, which is precisely what lets the
     complement be satisfied ("missing checks treated as true"). *)
 let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
-  match solve (Formula.And [ pc; Formula.Not checker ]) with
+  match solve (Formula.conj [ pc; Formula.negate checker ]) with
   | Unsat -> Verified
   | Sat model -> Violation model
   | Unknown reason -> Undecided reason
@@ -279,7 +296,7 @@ let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
     [sat (pc /\ c)] and slip through — the false-negative mode the paper
     argues against. *)
 let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) : trace_check =
-  match solve (Formula.And [ pc; checker ]) with
+  match solve (Formula.conj [ pc; checker ]) with
   | Unsat -> Violation []
   | Sat _ -> Verified
   | Unknown reason -> Undecided reason

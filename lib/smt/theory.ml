@@ -26,24 +26,31 @@ let rel_of (l : lit) : Formula.rel =
 (* Node table: terms to dense ids                                      *)
 (* ------------------------------------------------------------------ *)
 
-type node_table = { mutable nodes : Formula.term list (* reversed *); mutable count : int }
+(* Interned terms carry a process-global unique id, so the dense-id
+   lookup is one O(1) hash probe instead of the old linear scan. *)
+type node_table = {
+  ids : (int, int) Hashtbl.t;  (** [Formula.term_id] -> dense id *)
+  mutable nodes : Formula.term array;  (** dense id -> term *)
+  mutable count : int;
+}
 
-let node_table () = { nodes = []; count = 0 }
+let node_table () = { ids = Hashtbl.create 16; nodes = [||]; count = 0 }
 
 let node_id (tbl : node_table) (t : Formula.term) : int =
-  let rec find i = function
-    | [] -> None
-    | x :: rest -> if Formula.term_equal x t then Some (tbl.count - 1 - i) else find (i + 1) rest
-  in
-  match find 0 tbl.nodes with
+  match Hashtbl.find_opt tbl.ids (Formula.term_id t) with
   | Some id -> id
   | None ->
-      tbl.nodes <- t :: tbl.nodes;
+      if tbl.count >= Array.length tbl.nodes then begin
+        let grown = Array.make (max 8 (2 * tbl.count)) t in
+        Array.blit tbl.nodes 0 grown 0 tbl.count;
+        tbl.nodes <- grown
+      end;
+      tbl.nodes.(tbl.count) <- t;
+      Hashtbl.add tbl.ids (Formula.term_id t) tbl.count;
       tbl.count <- tbl.count + 1;
       tbl.count - 1
 
-let node_term (tbl : node_table) (id : int) : Formula.term =
-  List.nth tbl.nodes (tbl.count - 1 - id)
+let node_term (tbl : node_table) (id : int) : Formula.term = tbl.nodes.(id)
 
 (* ------------------------------------------------------------------ *)
 (* Union-find                                                          *)
@@ -66,7 +73,8 @@ let uf_union (u : uf) i j =
 (* Consistency check                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let is_const = function
+let is_const (t : Formula.term) =
+  match Formula.term_view t with
   | Formula.T_int _ | Formula.T_bool _ | Formula.T_str _ | Formula.T_null -> true
   | Formula.T_var _ -> false
 
@@ -125,7 +133,7 @@ let consistent (lits : lit list) : bool =
           if rel_of l = Formula.Rneq then begin
             let note id other =
               (* the other side denotes a bool constant if its class holds one *)
-              match class_const.(uf_find u other) with
+              match Option.map Formula.term_view class_const.(uf_find u other) with
               | Some (Formula.T_bool bv) ->
                   let r = uf_find u id in
                   let seen = try Hashtbl.find deq_bools r with Not_found -> [] in
@@ -139,7 +147,7 @@ let consistent (lits : lit list) : bool =
       Hashtbl.iter
         (fun r bools ->
           if List.mem true bools && List.mem false bools then
-            match class_const.(r) with
+            match Option.map Formula.term_view class_const.(r) with
             | Some (Formula.T_bool _) ->
                 (* contains a bool constant and is disequal to it: already
                    caught by step 3 if it is the same constant; a class
@@ -164,7 +172,7 @@ let consistent (lits : lit list) : bool =
             rel_of l = Formula.Req
             &&
             let int_term id =
-              match node_term tbl id with
+              match Formula.term_view (node_term tbl id) with
               | Formula.T_int _ -> true
               | Formula.T_var _ -> true (* variables may be ints *)
               | _ -> false
@@ -179,11 +187,11 @@ let consistent (lits : lit list) : bool =
         List.iter
           (fun (_, i, j) ->
             let ok id =
-              (match node_term tbl id with
+              (match Formula.term_view (node_term tbl id) with
               | Formula.T_var _ | Formula.T_int _ -> true
               | Formula.T_bool _ | Formula.T_str _ | Formula.T_null -> false)
               &&
-              match class_const.(uf_find u id) with
+              match Option.map Formula.term_view class_const.(uf_find u id) with
               | Some (Formula.T_bool _ | Formula.T_str _ | Formula.T_null) -> false
               | Some (Formula.T_int _ | Formula.T_var _) | None -> true
             in
@@ -199,7 +207,7 @@ let consistent (lits : lit list) : bool =
         let add_edge i j c = if c < dist.(i).(j) then dist.(i).(j) <- c in
         (* constants pin their node to ZERO *)
         for i = 0 to n - 1 do
-          match node_term tbl i with
+          match Formula.term_view (node_term tbl i) with
           | Formula.T_int v ->
               add_edge i zero v;
               add_edge zero i (-v)

@@ -79,6 +79,8 @@ type state = {
   mutable branches_total : int;
   mutable branches_recorded : int;
   mutable entry : string;
+  mutable pc_cache : (Smt.Formula.t list * Smt.Formula.t list) option;
+      (** memoized (pruned, full) snapshot; None when stale *)
   config : config;
 }
 
@@ -86,12 +88,29 @@ type state = {
    of all *live* frames, outermost first: exactly the conditions along the
    execution-tree path from the entry function to the current statement.
    Facts established by calls that already returned are not part of any
-   path to the target and must not leak into later checks. *)
-let stack_pc (st : state) : Smt.Formula.t list =
-  List.concat_map (fun f -> List.rev f.f_pc) (List.rev st.stack)
+   path to the target and must not leak into later checks.
 
-let stack_full_pc (st : state) : Smt.Formula.t list =
-  List.concat_map (fun f -> List.rev f.f_full_pc) (List.rev st.stack)
+   Sharing: per-frame fact lists are persistent cons-lists (sibling paths
+   share their common-ancestry tails), the snapshot pair is memoized until
+   the next recorded fact or frame push/pop — consecutive hits share the
+   physically same lists — and formulas are hash-consed, so two snapshots
+   with the same facts collapse to one [conj] node and one verdict-cache
+   entry downstream. *)
+let pc_snapshots (st : state) : Smt.Formula.t list * Smt.Formula.t list =
+  match st.pc_cache with
+  | Some snap -> snap
+  | None ->
+      let frames = List.rev st.stack in
+      let snap =
+        ( List.concat_map (fun f -> List.rev f.f_pc) frames,
+          List.concat_map (fun f -> List.rev f.f_full_pc) frames )
+      in
+      st.pc_cache <- Some snap;
+      snap
+
+let stack_pc (st : state) : Smt.Formula.t list = fst (pc_snapshots st)
+
+let stack_full_pc (st : state) : Smt.Formula.t list = snd (pc_snapshots st)
 
 let create ?(config = default_config) (program : Ast.program) : state =
   {
@@ -106,6 +125,7 @@ let create ?(config = default_config) (program : Ast.program) : state =
     branches_total = 0;
     branches_recorded = 0;
     entry = "<none>";
+    pc_cache = None;
     config;
   }
 
@@ -134,22 +154,16 @@ let class_of_ref (st : state) (v : Value.t) : string option =
 let root_of (st : state) (t : tagged) : string option =
   match class_of_ref st t.v with
   | Some c -> Some c
-  | None -> ( match t.sym with Some (Sym.S_var p) -> Some p | Some _ | None -> None)
+  | None -> ( match t.sym with Some s -> Sym.as_var s | None -> None)
 
-(* term for one side of a comparison: shadow if present, else the concrete
-   scalar value *)
+(* term for one side of a comparison: the shadow *is* the term now, else
+   the concrete scalar value *)
 let term_of (t : tagged) : Smt.Formula.term option =
   match t.sym with
-  | Some s -> Some (Sym.to_term s)
-  | None -> (
-      match t.v with
-      | Value.V_int n -> Some (Smt.Formula.tint n)
-      | Value.V_bool b -> Some (Smt.Formula.tbool b)
-      | Value.V_str s -> Some (Smt.Formula.tstr s)
-      | Value.V_null -> Some Smt.Formula.tnull
-      | Value.V_ref _ -> None)
+  | Some s -> Some s
+  | None -> Sym.of_value t.v
 
-let term_has_var = function Smt.Formula.T_var _ -> true | _ -> false
+let term_has_var = Sym.is_var
 
 (* a signed atom fact, if expressible and non-trivial *)
 let atom_fact (rel : Smt.Formula.rel) (a : tagged) (b : tagged) (holds : bool) :
@@ -164,31 +178,28 @@ let combine (a : Smt.Formula.t option) (b : Smt.Formula.t option) :
     Smt.Formula.t option =
   match (a, b) with
   | None, x | x, None -> x
-  | Some fa, Some fb -> Some (Smt.Formula.And [ fa; fb ])
+  | Some fa, Some fb -> Some (Smt.Formula.conj [ fa; fb ])
 
 (* facts are conjunctions of literals; keep the conjuncts that mention a
    relevant root *)
 let rec filter_relevant (roots : string list) (f : Smt.Formula.t) :
     Smt.Formula.t option =
-  match f with
+  match Smt.Formula.view f with
   | Smt.Formula.And fs ->
       let kept = List.filter_map (filter_relevant roots) fs in
       if kept = [] then None else Some (Smt.Formula.conj kept)
-  | Smt.Formula.Atom a ->
-      let mentions t =
-        match t with
-        | Smt.Formula.T_var p -> List.mem (Sym.root_of_path p) roots
-        | _ -> false
-      in
-      if mentions a.Smt.Formula.lhs || mentions a.Smt.Formula.rhs then Some f else None
+  | Smt.Formula.Atom a -> if Sym.mentions_root roots a.Smt.Formula.lhs || Sym.mentions_root roots a.Smt.Formula.rhs then Some f else None
   | Smt.Formula.Not g -> (
-      match filter_relevant roots g with Some g' -> Some (Smt.Formula.Not g') | None -> None)
+      match filter_relevant roots g with
+      | Some g' -> Some (Smt.Formula.negate g')
+      | None -> None)
   | Smt.Formula.Or _ | Smt.Formula.True | Smt.Formula.False -> None
 
 let record_fact (st : state) (frame : frame) (fact : Smt.Formula.t option) : unit =
   match fact with
   | None -> ()
   | Some f ->
+      st.pc_cache <- None;
       frame.f_full_pc <- f :: frame.f_full_pc;
       let keep =
         if st.config.prune then filter_relevant st.config.relevant_roots f else Some f
@@ -330,10 +341,10 @@ type flow = F_normal | F_return of tagged | F_break | F_continue
 let rec eval (st : state) (frame : frame) (e : Ast.expr) : tagged =
   let loc = e.Ast.eloc in
   match e.Ast.e with
-  | Ast.Int_lit n -> { v = Value.V_int n; sym = Some (Sym.S_int n) }
-  | Ast.Bool_lit b -> { v = Value.V_bool b; sym = Some (Sym.S_bool b) }
-  | Ast.Str_lit s -> { v = Value.V_str s; sym = Some (Sym.S_str s) }
-  | Ast.Null_lit -> { v = Value.V_null; sym = Some Sym.S_null }
+  | Ast.Int_lit n -> { v = Value.V_int n; sym = Some (Smt.Formula.tint n) }
+  | Ast.Bool_lit b -> { v = Value.V_bool b; sym = Some (Smt.Formula.tbool b) }
+  | Ast.Str_lit s -> { v = Value.V_str s; sym = Some (Smt.Formula.tstr s) }
+  | Ast.Null_lit -> { v = Value.V_null; sym = Some Smt.Formula.tnull }
   | Ast.This -> frame.self
   | Ast.Var x -> (
       match Hashtbl.find_opt frame.vars x with
@@ -349,7 +360,7 @@ let rec eval (st : state) (frame : frame) (e : Ast.expr) : tagged =
               | Some v ->
                   let sym =
                     match root_of st ot with
-                    | Some root -> Some (Sym.S_var (root ^ "." ^ f))
+                    | Some root -> Some (Sym.var (root ^ "." ^ f))
                     | None -> None
                   in
                   { v; sym }
@@ -525,11 +536,11 @@ and eval_complex (st : state) (frame : frame) (e : Ast.expr) :
       match t.v with
       | Value.V_bool b ->
           let fact =
-            match t.sym with
-            | Some (Sym.S_var p) ->
+            match Option.bind t.sym Sym.as_var with
+            | Some p ->
                 Some
                   (Smt.Formula.eq (Smt.Formula.tvar p) (Smt.Formula.tbool b))
-            | Some _ | None -> None
+            | None -> None
           in
           (t.v, fact, t.sym)
       | _ -> (t.v, None, t.sym))
@@ -581,7 +592,7 @@ and exec_stmt (st : state) (frame : frame) (stmt : Ast.stmt) : flow =
         (* class-canonical naming for opaque object sources *)
         match (t.sym, ty) with
         | None, Ast.T_ref c when Ast.find_class st.program c <> None ->
-            { t with sym = Some (Sym.S_var c) }
+            { t with sym = Some (Sym.var c) }
         | _ -> t
       in
       Hashtbl.replace frame.vars x t;
@@ -678,11 +689,11 @@ and invoke (st : state) ~qname (m : Ast.method_decl) (self : tagged)
         match ty with
         (* class-canonical naming for object parameters without a shadow *)
         | Ast.T_ref c when t.sym = None && Ast.find_class st.program c <> None ->
-            { t with sym = Some (Sym.S_var c) }
+            { t with sym = Some (Sym.var c) }
         (* scalar parameters are symbolic inputs named by the parameter, so
            that rule conditions mentioning a parameter (e.g. a TTL or an
            epoch argument) meet the trace in the same vocabulary *)
-        | Ast.T_int | Ast.T_str | Ast.T_bool -> { t with sym = Some (Sym.S_var p) }
+        | Ast.T_int | Ast.T_str | Ast.T_bool -> { t with sym = Some (Sym.var p) }
         | Ast.T_ref _ | Ast.T_map | Ast.T_list | Ast.T_void | Ast.T_any -> t
       in
       Hashtbl.replace vars p t)
@@ -690,9 +701,11 @@ and invoke (st : state) ~qname (m : Ast.method_decl) (self : tagged)
   let frame = { vars; self; qname; decisions = []; f_pc = []; f_full_pc = [] } in
   st.depth <- st.depth + 1;
   st.stack <- frame :: st.stack;
+  st.pc_cache <- None;
   let finish () =
     st.depth <- st.depth - 1;
-    st.stack <- (match st.stack with _ :: rest -> rest | [] -> [])
+    st.stack <- (match st.stack with _ :: rest -> rest | [] -> []);
+    st.pc_cache <- None
   in
   match exec_block st frame m.Ast.m_body with
   | F_normal ->

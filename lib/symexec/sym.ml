@@ -5,46 +5,46 @@
     Shadows record provenance, not current value — they are what path
     conditions are written in terms of.
 
+    A shadow {e is} an interned checker-formula term ({!Smt.Formula.term}):
+    the old [S_var]/[T_var] mirror and its [to_term] conversion are gone,
+    so a shadow flows into a path-condition atom with no translation and
+    shadow equality is physical (terms are hash-consed).
+
     Naming convention (shared with {!Semantics.Translate}): object roots
     are canonicalized to their class name, so a trace through local [s] and
     a rule learned from local [session] agree on the path ["Session"]. *)
 
-type t =
-  | S_var of string  (** canonical state path *)
-  | S_int of int
-  | S_bool of bool
-  | S_str of string
-  | S_null
+type t = Smt.Formula.term
+
+let var (p : string) : t = Smt.Formula.tvar p
 
 let of_value (v : Minilang.Value.t) : t option =
   match v with
-  | Minilang.Value.V_int n -> Some (S_int n)
-  | Minilang.Value.V_bool b -> Some (S_bool b)
-  | Minilang.Value.V_str s -> Some (S_str s)
-  | Minilang.Value.V_null -> Some S_null
+  | Minilang.Value.V_int n -> Some (Smt.Formula.tint n)
+  | Minilang.Value.V_bool b -> Some (Smt.Formula.tbool b)
+  | Minilang.Value.V_str s -> Some (Smt.Formula.tstr s)
+  | Minilang.Value.V_null -> Some Smt.Formula.tnull
   | Minilang.Value.V_ref _ -> None
 
-let to_term : t -> Smt.Formula.term = function
-  | S_var p -> Smt.Formula.tvar p
-  | S_int n -> Smt.Formula.tint n
-  | S_bool b -> Smt.Formula.tbool b
-  | S_str s -> Smt.Formula.tstr s
-  | S_null -> Smt.Formula.tnull
+let as_var (t : t) : string option =
+  match Smt.Formula.term_view t with
+  | Smt.Formula.T_var p -> Some p
+  | Smt.Formula.T_int _ | Smt.Formula.T_bool _ | Smt.Formula.T_str _
+  | Smt.Formula.T_null ->
+      None
 
-let is_var = function S_var _ -> true | S_int _ | S_bool _ | S_str _ | S_null -> false
+let is_var (t : t) =
+  match Smt.Formula.term_view t with
+  | Smt.Formula.T_var _ -> true
+  | Smt.Formula.T_int _ | Smt.Formula.T_bool _ | Smt.Formula.T_str _
+  | Smt.Formula.T_null ->
+      false
 
-let to_string = function
-  | S_var p -> p
-  | S_int n -> string_of_int n
-  | S_bool b -> string_of_bool b
-  | S_str s -> Printf.sprintf "%S" s
-  | S_null -> "null"
+let to_string = Smt.Formula.term_to_string
 
 (** Root of a state path: ["Session.closing"] -> ["Session"]. *)
 let root_of_path (p : string) : string =
   match String.index_opt p '.' with Some i -> String.sub p 0 i | None -> p
 
 let mentions_root (roots : string list) (t : t) : bool =
-  match t with
-  | S_var p -> List.mem (root_of_path p) roots
-  | S_int _ | S_bool _ | S_str _ | S_null -> false
+  match as_var t with Some p -> List.mem (root_of_path p) roots | None -> false

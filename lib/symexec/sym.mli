@@ -3,19 +3,22 @@
     A shadow records a value's provenance as a canonical state path (or a
     constant); path conditions are written in terms of shadows.  Object
     roots are canonicalized to their class name, matching
-    {!Semantics.Translate}'s normalization. *)
+    {!Semantics.Translate}'s normalization.
 
-type t =
-  | S_var of string  (** canonical state path, e.g. ["Session.closing"] *)
-  | S_int of int
-  | S_bool of bool
-  | S_str of string
-  | S_null
+    A shadow {e is} an interned {!Smt.Formula.term} — no mirror type, no
+    conversion: it flows straight into path-condition atoms, and shadow
+    equality is physical because terms are hash-consed. *)
+
+type t = Smt.Formula.term
+
+(** Shadow for a canonical state path, e.g. ["Session.closing"]. *)
+val var : string -> t
 
 (** Shadow of a concrete scalar; [None] for references. *)
 val of_value : Minilang.Value.t -> t option
 
-val to_term : t -> Smt.Formula.term
+(** The state path, when the shadow is a variable. *)
+val as_var : t -> string option
 
 val is_var : t -> bool
 

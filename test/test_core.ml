@@ -1,0 +1,116 @@
+(* Tests for lib/core: the hash-consing kernel, the string interner, and
+   the cross-domain determinism the engine's [--jobs N] pool relies on. *)
+
+open Core
+
+(* ------------------------------------------------------------------ *)
+(* String interner                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_intern_canonical () =
+  let a = Intern.get "alpha-core-test" in
+  let b = Intern.get (String.concat "-" [ "alpha"; "core"; "test" ]) in
+  Alcotest.(check bool) "same sym for equal strings" true (a == b);
+  Alcotest.(check bool) "sym equality is physical" true (Intern.equal a b);
+  Alcotest.(check string) "canonical copy round-trips" "alpha-core-test"
+    a.Intern.str;
+  Alcotest.(check bool) "canonical is shared" true
+    (Intern.canonical "alpha-core-test" == a.Intern.str);
+  let c = Intern.get "beta-core-test" in
+  Alcotest.(check bool) "distinct strings, distinct syms" false (c == a);
+  Alcotest.(check bool) "distinct strings, distinct ids" true
+    (c.Intern.sym_id <> a.Intern.sym_id)
+
+(* ------------------------------------------------------------------ *)
+(* Generic hash-cons table                                             *)
+(* ------------------------------------------------------------------ *)
+
+type pair_elt = { p_fst : int; p_snd : int; p_id : int; p_hash : int }
+
+let pair_tbl : (int * int, pair_elt) Hc.t =
+  Hc.create ~name:"test.pair"
+    ~equal:(fun (a, b) e -> e.p_fst = a && e.p_snd = b)
+    ~build:(fun ~id ~hkey (a, b) ->
+      { p_fst = a; p_snd = b; p_id = id; p_hash = hkey })
+    ()
+
+let intern_pair a b = Hc.intern pair_tbl ~hkey:(Hashtbl.hash (a, b)) (a, b)
+
+let test_hc_unique_ids () =
+  let x = intern_pair 1 2 in
+  let y = intern_pair 1 2 in
+  let z = intern_pair 2 1 in
+  Alcotest.(check bool) "re-intern returns the same element" true (x == y);
+  Alcotest.(check int) "and the same id" x.p_id y.p_id;
+  Alcotest.(check bool) "distinct nodes are distinct elements" true (x != z);
+  Alcotest.(check bool) "with distinct ids" true (x.p_id <> z.p_id);
+  Alcotest.(check int) "hkey is stored verbatim" (Hashtbl.hash (1, 2)) x.p_hash
+
+let test_hc_stats_and_registry () =
+  let s0 = Hc.stats pair_tbl in
+  ignore (intern_pair 7 7);
+  (* miss *)
+  ignore (intern_pair 7 7);
+  (* hit *)
+  let s1 = Hc.stats pair_tbl in
+  Alcotest.(check int) "one miss recorded" (s0.Hc.misses + 1) s1.Hc.misses;
+  Alcotest.(check int) "one hit recorded" (s0.Hc.hits + 1) s1.Hc.hits;
+  Alcotest.(check int) "size = distinct nodes = next id" (s0.Hc.size + 1)
+    s1.Hc.size;
+  Alcotest.(check string) "table is named" "test.pair" (Hc.name pair_tbl);
+  let names = List.map fst (Hc.registry ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "core.intern"; "smt.term"; "smt.formula"; "test.pair" ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domains (the --jobs 1 vs --jobs 4 invariant)     *)
+(* ------------------------------------------------------------------ *)
+
+(* the checker-shaped formulas the engine interns from its worker pool *)
+let mk_formula seed k =
+  let v s = Smt.Formula.tvar (Printf.sprintf "dom%d_%s" ((seed + k) mod 16) s) in
+  Smt.Formula.conj
+    [
+      Smt.Formula.neq (v "Session") Smt.Formula.tnull;
+      Smt.Formula.eq (v "Session.closing") (Smt.Formula.tbool false);
+      Smt.Formula.gt (v "Session.ttl") (Smt.Formula.tint ((seed + k) mod 8));
+    ]
+
+(* Interning the same structures from 4 concurrent domains must collapse
+   to the very nodes a serial (--jobs 1) run produces: same pointers,
+   hence same renderings, hence byte-identical reports either way. *)
+let prop_interning_deterministic_across_domains =
+  QCheck.Test.make ~count:10 ~name:"interning agrees, jobs=1 vs jobs=4"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let serial = List.init 8 (mk_formula seed) in
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () -> List.init 8 (mk_formula seed)))
+      in
+      let parallel = List.map Domain.join domains in
+      List.for_all
+        (fun dom_fs ->
+          List.for_all2
+            (fun a b ->
+              a == b
+              && Smt.Formula.id a = Smt.Formula.id b
+              && String.equal (Smt.Formula.to_string a) (Smt.Formula.to_string b))
+            serial dom_fs)
+        parallel)
+
+let suite =
+  [
+    ( "core.hc",
+      [
+        Alcotest.test_case "string interner canonicalizes" `Quick
+          test_intern_canonical;
+        Alcotest.test_case "unique ids, physical hits" `Quick
+          test_hc_unique_ids;
+        Alcotest.test_case "stats and registry" `Quick
+          test_hc_stats_and_registry;
+        QCheck_alcotest.to_alcotest prop_interning_deterministic_across_domains;
+      ] );
+  ]

@@ -156,7 +156,7 @@ let i = Smt.Formula.tint
 let test_smt_string_equalities () =
   Alcotest.(check bool) "x=\"a\" && x=\"b\" unsat" true
     (Smt.Solver.is_unsat
-       (Smt.Formula.And
+       (Smt.Formula.conj
           [
             Smt.Formula.eq (v "x") (Smt.Formula.tstr "a");
             Smt.Formula.eq (v "x") (Smt.Formula.tstr "b");
@@ -173,29 +173,29 @@ let test_smt_long_order_chain () =
     List.concat_map (fun x -> [ Smt.Formula.ge x (i 0); Smt.Formula.le x (i 5) ]) vars
   in
   Alcotest.(check bool) "fits exactly" true
-    (Smt.Solver.is_sat (Smt.Formula.And (chain vars @ bounds)));
+    (Smt.Solver.is_sat (Smt.Formula.conj (chain vars @ bounds)));
   let tight =
     List.concat_map (fun x -> [ Smt.Formula.ge x (i 0); Smt.Formula.le x (i 4) ]) vars
   in
   Alcotest.(check bool) "one slot short" true
-    (Smt.Solver.is_unsat (Smt.Formula.And (chain vars @ tight)))
+    (Smt.Solver.is_unsat (Smt.Formula.conj (chain vars @ tight)))
 
 let test_smt_mixed_null_int () =
   (* a variable equal to null cannot satisfy an order atom *)
   Alcotest.(check bool) "null ordering unsat" true
     (Smt.Solver.is_unsat
-       (Smt.Formula.And [ Smt.Formula.eq (v "x") Smt.Formula.tnull; Smt.Formula.lt (v "x") (i 3) ]))
+       (Smt.Formula.conj [ Smt.Formula.eq (v "x") Smt.Formula.tnull; Smt.Formula.lt (v "x") (i 3) ]))
 
 let test_smt_empty_and_or () =
-  Alcotest.(check bool) "And [] valid" true (Smt.Solver.is_valid (Smt.Formula.And []));
-  Alcotest.(check bool) "Or [] unsat" true (Smt.Solver.is_unsat (Smt.Formula.Or []))
+  Alcotest.(check bool) "And [] valid" true (Smt.Solver.is_valid (Smt.Formula.conj []));
+  Alcotest.(check bool) "Or [] unsat" true (Smt.Solver.is_unsat (Smt.Formula.disj []))
 
 let test_smt_model_satisfies () =
   let f =
-    Smt.Formula.And
+    Smt.Formula.conj
       [
-        Smt.Formula.Or [ Smt.Formula.bvar "p"; Smt.Formula.bvar "q" ];
-        Smt.Formula.Not (Smt.Formula.bvar "p");
+        Smt.Formula.disj [ Smt.Formula.bvar "p"; Smt.Formula.bvar "q" ];
+        Smt.Formula.negate (Smt.Formula.bvar "p");
       ]
   in
   match Smt.Solver.solve f with
@@ -206,7 +206,11 @@ let test_smt_model_satisfies () =
       let lookup name =
         List.find_map
           (fun ((a : Smt.Formula.atom), sign) ->
-            match (a.Smt.Formula.rel, a.Smt.Formula.lhs, a.Smt.Formula.rhs) with
+            match
+              ( a.Smt.Formula.rel,
+                Smt.Formula.term_view a.Smt.Formula.lhs,
+                Smt.Formula.term_view a.Smt.Formula.rhs )
+            with
             | Smt.Formula.Req, Smt.Formula.T_var x, Smt.Formula.T_bool true
               when x = name ->
                 Some sign

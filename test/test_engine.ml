@@ -170,7 +170,7 @@ let test_disjoint_region_unaffected () =
            Semantics.Rule.State_guard
              {
                target = Semantics.Rule.Stmt_text "no_such_statement_text_xyz";
-               condition = Formula.True;
+               condition = Formula.tru;
              };
        })
 
@@ -207,19 +207,19 @@ let gen_formula : Formula.t QCheck.arbitrary =
   in
   let rel = Gen.oneofl Formula.[ Req; Rneq; Rlt; Rle; Rgt; Rge ] in
   let atom_gen =
-    Gen.map3 (fun r l rh -> Formula.Atom { Formula.rel = r; lhs = l; rhs = rh }) rel term term
+    Gen.map3 (fun r l rh -> Formula.atom r l rh) rel term term
   in
   let bool_atom = Gen.oneofl [ Formula.bvar "p"; Formula.eq (Formula.tvar "p") (Formula.tbool false) ] in
-  let leaf = Gen.oneof [ atom_gen; bool_atom; Gen.return Formula.True; Gen.return Formula.False ] in
+  let leaf = Gen.oneof [ atom_gen; bool_atom; Gen.return Formula.tru; Gen.return Formula.fls ] in
   let rec go n =
     if n <= 0 then leaf
     else
       Gen.oneof
         [
           leaf;
-          Gen.map (fun f -> Formula.Not f) (go (n - 1));
-          Gen.map2 (fun a b2 -> Formula.And [ a; b2 ]) (go (n / 2)) (go (n / 2));
-          Gen.map2 (fun a b2 -> Formula.Or [ a; b2 ]) (go (n / 2)) (go (n / 2));
+          Gen.map (fun f -> Formula.negate f) (go (n - 1));
+          Gen.map2 (fun a b2 -> Formula.conj [ a; b2 ]) (go (n / 2)) (go (n / 2));
+          Gen.map2 (fun a b2 -> Formula.disj [ a; b2 ]) (go (n / 2)) (go (n / 2));
         ]
   in
   make ~print:Formula.to_string (Gen.sized (fun n -> go (min n 6)))
@@ -253,10 +253,32 @@ let prop_memo_check_trace_agrees =
 let test_memo_disabled_passthrough () =
   Memo.reset ();
   Alcotest.(check bool) "cache off by default" false (Memo.enabled ());
-  ignore (Memo.solve Formula.True);
-  ignore (Memo.solve Formula.True);
+  ignore (Memo.solve Formula.tru);
+  ignore (Memo.solve Formula.tru);
   Alcotest.(check int) "no entries when disabled" 0 (Memo.size ());
   Alcotest.(check int) "no hits when disabled" 0 (Memo.hits ())
+
+(* id-keyed hit regression: a structurally equal formula built from
+   scratch must land on the same cache entry — interning collapses the
+   two constructions to one node, so the memo probes one int key and
+   renders nothing on the hit path *)
+let test_memo_id_keyed_hit_on_fresh_construction () =
+  with_memo (fun () ->
+      Memo.reset ();
+      let mk () =
+        Formula.conj
+          [
+            Formula.gt (Formula.tvar "memo_id_x") (Formula.tint 1);
+            Formula.bvar "memo_id_p";
+          ]
+      in
+      let f = mk () and g = mk () in
+      Alcotest.(check bool) "separate constructions share the node" true (f == g);
+      ignore (Memo.solve f);
+      ignore (Memo.solve g);
+      Alcotest.(check int) "second construction hits" 1 (Memo.hits ());
+      Alcotest.(check int) "one entry" 1 (Memo.size ());
+      Memo.reset ())
 
 let test_memo_hit_counting () =
   with_memo (fun () ->
@@ -401,6 +423,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_memo_check_trace_agrees;
         Alcotest.test_case "disabled passthrough" `Quick test_memo_disabled_passthrough;
         Alcotest.test_case "hit counting" `Quick test_memo_hit_counting;
+        Alcotest.test_case "id-keyed hit on fresh construction" `Quick
+          test_memo_id_keyed_hit_on_fresh_construction;
       ] );
     ( "engine.scheduler",
       [

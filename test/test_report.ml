@@ -59,16 +59,16 @@ let gen_formula : Smt.Formula.t QCheck.arbitrary =
       Smt.Formula.gt (v "ttl") (Smt.Formula.tint 0);
     ]
   in
-  let leaf = Gen.oneofl (Smt.Formula.True :: Smt.Formula.False :: atoms) in
+  let leaf = Gen.oneofl (Smt.Formula.tru :: Smt.Formula.fls :: atoms) in
   let rec go n =
     if n <= 0 then leaf
     else
       Gen.oneof
         [
           leaf;
-          Gen.map (fun f -> Smt.Formula.Not f) (go (n - 1));
-          Gen.map2 (fun a b -> Smt.Formula.And [ a; b ]) (go (n / 2)) (go (n / 2));
-          Gen.map2 (fun a b -> Smt.Formula.Or [ a; b ]) (go (n / 2)) (go (n / 2));
+          Gen.map (fun f -> Smt.Formula.negate f) (go (n - 1));
+          Gen.map2 (fun a b -> Smt.Formula.conj [ a; b ]) (go (n / 2)) (go (n / 2));
+          Gen.map2 (fun a b -> Smt.Formula.disj [ a; b ]) (go (n / 2)) (go (n / 2));
         ]
   in
   make ~print:Smt.Formula.to_string (Gen.sized (fun n -> go (min n 5)))
@@ -84,7 +84,7 @@ let prop_true_pc_flags_nonvalid =
   QCheck.Test.make ~count:200 ~name:"empty pc verifies iff checker valid" gen_formula
     (fun f ->
       let verified =
-        match Smt.Solver.check_trace ~pc:Smt.Formula.True ~checker:f with
+        match Smt.Solver.check_trace ~pc:Smt.Formula.tru ~checker:f with
         | Smt.Solver.Verified -> true
         | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false
       in
@@ -93,7 +93,7 @@ let prop_true_pc_flags_nonvalid =
 let prop_stronger_pc_stays_verified =
   QCheck.Test.make ~count:200 ~name:"strengthening a verified pc keeps it verified"
     (QCheck.pair gen_formula gen_formula) (fun (pc_extra, checker) ->
-      let pc = Smt.Formula.And [ checker; pc_extra ] in
+      let pc = Smt.Formula.conj [ checker; pc_extra ] in
       match Smt.Solver.check_trace ~pc ~checker with
       | Smt.Solver.Verified -> true
       | Smt.Solver.Violation _ | Smt.Solver.Undecided _ -> false)

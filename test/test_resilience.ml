@@ -70,7 +70,7 @@ let test_pool_map_raises_first_by_index () =
 (* two independent atoms: satisfiable, but the search needs several
    nodes, so a tiny budget must answer Unknown instead *)
 let two_atom_f =
-  Formula.And
+  Formula.conj
     [
       Formula.eq (Formula.tvar "bx") (Formula.tint 1);
       Formula.eq (Formula.tvar "by") (Formula.tint 2);
@@ -111,8 +111,8 @@ let test_unknown_is_not_unsat () =
     (Resilience.Plan.make ~points:[ Resilience.Fault.Solver ]
        ~kinds:[ Resilience.Fault.Budget ] ~seed:7 ~rate:1.0 ());
   Alcotest.(check bool) "not unsat under injection" false
-    (Solver.is_unsat Formula.False);
-  Alcotest.(check bool) "not sat under injection" false (Solver.is_sat Formula.True)
+    (Solver.is_unsat Formula.fls);
+  Alcotest.(check bool) "not sat under injection" false (Solver.is_sat Formula.tru)
 
 let test_memo_never_caches_unknown () =
   let was = Memo.enabled () in
@@ -141,7 +141,7 @@ let test_theory_memo_halving () =
   for i = 0 to 63 do
     ignore
       (Solver.solve
-         (Formula.And
+         (Formula.conj
             [
               Formula.eq (Formula.tvar (Fmt.str "tm_a%d" i)) (Formula.tint 1);
               Formula.eq (Formula.tvar (Fmt.str "tm_b%d" i)) (Formula.tint 2);

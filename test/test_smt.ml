@@ -14,24 +14,25 @@ let b = Formula.tbool
 (* ------------------------------------------------------------------ *)
 
 let test_simplify_constants () =
-  let f = Formula.(And [ True; Or [ False; Atom { rel = Req; lhs = v "x"; rhs = i 1 } ] ]) in
+  let f = Formula.(conj [ tru; disj [ fls; atom Req (v "x") (i 1) ] ]) in
   Alcotest.(check string)
     "collapses constants" "x == 1"
     (Formula.to_string (Formula.simplify f))
 
 let test_simplify_complementary () =
-  let f = Formula.(And [ eq (v "x") (i 1); neq (v "x") (i 1) ]) in
+  let f = Formula.(conj [ eq (v "x") (i 1); neq (v "x") (i 1) ]) in
   Alcotest.(check string) "x==1 && x!=1 is false" "false"
     (Formula.to_string (Formula.simplify f))
 
 let test_simplify_dedup () =
-  let f = Formula.(And [ eq (v "x") (i 1); eq (v "x") (i 1) ]) in
+  let f = Formula.(conj [ eq (v "x") (i 1); eq (v "x") (i 1) ]) in
   Alcotest.(check string) "duplicates removed" "x == 1"
     (Formula.to_string (Formula.simplify f))
 
 let test_nnf_no_not () =
-  let f = Formula.(Not (And [ eq (v "x") (i 1); Not (lt (v "y") (i 2)) ])) in
-  let rec has_not = function
+  let f = Formula.(negate (conj [ eq (v "x") (i 1); negate (lt (v "y") (i 2)) ])) in
+  let rec has_not f =
+    match Formula.view f with
     | Formula.Not _ -> true
     | Formula.And fs | Formula.Or fs -> List.exists has_not fs
     | Formula.True | Formula.False | Formula.Atom _ -> false
@@ -155,16 +156,16 @@ let test_solver_sat_simple () =
 
 let test_solver_unsat_simple () =
   Alcotest.(check bool) "x==1 && x==2 unsat" true
-    (Solver.is_unsat Formula.(And [ eq (v "x") (i 1); eq (v "x") (i 2) ]))
+    (Solver.is_unsat Formula.(conj [ eq (v "x") (i 1); eq (v "x") (i 2) ]))
 
 let test_solver_disjunction () =
   Alcotest.(check bool) "(x==1 || x==2) && x!=1 sat" true
     (Solver.is_sat
-       Formula.(And [ Or [ eq (v "x") (i 1); eq (v "x") (i 2) ]; neq (v "x") (i 1) ]))
+       Formula.(conj [ disj [ eq (v "x") (i 1); eq (v "x") (i 2) ]; neq (v "x") (i 1) ]))
 
 let test_solver_validity () =
   Alcotest.(check bool) "x==1 -> x<=1 valid" true
-    (Solver.is_valid Formula.(Or [ Not (eq (v "x") (i 1)); le (v "x") (i 1) ]))
+    (Solver.is_valid Formula.(disj [ negate (eq (v "x") (i 1)); le (v "x") (i 1) ]))
 
 let test_solver_entails () =
   Alcotest.(check bool) "x==1 entails x<2" true
@@ -175,12 +176,12 @@ let test_solver_entails () =
 let test_solver_equivalence () =
   Alcotest.(check bool) "De Morgan" true
     (Solver.equivalent
-       Formula.(Not (And [ closing; snull ]))
-       Formula.(Or [ Not closing; Not snull ]))
+       Formula.(negate (conj [ closing; snull ]))
+       Formula.(disj [ negate closing; negate snull ]))
 
 (* The ephemeral-node example from the paper, verbatim (§3.2):
    checker  C = s != null && s.closing == false && s.ttl > 0 *)
-let checker = Formula.And [ snotnull; not_closing; ttl_pos ]
+let checker = Formula.conj [ snotnull; not_closing; ttl_pos ]
 
 let test_paper_example_null_trace () =
   (* trace condition (s == null) fulfills the complement -> violation *)
@@ -190,7 +191,7 @@ let test_paper_example_null_trace () =
 
 let test_paper_example_missing_ttl () =
   (* (s != null && !closing) misses the ttl check -> violation *)
-  let pc = Formula.And [ snotnull; not_closing ] in
+  let pc = Formula.conj [ snotnull; not_closing ] in
   match Solver.check_trace ~pc ~checker with
   | Solver.Violation model ->
       (* the counterexample must involve the missing ttl constraint *)
@@ -200,7 +201,7 @@ let test_paper_example_missing_ttl () =
   | Solver.Verified | Solver.Undecided _ -> Alcotest.fail "expected violation/verdict"
 
 let test_paper_example_full_guard () =
-  let pc = Formula.And [ snotnull; not_closing; ttl_pos ] in
+  let pc = Formula.conj [ snotnull; not_closing; ttl_pos ] in
   match Solver.check_trace ~pc ~checker with
   | Solver.Verified -> ()
   | Solver.Violation m ->
@@ -209,7 +210,7 @@ let test_paper_example_full_guard () =
 
 let test_paper_example_stronger_guard () =
   (* a trace with an even stronger condition still verifies *)
-  let pc = Formula.And [ snotnull; not_closing; Formula.gt (v "s.ttl") (i 10) ] in
+  let pc = Formula.conj [ snotnull; not_closing; Formula.gt (v "s.ttl") (i 10) ] in
   match Solver.check_trace ~pc ~checker with
   | Solver.Verified -> ()
   | Solver.Violation m ->
@@ -218,7 +219,7 @@ let test_paper_example_stronger_guard () =
 
 let test_direct_check_misses_missing_ttl () =
   (* ablation: the direct check fails to flag the missing-ttl trace *)
-  let pc = Formula.And [ snotnull; not_closing ] in
+  let pc = Formula.conj [ snotnull; not_closing ] in
   match Solver.check_trace_direct ~pc ~checker with
   | Solver.Verified -> () (* the false negative the paper warns about *)
   | Solver.Violation _ -> Alcotest.fail "direct check should miss this"
@@ -243,19 +244,19 @@ let gen_formula : Formula.t QCheck.arbitrary =
   in
   let rel = Gen.oneofl Formula.[ Req; Rneq; Rlt; Rle; Rgt; Rge ] in
   let atom_gen =
-    Gen.map3 (fun r l rh -> Formula.Atom { Formula.rel = r; lhs = l; rhs = rh }) rel term term
+    Gen.map3 (fun r l rh -> Formula.atom r l rh) rel term term
   in
   let bool_atom = Gen.oneofl [ Formula.bvar "p"; Formula.eq (Formula.tvar "p") (Formula.tbool false) ] in
-  let leaf = Gen.oneof [ atom_gen; bool_atom; Gen.return Formula.True; Gen.return Formula.False ] in
+  let leaf = Gen.oneof [ atom_gen; bool_atom; Gen.return Formula.tru; Gen.return Formula.fls ] in
   let rec go n =
     if n <= 0 then leaf
     else
       Gen.oneof
         [
           leaf;
-          Gen.map (fun f -> Formula.Not f) (go (n - 1));
-          Gen.map2 (fun a b2 -> Formula.And [ a; b2 ]) (go (n / 2)) (go (n / 2));
-          Gen.map2 (fun a b2 -> Formula.Or [ a; b2 ]) (go (n / 2)) (go (n / 2));
+          Gen.map (fun f -> Formula.negate f) (go (n - 1));
+          Gen.map2 (fun a b2 -> Formula.conj [ a; b2 ]) (go (n / 2)) (go (n / 2));
+          Gen.map2 (fun a b2 -> Formula.disj [ a; b2 ]) (go (n / 2)) (go (n / 2));
         ]
   in
   make ~print:Formula.to_string (Gen.sized (fun n -> go (min n 6)))
@@ -298,7 +299,60 @@ let prop_nnf_preserves_models =
 
 let prop_negation_flips_validity =
   QCheck.Test.make ~count:200 ~name:"f valid iff !f unsat" gen_formula (fun f ->
-      Solver.is_valid f = Solver.is_unsat (Formula.Not f))
+      Solver.is_valid f = Solver.is_unsat (Formula.negate f))
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed core: interning invariants                              *)
+(* ------------------------------------------------------------------ *)
+
+(* rebuild a formula bottom-up through the smart constructors; interning
+   must hand back the very same nodes *)
+let rec rebuild_term t =
+  match Formula.term_view t with
+  | Formula.T_var x -> Formula.tvar x
+  | Formula.T_int n -> Formula.tint n
+  | Formula.T_bool b2 -> Formula.tbool b2
+  | Formula.T_str s -> Formula.tstr s
+  | Formula.T_null -> Formula.tnull
+
+and rebuild f =
+  match Formula.view f with
+  | Formula.True -> Formula.tru
+  | Formula.False -> Formula.fls
+  | Formula.Atom a ->
+      Formula.atom a.Formula.rel (rebuild_term a.Formula.lhs)
+        (rebuild_term a.Formula.rhs)
+  | Formula.Not g -> Formula.negate (rebuild g)
+  | Formula.And fs -> Formula.conj (List.map rebuild fs)
+  | Formula.Or fs -> Formula.disj (List.map rebuild fs)
+
+let prop_equal_iff_physical =
+  QCheck.Test.make ~count:300 ~name:"structural equality = physical equality"
+    gen_formula (fun f ->
+      let g = rebuild f in
+      g == f && Formula.equal f g && Formula.hash f = Formula.hash g
+      && Formula.compare f g = 0 && Formula.id f = Formula.id g)
+
+let prop_equal_agrees_with_compare =
+  QCheck.Test.make ~count:300 ~name:"equal f g iff compare f g = 0"
+    (QCheck.pair gen_formula gen_formula) (fun (f, g) ->
+      Formula.equal f g = (Formula.compare f g = 0)
+      && Formula.equal f g = (f == g))
+
+let test_atoms_first_occurrence_order () =
+  let a1 = Formula.eq (v "ao_x") (i 1) in
+  let a2 = Formula.lt (v "ao_y") (i 2) in
+  let a3 = Formula.bvar "ao_p" in
+  (* a2 appears first (inside the disjunction), then a1, then a3; the
+     duplicate a1 must not appear twice *)
+  let f = Formula.(conj [ disj [ a2; a1 ]; negate a3; a1 ]) in
+  Alcotest.(check (list string))
+    "canon atoms in first-occurrence order, deduped"
+    [ "ao_y < 2"; "ao_x == 1"; "ao_p == true" ]
+    (List.map Formula.atom_to_string (Formula.atoms f));
+  (* memoized on the interned node: same list, physically *)
+  Alcotest.(check bool) "atoms memoized per node" true
+    (Formula.atoms f == Formula.atoms f)
 
 let suite =
   [
@@ -309,6 +363,8 @@ let suite =
         Alcotest.test_case "simplify dedup" `Quick test_simplify_dedup;
         Alcotest.test_case "nnf removes Not" `Quick test_nnf_no_not;
         Alcotest.test_case "canonical atoms" `Quick test_canon_atom;
+        Alcotest.test_case "atoms: first-occurrence order, memoized" `Quick
+          test_atoms_first_occurrence_order;
       ] );
     ( "smt.theory",
       [
@@ -346,5 +402,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_simplify_preserves_models;
         QCheck_alcotest.to_alcotest prop_nnf_preserves_models;
         QCheck_alcotest.to_alcotest prop_negation_flips_validity;
+        QCheck_alcotest.to_alcotest prop_equal_iff_physical;
+        QCheck_alcotest.to_alcotest prop_equal_agrees_with_compare;
       ] );
   ]

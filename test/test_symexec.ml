@@ -150,7 +150,7 @@ let test_buggy_path_executes_on_closing_session () =
 let test_complement_check_flags_missing_path () =
   let p = program () in
   let checker =
-    Smt.Formula.And
+    Smt.Formula.conj
       [
         Smt.Formula.neq (Smt.Formula.tvar "Session") Smt.Formula.tnull;
         Smt.Formula.eq (Smt.Formula.tvar "Session.closing") (Smt.Formula.tbool false);
@@ -290,10 +290,23 @@ let test_concolic_agrees_with_interp () =
       Alcotest.(check string) name (to_s concrete) (to_s concolic))
     (Interp.test_names p)
 
+(* shadows ARE interned terms now: no mirror type, no conversion, and
+   equality is physical *)
+let test_sym_is_interned_term () =
+  let a = Sym.var "Session.closing" in
+  let b = Smt.Formula.tvar "Session.closing" in
+  Alcotest.(check bool) "Sym.var = Formula.tvar, physically" true (a == b);
+  Alcotest.(check string) "same rendering" (Smt.Formula.term_to_string b)
+    (Sym.to_string a);
+  Alcotest.(check bool) "as_var round-trips" true
+    (Sym.as_var a = Some "Session.closing")
+
 let suite =
   [
     ( "symexec.concolic",
       [
+        Alcotest.test_case "shadow is the interned term" `Quick
+          test_sym_is_interned_term;
         Alcotest.test_case "hit on guarded path" `Quick test_hit_on_guarded_path;
         Alcotest.test_case "no hit when rejected" `Quick test_no_hit_when_rejected;
         Alcotest.test_case "hit on missing-check path" `Quick test_hit_on_missing_check_path;
