@@ -9,17 +9,21 @@ test:
 	dune runtest
 
 # Every span/counter name the trace export must mention for the engine
-# workload (tools/trace_check validates the JSON and greps for these).
+# workload (tools/trace_check validates the JSON and greps for these;
+# counter:NAME additionally requires the name on a "ph":"C" event).
 TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
   engine.execute engine.job checker.prepare checker.execute smt.solve \
-  concolic.run oracle.infer engine.report_cache engine.smt_cache
+  concolic.run oracle.infer engine.report_cache engine.smt_cache \
+  counter:smt.assume.push counter:smt.assume.pop counter:smt.propagations \
+  counter:smt.learned counter:smt.trie.nodes counter:smt.trie.shared
 
 # The tier-1 gate plus the engine acceptance smokes: build, full test
 # suite, the serial/parallel/incremental equivalence checks (with a
-# trace-export smoke), and the chaos fault-injection invariants, both
-# on the zookeeper slice of the E11 workload.
+# trace-export smoke), the chaos fault-injection invariants — both on
+# the zookeeper slice of the E11 workload — and the incremental-solver
+# smoke (verdict byte-identity plus the never-loses wall-time gate).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && $(MAKE) bench-smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && $(MAKE) bench-smoke
 
 # Fast hash-consing benchmark: intern throughput and the id-keyed vs
 # string-keyed memo lookup comparison; fails if the id key loses.

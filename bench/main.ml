@@ -410,6 +410,173 @@ let run_formula () =
     prerr_endline "FAIL: id-keyed lookup must beat string-keyed lookup";
     exit 1)
 
+(* ------------------------------------------------------------------ *)
+(* Solver benchmark                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Incremental trie-driven trace checking vs per-trace from-scratch
+   solving, on the E11 trace-check workload (every state-guard rule's
+   concolic hits across versions v1/v2/v3/v5).  "from-scratch" resets
+   the theory memo and the learned-conflict store before *every* trace —
+   a fresh solver per query, the pre-incremental cost model — while the
+   incremental leg builds one path-condition trie over all hits and
+   walks it with a single assumption context and the verdict cache on —
+   the exact configuration the engine's checker runs, every cache cold
+   at the start of each timed run.  Verdicts (and models) must be
+   byte-identical; the bench fails if they differ, if incremental is
+   ever slower, or (non-smoke) if the speedup is below 3x.  Writes
+   BENCH_solver.json. *)
+let run_solver () =
+  section "SOLVER: incremental prefix-sharing vs per-trace from-scratch";
+  let systems =
+    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+  in
+  (* the workload: (checker condition, hit) per trace, in engine order *)
+  let cases =
+    List.concat_map
+      (fun system ->
+        let book = Lisa.System_scan.learn_system_book system in
+        List.concat_map
+          (fun v ->
+            let p = Corpus.Registry.system_program system ~version:v in
+            let g = Analysis.Callgraph.build p in
+            List.concat_map
+              (fun rule ->
+                let pr = Engine.Checker.prepare ~graph:g p rule in
+                match Engine.Checker.guard_evidence p pr with
+                | None -> []
+                | Some (condition, hits) ->
+                    List.map (fun h -> (condition, h)) hits)
+              (Semantics.Rulebook.rules book))
+          [ 1; 2; 3; 5 ])
+      systems
+  in
+  let ntraces = List.length cases in
+  Printf.printf "workload: %d system(s), %d trace check(s)%s\n\n"
+    (List.length systems) ntraces
+    (if !smoke_flag then " (smoke)" else "");
+  let render = function
+    | Smt.Solver.Verified -> "verified"
+    | Smt.Solver.Violation m -> "violation " ^ Smt.Solver.model_to_string m
+    | Smt.Solver.Undecided r -> "undecided " ^ r
+  in
+  let fresh_state () =
+    Smt.Solver.reset_theory_memo ();
+    Smt.Solver.reset_learned ()
+  in
+  (* per-trace from-scratch: a cold solver for every single query *)
+  let run_scratch () =
+    List.map
+      (fun (condition, h) ->
+        fresh_state ();
+        let pc = Symexec.Concolic.hit_pc_formula h in
+        render (Smt.Solver.check_trace ~pc ~checker:condition))
+      cases
+  in
+  (* incremental: one trie over all traces, one assumption context, the
+     verdict cache on (cold) — the engine checker's configuration *)
+  let run_incremental () =
+    fresh_state ();
+    Smt.Memo.reset ();
+    let memo_was = Smt.Memo.enabled () in
+    Smt.Memo.set_enabled true;
+    Fun.protect ~finally:(fun () -> Smt.Memo.set_enabled memo_was)
+    @@ fun () ->
+    let trie = Smt.Pctrie.create () in
+    List.iteri
+      (fun i (condition, h) ->
+        Smt.Pctrie.add trie
+          ~pc:(Symexec.Concolic.hit_pc_snapshot h)
+          (i, condition, h))
+      cases;
+    let results = Array.make (max 1 ntraces) "" in
+    let ctx = Smt.Solver.create_context () in
+    Smt.Pctrie.walk trie
+      ~enter:(fun f -> Smt.Solver.push ctx f)
+      ~leave:(fun _ -> Smt.Solver.pop ctx)
+      ~leaf:(fun (i, condition, h) ->
+        let pc = Symexec.Concolic.hit_pc_formula h in
+        results.(i) <-
+          render (Smt.Memo.check_trace_in ctx ~pc ~checker:condition));
+    (trie, Array.to_list (Array.sub results 0 ntraces))
+  in
+  let now () = Unix.gettimeofday () in
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  let repeats = 3 in
+  let best f =
+    let rec go best_r best_t k =
+      if k = 0 then (best_r, best_t)
+      else
+        let r, t = time f in
+        if t < best_t then go r t (k - 1) else go best_r best_t (k - 1)
+    in
+    let r, t = time f in
+    go r t (repeats - 1)
+  in
+  let push0 = Smt.Solver.assume_push_count ()
+  and prop0 = Smt.Solver.propagation_count ()
+  and learn0 = Smt.Solver.learned_count () in
+  let scratch_verdicts, t_scratch = best run_scratch in
+  let (trie, inc_verdicts), t_inc = best run_incremental in
+  let pushes = Smt.Solver.assume_push_count () - push0
+  and props = Smt.Solver.propagation_count () - prop0
+  and learned = Smt.Solver.learned_count () - learn0 in
+  fresh_state ();
+  let speedup = if t_inc > 0. then t_scratch /. t_inc else infinity in
+  Printf.printf "from-scratch: %8.2f ms (%d trace(s), best of %d)\n"
+    (1000. *. t_scratch) ntraces repeats;
+  Printf.printf "incremental:  %8.2f ms — %.1fx\n" (1000. *. t_inc) speedup;
+  Printf.printf
+    "trie: %d node(s), %d shared, %d leave(s); %d push(es), %d \
+     propagation(s), %d learned conflict(s)\n"
+    (Smt.Pctrie.node_count trie)
+    (Smt.Pctrie.shared_count trie)
+    (Smt.Pctrie.leaf_count trie)
+    pushes props learned;
+  let oc = open_out "BENCH_solver.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "solver",
+  "smoke": %b,
+  "traces": %d,
+  "repeats": %d,
+  "trie": { "nodes": %d, "shared": %d, "leaves": %d },
+  "incremental_counters": { "assume_pushes": %d, "propagations": %d,
+                            "learned_conflicts": %d },
+  "wall_s": { "from_scratch": %.6f, "incremental": %.6f },
+  "speedup": %.2f,
+  "verdicts_identical": %b
+}
+|}
+    !smoke_flag ntraces repeats
+    (Smt.Pctrie.node_count trie)
+    (Smt.Pctrie.shared_count trie)
+    (Smt.Pctrie.leaf_count trie)
+    pushes props learned t_scratch t_inc speedup
+    (scratch_verdicts = inc_verdicts);
+  close_out oc;
+  print_endline "wrote BENCH_solver.json";
+  let check cond msg =
+    if cond then Printf.printf "OK: %s\n" msg
+    else begin
+      Printf.printf "FAIL: %s\n" msg;
+      exit 1
+    end
+  in
+  check
+    (scratch_verdicts = inc_verdicts)
+    "verdicts and models byte-identical, incremental vs from-scratch";
+  check (t_inc <= t_scratch)
+    (Printf.sprintf "incremental never loses (%.2f ms <= %.2f ms)"
+       (1000. *. t_inc) (1000. *. t_scratch));
+  if not !smoke_flag then
+    check (speedup >= 3.0)
+      (Printf.sprintf "speedup %.1fx >= 3x on the full workload" speedup)
+
 let all_experiments : (string * (unit -> unit)) list =
   [
     ("study", run_study);
@@ -427,6 +594,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("chaos", run_chaos);
     ("micro", run_micro);
     ("formula", run_formula);
+    ("solver", run_solver);
   ]
 
 let () =

@@ -39,13 +39,26 @@ type config = {
   prune : bool;
   method_ : check_method;
   fuel : int;
+  trie : bool;
+      (** judge traces through the path-condition trie and an incremental
+          solver context instead of solving each trace independently.
+          Result-preserving — reports are byte-identical either way — so
+          it is deliberately {e not} part of {!config_tag}: both modes
+          share cache entries. *)
 }
 
 let default_config =
-  { selection = Rag 4; prune = true; method_ = Complement; fuel = 200_000 }
+  {
+    selection = Rag 4;
+    prune = true;
+    method_ = Complement;
+    fuel = 200_000;
+    trie = true;
+  }
 
 (* A stable rendering of the knobs that influence enforcement results;
-   part of the engine's cache key. *)
+   part of the engine's cache key.  [trie] is excluded on purpose: it
+   cannot change a report, only its cost. *)
 let config_tag (c : config) : string =
   let sel =
     match c.selection with
@@ -205,12 +218,11 @@ let covers (h : Symexec.Concolic.hit) (ep : Analysis.Paths.exec_path) : bool =
       | None -> false)
     ep.Analysis.Paths.ep_decisions
 
-let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
-    ~(condition : Smt.Formula.t) ~(targets : (string * Ast.stmt) list)
-    ~(trees : Analysis.Paths.exec_tree list) : rule_report =
+(* the dynamic phase's concolic exploration for a state-guard rule *)
+let guard_runs (config : config) (p : Ast.program) (pr : prepared)
+    ~(condition : Smt.Formula.t) ~(targets : (string * Ast.stmt) list) :
+    Symexec.Concolic.run_result list =
   let target_sids = List.map (fun (_, st) -> st.Ast.sid) targets in
-  let static_paths = List.concat_map (fun t -> t.Analysis.Paths.et_paths) trees in
-  let tests = pr.prep_tests in
   let cc =
     {
       Symexec.Concolic.default_config with
@@ -220,9 +232,26 @@ let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
       fuel = config.fuel;
     }
   in
-  let runs = Symexec.Concolic.run_all ~config:cc p tests in
-  let hits = List.concat_map (fun r -> r.Symexec.Concolic.r_hits) runs in
-  let traces =
+  Symexec.Concolic.run_all ~config:cc p pr.prep_tests
+
+(** Judge every hit against the checker condition, in input order.  With
+    [config.trie] the hits are grouped by their decision-ordered pc
+    snapshots in a {!Smt.Pctrie} and the walk shares one incremental
+    {!Smt.Solver.context} — each common prefix is asserted once.  Both
+    modes produce byte-identical verdicts (and models): the incremental
+    path reuses result-preserving caches, never a different algorithm. *)
+let judge_hits (config : config) ~(condition : Smt.Formula.t)
+    (hits : Symexec.Concolic.hit list) : trace_verdict list =
+  let mk (h : Symexec.Concolic.hit) pc result =
+    {
+      tv_target_sid = h.Symexec.Concolic.h_target_sid;
+      tv_method = h.Symexec.Concolic.h_method;
+      tv_entry = h.Symexec.Concolic.h_entry;
+      tv_pc = pc;
+      tv_result = result;
+    }
+  in
+  if not config.trie then
     List.map
       (fun (h : Symexec.Concolic.hit) ->
         let pc = Symexec.Concolic.hit_pc_formula h in
@@ -231,15 +260,38 @@ let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
           | Complement -> Smt.Memo.check_trace ~pc ~checker:condition
           | Direct -> Smt.Memo.check_trace_direct ~pc ~checker:condition
         in
-        {
-          tv_target_sid = h.Symexec.Concolic.h_target_sid;
-          tv_method = h.Symexec.Concolic.h_method;
-          tv_entry = h.Symexec.Concolic.h_entry;
-          tv_pc = pc;
-          tv_result = result;
-        })
+        mk h pc result)
       hits
-  in
+  else begin
+    let trie = Smt.Pctrie.create () in
+    List.iteri
+      (fun i (h : Symexec.Concolic.hit) ->
+        Smt.Pctrie.add trie ~pc:(Symexec.Concolic.hit_pc_snapshot h) (i, h))
+      hits;
+    let results = Array.make (List.length hits) None in
+    let ctx = Smt.Solver.create_context () in
+    Smt.Pctrie.walk trie
+      ~enter:(fun f -> Smt.Solver.push ctx f)
+      ~leave:(fun _ -> Smt.Solver.pop ctx)
+      ~leaf:(fun (i, (h : Symexec.Concolic.hit)) ->
+        let pc = Symexec.Concolic.hit_pc_formula h in
+        let result =
+          match config.method_ with
+          | Complement -> Smt.Memo.check_trace_in ctx ~pc ~checker:condition
+          | Direct -> Smt.Memo.check_trace_direct_in ctx ~pc ~checker:condition
+        in
+        results.(i) <- Some (mk h pc result));
+    Array.to_list results |> List.map Option.get
+  end
+
+let execute_state_guard (config : config) (p : Ast.program) (pr : prepared)
+    ~(condition : Smt.Formula.t) ~(targets : (string * Ast.stmt) list)
+    ~(trees : Analysis.Paths.exec_tree list) : rule_report =
+  let static_paths = List.concat_map (fun t -> t.Analysis.Paths.et_paths) trees in
+  let tests = pr.prep_tests in
+  let runs = guard_runs config p pr ~condition ~targets in
+  let hits = List.concat_map (fun r -> r.Symexec.Concolic.r_hits) runs in
+  let traces = judge_hits config ~condition hits in
   let violations =
     List.filter
       (fun t -> match t.tv_result with Smt.Solver.Violation _ -> true | _ -> false)
@@ -453,6 +505,22 @@ let execute ?(config = default_config) (p : Ast.program) (pr : prepared) :
 let check_rule ?(config = default_config) (p : Ast.program)
     (rule : Semantics.Rule.t) : rule_report =
   execute ~config p (prepare ~config p rule)
+
+(** The dynamic phase's concolic evidence for a state-guard rule: its
+    checker condition and every target hit, in execution order ([None]
+    for lock rules).  Benchmarks use this to time trace judging in
+    isolation from concolic exploration. *)
+let guard_evidence ?(config = default_config) (p : Ast.program) (pr : prepared)
+    : (Smt.Formula.t * Symexec.Concolic.hit list) option =
+  match pr.prep_kind with
+  | Prep_lock _ -> None
+  | Prep_guard { pg_condition; pg_targets; _ } ->
+      let runs =
+        guard_runs config p pr ~condition:pg_condition ~targets:pg_targets
+      in
+      Some
+        ( pg_condition,
+          List.concat_map (fun r -> r.Symexec.Concolic.r_hits) runs )
 
 (** Check a whole rulebook. *)
 let check_book ?(config = default_config) (p : Ast.program)

@@ -59,10 +59,19 @@ let default_config =
     job_times_cap = 1024;
   }
 
-(** The cold, serial configuration: every layer off.  Reproduces the
-    historic one-shot checker exactly; the benchmark's baseline. *)
+(** The cold, serial configuration: every layer off — including the
+    checker's path-condition trie, so each trace is solved
+    independently.  Reproduces the historic one-shot checker exactly;
+    the benchmark's baseline (its report equality against the default
+    mode doubles as the trie's byte-identity check). *)
 let cold_config =
-  { default_config with report_cache = false; smt_cache = false; incremental = false }
+  {
+    default_config with
+    report_cache = false;
+    smt_cache = false;
+    incremental = false;
+    checker = { Checker.default_config with Checker.trie = false };
+  }
 
 (* what the engine remembers about the last version it enforced *)
 type memory = {
@@ -129,7 +138,20 @@ let trace_cache_counters t =
         ("hits", float_of_int s.Stats.intern_hits);
         ("misses", float_of_int s.Stats.intern_misses);
         ("size", float_of_int s.Stats.intern_size);
-      ]
+      ];
+    (* the incremental solver core's counters *)
+    Trace.counter "smt.assume.push"
+      [ ("count", float_of_int s.Stats.assume_pushes) ];
+    Trace.counter "smt.assume.pop"
+      [ ("count", float_of_int s.Stats.assume_pops) ];
+    Trace.counter "smt.propagations"
+      [ ("count", float_of_int s.Stats.propagations) ];
+    Trace.counter "smt.learned"
+      [ ("count", float_of_int s.Stats.learned_conflicts) ];
+    Trace.counter "smt.trie.nodes"
+      [ ("count", float_of_int s.Stats.trie_nodes) ];
+    Trace.counter "smt.trie.shared"
+      [ ("count", float_of_int s.Stats.trie_shared) ]
   end
 
 (** Enforce a rulebook against a program version through the engine. *)
@@ -142,6 +164,12 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   let intern_hits0 = Smt.Formula.intern_hits ()
   and intern_misses0 = Smt.Formula.intern_misses () in
   let solver0 = Smt.Solver.solve_count () in
+  let push0 = Smt.Solver.assume_push_count ()
+  and pop0 = Smt.Solver.assume_pop_count ()
+  and propagations0 = Smt.Solver.propagation_count ()
+  and learned0 = Smt.Solver.learned_count () in
+  let trie_nodes0 = Smt.Pctrie.nodes_total ()
+  and trie_shared0 = Smt.Pctrie.shared_total () in
   let memo_was = Smt.Memo.enabled () in
   Smt.Memo.set_enabled cfg.smt_cache;
   Fun.protect ~finally:(fun () -> Smt.Memo.set_enabled memo_was) @@ fun () ->
@@ -321,6 +349,24 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   Stats.bump
     ~by:(Smt.Solver.solve_count () - solver0)
     t.recorder Stats.Solver_calls;
+  Stats.bump
+    ~by:(Smt.Solver.assume_push_count () - push0)
+    t.recorder Stats.Assume_pushes;
+  Stats.bump
+    ~by:(Smt.Solver.assume_pop_count () - pop0)
+    t.recorder Stats.Assume_pops;
+  Stats.bump
+    ~by:(Smt.Solver.propagation_count () - propagations0)
+    t.recorder Stats.Propagations;
+  Stats.bump
+    ~by:(Smt.Solver.learned_count () - learned0)
+    t.recorder Stats.Learned_conflicts;
+  Stats.bump
+    ~by:(Smt.Pctrie.nodes_total () - trie_nodes0)
+    t.recorder Stats.Trie_nodes;
+  Stats.bump
+    ~by:(Smt.Pctrie.shared_total () - trie_shared0)
+    t.recorder Stats.Trie_shared;
   Stats.add_wall t.recorder (Clock.now () -. t0);
   trace_cache_counters t;
   reports_in_order

@@ -34,6 +34,12 @@ type t = {
       (** live interned nodes (terms + formulas + strings) at snapshot
           time — process-global, monotone: hashcons tables never evict *)
   solver_calls : int;  (** {!Smt.Solver.solve} calls during our runs *)
+  assume_pushes : int;  (** incremental-context assertions during our runs *)
+  assume_pops : int;
+  propagations : int;  (** literals implied by unit propagation *)
+  learned_conflicts : int;  (** theory conflict sets learned *)
+  trie_nodes : int;  (** path-condition trie nodes built during our runs *)
+  trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
   wall_s : float;  (** total [enforce] wall time *)
   job_times : job_time list;  (** newest first, bounded by the ring *)
   retries : int;  (** failed jobs re-run after backoff *)
@@ -55,6 +61,12 @@ type counter =
   | Intern_hits
   | Intern_misses
   | Solver_calls
+  | Assume_pushes
+  | Assume_pops
+  | Propagations
+  | Learned_conflicts
+  | Trie_nodes
+  | Trie_shared
   | Retries
   | Degraded_jobs
 
@@ -69,6 +81,12 @@ let counter_name = function
   | Intern_hits -> "intern_hits"
   | Intern_misses -> "intern_misses"
   | Solver_calls -> "solver_calls"
+  | Assume_pushes -> "assume_pushes"
+  | Assume_pops -> "assume_pops"
+  | Propagations -> "propagations"
+  | Learned_conflicts -> "learned_conflicts"
+  | Trie_nodes -> "trie_nodes"
+  | Trie_shared -> "trie_shared"
   | Retries -> "retries"
   | Degraded_jobs -> "degraded_jobs"
 
@@ -159,6 +177,12 @@ let snapshot r : t =
     intern_misses = read r Intern_misses;
     intern_size = Smt.Formula.intern_size ();
     solver_calls = read r Solver_calls;
+    assume_pushes = read r Assume_pushes;
+    assume_pops = read r Assume_pops;
+    propagations = read r Propagations;
+    learned_conflicts = read r Learned_conflicts;
+    trie_nodes = read r Trie_nodes;
+    trie_shared = read r Trie_shared;
     wall_s = Telemetry.Metrics.getf (r.ns ^ ".wall_s");
     job_times;
     retries = read r Retries;

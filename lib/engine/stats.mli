@@ -28,6 +28,12 @@ type t = {
       (** live interned nodes (terms + formulas + strings) at snapshot
           time; process-global and monotone *)
   solver_calls : int;
+  assume_pushes : int;  (** incremental-context assertions during our runs *)
+  assume_pops : int;
+  propagations : int;  (** literals implied by unit propagation *)
+  learned_conflicts : int;  (** theory conflict sets learned *)
+  trie_nodes : int;  (** path-condition trie nodes built during our runs *)
+  trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
   wall_s : float;
   job_times : job_time list;  (** newest first, bounded by the ring *)
   retries : int;  (** failed jobs re-run after backoff *)
@@ -47,6 +53,12 @@ type counter =
   | Intern_hits
   | Intern_misses
   | Solver_calls
+  | Assume_pushes
+  | Assume_pops
+  | Propagations
+  | Learned_conflicts
+  | Trie_nodes
+  | Trie_shared
   | Retries
   | Degraded_jobs
 

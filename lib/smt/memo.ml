@@ -99,6 +99,36 @@ let solve (f : Formula.t) : Solver.verdict =
             v)
   end
 
+(** Context-aware variant: like {!solve} but the miss path solves through
+    {!Solver.solve_in_context}, reusing the assumption context's warm
+    incremental state.  Same cache key (the simplified formula's id), so
+    trie-driven and per-trace checking populate and hit the very same
+    entries; [Unknown] is never stored, exactly as above. *)
+let solve_in (ctx : Solver.context) (f : Formula.t) : Solver.verdict =
+  if not (enabled ()) then Solver.solve_in_context ctx f
+  else begin
+    let key, simplified = key_of f in
+    let cached =
+      Mutex.lock lock;
+      let r = Hashtbl.find_opt table key in
+      (match r with Some _ -> incr hit_count | None -> incr miss_count);
+      Mutex.unlock lock;
+      r
+    in
+    match cached with
+    | Some v -> v
+    | None -> (
+        let v = Solver.solve_in_context ctx simplified in
+        match v with
+        | Solver.Unknown _ -> v
+        | Solver.Sat _ | Solver.Unsat ->
+            Mutex.lock lock;
+            if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+            Hashtbl.replace table key v;
+            Mutex.unlock lock;
+            v)
+  end
+
 (** Cached complement check (same contract as {!Solver.check_trace}). *)
 let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
   match solve (Formula.conj [ pc; Formula.negate checker ]) with
@@ -110,6 +140,26 @@ let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
 let check_trace_direct ~(pc : Formula.t) ~(checker : Formula.t) :
     Solver.trace_check =
   match solve (Formula.conj [ pc; checker ]) with
+  | Solver.Unsat -> Solver.Violation []
+  | Solver.Sat _ -> Solver.Verified
+  | Solver.Unknown reason -> Solver.Undecided reason
+
+(** Trie-driven complement check: [ctx] holds the pc prefix the trie walk
+    has pushed so far; the caller guarantees the context's assumptions
+    conjoin to [pc] (so the full conjunction entails them).  Cache key
+    and verdict are identical to {!check_trace} — the context only makes
+    misses cheaper. *)
+let check_trace_in (ctx : Solver.context) ~(pc : Formula.t)
+    ~(checker : Formula.t) : Solver.trace_check =
+  match solve_in ctx (Formula.conj [ pc; Formula.negate checker ]) with
+  | Solver.Unsat -> Solver.Verified
+  | Solver.Sat model -> Solver.Violation model
+  | Solver.Unknown reason -> Solver.Undecided reason
+
+(** Trie-driven direct check (contract of {!Solver.check_trace_direct}). *)
+let check_trace_direct_in (ctx : Solver.context) ~(pc : Formula.t)
+    ~(checker : Formula.t) : Solver.trace_check =
+  match solve_in ctx (Formula.conj [ pc; checker ]) with
   | Solver.Unsat -> Solver.Violation []
   | Solver.Sat _ -> Solver.Verified
   | Solver.Unknown reason -> Solver.Undecided reason

@@ -24,6 +24,20 @@ val check_trace : pc:Formula.t -> checker:Formula.t -> Solver.trace_check
 val check_trace_direct :
   pc:Formula.t -> checker:Formula.t -> Solver.trace_check
 
+(** {1 Context-aware (trie-driven) checks}
+
+    Same cache keys and verdicts as the plain checks — the assumption
+    context only makes cache misses cheaper by reusing the pc prefix the
+    trie walk has already asserted.  The caller guarantees the context's
+    assumptions conjoin to [pc].  [Unknown] is never cached, exactly as
+    for the plain entry points. *)
+
+val check_trace_in :
+  Solver.context -> pc:Formula.t -> checker:Formula.t -> Solver.trace_check
+
+val check_trace_direct_in :
+  Solver.context -> pc:Formula.t -> checker:Formula.t -> Solver.trace_check
+
 (** {1 Counters} *)
 
 val hits : unit -> int

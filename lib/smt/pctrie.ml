@@ -1,0 +1,100 @@
+(** Path-condition trie: group trace checks by shared pc prefixes.
+
+    Concolic hits from one execution tree overwhelmingly share path-
+    condition prefixes (they diverge only at the last few branches), and
+    PR 4's hash-consing makes those prefixes *physically* shared: a pc
+    snapshot is a list of interned formulas, outermost decision first.
+    This trie keys children by {!Formula.id}, so insertion is O(1) per
+    pc element and two hits share a node exactly when they share a
+    prefix of interned facts.
+
+    The checker walks the trie depth-first, pushing each edge's formula
+    onto a {!Solver.context} on entry and popping on exit — every shared
+    prefix is asserted exactly once, and each leaf solves only its own
+    suffix plus the complement.  Child order is insertion order and
+    leaves at a node precede its children, so the walk is deterministic;
+    payloads carry the caller's original index so results can be
+    re-emitted in input order regardless of walk order. *)
+
+type 'a node = {
+  nd_form : Formula.t option;  (* [None] only at the root *)
+  nd_index : (int, 'a node) Hashtbl.t;  (* formula id -> child *)
+  mutable nd_children : 'a node list;  (* reverse insertion order *)
+  mutable nd_leaves : 'a list;  (* reverse insertion order *)
+  mutable nd_passes : int;  (* pcs routed through this node *)
+}
+
+type 'a t = {
+  root : 'a node;
+  mutable t_nodes : int;
+  mutable t_shared : int;  (* nodes traversed by >= 2 pcs *)
+  mutable t_leaves : int;
+}
+
+(* Process-wide totals, read by the engine's stats and emitted as
+   telemetry counter events. *)
+let nodes_ctr = Atomic.make 0
+
+let shared_ctr = Atomic.make 0
+
+let nodes_total () = Atomic.get nodes_ctr
+
+let shared_total () = Atomic.get shared_ctr
+
+let fresh_node form =
+  {
+    nd_form = form;
+    nd_index = Hashtbl.create 4;
+    nd_children = [];
+    nd_leaves = [];
+    nd_passes = 0;
+  }
+
+let create () : 'a t =
+  { root = fresh_node None; t_nodes = 0; t_shared = 0; t_leaves = 0 }
+
+let node_count (t : 'a t) = t.t_nodes
+
+let shared_count (t : 'a t) = t.t_shared
+
+let leaf_count (t : 'a t) = t.t_leaves
+
+(** [add t ~pc payload] routes [payload] to the node reached by the pc
+    snapshot (outermost decision first). *)
+let add (t : 'a t) ~(pc : Formula.t list) (payload : 'a) : unit =
+  t.t_leaves <- t.t_leaves + 1;
+  let rec go node = function
+    | [] -> node.nd_leaves <- payload :: node.nd_leaves
+    | f :: rest ->
+        let child =
+          match Hashtbl.find_opt node.nd_index (Formula.id f) with
+          | Some c -> c
+          | None ->
+              let c = fresh_node (Some f) in
+              Hashtbl.replace node.nd_index (Formula.id f) c;
+              node.nd_children <- c :: node.nd_children;
+              t.t_nodes <- t.t_nodes + 1;
+              Atomic.incr nodes_ctr;
+              c
+        in
+        child.nd_passes <- child.nd_passes + 1;
+        if child.nd_passes = 2 then begin
+          t.t_shared <- t.t_shared + 1;
+          Atomic.incr shared_ctr
+        end;
+        go child rest
+  in
+  go t.root pc
+
+(** Depth-first walk: [enter f] when descending an edge, every leaf
+    payload at the node (insertion order), children (insertion order),
+    then [leave f] when ascending. *)
+let walk (t : 'a t) ~(enter : Formula.t -> unit) ~(leave : Formula.t -> unit)
+    ~(leaf : 'a -> unit) : unit =
+  let rec visit node =
+    (match node.nd_form with Some f -> enter f | None -> ());
+    List.iter leaf (List.rev node.nd_leaves);
+    List.iter visit (List.rev node.nd_children);
+    match node.nd_form with Some f -> leave f | None -> ()
+  in
+  visit t.root

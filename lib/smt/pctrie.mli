@@ -1,0 +1,43 @@
+(** Path-condition trie: group trace checks by shared pc prefixes.
+
+    Children are keyed by {!Formula.id} (formulas are hash-consed, so an
+    id names one formula for the process lifetime): insertion is O(1)
+    per pc element, and two path conditions share trie nodes exactly
+    when they share a prefix of interned facts.  The engine's checker
+    inserts every hit's decision-ordered pc snapshot, then walks the
+    trie once with a {!Solver.context} — each shared prefix is pushed
+    exactly once and each leaf decides only its own suffix. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~pc payload] routes [payload] to the node reached by [pc]
+    (the hit's pc snapshot, outermost decision first). *)
+val add : 'a t -> pc:Formula.t list -> 'a -> unit
+
+(** Deterministic depth-first walk: [enter f] when descending an edge,
+    [leaf] for each payload at the node (insertion order, before the
+    node's children), [leave f] when ascending back over the edge.
+    Callers needing input-order results carry an index in the payload. *)
+val walk :
+  'a t ->
+  enter:(Formula.t -> unit) ->
+  leave:(Formula.t -> unit) ->
+  leaf:('a -> unit) ->
+  unit
+
+(** {2 Statistics} *)
+
+val node_count : 'a t -> int
+
+(** Nodes traversed by at least two path conditions — the sharing the
+    trie exists to exploit. *)
+val shared_count : 'a t -> int
+
+val leaf_count : 'a t -> int
+
+(** Process-wide cumulative totals across all tries (telemetry). *)
+val nodes_total : unit -> int
+
+val shared_total : unit -> int

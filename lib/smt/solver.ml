@@ -7,6 +7,22 @@
     immediately.  Complete for the supported fragment; formulas in this
     project have at most a few dozen atoms.
 
+    The search core works on a *compiled* form of the (simplified)
+    formula: canonical atoms get dense indices, the partial assignment is
+    an id-indexed value array instead of an association list, and a
+    clausal view of the NNF feeds a two-watched-literal unit-propagation
+    engine that prunes unsatisfiable branches before they are entered.
+    Theory conflicts are minimized ({!Theory.conflict_core}) and learned
+    into a process-global store, so an inconsistent literal set discovered
+    in one query prunes sibling branches of every later query.  All of
+    these are result-preserving accelerations: verdicts *and* models are
+    byte-identical to the plain backtracking search.
+
+    On top of the one-shot {!solve}, an assumption {!context} supports
+    {!push}/{!pop} of literal assertions and {!solve_under_assumptions}
+    for incremental solving over shared path-condition prefixes (driven
+    by {!Pctrie} from the engine's checker).
+
     The module also implements the paper's *complement check* (§3.2): a
     trace with path condition [pc] **violates** a semantic with checker
     formula [c] iff [pc /\ !c] is satisfiable — under-constrained
@@ -27,39 +43,29 @@ let solve_count () = Atomic.get solve_calls
 
 let reset_solve_count () = Atomic.set solve_calls 0
 
-(* three-valued evaluation of a formula under a partial atom assignment *)
-let rec eval3 (assign : (Formula.atom * bool) list) (f : Formula.t) : bool option =
-  match Formula.view f with
-  | Formula.True -> Some true
-  | Formula.False -> Some false
-  | Formula.Atom a -> List.assoc_opt (Formula.canon_atom a) assign
-  | Formula.Not g -> Option.map not (eval3 assign g)
-  | Formula.And fs ->
-      let rec go unknown = function
-        | [] -> if unknown then None else Some true
-        | g :: rest -> (
-            match eval3 assign g with
-            | Some false -> Some false
-            | Some true -> go unknown rest
-            | None -> go true rest)
-      in
-      go false fs
-  | Formula.Or fs ->
-      let rec go unknown = function
-        | [] -> if unknown then None else Some false
-        | g :: rest -> (
-            match eval3 assign g with
-            | Some true -> Some true
-            | Some false -> go unknown rest
-            | None -> go true rest)
-      in
-      go false fs
+(* Incremental-core counters, read by the engine's stats and emitted as
+   telemetry counter events. *)
+let assume_pushes = Atomic.make 0
+
+let assume_pops = Atomic.make 0
+
+let propagations = Atomic.make 0
+
+let learned_conflicts = Atomic.make 0
+
+let assume_push_count () = Atomic.get assume_pushes
+
+let assume_pop_count () = Atomic.get assume_pops
+
+let propagation_count () = Atomic.get propagations
+
+let learned_count () = Atomic.get learned_conflicts
 
 let lits_of_assign (assign : (Formula.atom * bool) list) : Theory.lit list =
   List.map (fun (a, sign) -> Theory.lit sign a) assign
 
 (* ------------------------------------------------------------------ *)
-(* Theory-consistency memo                                             *)
+(* Theory-consistency memo and learned conflicts                       *)
 (* ------------------------------------------------------------------ *)
 
 (* [Theory.consistent] is called on every node of the DPLL search tree,
@@ -88,6 +94,11 @@ let theory_memo_size () =
   let n = Hashtbl.length theory_memo in
   Mutex.unlock theory_memo_lock;
   n
+
+let reset_theory_memo () =
+  Mutex.lock theory_memo_lock;
+  Hashtbl.reset theory_memo;
+  Mutex.unlock theory_memo_lock
 
 (* Epoch halving: drop every other entry instead of resetting the whole
    table, so a full memo sheds weight without cold-starting every
@@ -118,14 +129,112 @@ let lit_key (a, sign) : lit_id =
     Formula.term_id c.Formula.lhs,
     Formula.term_id c.Formula.rhs )
 
-let consistent_memo (assign : (Formula.atom * bool) list) : bool =
+(* Learned conflicts: sorted literal-id sets that [Theory.consistent]
+   refuted (minimized by {!Theory.conflict_core}).  A conjunction of
+   literals is inconsistent whenever any learned set is a subset of it —
+   supersets of an inconsistent set are inconsistent — so a conflict
+   learned under one path condition prunes sibling branches of every
+   later query, across the whole trie.  Indexed by the set's largest
+   literal id: if [S] is a subset of the sorted key [K] then
+   [max S] is a member of [K], so probing every bucket keyed by a member
+   of [K] finds every subset candidate.  Only *definite* theory verdicts
+   are learned: [Unknown]/degraded results never reach this store, and
+   [set_learning_enabled false] turns the whole mechanism off (the test
+   suite pins that learning never changes a verdict).  Shares
+   [theory_memo_lock]; bounded by full reset. *)
+let learned_table : (lit_id, lit_id list list) Hashtbl.t = Hashtbl.create 256
+
+let learned_size = ref 0
+
+let learned_max = 4096
+
+let learning_flag = Atomic.make true
+
+let set_learning_enabled b = Atomic.set learning_flag b
+
+let learning_enabled () = Atomic.get learning_flag
+
+let reset_learned () =
+  Mutex.lock theory_memo_lock;
+  Hashtbl.reset learned_table;
+  learned_size := 0;
+  Mutex.unlock theory_memo_lock
+
+(* [subset s k]: is the sorted list [s] a subset of the sorted list [k]? *)
+let rec subset (s : lit_id list) (k : lit_id list) : bool =
+  match (s, k) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: s', b :: k' ->
+      let c = compare a b in
+      if c = 0 then subset s' k'
+      else if c > 0 then subset s k'
+      else false
+
+(* caller holds [theory_memo_lock]; [keys] is sorted *)
+let learned_subsumes_locked (keys : lit_id list) : bool =
+  List.exists
+    (fun k ->
+      match Hashtbl.find_opt learned_table k with
+      | None -> false
+      | Some sets -> List.exists (fun s -> subset s keys) sets)
+    keys
+
+(* Minimize and record a theory conflict.  The [Theory.conflict_core]
+   calls run outside the lock (they are theory solves); only the store
+   mutation is locked. *)
+let learn_conflict (assign : (Formula.atom * bool) list) : unit =
+  if learning_enabled () then begin
+    let core = Theory.conflict_core (lits_of_assign assign) in
+    let ckeys =
+      List.sort_uniq compare
+        (List.map (fun (l : Theory.lit) -> lit_key (l.Theory.atom, l.Theory.sign)) core)
+    in
+    match List.rev ckeys with
+    | [] -> ()
+    | max_key :: _ ->
+        Mutex.lock theory_memo_lock;
+        if !learned_size >= learned_max then begin
+          Hashtbl.reset learned_table;
+          learned_size := 0
+        end;
+        let bucket =
+          Option.value ~default:[] (Hashtbl.find_opt learned_table max_key)
+        in
+        if not (List.mem ckeys bucket) then begin
+          Hashtbl.replace learned_table max_key (ckeys :: bucket);
+          incr learned_size;
+          Atomic.incr learned_conflicts
+        end;
+        Mutex.unlock theory_memo_lock
+  end
+
+(* Theory consistency of a partial assignment, through the memo and the
+   learned-conflict store.  [keys] is the sorted literal-id key of
+   [assign], maintained incrementally by the search.  All three sources
+   agree by construction (learned sets and memo entries both record
+   definite [Theory.consistent] verdicts), so caching never changes a
+   result — only its cost. *)
+let consistent_with ~(keys : lit_id list) (assign : (Formula.atom * bool) list) :
+    bool =
   match assign with
   | [] -> true
   | _ -> (
-      let key = List.sort compare (List.map lit_key assign) in
       let cached =
         Mutex.lock theory_memo_lock;
-        let r = Hashtbl.find_opt theory_memo key in
+        let r =
+          match Hashtbl.find_opt theory_memo keys with
+          | Some _ as r -> r
+          | None ->
+              if learned_subsumes_locked keys then begin
+                (* promote the subset hit to a memo entry for next time *)
+                if Hashtbl.length theory_memo >= !theory_memo_max then
+                  halve_theory_memo ();
+                Hashtbl.replace theory_memo keys false;
+                Some false
+              end
+              else None
+        in
         Mutex.unlock theory_memo_lock;
         r
       in
@@ -133,35 +242,303 @@ let consistent_memo (assign : (Formula.atom * bool) list) : bool =
       | Some b -> b
       | None ->
           let b = Theory.consistent (lits_of_assign assign) in
+          if not b then learn_conflict assign;
           Mutex.lock theory_memo_lock;
-          if Hashtbl.length theory_memo >= !theory_memo_max then halve_theory_memo ();
-          Hashtbl.replace theory_memo key b;
+          if Hashtbl.length theory_memo >= !theory_memo_max then
+            halve_theory_memo ();
+          Hashtbl.replace theory_memo keys b;
           Mutex.unlock theory_memo_lock;
           b)
 
+(* sorted insert; trail literals are distinct so no dedup is needed *)
+let rec insert_key (k : lit_id) = function
+  | [] -> [ k ]
+  | k' :: rest as keys ->
+      if compare k k' <= 0 then k :: keys else k' :: insert_key k rest
+
 (* ------------------------------------------------------------------ *)
-(* Branch ordering                                                     *)
+(* Compiled formulas                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Decision order for the backtracking search: most-occurring atoms first
-   (the classic DLIS-style static heuristic) — assigning an atom that
-   appears in many clauses lets the three-valued evaluation collapse the
-   formula earliest.  Ties keep first-occurrence order, so the search is
-   deterministic. *)
-let order_atoms (f : Formula.t) (atoms : Formula.atom list) : Formula.atom list =
-  let count = Hashtbl.create 16 in
-  let rec tally g =
-    match Formula.view g with
-    | Formula.True | Formula.False -> ()
-    | Formula.Atom a ->
-        let c = Formula.canon_atom a in
-        Hashtbl.replace count c (1 + Option.value ~default:0 (Hashtbl.find_opt count c))
-    | Formula.Not h -> tally h
-    | Formula.And fs | Formula.Or fs -> List.iter tally fs
+(* The search core never walks the hash-consed formula with atom
+   association lists: it compiles the simplified formula once per solve.
+   Canonical atoms get dense indices (the formula's first-occurrence
+   atom order, as {!Formula.atoms} returns it), the three-valued
+   evaluation reads an int array (0 unassigned / 1 true / 2 false), and
+   the decision order is the same DLIS-style most-occurrences-first
+   static heuristic as before — tallied during compilation, stable over
+   first-occurrence order, so the search is deterministic and visits
+   exactly the nodes the list-based search visited. *)
+type cform =
+  | C_true
+  | C_false
+  | C_atom of int
+  | C_not of cform
+  | C_and of cform array
+  | C_or of cform array
+
+type compiled = {
+  cp_form : cform;
+  cp_atoms : Formula.atom array;  (* index -> canonical atom *)
+  cp_order : int list;  (* DLIS decision order over indices *)
+  cp_key_t : lit_id array;  (* memo key of atom i asserted true *)
+  cp_key_f : lit_id array;  (* ... asserted false *)
+  cp_clauses : int array array;
+      (* clausal view of the NNF; literal code = 2*idx + (0 pos / 1 neg);
+         watched literals live at slots 0 and 1 *)
+  cp_units : int array;  (* literal codes of unit clauses *)
+}
+
+let compile (f : Formula.t) : compiled =
+  let atoms = Formula.atoms f in
+  let cp_atoms = Array.of_list atoms in
+  let n = Array.length cp_atoms in
+  let index : (int * int * int, int) Hashtbl.t = Hashtbl.create (2 * (n + 1)) in
+  Array.iteri
+    (fun i (a : Formula.atom) ->
+      Hashtbl.replace index
+        (rel_code a.Formula.rel, Formula.term_id a.Formula.lhs, Formula.term_id a.Formula.rhs)
+        i)
+    cp_atoms;
+  let idx_of (a : Formula.atom) : int =
+    let c = Formula.canon_atom a in
+    Hashtbl.find index
+      (rel_code c.Formula.rel, Formula.term_id c.Formula.lhs, Formula.term_id c.Formula.rhs)
   in
-  tally f;
-  let occ a = Option.value ~default:0 (Hashtbl.find_opt count a) in
-  List.stable_sort (fun a b -> compare (occ b) (occ a)) atoms
+  let counts = Array.make (max 1 n) 0 in
+  let rec go g =
+    match Formula.view g with
+    | Formula.True -> C_true
+    | Formula.False -> C_false
+    | Formula.Atom a ->
+        let i = idx_of a in
+        counts.(i) <- counts.(i) + 1;
+        C_atom i
+    | Formula.Not h -> C_not (go h)
+    | Formula.And fs -> C_and (Array.of_list (List.map go fs))
+    | Formula.Or fs -> C_or (Array.of_list (List.map go fs))
+  in
+  let cp_form = go f in
+  (* most-occurring atoms first, ties in first-occurrence order *)
+  let cp_order =
+    List.stable_sort
+      (fun i j -> compare counts.(j) counts.(i))
+      (List.init n (fun i -> i))
+  in
+  (* Clausal view of the NNF, extracted by a polarity-aware walk (no
+     NNF node is materialized): positive And / negative Or nodes are
+     conjunctions; positive Or / negative And nodes whose children are
+     all literals become clauses.  Non-clausal conjuncts are skipped —
+     the clause set under-approximates the formula's constraints, which
+     is sound for propagation (missing a clause only misses a prune). *)
+  let clauses = ref [] in
+  let lit_code i pol = (2 * i) + if pol then 0 else 1 in
+  let rec lits_of g pol acc =
+    match acc with
+    | None -> None
+    | Some ls -> (
+        match (Formula.view g, pol) with
+        | Formula.Atom a, _ -> Some (lit_code (idx_of a) pol :: ls)
+        | Formula.Not h, _ -> lits_of h (not pol) acc
+        | Formula.Or gs, true | Formula.And gs, false ->
+            List.fold_left (fun acc g -> lits_of g pol acc) acc gs
+        | _ -> None)
+  in
+  let add_clause lits =
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (l lxor 1) lits) lits in
+    if not tautology && lits <> [] then clauses := Array.of_list lits :: !clauses
+  in
+  let rec conjuncts g pol =
+    match (Formula.view g, pol) with
+    | Formula.True, true | Formula.False, false -> ()
+    | Formula.And gs, true | Formula.Or gs, false ->
+        List.iter (fun h -> conjuncts h pol) gs
+    | Formula.Not h, _ -> conjuncts h (not pol)
+    | _ -> (
+        match lits_of g pol (Some []) with
+        | Some ls -> add_clause ls
+        | None -> ())
+  in
+  conjuncts f true;
+  let all = List.rev !clauses in
+  let cp_clauses =
+    Array.of_list (List.filter (fun c -> Array.length c >= 2) all)
+  in
+  let cp_units =
+    Array.of_list
+      (List.filter_map
+         (fun c -> if Array.length c = 1 then Some c.(0) else None)
+         all)
+  in
+  let cp_key_t = Array.map (fun a -> lit_key (a, true)) cp_atoms in
+  let cp_key_f = Array.map (fun a -> lit_key (a, false)) cp_atoms in
+  { cp_form; cp_atoms; cp_order; cp_key_t; cp_key_f; cp_clauses; cp_units }
+
+(* three-valued evaluation over the compiled form; [tval] holds only
+   *decided* atoms (the trail), never propagated implications, so the
+   evaluation — and with it verdicts and models — is identical to the
+   historic association-list walk *)
+let rec ceval (tval : int array) = function
+  | C_true -> 1
+  | C_false -> 2
+  | C_atom i -> tval.(i)
+  | C_not g -> ( match ceval tval g with 0 -> 0 | 1 -> 2 | _ -> 1)
+  | C_and gs ->
+      let len = Array.length gs in
+      let rec go i unknown =
+        if i = len then if unknown then 0 else 1
+        else
+          match ceval tval gs.(i) with
+          | 2 -> 2
+          | 1 -> go (i + 1) unknown
+          | _ -> go (i + 1) true
+      in
+      go 0 false
+  | C_or gs ->
+      let len = Array.length gs in
+      let rec go i unknown =
+        if i = len then if unknown then 0 else 2
+        else
+          match ceval tval gs.(i) with
+          | 1 -> 1
+          | 2 -> go (i + 1) unknown
+          | _ -> go (i + 1) true
+      in
+      go 0 false
+
+(* ------------------------------------------------------------------ *)
+(* Unit propagation (two watched literals)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Propagation is a *conflict-only lookahead*: implied literals live in a
+   separate value array ([pr_pval], trail + implications) that never
+   feeds [ceval], so it can only prune branches whose subtree the plain
+   search would exhaust as unsatisfiable — never change a verdict or a
+   model.  Each clause watches two literals; a clause is revisited only
+   when a watched literal is falsified, and watch moves need no undo on
+   backtracking (the classic invariant: a moved watch is never on a
+   literal falsified below the current level, because levels are undone
+   in stack order). *)
+type prop = {
+  pr_pval : int array;  (* 0 / 1 / 2 over atom indices: trail + implied *)
+  pr_trail : int array;  (* assigned atom indices, a stack *)
+  mutable pr_len : int;
+  pr_watch : int list array;  (* literal code -> indices of watching clauses *)
+  pr_clauses : int array array;
+  mutable pr_enabled : bool;
+}
+
+(* 1 = literal true, 2 = false, 0 = unassigned under [pr_pval] *)
+let lit_value (pr : prop) (l : int) : int =
+  let v = pr.pr_pval.(l lsr 1) in
+  if v = 0 then 0 else if v = 1 = (l land 1 = 0) then 1 else 2
+
+let assign_lit (pr : prop) (l : int) : unit =
+  let idx = l lsr 1 in
+  pr.pr_pval.(idx) <- (if l land 1 = 0 then 1 else 2);
+  pr.pr_trail.(pr.pr_len) <- idx;
+  pr.pr_len <- pr.pr_len + 1
+
+let undo_to (pr : prop) (mark : int) : unit =
+  while pr.pr_len > mark do
+    pr.pr_len <- pr.pr_len - 1;
+    pr.pr_pval.(pr.pr_trail.(pr.pr_len)) <- 0
+  done
+
+(* Propagate the consequences of the queued newly-true literal codes.
+   Returns false on a boolean conflict (the caller undoes to its mark). *)
+let rec propagate (pr : prop) (queue : int list) : bool =
+  match queue with
+  | [] -> true
+  | l :: queue ->
+      let fl = l lxor 1 in
+      let watchers = pr.pr_watch.(fl) in
+      pr.pr_watch.(fl) <- [];
+      let rec visit ws queue =
+        match ws with
+        | [] -> propagate pr queue
+        | ci :: ws -> (
+            let c = pr.pr_clauses.(ci) in
+            if c.(0) = fl then begin
+              c.(0) <- c.(1);
+              c.(1) <- fl
+            end;
+            if lit_value pr c.(0) = 1 then begin
+              (* clause already satisfied: keep watching [fl] *)
+              pr.pr_watch.(fl) <- ci :: pr.pr_watch.(fl);
+              visit ws queue
+            end
+            else begin
+              let len = Array.length c in
+              let rec find k =
+                if k >= len then -1
+                else if lit_value pr c.(k) <> 2 then k
+                else find (k + 1)
+              in
+              let k = find 2 in
+              if k >= 0 then begin
+                (* move the watch to a non-false literal *)
+                c.(1) <- c.(k);
+                c.(k) <- fl;
+                pr.pr_watch.(c.(1)) <- ci :: pr.pr_watch.(c.(1));
+                visit ws queue
+              end
+              else begin
+                pr.pr_watch.(fl) <- ci :: pr.pr_watch.(fl);
+                match lit_value pr c.(0) with
+                | 2 ->
+                    (* conflict: restore the unvisited watchers and fail *)
+                    pr.pr_watch.(fl) <- List.rev_append ws pr.pr_watch.(fl);
+                    false
+                | 0 ->
+                    assign_lit pr c.(0);
+                    Atomic.incr propagations;
+                    visit ws (c.(0) :: queue)
+                | _ -> visit ws queue
+              end
+            end)
+      in
+      visit watchers queue
+
+(* Build the propagation state for a compiled formula and run the root
+   unit implications.  If the roots alone conflict, propagation is
+   disabled for this solve and the plain search runs unassisted — that
+   keeps node counts (and thus budget edges) of unsatisfiable formulas
+   identical to the historic search. *)
+let prop_create (cp : compiled) : prop =
+  let n = Array.length cp.cp_atoms in
+  let pr =
+    {
+      pr_pval = Array.make (max 1 n) 0;
+      pr_trail = Array.make (max 1 n) 0;
+      pr_len = 0;
+      pr_watch = Array.make (max 1 (2 * n)) [];
+      pr_clauses = Array.map Array.copy cp.cp_clauses;
+      pr_enabled = true;
+    }
+  in
+  Array.iteri
+    (fun ci c ->
+      pr.pr_watch.(c.(0)) <- ci :: pr.pr_watch.(c.(0));
+      pr.pr_watch.(c.(1)) <- ci :: pr.pr_watch.(c.(1)))
+    pr.pr_clauses;
+  let ok =
+    Array.for_all
+      (fun u ->
+        match lit_value pr u with
+        | 1 -> true
+        | 2 -> false
+        | _ ->
+            assign_lit pr u;
+            propagate pr [ u ])
+      cp.cp_units
+  in
+  if not ok then begin
+    undo_to pr 0;
+    pr.pr_enabled <- false
+  end;
+  pr
 
 (* ------------------------------------------------------------------ *)
 (* Node budget                                                         *)
@@ -181,13 +558,76 @@ let set_default_node_budget n = Atomic.set default_node_budget_cell (max 1 n)
 
 exception Budget_hit
 
-(** Decide satisfiability.  On success the model is a sign assignment to
-    the formula's canonical atoms that satisfies both the boolean
-    structure and the theory.  The backtracking search is bounded by
-    [node_budget] visited nodes and answers [Unknown] past it; a faulted
-    or circuit-broken solver also answers [Unknown] rather than crash
-    the caller. *)
-let solve_untraced ?node_budget (f : Formula.t) : verdict =
+(* ------------------------------------------------------------------ *)
+(* The search core                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Decide satisfiability of an already-simplified, non-trivial formula.
+   [Some model] / [None] / raises [Budget_hit]. *)
+let search_compiled ~(budget : int) (cp : compiled) :
+    (Formula.atom * bool) list option =
+  let n = Array.length cp.cp_atoms in
+  let tval = Array.make (max 1 n) 0 in
+  let pr = prop_create cp in
+  let nodes = ref 0 in
+  let rec search assign keys remaining =
+    incr nodes;
+    if !nodes > budget then raise Budget_hit;
+    if not (consistent_with ~keys assign) then None
+    else
+      match ceval tval cp.cp_form with
+      | 2 -> None
+      | 1 -> Some assign
+      | _ -> (
+          match remaining with
+          | [] -> None (* unreachable: all atoms assigned means no unknown *)
+          | idx :: rest -> (
+              let a = cp.cp_atoms.(idx) in
+              let branch sign key =
+                tval.(idx) <- (if sign then 1 else 2);
+                let entered =
+                  if not pr.pr_enabled then Some pr.pr_len
+                  else
+                    let want = if sign then 1 else 2 in
+                    let v = pr.pr_pval.(idx) in
+                    if v = want then Some pr.pr_len
+                    else if v <> 0 then None (* implied opposite: unsat branch *)
+                    else begin
+                      let mark = pr.pr_len in
+                      let code = (2 * idx) + if sign then 0 else 1 in
+                      assign_lit pr code;
+                      if propagate pr [ code ] then Some mark
+                      else begin
+                        undo_to pr mark;
+                        None
+                      end
+                    end
+                in
+                let r =
+                  match entered with
+                  | None -> None
+                  | Some mark ->
+                      let r =
+                        search ((a, sign) :: assign) (insert_key key keys) rest
+                      in
+                      undo_to pr mark;
+                      r
+                in
+                tval.(idx) <- 0;
+                r
+              in
+              match branch true cp.cp_key_t.(idx) with
+              | Some _ as model -> model
+              | None -> branch false cp.cp_key_f.(idx)))
+  in
+  search [] [] cp.cp_order
+
+(* [prefix_unsat]: an assumption context already proved its literal
+   prefix inconsistent, so any formula entailing the prefix is unsat —
+   the search is skipped entirely.  Everything else (counters, breaker,
+   injector, simplification) behaves exactly like a full solve. *)
+let solve_untraced ?node_budget ?(prefix_unsat = false) (f : Formula.t) :
+    verdict =
   Atomic.incr solve_calls;
   if not (Resilience.Breaker.proceed Resilience.Fault.Solver) then
     Unknown "solver circuit open"
@@ -210,26 +650,11 @@ let solve_untraced ?node_budget (f : Formula.t) : verdict =
         | Formula.False ->
             Resilience.Breaker.success Resilience.Fault.Solver;
             Unsat
+        | _ when prefix_unsat ->
+            Resilience.Breaker.success Resilience.Fault.Solver;
+            Unsat
         | _ -> (
-            let atoms = order_atoms f (Formula.atoms f) in
-            let nodes = ref 0 in
-            let rec search assign remaining =
-              incr nodes;
-              if !nodes > budget then raise Budget_hit;
-              if not (consistent_memo assign) then None
-              else
-                match eval3 assign f with
-                | Some false -> None
-                | Some true -> Some assign
-                | None -> (
-                    match remaining with
-                    | [] -> None (* unreachable: all atoms assigned means no None *)
-                    | a :: rest -> (
-                        match search ((a, true) :: assign) rest with
-                        | Some model -> Some model
-                        | None -> search ((a, false) :: assign) rest))
-            in
-            match search [] atoms with
+            match search_compiled ~budget (compile f) with
             | Some model ->
                 Resilience.Breaker.success Resilience.Fault.Solver;
                 Sat model
@@ -242,14 +667,129 @@ let solve_untraced ?node_budget (f : Formula.t) : verdict =
 
 (* The traced wrapper only pays for the span and the latency histogram
    while tracing is on; the healthy fast path is one atomic load. *)
-let solve ?node_budget (f : Formula.t) : verdict =
-  if not (Telemetry.Trace.enabled ()) then solve_untraced ?node_budget f
+let solve_traced ?node_budget ?prefix_unsat (f : Formula.t) : verdict =
+  if not (Telemetry.Trace.enabled ()) then
+    solve_untraced ?node_budget ?prefix_unsat f
   else
     Telemetry.Trace.with_span ~cat:"smt" "smt.solve" @@ fun () ->
     let t0 = Telemetry.Clock.now () in
-    let v = solve_untraced ?node_budget f in
+    let v = solve_untraced ?node_budget ?prefix_unsat f in
     Telemetry.Metrics.observe "smt.solve_s" (Telemetry.Clock.now () -. t0);
     v
+
+let solve ?node_budget (f : Formula.t) : verdict = solve_traced ?node_budget f
+
+(* ------------------------------------------------------------------ *)
+(* Assumption contexts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A persistent stack of asserted formulas for incremental solving over
+   shared path-condition prefixes.  [push] decomposes the formula's
+   literal conjuncts, extends the context's sorted literal-id key, and
+   checks theory consistency of the whole prefix *once* — seeding the
+   global memo and the learned-conflict store, which is where the
+   sharing pays off: every query under the same prefix hits those caches
+   instead of re-deriving the prefix's consequences.  The caches are
+   result-preserving, so verdicts and models are byte-identical to
+   solving each full conjunction from scratch. *)
+type frame = {
+  fr_form : Formula.t;
+  fr_saved_lits : (Formula.atom * bool) list;
+  fr_saved_keys : lit_id list;
+  fr_consistent : bool;
+      (* the stack up to and including this frame has no known
+         inconsistency (boolean or theory) *)
+}
+
+type context = {
+  mutable ctx_frames : frame list;  (* innermost first *)
+  mutable ctx_lits : (Formula.atom * bool) list;
+  mutable ctx_keys : lit_id list;  (* sorted, deduped *)
+}
+
+let create_context () : context =
+  { ctx_frames = []; ctx_lits = []; ctx_keys = [] }
+
+let assumption_depth (ctx : context) = List.length ctx.ctx_frames
+
+let assumptions (ctx : context) : Formula.t list =
+  List.rev_map (fun fr -> fr.fr_form) ctx.ctx_frames
+
+let assumptions_consistent (ctx : context) : bool =
+  match ctx.ctx_frames with [] -> true | fr :: _ -> fr.fr_consistent
+
+(* the literal conjuncts of a formula: atoms (and negated atoms) reachable
+   through And under positive polarity / Or under negative polarity.
+   [bool_false] is set when a conjunct is the constant false. *)
+let literal_conjuncts (f : Formula.t) :
+    (Formula.atom * bool) list * bool (* bool_false *) =
+  let falsified = ref false in
+  let rec go pol g acc =
+    match (Formula.view g, pol) with
+    | Formula.Atom a, _ -> (Formula.canon_atom a, pol) :: acc
+    | Formula.Not h, _ -> go (not pol) h acc
+    | Formula.And gs, true | Formula.Or gs, false ->
+        List.fold_left (fun acc h -> go pol h acc) acc gs
+    | Formula.False, true | Formula.True, false ->
+        falsified := true;
+        acc
+    | _ -> acc (* disjunctive conjuncts carry no asserted literal *)
+  in
+  let lits = go true f [] in
+  (lits, !falsified)
+
+let rec insert_key_dedup (k : lit_id) = function
+  | [] -> [ k ]
+  | k' :: rest as keys ->
+      let c = compare k k' in
+      if c = 0 then keys
+      else if c < 0 then k :: keys
+      else k' :: insert_key_dedup k rest
+
+let push (ctx : context) (f : Formula.t) : unit =
+  Atomic.incr assume_pushes;
+  let parent_ok = assumptions_consistent ctx in
+  let saved_lits = ctx.ctx_lits and saved_keys = ctx.ctx_keys in
+  let new_lits, bool_false = literal_conjuncts f in
+  let lits = new_lits @ ctx.ctx_lits in
+  let keys =
+    List.fold_left
+      (fun keys l -> insert_key_dedup (lit_key l) keys)
+      ctx.ctx_keys new_lits
+  in
+  let consistent =
+    parent_ok && (not bool_false)
+    && (new_lits = [] || consistent_with ~keys lits)
+  in
+  ctx.ctx_frames <-
+    { fr_form = f; fr_saved_lits = saved_lits; fr_saved_keys = saved_keys;
+      fr_consistent = consistent }
+    :: ctx.ctx_frames;
+  ctx.ctx_lits <- lits;
+  ctx.ctx_keys <- keys
+
+let pop (ctx : context) : unit =
+  Atomic.incr assume_pops;
+  match ctx.ctx_frames with
+  | [] -> invalid_arg "Solver.pop: empty assumption stack"
+  | fr :: rest ->
+      ctx.ctx_frames <- rest;
+      ctx.ctx_lits <- fr.fr_saved_lits;
+      ctx.ctx_keys <- fr.fr_saved_keys
+
+(* [solve_in_context ctx f] is sound only when [f] entails the context's
+   assumptions — the caller passes the *full* conjunction (assumptions
+   included), and the context contributes its warm caches plus the
+   known-inconsistent-prefix shortcut.  The trie walk maintains that
+   contract by construction. *)
+let solve_in_context ?node_budget (ctx : context) (f : Formula.t) : verdict =
+  solve_traced ?node_budget
+    ~prefix_unsat:(not (assumptions_consistent ctx))
+    f
+
+let solve_under_assumptions ?node_budget (ctx : context) (f : Formula.t) :
+    verdict =
+  solve_in_context ?node_budget ctx (Formula.conj (assumptions ctx @ [ f ]))
 
 let is_sat f = verdict_is_sat (solve f)
 

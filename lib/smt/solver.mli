@@ -2,7 +2,18 @@
 
     A small DPLL(T): boolean backtracking over canonical atoms with
     three-valued early evaluation, pruned by the theory solver on every
-    partial assignment.  Complete for the checker-formula fragment. *)
+    partial assignment.  Complete for the checker-formula fragment.
+
+    The search core runs on a compiled form of the formula — an
+    id-indexed assignment array over the canonical atoms, two-watched-
+    literal unit propagation over a clausal view of the NNF, and a
+    process-global store of conflict literal-sets learned from
+    {!Theory.consistent} failures.  All accelerations are
+    result-preserving: verdicts and models are byte-identical to the
+    plain backtracking search.  An assumption {!context} adds
+    [push]/[pop] of literal assertions and {!solve_under_assumptions}
+    for incremental solving over shared path-condition prefixes (see
+    {!Pctrie} and [lib/smt/README.md]). *)
 
 type verdict =
   | Sat of (Formula.atom * bool) list
@@ -36,12 +47,93 @@ val theory_memo_size : unit -> int
     clamped to >= 2). *)
 val set_theory_memo_max : int -> unit
 
+(** Clear the theory-consistency memo (benchmarks use this to measure
+    genuinely cold, from-scratch solving). *)
+val reset_theory_memo : unit -> unit
+
+(** {2 Conflict learning}
+
+    Theory conflicts ([Theory.consistent] returning false on a definite
+    literal set) are minimized with {!Theory.conflict_core} and recorded
+    globally; any later partial assignment containing a learned set is
+    refuted without a theory call.  Learning is result-preserving —
+    it changes the cost of a verdict, never the verdict or the model —
+    and [Unknown]/degraded results are never learned. *)
+
+(** Number of conflict sets learned since the last {!reset_learned}. *)
+val learned_count : unit -> int
+
+val reset_learned : unit -> unit
+
+(** Toggle conflict learning (tests pin that verdicts are identical with
+    learning disabled).  Enabled by default. *)
+val set_learning_enabled : bool -> unit
+
+val learning_enabled : unit -> bool
+
+(** {2 Incremental-core counters}
+
+    Cumulative, process-wide, atomically shared across domains; the
+    engine reads deltas into its stats and telemetry counter events. *)
+
+val assume_push_count : unit -> int
+
+val assume_pop_count : unit -> int
+
+(** Literals implied by two-watched-literal unit propagation. *)
+val propagation_count : unit -> int
+
 (** Decide satisfiability.  A [Sat] model assigns a sign to each canonical
     atom of the (simplified) formula.  The search visits at most
     [node_budget] nodes and answers [Unknown] past it; injected faults
     and an open solver breaker also answer [Unknown] (or raise
     {!Resilience.Fault.Injected} for crash/transient kinds). *)
 val solve : ?node_budget:int -> Formula.t -> verdict
+
+(** {1 Assumption contexts (incremental solving)}
+
+    A persistent stack of asserted formulas for solving many queries
+    that share a common prefix — the engine's path-condition trie walk
+    pushes each shared pc fact exactly once.  [push] decomposes the
+    formula's literal conjuncts and checks theory consistency of the
+    whole prefix a single time, seeding the global theory memo and the
+    learned-conflict store; queries under the prefix then hit those
+    caches instead of re-deriving its consequences.  The caches are
+    result-preserving, so verdicts and models are byte-identical to
+    one-shot solving of the full conjunction. *)
+
+type context
+
+val create_context : unit -> context
+
+(** Assert a formula's literal conjuncts on top of the stack. *)
+val push : context -> Formula.t -> unit
+
+(** Retract the most recent {!push}.
+    @raise Invalid_argument on an empty stack. *)
+val pop : context -> unit
+
+val assumption_depth : context -> int
+
+(** The pushed formulas, outermost first. *)
+val assumptions : context -> Formula.t list
+
+(** False once the asserted prefix is known inconsistent (boolean or
+    theory); any formula entailing the prefix is then unsat without a
+    search. *)
+val assumptions_consistent : context -> bool
+
+(** [solve_under_assumptions ctx f] decides [assumptions ctx /\ f]:
+    builds the conjunction and defers to {!solve_in_context}.  Agrees
+    with [solve (conj (assumptions ctx @ [f]))] — same verdict, same
+    model — for every split of a conjunction into prefix and suffix. *)
+val solve_under_assumptions : ?node_budget:int -> context -> Formula.t -> verdict
+
+(** [solve_in_context ctx f] is {!solve} of [f] reusing the context's
+    incremental state.  Sound only when [f] entails the context's
+    assumptions (the caller passes the full conjunction; the context
+    contributes warm caches and the inconsistent-prefix shortcut). *)
+val solve_in_context : ?node_budget:int -> context -> Formula.t -> verdict
 
 val is_sat : Formula.t -> bool
 

@@ -386,6 +386,40 @@ let test_invalidate_forgets () =
   Alcotest.(check bool) "everything re-ran" true
     ((Engine.Scheduler.stats engine).Engine.Stats.jobs_run > ran)
 
+(* ------------------------------------------------------------------ *)
+(* Path-condition trie: byte-identical reports, per-trace vs trie      *)
+(* ------------------------------------------------------------------ *)
+
+let no_trie config =
+  {
+    config with
+    Engine.Scheduler.checker =
+      { config.Engine.Scheduler.checker with Engine.Checker.trie = false };
+  }
+
+let test_trie_equals_per_trace_jobs1 () =
+  let per_trace, _ = scan (no_trie Engine.Scheduler.default_config) in
+  let trie, stats = scan Engine.Scheduler.default_config in
+  Alcotest.(check (list string))
+    "identical reports, trie vs per-trace, jobs=1" per_trace trie;
+  Alcotest.(check bool) "trie actually shared prefixes" true
+    (stats.Engine.Stats.trie_shared > 0)
+
+let test_trie_equals_per_trace_jobs4 () =
+  let jobs4 = { Engine.Scheduler.default_config with Engine.Scheduler.jobs = 4 } in
+  let per_trace, _ = scan (no_trie jobs4) in
+  let trie, _ = scan jobs4 in
+  Alcotest.(check (list string))
+    "identical reports, trie vs per-trace, jobs=4" per_trace trie
+
+(* The fault-tolerance contract must survive the trie checker (on by
+   default): one-seed zookeeper chaos smoke, all invariants green. *)
+let test_chaos_smoke_with_trie () =
+  let result = Lisa.Chaos.run ~seeds:[ 1 ] ~smoke:true () in
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) name true ok)
+    (Lisa.Chaos.invariants result)
+
 let suite =
   [
     ( "engine.pool",
@@ -434,5 +468,14 @@ let suite =
         Alcotest.test_case "same version twice reused" `Quick test_same_version_twice_all_reused;
         Alcotest.test_case "report cache without incremental" `Quick test_report_cache_without_incremental;
         Alcotest.test_case "invalidate forgets" `Quick test_invalidate_forgets;
+      ] );
+    ( "engine.trie",
+      [
+        Alcotest.test_case "trie == per-trace, jobs=1" `Quick
+          test_trie_equals_per_trace_jobs1;
+        Alcotest.test_case "trie == per-trace, jobs=4" `Quick
+          test_trie_equals_per_trace_jobs4;
+        Alcotest.test_case "chaos smoke with trie on" `Slow
+          test_chaos_smoke_with_trie;
       ] );
   ]

@@ -354,6 +354,115 @@ let test_atoms_first_occurrence_order () =
   Alcotest.(check bool) "atoms memoized per node" true
     (Formula.atoms f == Formula.atoms f)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental contexts: assumption solving vs one-shot                *)
+(* ------------------------------------------------------------------ *)
+
+let render_verdict = function
+  | Solver.Sat m -> "sat " ^ Solver.model_to_string m
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown reason -> "unknown " ^ reason
+
+(* A model is valid for [f] when it makes the simplified formula true
+   under three-valued evaluation (atoms looked up canonically) and its
+   literal set is theory-consistent. *)
+let model_valid (model : (Formula.atom * bool) list) (f : Formula.t) : bool =
+  let signs = List.map (fun (a, s) -> (Formula.atom_to_string a, s)) model in
+  let rec ev g =
+    match Formula.view g with
+    | Formula.True -> Some true
+    | Formula.False -> Some false
+    | Formula.Atom a ->
+        List.assoc_opt (Formula.atom_to_string (Formula.canon_atom a)) signs
+    | Formula.Not g' -> Option.map not (ev g')
+    | Formula.And gs ->
+        let vs = List.map ev gs in
+        if List.exists (fun x -> x = Some false) vs then Some false
+        else if List.for_all (fun x -> x = Some true) vs then Some true
+        else None
+    | Formula.Or gs ->
+        let vs = List.map ev gs in
+        if List.exists (fun x -> x = Some true) vs then Some true
+        else if List.for_all (fun x -> x = Some false) vs then Some false
+        else None
+  in
+  ev (Formula.simplify f) = Some true
+  && Theory.consistent (List.map (fun (a, s) -> Theory.lit s a) model)
+
+(* Any split of a conjunction into pushed prefix and queried suffix
+   must agree with one-shot solving of the whole conjunction — same
+   verdict, byte-identical model — and Sat models must actually be
+   models. *)
+let prop_assumptions_agree_with_one_shot =
+  QCheck.Test.make ~count:300
+    ~name:"solve_under_assumptions agrees with one-shot solve"
+    QCheck.(pair (list_of_size Gen.(int_range 0 3) gen_formula) gen_formula)
+    (fun (prefix, suffix) ->
+      let all = Formula.conj (prefix @ [ suffix ]) in
+      let one_shot = Solver.solve all in
+      let ctx = Solver.create_context () in
+      List.iter (Solver.push ctx) prefix;
+      let incr = Solver.solve_under_assumptions ctx suffix in
+      List.iter (fun _ -> Solver.pop ctx) prefix;
+      Solver.assumption_depth ctx = 0
+      && render_verdict one_shot = render_verdict incr
+      && match one_shot with Solver.Sat m -> model_valid m all | _ -> true)
+
+(* Learned conflict sets prune theory calls, never answers: verdicts and
+   models are byte-identical with learning off, whatever is already in
+   the store from earlier solves. *)
+let prop_learning_never_changes_verdicts =
+  QCheck.Test.make ~count:300 ~name:"learned conflicts never change a verdict"
+    gen_formula (fun f ->
+      let with_learning = Solver.solve f in
+      Solver.set_learning_enabled false;
+      let without_learning =
+        Fun.protect
+          ~finally:(fun () -> Solver.set_learning_enabled true)
+          (fun () -> Solver.solve f)
+      in
+      render_verdict with_learning = render_verdict without_learning)
+
+let test_context_push_pop_depth () =
+  let ctx = Solver.create_context () in
+  let pushes0 = Solver.assume_push_count () in
+  let pops0 = Solver.assume_pop_count () in
+  Alcotest.(check int) "fresh context is empty" 0 (Solver.assumption_depth ctx);
+  Solver.push ctx (Formula.eq (v "cx") (i 1));
+  Solver.push ctx (Formula.gt (v "cy") (i 0));
+  Alcotest.(check int) "two frames" 2 (Solver.assumption_depth ctx);
+  Alcotest.(check int) "assumptions outermost first" 2
+    (List.length (Solver.assumptions ctx));
+  Alcotest.(check bool) "consistent prefix" true
+    (Solver.assumptions_consistent ctx);
+  Solver.pop ctx;
+  Alcotest.(check int) "pop removes a frame" 1 (Solver.assumption_depth ctx);
+  Solver.pop ctx;
+  Alcotest.(check int) "push counter advanced" 2
+    (Solver.assume_push_count () - pushes0);
+  Alcotest.(check int) "pop counter advanced" 2
+    (Solver.assume_pop_count () - pops0);
+  Alcotest.check_raises "pop on empty stack rejected"
+    (Invalid_argument "Solver.pop: empty assumption stack") (fun () ->
+      Solver.pop ctx)
+
+let test_context_inconsistent_prefix () =
+  let ctx = Solver.create_context () in
+  Solver.push ctx (Formula.eq (v "ip_x") (i 1));
+  Solver.push ctx (Formula.eq (v "ip_x") (i 2));
+  Alcotest.(check bool) "conflicting prefix detected" false
+    (Solver.assumptions_consistent ctx);
+  (match Solver.solve_under_assumptions ctx Formula.tru with
+  | Solver.Unsat -> ()
+  | v2 -> Alcotest.fail ("expected unsat, got " ^ render_verdict v2));
+  (* popping back to the consistent frame revives the context *)
+  Solver.pop ctx;
+  Alcotest.(check bool) "consistency restored by pop" true
+    (Solver.assumptions_consistent ctx);
+  match Solver.solve_under_assumptions ctx (Formula.gt (v "ip_x") (i 0)) with
+  | Solver.Sat _ -> ()
+  | v2 -> Alcotest.fail ("expected sat, got " ^ render_verdict v2)
+
 let suite =
   [
     ( "smt.formula",
@@ -388,6 +497,13 @@ let suite =
         Alcotest.test_case "entailment" `Quick test_solver_entails;
         Alcotest.test_case "equivalence" `Quick test_solver_equivalence;
       ] );
+    ( "smt.context",
+      [
+        Alcotest.test_case "push/pop depth and counters" `Quick
+          test_context_push_pop_depth;
+        Alcotest.test_case "inconsistent prefix short-circuits" `Quick
+          test_context_inconsistent_prefix;
+      ] );
     ( "smt.paper_example",
       [
         Alcotest.test_case "null session trace violates" `Quick test_paper_example_null_trace;
@@ -402,6 +518,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_simplify_preserves_models;
         QCheck_alcotest.to_alcotest prop_nnf_preserves_models;
         QCheck_alcotest.to_alcotest prop_negation_flips_validity;
+        QCheck_alcotest.to_alcotest prop_assumptions_agree_with_one_shot;
+        QCheck_alcotest.to_alcotest prop_learning_never_changes_verdicts;
         QCheck_alcotest.to_alcotest prop_equal_iff_physical;
         QCheck_alcotest.to_alcotest prop_equal_agrees_with_compare;
       ] );

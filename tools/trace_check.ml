@@ -4,8 +4,12 @@
    must be well-formed JSON (checked with Telemetry.Json_check, the
    same validator the unit tests use), contain at least one complete
    ("ph":"X") span, and mention every required event name given on the
-   command line.  Exit 0 on success, 1 with a message otherwise.  Used
-   by `make trace` and the `make check` trace smoke. *)
+   command line.  A required name written as `counter:NAME` must not
+   only be present but appear on a counter ("ph":"C") event — the trace
+   export writes one event per line, so the check is per-line (used for
+   the engine's smt.* solver-core counters).  Exit 0 on success, 1 with
+   a message otherwise.  Used by `make trace` and the `make check`
+   trace smoke. *)
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -41,10 +45,21 @@ let () =
           path;
         exit 1
       end;
+      let lines = String.split_on_char '\n' body in
       let missing =
         List.filter
           (fun name ->
-            not (contains body (Printf.sprintf "\"name\":%S" name)))
+            match String.index_opt name ':' with
+            | Some i when String.sub name 0 i = "counter" ->
+                (* counter:NAME — the name must sit on a "ph":"C" event *)
+                let n = String.sub name (i + 1) (String.length name - i - 1) in
+                let needle = Printf.sprintf "\"name\":%S" n in
+                not
+                  (List.exists
+                     (fun line ->
+                       contains line needle && contains line "\"ph\":\"C\"")
+                     lines)
+            | _ -> not (contains body (Printf.sprintf "\"name\":%S" name)))
           required
       in
       if missing <> [] then begin
