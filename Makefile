@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke chaos trace clean
+.PHONY: all build test check bench bench-smoke chaos trace serve-smoke clean
 
 all: build
 
@@ -17,13 +17,27 @@ TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
   counter:smt.assume.push counter:smt.assume.pop counter:smt.propagations \
   counter:smt.learned counter:smt.trie.nodes counter:smt.trie.shared
 
+# Names the serve-daemon trace must mention (tools/serve_smoke.sh
+# passes these to trace_check after driving the daemon).
+SERVE_TRACE_SPANS = serve.request counter:serve.queue
+
 # The tier-1 gate plus the engine acceptance smokes: build, full test
 # suite, the serial/parallel/incremental equivalence checks (with a
 # trace-export smoke), the chaos fault-injection invariants — both on
-# the zookeeper slice of the E11 workload — and the incremental-solver
-# smoke (verdict byte-identity plus the never-loses wall-time gate).
+# the zookeeper slice of the E11 workload — the incremental-solver
+# smoke (verdict byte-identity plus the never-loses wall-time gate),
+# and the serve-daemon smoke (overload shed, warm-restart byte
+# identity, corrupted-snapshot cold fallback, serve.* trace names).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && $(MAKE) bench-smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && $(MAKE) bench-smoke && $(MAKE) serve-smoke
+
+# Serve-daemon acceptance: drive `lisa serve` over stdin JSONL with a
+# queue-depth-2 overload (one request must shed), restart warm from
+# snapshots asserting byte-identical verdicts, corrupt a snapshot and
+# assert the cold fallback, and validate $(SERVE_TRACE_SPANS) in the
+# recorded trace.
+serve-smoke:
+	dune build bin/lisa_cli.exe tools/trace_check.exe && sh tools/serve_smoke.sh
 
 # Fast hash-consing benchmark: intern throughput and the id-keyed vs
 # string-keyed memo lookup comparison; fails if the id key loses.
@@ -47,3 +61,4 @@ chaos:
 
 clean:
 	dune clean
+	rm -rf .lisa-cache .lisa-cache-*

@@ -15,6 +15,9 @@
      micro           — Bechamel micro-benchmarks of every engine component
      formula         — hash-consed core: intern throughput + memo key cost
                        (writes BENCH_formula.json)
+     serve           — daemon req/s + p50/p99 cold vs warm vs
+                       restart-from-snapshot, byte-identity gates
+                       (writes BENCH_serve.json)
 
    `bench/main.exe` with no arguments runs everything;
    `--experiment <name>` selects one.  `--smoke` shrinks the engine
@@ -577,6 +580,172 @@ let run_solver () =
     check (speedup >= 3.0)
       (Printf.sprintf "speedup %.1fx >= 3x on the full workload" speedup)
 
+(* ------------------------------------------------------------------ *)
+(* Serve-daemon benchmark                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The enforcement daemon under a mixed multi-tenant workload, three
+   phases over the identical request list:
+
+     cold    — fresh daemon, empty cache dir: every request runs the
+               engine from scratch
+     warm    — the same daemon again: in-memory response cache +
+               Smt.Memo hits
+     restart — a *new* daemon process-state warmed only from the disk
+               snapshots the cold phase saved: the persistence path
+
+   Gates: warm and restart verdicts byte-identical (verdict_signature)
+   to cold, restart actually hits the persisted response cache, warm
+   total time never exceeds cold, and a corrupted snapshot falls back
+   to a clean cold start instead of crashing.  Writes BENCH_serve.json
+   with sustained req/s and p50/p99 latency per phase. *)
+let run_serve () =
+  section "SERVE: daemon throughput, warm-cache persistence, byte-identity";
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "lisa-bench-serve-cache"
+  in
+  if Sys.file_exists cache_dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat cache_dir f))
+      (Sys.readdir cache_dir)
+  else Unix.mkdir cache_dir 0o755;
+  let systems =
+    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+  in
+  let versions = if !smoke_flag then [ 1; 5 ] else [ 1; 2; 3; 5 ] in
+  let tenants = [| "alpha"; "beta"; "gamma" |] in
+  let requests =
+    List.concat_map
+      (fun system ->
+        List.mapi
+          (fun i version ->
+            Printf.sprintf
+              "{\"id\":\"%s-v%d\",\"tenant\":\"%s\",\"op\":\"enforce\",\"system\":\"%s\",\"version\":%d}"
+              system version
+              tenants.(i mod Array.length tenants)
+              system version)
+          versions)
+      systems
+  in
+  let n = List.length requests in
+  Printf.printf "workload: %d request(s), %d system(s), %d tenant(s)%s\n" n
+    (List.length systems) (Array.length tenants)
+    (if !smoke_flag then " (smoke)" else "");
+  let serve_config =
+    { Serve.Daemon.default_config with Serve.Daemon.cache_dir = Some cache_dir }
+  in
+  (* drive the full JSONL path; returns (signature list, latencies ms) *)
+  let drive d =
+    let lat = Array.make n 0. in
+    let sigs =
+      List.mapi
+        (fun i line ->
+          let t0 = Unix.gettimeofday () in
+          let resp = Serve.Daemon.handle_line d line in
+          lat.(i) <- 1000. *. (Unix.gettimeofday () -. t0);
+          Serve.Protocol.verdict_signature resp)
+        requests
+    in
+    (sigs, lat)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let phase name d =
+    let sigs, lat = drive d in
+    let total = Array.fold_left ( +. ) 0. lat in
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+    let rps = if total > 0. then 1000. *. float_of_int n /. total else 0. in
+    Printf.printf
+      "%-8s total %8.1f ms   p50 %7.2f ms   p99 %7.2f ms   %8.1f req/s\n" name
+      total p50 p99 rps;
+    (sigs, total, p50, p99, rps)
+  in
+  let cold_d = Serve.Daemon.create ~config:serve_config () in
+  let cold = phase "cold" cold_d in
+  let warm = phase "warm" cold_d in
+  let saved = Serve.Daemon.save cold_d in
+  Printf.printf "snapshots: %d entrie(s) persisted to %s\n" saved cache_dir;
+  let restart_d = Serve.Daemon.create ~config:serve_config () in
+  let restart = phase "restart" restart_d in
+  let restart_hits = List.assoc "cache_hits" (Serve.Daemon.counters restart_d) in
+  (* corruption: stomp the response snapshot, daemon must start cold *)
+  let resp_snap = Filename.concat cache_dir "responses.snap" in
+  let oc = open_out_bin resp_snap in
+  output_string oc "LISA-SNAP garbage not a real header\nrandom bytes";
+  close_out oc;
+  let corrupt_d = Serve.Daemon.create ~config:serve_config () in
+  let corrupt_report = Serve.Daemon.warm_report corrupt_d in
+  let corrupt_cold =
+    match List.assoc_opt "responses" corrupt_report with
+    | Some r -> String.length r >= 4 && String.sub r 0 4 = "cold"
+    | None -> false
+  in
+  let corrupt_serves =
+    match Serve.Daemon.handle_line corrupt_d (List.hd requests) with
+    | Serve.Protocol.Ok_enforce _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun (k, v) -> Printf.printf "corrupt-snapshot start: %s -> %s\n" k v)
+    corrupt_report;
+  let sigs_of (s, _, _, _, _) = s in
+  let total_of (_, t, _, _, _) = t in
+  let warm_identical = sigs_of warm = sigs_of cold in
+  let restart_identical = sigs_of restart = sigs_of cold in
+  let speedup =
+    if total_of warm > 0. then total_of cold /. total_of warm else 0.
+  in
+  let oc = open_out "BENCH_serve.json" in
+  let phase_json (_, total, p50, p99, rps) =
+    Printf.sprintf
+      "{ \"total_ms\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"req_per_s\": %.1f }"
+      total p50 p99 rps
+  in
+  Printf.fprintf oc
+    {|{
+  "experiment": "serve",
+  "smoke": %b,
+  "requests": %d,
+  "tenants": %d,
+  "cold": %s,
+  "warm": %s,
+  "restart": %s,
+  "warm_speedup": %.1f,
+  "restart_cache_hits": %d,
+  "warm_verdicts_identical": %b,
+  "restart_verdicts_identical": %b,
+  "corrupt_snapshot_cold_fallback": %b
+}
+|}
+    !smoke_flag n (Array.length tenants) (phase_json cold) (phase_json warm)
+    (phase_json restart) speedup restart_hits warm_identical restart_identical
+    (corrupt_cold && corrupt_serves);
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  let check cond msg =
+    if cond then Printf.printf "OK: %s\n" msg
+    else begin
+      Printf.printf "FAIL: %s\n" msg;
+      exit 1
+    end
+  in
+  check warm_identical "warm verdicts byte-identical to cold";
+  check restart_identical
+    "restart-from-snapshot verdicts byte-identical to cold";
+  check (restart_hits > 0) "restart served from the persisted response cache";
+  check
+    (total_of warm <= total_of cold)
+    (Printf.sprintf "warm never loses (%.1f ms <= %.1f ms, %.1fx)"
+       (total_of warm) (total_of cold) speedup);
+  check
+    (corrupt_cold && corrupt_serves)
+    "corrupted snapshot -> clean cold start, requests still served"
+
 let all_experiments : (string * (unit -> unit)) list =
   [
     ("study", run_study);
@@ -595,6 +764,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("micro", run_micro);
     ("formula", run_formula);
     ("solver", run_solver);
+    ("serve", run_serve);
   ]
 
 let () =

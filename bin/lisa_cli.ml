@@ -9,6 +9,8 @@
                        rulebook against a chosen stage
      ci                replay a case's gated version history
      engine            whole-system scan through the enforcement engine
+     serve             enforcement-as-a-service daemon (JSONL over stdin
+                       or a Unix socket, warm persistent caches)
      run-tests         run a corpus program's test suite (any case/stage)
      parse             parse and typecheck a MiniJava file from disk *)
 
@@ -291,6 +293,91 @@ let parse_cmd =
   Cmd.v (Cmd.info "parse" ~doc:"Parse and typecheck a MiniJava file")
     Term.(const run $ file_arg)
 
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) (created, stale files \
+       replaced, removed on exit) instead of stdin/stdout JSONL."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persist the response cache and SMT verdict memo as snapshots in \
+       $(docv) and warm-start from them; corrupt or stale snapshots fall \
+       back to a cold start."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Admission-queue bound; requests beyond it are shed with an \
+       $(b,overloaded) response (the accept loop never blocks)."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc = "Consecutive failures that open a tenant's circuit breaker." in
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc = "Tenant requests rejected while its breaker cools down." in
+    Arg.(value & opt int 8 & info [ "breaker-cooldown" ] ~docv:"N" ~doc)
+  in
+  let drain_after_eof_arg =
+    let doc =
+      "Testing mode (stdin only): admit the whole input stream before \
+       serving, so admission order — and which request sheds — is \
+       deterministic."
+    in
+    Arg.(value & flag & info [ "drain-after-eof" ] ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Record serve.* spans and counters through the telemetry tracer and \
+       write Chrome-trace JSON to $(docv) on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs socket cache_dir queue_depth breaker_threshold breaker_cooldown
+      drain_after_eof trace =
+    if trace <> None then Telemetry.Trace.set_enabled true;
+    let config =
+      {
+        Serve.Daemon.jobs;
+        queue_depth;
+        breaker_threshold;
+        breaker_cooldown;
+        cache_dir;
+        drain_after_eof;
+      }
+    in
+    let d = Serve.Daemon.create ~config () in
+    (match socket with
+    | Some path -> Serve.Daemon.serve_socket d ~path
+    | None -> Serve.Daemon.serve_channels d stdin stdout);
+    match trace with
+    | None -> ()
+    | Some path ->
+        Telemetry.Trace.export_to_file path;
+        Fmt.epr "trace: %d event(s) written to %s@."
+          (Telemetry.Trace.event_count ())
+          path
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the enforcement engine as a long-running daemon: JSONL \
+          requests over stdin or a Unix socket, bounded fair multi-tenant \
+          admission, per-tenant circuit breakers, and warm caches \
+          (optionally persisted across restarts)")
+    Term.(
+      const (fun () j s c q bt bc de t -> run j s c q bt bc de t)
+      $ logs_t $ jobs_arg $ socket_arg $ cache_dir_arg $ queue_depth_arg
+      $ breaker_threshold_arg $ breaker_cooldown_arg $ drain_after_eof_arg
+      $ trace_arg)
+
 let () =
   let info =
     Cmd.info "lisa" ~version:"1.0.0"
@@ -308,6 +395,7 @@ let () =
             report_cmd;
             ci_cmd;
             engine_cmd;
+            serve_cmd;
             run_tests_cmd;
             parse_cmd;
           ]))

@@ -1,0 +1,89 @@
+(** Keyed circuit breakers: {!Breaker} semantics over arbitrary string
+    keys, instance-based.  One pathological key (a tenant flooding a
+    daemon with failing requests) is quarantined behind its own breaker
+    without touching any other key's state. *)
+
+type state = Closed | Open_remaining of int  (** calls still to skip *)
+
+type cell = {
+  mutable st : state;
+  mutable consecutive : int;  (** consecutive failures while closed *)
+  mutable trips : int;  (** total times this breaker opened *)
+}
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  lock : Mutex.t;
+  cells : (string, cell) Hashtbl.t;
+}
+
+let create ?(threshold = 5) ?(cooldown = 20) () : t =
+  {
+    threshold = max 1 threshold;
+    cooldown = max 1 cooldown;
+    lock = Mutex.create ();
+    cells = Hashtbl.create 16;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let cell t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { st = Closed; consecutive = 0; trips = 0 } in
+      Hashtbl.replace t.cells key c;
+      c
+
+let proceed (t : t) (key : string) : bool =
+  with_lock t (fun () ->
+      let c = cell t key in
+      match c.st with
+      | Closed -> true
+      | Open_remaining n when n > 0 ->
+          c.st <- Open_remaining (n - 1);
+          false
+      | Open_remaining _ -> true (* half-open probe *))
+
+let success (t : t) (key : string) : unit =
+  with_lock t (fun () ->
+      let c = cell t key in
+      c.st <- Closed;
+      c.consecutive <- 0)
+
+let failure (t : t) (key : string) : bool =
+  with_lock t (fun () ->
+      let c = cell t key in
+      c.consecutive <- c.consecutive + 1;
+      match c.st with
+      | Open_remaining _ ->
+          (* failed half-open probe: re-open for a full cooldown *)
+          c.st <- Open_remaining t.cooldown;
+          c.trips <- c.trips + 1;
+          true
+      | Closed when c.consecutive >= t.threshold ->
+          c.st <- Open_remaining t.cooldown;
+          c.trips <- c.trips + 1;
+          true
+      | Closed -> false)
+
+let is_open (t : t) (key : string) : bool =
+  with_lock t (fun () ->
+      match (cell t key).st with Closed -> false | Open_remaining _ -> true)
+
+let trips (t : t) (key : string) : int = with_lock t (fun () -> (cell t key).trips)
+
+let total_trips (t : t) : int =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ c n -> n + c.trips) t.cells 0)
+
+let keys (t : t) : string list =
+  with_lock t (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.cells []))
+
+let reset (t : t) : unit = with_lock t (fun () -> Hashtbl.reset t.cells)

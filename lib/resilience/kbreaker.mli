@@ -1,0 +1,37 @@
+(** Keyed circuit breakers: the {!Breaker} discipline (open after
+    [threshold] consecutive failures, skip [cooldown] calls, half-open
+    probe) generalized from the fixed {!Fault.point} set to arbitrary
+    string keys — one breaker per tenant, shard, or upstream.
+
+    Unlike {!Breaker} the state is instance-based, not global: each
+    consumer creates its own table so tenants of one daemon never
+    interfere with the process-wide component breakers.  Deterministic
+    (cooldown counted in calls, not wall time) and mutex-protected. *)
+
+type t
+
+(** [create ~threshold ~cooldown ()] — both clamped to >= 1. *)
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+
+(** May the caller keyed [key] run?  [false] = breaker open, the call
+    must be answered degraded/rejected.  Counts against the cooldown. *)
+val proceed : t -> string -> bool
+
+val success : t -> string -> unit
+
+(** Record a failure.  Returns [true] when this failure opened (or
+    re-opened) the breaker, so the caller can emit an event. *)
+val failure : t -> string -> bool
+
+val is_open : t -> string -> bool
+
+(** Times this key's breaker has opened. *)
+val trips : t -> string -> int
+
+val total_trips : t -> int
+
+(** Keys ever seen, sorted. *)
+val keys : t -> string list
+
+(** Close every breaker and zero its counters. *)
+val reset : t -> unit

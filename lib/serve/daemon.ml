@@ -1,0 +1,622 @@
+(** The enforcement daemon: warm engines behind a fair, bounded
+    admission queue.
+
+    Request lifecycle: accept loop parses a JSONL line → admission
+    ({!Queue}; full queue sheds with an [overloaded] response, the
+    accept loop never blocks on the worker) → worker domain pops in
+    per-tenant round-robin order → per-tenant circuit breaker
+    ({!Resilience.Kbreaker}; open = [rejected]/[breaker_open]) →
+    fingerprint-keyed response cache → the system's long-lived
+    {!Engine.Scheduler} (report cache, {!Smt.Memo}, hash-cons tables
+    and learned clauses all warm from previous requests) → response.
+
+    With a cache dir, the response cache and the SMT verdict memo are
+    persisted as {!Snapshot}s ({!Smt.Wire} forms only — interned values
+    never hit the disk raw) and reloaded on the next start; any
+    unreadable snapshot degrades to a cold start, never a crash. *)
+
+module Trace = Telemetry.Trace
+module Clock = Telemetry.Clock
+module Event = Telemetry.Event
+
+type config = {
+  jobs : int;
+  queue_depth : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  cache_dir : string option;
+  drain_after_eof : bool;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_depth = 64;
+    breaker_threshold = 3;
+    breaker_cooldown = 8;
+    cache_dir = None;
+    drain_after_eof = false;
+  }
+
+type t = {
+  cfg : config;
+  engines : (string, Engine.Scheduler.t) Hashtbl.t;  (** per system *)
+  books : (string, Semantics.Rulebook.t) Hashtbl.t;  (** per scope key *)
+  responses : (string, Protocol.summary) Hashtbl.t;  (** the verdict cache *)
+  breaker : Resilience.Kbreaker.t;
+  mutable warm : (string * string) list;  (** per-snapshot load outcome *)
+  served : int Atomic.t;
+  cache_hits : int Atomic.t;
+  shed : int Atomic.t;
+  rejected : int Atomic.t;
+  errors : int Atomic.t;
+  stop : bool Atomic.t;
+}
+
+let scope = Event.scope "serve"
+
+(* every daemon event carries the request correlation id (or "-" for
+   lifecycle events) and the tenant, so multi-tenant logs are greppable
+   per request *)
+let event ?(id = "-") ?(tenant = "-") sev fmt =
+  Format.kasprintf
+    (fun msg ->
+      Event.emit scope sev (fun () ->
+          Printf.sprintf "req=%s tenant=%s %s" id tenant msg))
+    fmt
+
+let snapshot_names = [ ("responses", "responses.snap"); ("smt-memo", "smt.snap") ]
+
+let snapshot_path dir kind =
+  Filename.concat dir (List.assoc kind snapshot_names)
+
+(* ------------------------------------------------------------------ *)
+(* Warm start                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let load_caches (t : t) (dir : string) : unit =
+  let outcome kind (r : (int, string) result) =
+    let text =
+      match r with
+      | Ok n -> Printf.sprintf "warm (%d entries)" n
+      | Error reason -> Printf.sprintf "cold: %s" reason
+    in
+    event Event.Info "cache %s: %s" kind text;
+    t.warm <- t.warm @ [ (kind, text) ]
+  in
+  (let kind = "responses" in
+   outcome kind
+     (match Snapshot.load ~path:(snapshot_path dir kind) ~kind with
+     | Error e -> Error e
+     | Ok (entries : (string * Protocol.summary) list) ->
+         List.iter (fun (k, s) -> Hashtbl.replace t.responses k s) entries;
+         Ok (List.length entries)));
+  let kind = "smt-memo" in
+  outcome kind
+    (match Snapshot.load ~path:(snapshot_path dir kind) ~kind with
+    | Error e -> Error e
+    | Ok (entries : (Smt.Wire.wformula * Smt.Wire.wverdict) list) ->
+        (* rebuild through the smart constructors: everything re-enters
+           this process's hash-cons tables before touching the memo *)
+        Ok
+          (Smt.Memo.restore
+             (List.map
+                (fun (wf, wv) ->
+                  (Smt.Wire.to_formula wf, Smt.Wire.to_verdict wv))
+                entries)))
+
+let create ?(config = default_config) () : t =
+  let t =
+    {
+      cfg = config;
+      engines = Hashtbl.create 4;
+      books = Hashtbl.create 8;
+      responses = Hashtbl.create 64;
+      breaker =
+        Resilience.Kbreaker.create ~threshold:config.breaker_threshold
+          ~cooldown:config.breaker_cooldown ();
+      warm = [];
+      served = Atomic.make 0;
+      cache_hits = Atomic.make 0;
+      shed = Atomic.make 0;
+      rejected = Atomic.make 0;
+      errors = Atomic.make 0;
+      stop = Atomic.make false;
+    }
+  in
+  Option.iter (load_caches t) config.cache_dir;
+  t
+
+let config (t : t) = t.cfg
+
+let warm_report (t : t) = t.warm
+
+let response_cache_size (t : t) = Hashtbl.length t.responses
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let save (t : t) : int =
+  match t.cfg.cache_dir with
+  | None -> 0
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let responses =
+        Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.responses []
+        |> List.sort compare
+      in
+      let memo =
+        List.filter_map
+          (fun (f, v) ->
+            Option.map
+              (fun wv -> (Smt.Wire.of_formula f, wv))
+              (Smt.Wire.of_verdict v))
+          (Smt.Memo.entries ())
+      in
+      let write kind payload n =
+        match Snapshot.save ~path:(snapshot_path dir kind) ~kind payload with
+        | Ok () ->
+            event Event.Info "cache %s: saved %d entries" kind n;
+            n
+        | Error e ->
+            event Event.Warn "cache %s: save failed: %s" kind e;
+            0
+      in
+      write "responses" responses (List.length responses)
+      + write "smt-memo" memo (List.length memo)
+
+(* ------------------------------------------------------------------ *)
+(* Request resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_for (t : t) (system : string) : Engine.Scheduler.t =
+  match Hashtbl.find_opt t.engines system with
+  | Some e -> e
+  | None ->
+      let e =
+        Engine.Scheduler.create
+          ~config:
+            {
+              Engine.Scheduler.default_config with
+              Engine.Scheduler.jobs = t.cfg.jobs;
+            }
+          ()
+      in
+      Hashtbl.replace t.engines system e;
+      e
+
+let book_for_system (t : t) (system : string) : Semantics.Rulebook.t =
+  let key = "sys:" ^ system in
+  match Hashtbl.find_opt t.books key with
+  | Some b -> b
+  | None ->
+      let b = Lisa.System_scan.learn_system_book system in
+      Hashtbl.replace t.books key b;
+      b
+
+let book_for_case (t : t) (c : Corpus.Case.t) (which : int)
+    (ticket : Oracle.Ticket.t) : Semantics.Rulebook.t =
+  let key = Printf.sprintf "case:%s:%d" c.Corpus.Case.case_id which in
+  match Hashtbl.find_opt t.books key with
+  | Some b -> b
+  | None ->
+      let outcome = Lisa.Pipeline.learn ticket in
+      let b =
+        Semantics.Rulebook.of_rules ~system:c.Corpus.Case.system
+          outcome.Lisa.Pipeline.accepted
+      in
+      Hashtbl.replace t.books key b;
+      b
+
+type resolved = {
+  rv_system : string;
+  rv_version : int;
+  rv_program : Minilang.Ast.program;
+  rv_book : Semantics.Rulebook.t;
+}
+
+let resolve (t : t) (req : Protocol.request) : (resolved, string) result =
+  match req.Protocol.req_version with
+  | None -> Error "missing \"version\" (target release)"
+  | Some version when version < 0 || version > Corpus.Registry.max_version ->
+      Error
+        (Printf.sprintf "version %d out of range 0..%d" version
+           Corpus.Registry.max_version)
+  | Some version -> (
+      match (req.Protocol.req_case, req.Protocol.req_system) with
+      | Some case_id, _ -> (
+          match Corpus.Registry.find_case case_id with
+          | None -> Error (Printf.sprintf "unknown case %S" case_id)
+          | Some c ->
+              let tickets = Corpus.Case.tickets c in
+              let which = req.Protocol.req_ticket in
+              if which < 0 || which >= List.length tickets then
+                Error
+                  (Printf.sprintf "case %s has only %d ticket(s)" case_id
+                     (List.length tickets))
+              else
+                let ticket = List.nth tickets which in
+                let system = c.Corpus.Case.system in
+                Ok
+                  {
+                    rv_system = system;
+                    rv_version = version;
+                    rv_program =
+                      Corpus.Registry.system_program system ~version;
+                    rv_book = book_for_case t c which ticket;
+                  })
+      | None, Some system ->
+          if not (List.mem system Corpus.Registry.systems) then
+            Error
+              (Printf.sprintf "unknown system %S (known: %s)" system
+                 (String.concat ", " Corpus.Registry.systems))
+          else
+            Ok
+              {
+                rv_system = system;
+                rv_version = version;
+                rv_program = Corpus.Registry.system_program system ~version;
+                rv_book = book_for_system t system;
+              }
+      | None, None -> Error "request needs \"system\" or \"case\"")
+
+(* the response-cache key: stable fingerprints only — program text,
+   rulebook text, checker knobs, protocol version.  Nothing process- or
+   schedule-local, so a persisted hit is sound across restarts. *)
+let cache_key (t : t) (rv : resolved) : string =
+  let book_fp =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (List.map Semantics.Rule.to_string
+               (Semantics.Rulebook.rules rv.rv_book))))
+  in
+  let checker_tag =
+    Engine.Checker.config_tag
+      (Engine.Scheduler.config (engine_for t rv.rv_system)).Engine.Scheduler
+        .checker
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            string_of_int Protocol.version;
+            rv.rv_system;
+            string_of_int rv.rv_version;
+            Engine.Fingerprint.program rv.rv_program;
+            book_fp;
+            checker_tag;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let op_name : Protocol.op -> string = function
+  | Protocol.Enforce -> "enforce"
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Save -> "save"
+  | Protocol.Shutdown -> "shutdown"
+
+let counters (t : t) : (string * int) list =
+  [
+    ("served", Atomic.get t.served);
+    ("cache_hits", Atomic.get t.cache_hits);
+    ("shed", Atomic.get t.shed);
+    ("breaker_rejected", Atomic.get t.rejected);
+    ("errors", Atomic.get t.errors);
+    ("response_cache", Hashtbl.length t.responses);
+    ("tenant_trips", Resilience.Kbreaker.total_trips t.breaker);
+    ("smt_memo", Smt.Memo.size ());
+  ]
+
+let fail (t : t) (req : Protocol.request) (message : string) : Protocol.response
+    =
+  let id = req.Protocol.req_id and tenant = req.Protocol.req_tenant in
+  Atomic.incr t.errors;
+  if Resilience.Kbreaker.failure t.breaker tenant then
+    event ~id ~tenant Event.Error "tenant breaker opened (%d trips)"
+      (Resilience.Kbreaker.trips t.breaker tenant);
+  event ~id ~tenant Event.Warn "error: %s" message;
+  Protocol.Error_resp { id; tenant; message }
+
+let enforce_request (t : t) ~(queue_ms : float) (req : Protocol.request) :
+    Protocol.response =
+  let id = req.Protocol.req_id and tenant = req.Protocol.req_tenant in
+  if not (Resilience.Kbreaker.proceed t.breaker tenant) then begin
+    Atomic.incr t.rejected;
+    event ~id ~tenant Event.Warn "rejected: tenant breaker open";
+    Protocol.Rejected { id; tenant; reason = "breaker_open" }
+  end
+  else
+    match resolve t req with
+    | Error msg -> fail t req msg
+    | Ok rv -> (
+        let key = cache_key t rv in
+        match Hashtbl.find_opt t.responses key with
+        | Some summary ->
+            Resilience.Kbreaker.success t.breaker tenant;
+            Atomic.incr t.served;
+            Atomic.incr t.cache_hits;
+            event ~id ~tenant Event.Info
+              "%s v%d: %s (warm response cache)" rv.rv_system rv.rv_version
+              summary.Protocol.sum_verdict;
+            Protocol.Ok_enforce
+              {
+                id;
+                tenant;
+                summary;
+                cached = true;
+                stats =
+                  {
+                    Protocol.rs_queue_ms = queue_ms;
+                    rs_run_ms = 0.;
+                    rs_jobs_run = 0;
+                    rs_report_hits = 0;
+                    rs_smt_hits = 0;
+                    rs_solver_calls = 0;
+                  };
+              }
+        | None -> (
+            let engine = engine_for t rv.rv_system in
+            let s0 = Engine.Scheduler.stats engine in
+            let t0 = Clock.now () in
+            match Engine.Scheduler.enforce engine rv.rv_program rv.rv_book with
+            | exception e -> fail t req (Printexc.to_string e)
+            | reports ->
+                let wall_ms = (Clock.now () -. t0) *. 1000. in
+                let s1 = Engine.Scheduler.stats engine in
+                let findings = Engine.Scheduler.finding_ids reports in
+                let degraded = Engine.Scheduler.degraded_ids reports in
+                let summary =
+                  {
+                    Protocol.sum_verdict =
+                      (if findings = [] then "clean" else "violations");
+                    sum_findings = findings;
+                    sum_degraded = degraded;
+                    sum_traces =
+                      List.fold_left
+                        (fun n (r : Engine.Checker.rule_report) ->
+                          n + List.length r.Engine.Checker.rep_traces)
+                        0 reports;
+                    sum_rules = Semantics.Rulebook.size rv.rv_book;
+                  }
+                in
+                (* degraded verdicts describe a bad moment, not the
+                   release: they are answered but never cached (same
+                   policy as the engine's own report cache) *)
+                if degraded = [] then Hashtbl.replace t.responses key summary;
+                Resilience.Kbreaker.success t.breaker tenant;
+                Atomic.incr t.served;
+                event ~id ~tenant Event.Info "%s v%d: %s (%d finding(s), %.0fms)"
+                  rv.rv_system rv.rv_version summary.Protocol.sum_verdict
+                  (List.length findings) wall_ms;
+                Protocol.Ok_enforce
+                  {
+                    id;
+                    tenant;
+                    summary;
+                    cached = false;
+                    stats =
+                      {
+                        Protocol.rs_queue_ms = queue_ms;
+                        rs_run_ms = wall_ms;
+                        rs_jobs_run =
+                          s1.Engine.Stats.jobs_run - s0.Engine.Stats.jobs_run;
+                        rs_report_hits =
+                          s1.Engine.Stats.report_hits
+                          - s0.Engine.Stats.report_hits;
+                        rs_smt_hits =
+                          s1.Engine.Stats.smt_hits - s0.Engine.Stats.smt_hits;
+                        rs_solver_calls =
+                          s1.Engine.Stats.solver_calls
+                          - s0.Engine.Stats.solver_calls;
+                      };
+                  }))
+
+let handle_timed (t : t) ~(queue_ms : float) (req : Protocol.request) :
+    Protocol.response =
+  let id = req.Protocol.req_id and tenant = req.Protocol.req_tenant in
+  Trace.with_span ~cat:"serve"
+    ~args:[ ("id", id); ("tenant", tenant); ("op", op_name req.Protocol.req_op) ]
+    "serve.request"
+  @@ fun () ->
+  match req.Protocol.req_op with
+  | Protocol.Enforce -> enforce_request t ~queue_ms req
+  | Protocol.Ping -> Protocol.Ok_ping { id; tenant }
+  | Protocol.Stats -> Protocol.Ok_stats { id; tenant; fields = counters t }
+  | Protocol.Save -> Protocol.Ok_saved { id; tenant; entries = save t }
+  | Protocol.Shutdown ->
+      Atomic.set t.stop true;
+      event ~id ~tenant Event.Info "shutdown requested";
+      Protocol.Ok_shutdown { id; tenant }
+
+let handle_request (t : t) (req : Protocol.request) : Protocol.response =
+  handle_timed t ~queue_ms:0. req
+
+let handle_line (t : t) (line : string) : Protocol.response =
+  match Protocol.parse_request line with
+  | Ok req -> handle_request t req
+  | Error message ->
+      Atomic.incr t.errors;
+      event Event.Warn "unparseable request: %s" message;
+      Protocol.Error_resp { id = ""; tenant = "default"; message }
+
+(* ------------------------------------------------------------------ *)
+(* Queue pump (shared by the channel and socket servers)               *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  jb_req : Protocol.request;
+  jb_reply : string -> unit;
+  jb_enq : float;
+}
+
+let queue_counter (q : job Queue.t) =
+  if Trace.enabled () then
+    Trace.counter ~cat:"serve" "serve.queue"
+      [
+        ("depth", float_of_int (Queue.length q));
+        ("shed", float_of_int (Queue.shed_count q));
+      ]
+
+let worker_loop (t : t) (q : job Queue.t) : unit =
+  let rec go () =
+    match Queue.pop q with
+    | None -> ()
+    | Some (_tenant, jb) ->
+        queue_counter q;
+        let queue_ms = (Clock.now () -. jb.jb_enq) *. 1000. in
+        let resp = handle_timed t ~queue_ms jb.jb_req in
+        jb.jb_reply (Protocol.render_response resp);
+        go ()
+  in
+  go ()
+
+(* parse one line and either answer immediately (parse error, shed) or
+   enqueue for the worker; returns [true] when the accept loop should
+   stop reading (a shutdown request was admitted) *)
+let accept_line (t : t) (q : job Queue.t) ~(reply : string -> unit)
+    (line : string) : bool =
+  let line = String.trim line in
+  if line = "" then false
+  else
+    match Protocol.parse_request line with
+    | Error message ->
+        Atomic.incr t.errors;
+        event Event.Warn "unparseable request: %s" message;
+        reply
+          (Protocol.render_response
+             (Protocol.Error_resp { id = ""; tenant = "default"; message }));
+        false
+    | Ok req -> (
+        let id = req.Protocol.req_id and tenant = req.Protocol.req_tenant in
+        let jb = { jb_req = req; jb_reply = reply; jb_enq = Clock.now () } in
+        match Queue.push q ~tenant jb with
+        | Queue.Admitted ->
+            queue_counter q;
+            req.Protocol.req_op = Protocol.Shutdown
+        | Queue.Shed depth ->
+            Atomic.incr t.shed;
+            queue_counter q;
+            event ~id ~tenant Event.Warn
+              "overloaded: admission queue full (depth %d), shedding" depth;
+            reply
+              (Protocol.render_response
+                 (Protocol.Overloaded { id; tenant; depth }));
+            false)
+
+let serve_channels (t : t) (ic : in_channel) (oc : out_channel) : unit =
+  let out_lock = Mutex.create () in
+  let reply line =
+    Mutex.lock out_lock;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_lock
+  in
+  let q : job Queue.t = Queue.create ~depth:t.cfg.queue_depth () in
+  event Event.Info "listening on stdin (queue depth %d, jobs %d)"
+    t.cfg.queue_depth t.cfg.jobs;
+  let worker =
+    if t.cfg.drain_after_eof then None
+    else Some (Domain.spawn (fun () -> worker_loop t q))
+  in
+  let rec accept () =
+    if not (Atomic.get t.stop) then
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line -> if not (accept_line t q ~reply line) then accept ()
+  in
+  accept ();
+  Queue.close q;
+  (match worker with
+  | Some d -> Domain.join d
+  | None -> worker_loop t q (* testing mode: drain inline, after EOF *));
+  ignore (save t);
+  event Event.Info "shutdown clean (%d served, %d shed)" (Atomic.get t.served)
+    (Atomic.get t.shed)
+
+(* ------------------------------------------------------------------ *)
+(* Unix-socket server                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let serve_socket (t : t) ~(path : string) : unit =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let out_lock = Mutex.create () in
+  let reply_to fd line =
+    Mutex.lock out_lock;
+    (try
+       let msg = line ^ "\n" in
+       ignore (Unix.write_substring fd msg 0 (String.length msg))
+     with Unix.Unix_error _ -> () (* client went away; drop the reply *));
+    Mutex.unlock out_lock
+  in
+  let q : job Queue.t = Queue.create ~depth:t.cfg.queue_depth () in
+  let worker = Domain.spawn (fun () -> worker_loop t q) in
+  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let close_client fd =
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set t.stop true) in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  event Event.Info "listening on %s (queue depth %d, jobs %d)" path
+    t.cfg.queue_depth t.cfg.jobs;
+  (* complete lines of a client buffer, leaving any partial tail *)
+  let drain_lines fd buf =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | Some nl ->
+          let line = String.sub s start (nl - start) in
+          if accept_line t q ~reply:(reply_to fd) line then
+            Atomic.set t.stop true;
+          go (nl + 1)
+      | None -> Buffer.add_substring buf s start (String.length s - start)
+    in
+    go 0
+  in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+      (match Unix.select fds [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = srv then (
+                match Unix.accept srv with
+                | client, _ -> Hashtbl.replace clients client (Buffer.create 256)
+                | exception Unix.Unix_error _ -> ())
+              else
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> close_client fd
+                | n ->
+                    let buf = Hashtbl.find clients fd in
+                    Buffer.add_subbytes buf chunk 0 n;
+                    drain_lines fd buf
+                | exception Unix.Unix_error _ -> close_client fd)
+            readable);
+      loop ()
+    end
+  in
+  loop ();
+  Queue.close q;
+  Domain.join worker;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  ignore (save t);
+  event Event.Info "shutdown clean (%d served, %d shed)" (Atomic.get t.served)
+    (Atomic.get t.shed)

@@ -1,0 +1,172 @@
+(** The serve wire protocol: JSONL request/response codecs.  Parsing is
+    tolerant (unknown fields ignored, defaults filled in); rendering is
+    deterministic (fixed field order, compact) so verdict payloads are
+    byte-stable across cold and warm runs. *)
+
+let version = 1
+
+type op = Enforce | Ping | Stats | Save | Shutdown
+
+type request = {
+  req_id : string;
+  req_tenant : string;
+  req_op : op;
+  req_system : string option;
+  req_case : string option;
+  req_ticket : int;
+  req_version : int option;
+}
+
+type summary = {
+  sum_verdict : string;
+  sum_findings : string list;
+  sum_degraded : string list;
+  sum_traces : int;
+  sum_rules : int;
+}
+
+type run_stats = {
+  rs_queue_ms : float;
+  rs_run_ms : float;
+  rs_jobs_run : int;
+  rs_report_hits : int;
+  rs_smt_hits : int;
+  rs_solver_calls : int;
+}
+
+type response =
+  | Ok_enforce of {
+      id : string;
+      tenant : string;
+      summary : summary;
+      cached : bool;
+      stats : run_stats;
+    }
+  | Ok_ping of { id : string; tenant : string }
+  | Ok_stats of { id : string; tenant : string; fields : (string * int) list }
+  | Ok_saved of { id : string; tenant : string; entries : int }
+  | Ok_shutdown of { id : string; tenant : string }
+  | Overloaded of { id : string; tenant : string; depth : int }
+  | Rejected of { id : string; tenant : string; reason : string }
+  | Error_resp of { id : string; tenant : string; message : string }
+
+let op_of_string = function
+  | "enforce" -> Ok Enforce
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "save" -> Ok Save
+  | "shutdown" -> Ok Shutdown
+  | s -> Error (Printf.sprintf "unknown op %S" s)
+
+let parse_request (line : string) : (request, string) result =
+  match Jsonu.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok (Jsonu.Obj _ as obj) -> (
+      let str_field name = Option.bind (Jsonu.member name obj) Jsonu.to_str in
+      let int_field name = Option.bind (Jsonu.member name obj) Jsonu.to_int in
+      let op_result =
+        match str_field "op" with
+        | None -> Ok Enforce
+        | Some s -> op_of_string s
+      in
+      match op_result with
+      | Error e -> Error e
+      | Ok op ->
+          Ok
+            {
+              req_id = Option.value ~default:"" (str_field "id");
+              req_tenant = Option.value ~default:"default" (str_field "tenant");
+              req_op = op;
+              req_system = str_field "system";
+              req_case = str_field "case";
+              req_ticket = Option.value ~default:0 (int_field "ticket");
+              req_version = int_field "version";
+            })
+  | Ok _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let head ~id ~tenant ~status rest =
+  Jsonu.Obj
+    ([
+       ("id", Jsonu.Str id);
+       ("tenant", Jsonu.Str tenant);
+       ("status", Jsonu.Str status);
+     ]
+    @ rest)
+
+let summary_fields (s : summary) =
+  [
+    ("verdict", Jsonu.Str s.sum_verdict);
+    ("findings", Jsonu.string_list s.sum_findings);
+    ("degraded", Jsonu.string_list s.sum_degraded);
+    ("traces", Jsonu.Int s.sum_traces);
+    ("rules", Jsonu.Int s.sum_rules);
+  ]
+
+let stats_fields (st : run_stats) =
+  Jsonu.Obj
+    [
+      ("queue_ms", Jsonu.Float (Float.round (st.rs_queue_ms *. 1000.) /. 1000.));
+      ("run_ms", Jsonu.Float (Float.round (st.rs_run_ms *. 1000.) /. 1000.));
+      ("jobs_run", Jsonu.Int st.rs_jobs_run);
+      ("report_hits", Jsonu.Int st.rs_report_hits);
+      ("smt_hits", Jsonu.Int st.rs_smt_hits);
+      ("solver_calls", Jsonu.Int st.rs_solver_calls);
+    ]
+
+let render_response (r : response) : string =
+  Jsonu.to_string
+    (match r with
+    | Ok_enforce { id; tenant; summary; cached; stats } ->
+        head ~id ~tenant ~status:"ok"
+          (summary_fields summary
+          @ [ ("cached", Jsonu.Bool cached); ("stats", stats_fields stats) ])
+    | Ok_ping { id; tenant } ->
+        head ~id ~tenant ~status:"ok" [ ("pong", Jsonu.Bool true) ]
+    | Ok_stats { id; tenant; fields } ->
+        head ~id ~tenant ~status:"ok"
+          [
+            ( "counters",
+              Jsonu.Obj (List.map (fun (k, v) -> (k, Jsonu.Int v)) fields) );
+          ]
+    | Ok_saved { id; tenant; entries } ->
+        head ~id ~tenant ~status:"ok" [ ("saved_entries", Jsonu.Int entries) ]
+    | Ok_shutdown { id; tenant } ->
+        head ~id ~tenant ~status:"ok" [ ("shutdown", Jsonu.Bool true) ]
+    | Overloaded { id; tenant; depth } ->
+        head ~id ~tenant ~status:"overloaded" [ ("queue_depth", Jsonu.Int depth) ]
+    | Rejected { id; tenant; reason } ->
+        head ~id ~tenant ~status:"rejected" [ ("reason", Jsonu.Str reason) ]
+    | Error_resp { id; tenant; message } ->
+        head ~id ~tenant ~status:"error" [ ("message", Jsonu.Str message) ])
+
+let response_id = function
+  | Ok_enforce { id; _ }
+  | Ok_ping { id; _ }
+  | Ok_stats { id; _ }
+  | Ok_saved { id; _ }
+  | Ok_shutdown { id; _ }
+  | Overloaded { id; _ }
+  | Rejected { id; _ }
+  | Error_resp { id; _ } ->
+      id
+
+(** Stable verdict key: everything except timings and cache provenance. *)
+let verdict_signature (r : response) : string =
+  match r with
+  | Ok_enforce { id; summary = s; _ } ->
+      Printf.sprintf "%s ok %s findings=[%s] degraded=[%s] traces=%d rules=%d"
+        id s.sum_verdict
+        (String.concat "," s.sum_findings)
+        (String.concat "," s.sum_degraded)
+        s.sum_traces s.sum_rules
+  | Ok_ping { id; _ } -> Printf.sprintf "%s pong" id
+  | Ok_stats { id; _ } -> Printf.sprintf "%s stats" id
+  | Ok_saved { id; _ } -> Printf.sprintf "%s saved" id
+  | Ok_shutdown { id; _ } -> Printf.sprintf "%s shutdown" id
+  | Overloaded { id; _ } -> Printf.sprintf "%s overloaded" id
+  | Rejected { id; reason; _ } -> Printf.sprintf "%s rejected %s" id reason
+  | Error_resp { id; message; _ } -> Printf.sprintf "%s error %s" id message

@@ -1,0 +1,100 @@
+(** Bounded multi-tenant fair admission queue.  Per-tenant FIFOs plus a
+    rotation of tenants with pending work: [pop] serves the rotation
+    head and re-appends it while its FIFO stays non-empty — classic
+    round-robin, deterministic for a fixed push sequence. *)
+
+type 'a t = {
+  depth : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  fifos : (string, 'a Stdlib.Queue.t) Hashtbl.t;
+  rotation : string Stdlib.Queue.t;  (** tenants with pending work, each once *)
+  mutable admitted : int;
+  mutable shed : int;
+  mutable closed : bool;
+}
+
+type admit = Admitted | Shed of int
+
+let create ~depth () : 'a t =
+  {
+    depth = max 1 depth;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    fifos = Hashtbl.create 8;
+    rotation = Stdlib.Queue.create ();
+    admitted = 0;
+    shed = 0;
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | r ->
+      Mutex.unlock t.lock;
+      r
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let push (t : 'a t) ~(tenant : string) (item : 'a) : admit =
+  with_lock t (fun () ->
+      if t.closed || t.admitted >= t.depth then begin
+        t.shed <- t.shed + 1;
+        Shed t.depth
+      end
+      else begin
+        let fifo =
+          match Hashtbl.find_opt t.fifos tenant with
+          | Some q -> q
+          | None ->
+              let q = Stdlib.Queue.create () in
+              Hashtbl.replace t.fifos tenant q;
+              q
+        in
+        if Stdlib.Queue.is_empty fifo then Stdlib.Queue.push tenant t.rotation;
+        Stdlib.Queue.push item fifo;
+        t.admitted <- t.admitted + 1;
+        Condition.signal t.nonempty;
+        Admitted
+      end)
+
+let take_locked (t : 'a t) : (string * 'a) option =
+  if Stdlib.Queue.is_empty t.rotation then None
+  else begin
+    let tenant = Stdlib.Queue.pop t.rotation in
+    let fifo = Hashtbl.find t.fifos tenant in
+    let item = Stdlib.Queue.pop fifo in
+    if not (Stdlib.Queue.is_empty fifo) then Stdlib.Queue.push tenant t.rotation;
+    t.admitted <- t.admitted - 1;
+    Some (tenant, item)
+  end
+
+let pop (t : 'a t) : (string * 'a) option =
+  with_lock t (fun () ->
+      let rec wait () =
+        match take_locked t with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.lock;
+              wait ()
+            end
+      in
+      wait ())
+
+let try_pop (t : 'a t) : (string * 'a) option =
+  with_lock t (fun () -> take_locked t)
+
+let length (t : 'a t) : int = with_lock t (fun () -> t.admitted)
+
+let shed_count (t : 'a t) : int = with_lock t (fun () -> t.shed)
+
+let close (t : 'a t) : unit =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed (t : 'a t) : bool = with_lock t (fun () -> t.closed)

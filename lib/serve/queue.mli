@@ -1,0 +1,44 @@
+(** Bounded multi-tenant admission queue with explicit backpressure.
+
+    Admission is bounded by a total depth: a {!push} beyond it {e sheds}
+    (returns the depth so the caller can answer [overloaded]) instead of
+    blocking — the accept loop never stalls behind the worker.  Dispatch
+    is fair: tenants with pending work are drained round-robin in
+    first-seen rotation order, FIFO within each tenant, so one tenant
+    flooding the queue delays its own requests, not everyone's.  The
+    cost-priority heap underneath the engine still orders the {e jobs}
+    of whichever request is running; this queue only decides whose
+    request runs next.
+
+    Mutex + condition protected: one accept loop pushing, one worker
+    popping (both directions are safe with several of each). *)
+
+type 'a t
+
+(** [create ~depth ()] — total admitted-item bound, clamped to >= 1. *)
+val create : depth:int -> unit -> 'a t
+
+type admit =
+  | Admitted
+  | Shed of int  (** queue full; payload = configured depth *)
+
+(** Never blocks.  After {!close}, always sheds. *)
+val push : 'a t -> tenant:string -> 'a -> admit
+
+(** Next (tenant, item) in fair order; blocks while the queue is open
+    and empty; [None] once closed and drained. *)
+val pop : 'a t -> (string * 'a) option
+
+(** Non-blocking {!pop}. *)
+val try_pop : 'a t -> (string * 'a) option
+
+(** Items currently admitted. *)
+val length : 'a t -> int
+
+(** Items shed since creation. *)
+val shed_count : 'a t -> int
+
+(** Wake blocked poppers; subsequent pushes shed. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool

@@ -23,7 +23,12 @@ let enabled () = Atomic.get enabled_flag
 
 let lock = Mutex.create ()
 
-let table : (int, Solver.verdict) Hashtbl.t = Hashtbl.create 1024
+(* id -> (simplified formula, verdict).  The formula rides along purely
+   for {!entries}/{!restore}: snapshots must re-key by re-interning in
+   the loading process (ids are process-local), so the table has to
+   remember what each id denoted.  Interned nodes are never evicted
+   anyway, so this pins no extra memory. *)
+let table : (int, Formula.t * Solver.verdict) Hashtbl.t = Hashtbl.create 1024
 
 let max_entries = 1 lsl 17
 
@@ -82,7 +87,7 @@ let solve (f : Formula.t) : Solver.verdict =
       r
     in
     match cached with
-    | Some v -> v
+    | Some (_, v) -> v
     | None -> (
         let v = Solver.solve simplified in
         match v with
@@ -94,7 +99,7 @@ let solve (f : Formula.t) : Solver.verdict =
         | Solver.Sat _ | Solver.Unsat ->
             Mutex.lock lock;
             if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-            Hashtbl.replace table key v;
+            Hashtbl.replace table key (simplified, v);
             Mutex.unlock lock;
             v)
   end
@@ -116,7 +121,7 @@ let solve_in (ctx : Solver.context) (f : Formula.t) : Solver.verdict =
       r
     in
     match cached with
-    | Some v -> v
+    | Some (_, v) -> v
     | None -> (
         let v = Solver.solve_in_context ctx simplified in
         match v with
@@ -124,7 +129,7 @@ let solve_in (ctx : Solver.context) (f : Formula.t) : Solver.verdict =
         | Solver.Sat _ | Solver.Unsat ->
             Mutex.lock lock;
             if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-            Hashtbl.replace table key v;
+            Hashtbl.replace table key (simplified, v);
             Mutex.unlock lock;
             v)
   end
@@ -163,3 +168,42 @@ let check_trace_direct_in (ctx : Solver.context) ~(pc : Formula.t)
   | Solver.Unsat -> Solver.Violation []
   | Solver.Sat _ -> Solver.Verified
   | Solver.Unknown reason -> Solver.Undecided reason
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Every cached (simplified formula, verdict) pair, unordered.  The
+    caller converts to {!Wire} forms before persisting — interned values
+    must never be marshalled raw (ids are process-local). *)
+let entries () : (Formula.t * Solver.verdict) list =
+  Mutex.lock lock;
+  let es = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
+  Mutex.unlock lock;
+  es
+
+(** Seed the cache from a snapshot: each formula is re-simplified and
+    re-keyed by its id {e in this process} (the loader already rebuilt
+    it through the smart constructors).  [Unknown] verdicts and entries
+    already present are skipped; counters are untouched — warm entries
+    count as hits only when a query actually lands on them.  Returns the
+    number of entries added. *)
+let restore (es : (Formula.t * Solver.verdict) list) : int =
+  let added = ref 0 in
+  List.iter
+    (fun (f, v) ->
+      match v with
+      | Solver.Unknown _ -> ()
+      | Solver.Sat _ | Solver.Unsat ->
+          let key, simplified = key_of f in
+          Mutex.lock lock;
+          if
+            (not (Hashtbl.mem table key))
+            && Hashtbl.length table < max_entries
+          then begin
+            Hashtbl.replace table key (simplified, v);
+            incr added
+          end;
+          Mutex.unlock lock)
+    es;
+  !added

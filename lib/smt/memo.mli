@@ -38,6 +38,21 @@ val check_trace_in :
 val check_trace_direct_in :
   Solver.context -> pc:Formula.t -> checker:Formula.t -> Solver.trace_check
 
+(** {1 Snapshot / restore}
+
+    The daemon ([lib/serve]) persists the verdict cache across restarts.
+    Entries expose the simplified formula alongside its verdict so the
+    persistence layer can convert to {!Wire} forms — interned values are
+    process-local and must be rebuilt through the smart constructors on
+    load. *)
+
+(** Every cached (simplified formula, verdict) pair, unordered. *)
+val entries : unit -> (Formula.t * Solver.verdict) list
+
+(** Seed the cache from re-interned entries; skips [Unknown] verdicts
+    and keys already present, never evicts.  Returns entries added. *)
+val restore : (Formula.t * Solver.verdict) list -> int
+
 (** {1 Counters} *)
 
 val hits : unit -> int

@@ -1,0 +1,91 @@
+(** Process-neutral wire forms for formulas and verdicts: plain trees
+    safe to [Marshal], rebuilt through the smart constructors on load so
+    every value re-enters the hash-cons tables of the loading process.
+    See the .mli for why interned values must never hit the disk raw. *)
+
+type wterm =
+  | W_var of string
+  | W_int of int
+  | W_bool of bool
+  | W_str of string
+  | W_null
+
+type wrel = Weq | Wneq | Wlt | Wle | Wgt | Wge
+
+type watom = { wrel : wrel; wlhs : wterm; wrhs : wterm }
+
+type wformula =
+  | W_true
+  | W_false
+  | W_atom of watom
+  | W_not of wformula
+  | W_and of wformula list
+  | W_or of wformula list
+
+type wverdict = W_sat of (watom * bool) list | W_unsat
+
+let of_term (t : Formula.term) : wterm =
+  match Formula.term_view t with
+  | Formula.T_var v -> W_var v
+  | Formula.T_int i -> W_int i
+  | Formula.T_bool b -> W_bool b
+  | Formula.T_str s -> W_str s
+  | Formula.T_null -> W_null
+
+let to_term : wterm -> Formula.term = function
+  | W_var v -> Formula.tvar v
+  | W_int i -> Formula.tint i
+  | W_bool b -> Formula.tbool b
+  | W_str s -> Formula.tstr s
+  | W_null -> Formula.tnull
+
+let of_rel : Formula.rel -> wrel = function
+  | Formula.Req -> Weq
+  | Formula.Rneq -> Wneq
+  | Formula.Rlt -> Wlt
+  | Formula.Rle -> Wle
+  | Formula.Rgt -> Wgt
+  | Formula.Rge -> Wge
+
+let to_rel : wrel -> Formula.rel = function
+  | Weq -> Formula.Req
+  | Wneq -> Formula.Rneq
+  | Wlt -> Formula.Rlt
+  | Wle -> Formula.Rle
+  | Wgt -> Formula.Rgt
+  | Wge -> Formula.Rge
+
+let of_atom (a : Formula.atom) : watom =
+  { wrel = of_rel a.Formula.rel; wlhs = of_term a.Formula.lhs; wrhs = of_term a.Formula.rhs }
+
+let to_atom (a : watom) : Formula.atom =
+  { Formula.rel = to_rel a.wrel; Formula.lhs = to_term a.wlhs; Formula.rhs = to_term a.wrhs }
+
+let rec of_formula (f : Formula.t) : wformula =
+  match Formula.view f with
+  | Formula.True -> W_true
+  | Formula.False -> W_false
+  | Formula.Atom a -> W_atom (of_atom a)
+  | Formula.Not g -> W_not (of_formula g)
+  | Formula.And gs -> W_and (List.map of_formula gs)
+  | Formula.Or gs -> W_or (List.map of_formula gs)
+
+let rec to_formula : wformula -> Formula.t = function
+  | W_true -> Formula.tru
+  | W_false -> Formula.fls
+  | W_atom a ->
+      let a = to_atom a in
+      Formula.atom a.Formula.rel a.Formula.lhs a.Formula.rhs
+  | W_not g -> Formula.negate (to_formula g)
+  | W_and gs -> Formula.conj (List.map to_formula gs)
+  | W_or gs -> Formula.disj (List.map to_formula gs)
+
+let of_verdict : Solver.verdict -> wverdict option = function
+  | Solver.Sat model ->
+      Some (W_sat (List.map (fun (a, b) -> (of_atom a, b)) model))
+  | Solver.Unsat -> Some W_unsat
+  | Solver.Unknown _ -> None
+
+let to_verdict : wverdict -> Solver.verdict = function
+  | W_sat model -> Solver.Sat (List.map (fun (a, b) -> (to_atom a, b)) model)
+  | W_unsat -> Solver.Unsat

@@ -1,0 +1,53 @@
+(** Process-neutral wire forms for formulas and verdicts.
+
+    Hash-consed values must never be marshalled directly: interned ids
+    are process-local (they depend on interning order), so a formula
+    read back from disk would carry ids that collide with — or dodge —
+    the live tables, silently breaking O(1) equality and every id-keyed
+    cache.  The wire forms below are plain trees; {!to_formula} and
+    {!to_verdict} rebuild values {e through the smart constructors}, so
+    everything loaded is properly re-interned in the loading process.
+
+    Round-trip guarantee: [to_formula (of_formula f) == f] (physical
+    equality, by hash-consing) and verdicts survive byte-identically —
+    see the qcheck property in [test/test_serve.ml]. *)
+
+type wterm =
+  | W_var of string
+  | W_int of int
+  | W_bool of bool
+  | W_str of string
+  | W_null
+
+type wrel = Weq | Wneq | Wlt | Wle | Wgt | Wge
+
+type watom = { wrel : wrel; wlhs : wterm; wrhs : wterm }
+
+type wformula =
+  | W_true
+  | W_false
+  | W_atom of watom
+  | W_not of wformula
+  | W_and of wformula list
+  | W_or of wformula list
+
+(** A decided verdict; [Solver.Unknown] is transient and has no wire
+    form (it is never cached, so never persisted). *)
+type wverdict = W_sat of (watom * bool) list | W_unsat
+
+val of_term : Formula.term -> wterm
+
+val to_term : wterm -> Formula.term
+
+val of_formula : Formula.t -> wformula
+
+val to_formula : wformula -> Formula.t
+
+val of_atom : Formula.atom -> watom
+
+val to_atom : watom -> Formula.atom
+
+(** [None] on [Unknown]. *)
+val of_verdict : Solver.verdict -> wverdict option
+
+val to_verdict : wverdict -> Solver.verdict

@@ -1,0 +1,511 @@
+(* lib/serve: the enforcement daemon.  Wire protocol codecs, the
+   bounded fair admission queue, per-tenant circuit breakers, snapshot
+   persistence (qcheck round-trip + every corruption shape falling back
+   to a clean cold start), and daemon end-to-end properties: warm and
+   restart verdicts byte-identical to cold, overload shedding, breaker
+   rejection. *)
+
+let isolated f () =
+  Lisa.Chaos.reset_shared_state ();
+  Fun.protect ~finally:Lisa.Chaos.reset_shared_state f
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lisa-test-serve-%d-%d" (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d)
+    else Unix.mkdir d 0o755;
+    d
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_defaults () =
+  match Serve.Protocol.parse_request "{\"system\":\"zookeeper\",\"version\":3}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+      Alcotest.(check string) "default tenant" "default" r.Serve.Protocol.req_tenant;
+      Alcotest.(check string) "default id" "" r.Serve.Protocol.req_id;
+      Alcotest.(check bool) "default op is enforce" true
+        (r.Serve.Protocol.req_op = Serve.Protocol.Enforce);
+      Alcotest.(check int) "default ticket" 0 r.Serve.Protocol.req_ticket;
+      Alcotest.(check (option int)) "version" (Some 3) r.Serve.Protocol.req_version
+
+let test_parse_rejects () =
+  let bad l =
+    match Serve.Protocol.parse_request l with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" l
+  in
+  bad "not json";
+  bad "[1,2]";
+  bad "{\"op\":\"launch-missiles\"}";
+  bad "{\"id\":\"x\"} trailing"
+
+let test_render_deterministic () =
+  let resp =
+    Serve.Protocol.Ok_enforce
+      {
+        id = "r1";
+        tenant = "a";
+        summary =
+          {
+            Serve.Protocol.sum_verdict = "violations";
+            sum_findings = [ "zk-r1"; "zk-r2" ];
+            sum_degraded = [];
+            sum_traces = 7;
+            sum_rules = 5;
+          };
+        cached = false;
+        stats =
+          {
+            Serve.Protocol.rs_queue_ms = 1.5;
+            rs_run_ms = 20.25;
+            rs_jobs_run = 5;
+            rs_report_hits = 0;
+            rs_smt_hits = 3;
+            rs_solver_calls = 2;
+          };
+      }
+  in
+  Alcotest.(check string)
+    "fixed field order, compact"
+    "{\"id\":\"r1\",\"tenant\":\"a\",\"status\":\"ok\",\"verdict\":\"violations\",\"findings\":[\"zk-r1\",\"zk-r2\"],\"degraded\":[],\"traces\":7,\"rules\":5,\"cached\":false,\"stats\":{\"queue_ms\":1.5,\"run_ms\":20.25,\"jobs_run\":5,\"report_hits\":0,\"smt_hits\":3,\"solver_calls\":2}}"
+    (Serve.Protocol.render_response resp);
+  (* round-trip: the rendered response is itself valid Jsonu *)
+  match Serve.Jsonu.parse (Serve.Protocol.render_response resp) with
+  | Error e -> Alcotest.failf "rendered response is not JSON: %s" e
+  | Ok _ -> ()
+
+let test_signature_ignores_timings () =
+  let mk ~cached ~queue_ms =
+    Serve.Protocol.Ok_enforce
+      {
+        id = "r1";
+        tenant = "a";
+        summary =
+          {
+            Serve.Protocol.sum_verdict = "clean";
+            sum_findings = [];
+            sum_degraded = [];
+            sum_traces = 4;
+            sum_rules = 2;
+          };
+        cached;
+        stats =
+          {
+            Serve.Protocol.rs_queue_ms = queue_ms;
+            rs_run_ms = 0.;
+            rs_jobs_run = 0;
+            rs_report_hits = 0;
+            rs_smt_hits = 0;
+            rs_solver_calls = 0;
+          };
+      }
+  in
+  Alcotest.(check string)
+    "cached flag and timings excluded from the verdict signature"
+    (Serve.Protocol.verdict_signature (mk ~cached:false ~queue_ms:0.))
+    (Serve.Protocol.verdict_signature (mk ~cached:true ~queue_ms:99.))
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let admit = Alcotest.testable (fun ppf -> function
+    | Serve.Queue.Admitted -> Fmt.pf ppf "Admitted"
+    | Serve.Queue.Shed d -> Fmt.pf ppf "Shed %d" d)
+    ( = )
+
+let test_queue_round_robin () =
+  let q = Serve.Queue.create ~depth:16 () in
+  List.iter
+    (fun (t, x) ->
+      Alcotest.(check admit) x Serve.Queue.Admitted (Serve.Queue.push q ~tenant:t x))
+    [ ("a", "a1"); ("a", "a2"); ("a", "a3"); ("b", "b1"); ("c", "c1") ];
+  let order = List.init 5 (fun _ -> Option.get (Serve.Queue.try_pop q)) in
+  Alcotest.(check (list (pair string string)))
+    "round-robin across tenants, FIFO within"
+    [ ("a", "a1"); ("b", "b1"); ("c", "c1"); ("a", "a2"); ("a", "a3") ]
+    order;
+  Alcotest.(check (option (pair string string))) "drained" None (Serve.Queue.try_pop q)
+
+let test_queue_sheds_at_depth () =
+  let q = Serve.Queue.create ~depth:2 () in
+  Alcotest.(check admit) "1 in" Serve.Queue.Admitted (Serve.Queue.push q ~tenant:"a" 1);
+  Alcotest.(check admit) "2 in" Serve.Queue.Admitted (Serve.Queue.push q ~tenant:"b" 2);
+  Alcotest.(check admit) "3 shed" (Serve.Queue.Shed 2) (Serve.Queue.push q ~tenant:"c" 3);
+  Alcotest.(check int) "shed counted" 1 (Serve.Queue.shed_count q);
+  ignore (Serve.Queue.try_pop q);
+  Alcotest.(check admit) "slot freed" Serve.Queue.Admitted
+    (Serve.Queue.push q ~tenant:"c" 4)
+
+let test_queue_close_sheds_and_drains () =
+  let q = Serve.Queue.create ~depth:8 () in
+  ignore (Serve.Queue.push q ~tenant:"a" 1);
+  Serve.Queue.close q;
+  Alcotest.(check admit) "push after close sheds" (Serve.Queue.Shed 8)
+    (Serve.Queue.push q ~tenant:"a" 2);
+  Alcotest.(check (option (pair string int)))
+    "closed queue still drains" (Some ("a", 1)) (Serve.Queue.pop q);
+  Alcotest.(check (option (pair string int)))
+    "then pop returns None, no block" None (Serve.Queue.pop q)
+
+(* ------------------------------------------------------------------ *)
+(* Keyed circuit breaker                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_kbreaker_opens_per_key () =
+  let b = Resilience.Kbreaker.create ~threshold:2 ~cooldown:2 () in
+  Alcotest.(check bool) "closed at start" true (Resilience.Kbreaker.proceed b "a");
+  Alcotest.(check bool) "first failure keeps closed" false
+    (Resilience.Kbreaker.failure b "a");
+  Alcotest.(check bool) "second failure opens" true
+    (Resilience.Kbreaker.failure b "a");
+  Alcotest.(check bool) "open rejects" false (Resilience.Kbreaker.proceed b "a");
+  Alcotest.(check bool) "other tenant unaffected" true
+    (Resilience.Kbreaker.proceed b "b");
+  Alcotest.(check int) "one trip for a" 1 (Resilience.Kbreaker.trips b "a");
+  (* cooldown 2: one more rejected call, then a half-open probe *)
+  Alcotest.(check bool) "still open" false (Resilience.Kbreaker.proceed b "a");
+  Alcotest.(check bool) "half-open probe allowed" true
+    (Resilience.Kbreaker.proceed b "a");
+  Resilience.Kbreaker.success b "a";
+  Alcotest.(check bool) "probe success closes" true
+    (Resilience.Kbreaker.proceed b "a");
+  Alcotest.(check (list string)) "keys" [ "a"; "b" ] (Resilience.Kbreaker.keys b)
+
+let test_kbreaker_reopen_on_probe_failure () =
+  let b = Resilience.Kbreaker.create ~threshold:1 ~cooldown:1 () in
+  Alcotest.(check bool) "opens" true (Resilience.Kbreaker.failure b "t");
+  Alcotest.(check bool) "cooldown rejects" false (Resilience.Kbreaker.proceed b "t");
+  Alcotest.(check bool) "probe" true (Resilience.Kbreaker.proceed b "t");
+  Alcotest.(check bool) "probe failure re-opens" true
+    (Resilience.Kbreaker.failure b "t");
+  Alcotest.(check bool) "rejected again" false (Resilience.Kbreaker.proceed b "t");
+  Alcotest.(check int) "two trips total" 2 (Resilience.Kbreaker.total_trips b)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: round-trip + corruption tolerance                        *)
+(* ------------------------------------------------------------------ *)
+
+let snap_path () = Filename.concat (temp_dir ()) "t.snap"
+
+let prop_snapshot_round_trip =
+  QCheck.Test.make ~count:100 ~name:"snapshot save/load round-trips"
+    QCheck.(list (pair small_string (list small_int)))
+    (fun payload ->
+      let path = snap_path () in
+      match Serve.Snapshot.save ~path ~kind:"test" payload with
+      | Error e -> QCheck.Test.fail_reportf "save failed: %s" e
+      | Ok () -> (
+          match Serve.Snapshot.load ~path ~kind:"test" with
+          | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+          | Ok (got : (string * int list) list) -> got = payload))
+
+(* random formulas through the full persistence pipe: formula → wire →
+   marshal → disk → load → wire → formula must land on the *same
+   interned node* (physical equality), so restored SMT memo entries are
+   indistinguishable from natively-built ones *)
+let gen_wire_formula : Smt.Formula.t QCheck.arbitrary =
+  let open QCheck in
+  let module F = Smt.Formula in
+  let term =
+    Gen.oneof
+      [
+        Gen.map F.tvar (Gen.oneofl [ "x"; "y"; "z" ]);
+        Gen.map (fun n -> F.tint (n mod 8)) Gen.small_int;
+        Gen.map F.tbool Gen.bool;
+        Gen.map F.tstr (Gen.oneofl [ "a"; "b" ]);
+        Gen.return F.tnull;
+      ]
+  in
+  let rel = Gen.oneofl F.[ Req; Rneq; Rlt; Rle; Rgt; Rge ] in
+  let leaf = Gen.map3 (fun r l rh -> F.atom r l rh) rel term term in
+  let rec go n =
+    if n <= 0 then leaf
+    else
+      Gen.oneof
+        [
+          leaf;
+          Gen.return F.tru;
+          Gen.return F.fls;
+          Gen.map F.negate (go (n - 1));
+          Gen.map2 (fun a b -> F.conj [ a; b ]) (go (n / 2)) (go (n / 2));
+          Gen.map2 (fun a b -> F.disj [ a; b ]) (go (n / 2)) (go (n / 2));
+        ]
+  in
+  make ~print:F.to_string (Gen.sized (fun n -> go (min n 6)))
+
+let prop_wire_snapshot_reinterns =
+  QCheck.Test.make ~count:200
+    ~name:"formula -> wire -> disk -> formula is physical identity"
+    gen_wire_formula
+    (fun f ->
+      let path = snap_path () in
+      let w = Smt.Wire.of_formula f in
+      match Serve.Snapshot.save ~path ~kind:"wire" w with
+      | Error e -> QCheck.Test.fail_reportf "save failed: %s" e
+      | Ok () -> (
+          match Serve.Snapshot.load ~path ~kind:"wire" with
+          | Error e -> QCheck.Test.fail_reportf "load failed: %s" e
+          | Ok (w' : Smt.Wire.wformula) -> Smt.Wire.to_formula w' == f))
+
+let expect_cold what r =
+  match r with
+  | Ok _ -> Alcotest.failf "%s: loaded instead of cold fallback" what
+  | Error (_ : string) -> ()
+
+let test_snapshot_corruption_shapes () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "c.snap" in
+  let payload = List.init 50 (fun i -> (string_of_int i, i * i)) in
+  let save () =
+    match Serve.Snapshot.save ~path ~kind:"test" payload with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "save failed: %s" e
+  in
+  let write bytes =
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc
+  in
+  let load () : ((string * int) list, string) result =
+    Serve.Snapshot.load ~path ~kind:"test"
+  in
+  let reason what expected =
+    match load () with
+    | Ok _ -> Alcotest.failf "%s: loaded" what
+    | Error e -> Alcotest.(check string) what expected e
+  in
+  expect_cold "missing file"
+    (Serve.Snapshot.load ~path:(Filename.concat dir "nope.snap") ~kind:"test"
+      : ((string * int) list, string) result);
+  (* truncated: keep the header plus half the payload *)
+  save ();
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let header_end = String.index full '\n' + 1 in
+  write (String.sub full 0 (header_end + ((String.length full - header_end) / 2)));
+  reason "truncated payload" "truncated payload";
+  (* random bytes, no structure at all *)
+  write (String.init 200 (fun i -> Char.chr (i * 37 mod 256)));
+  expect_cold "random bytes" (load ());
+  (* stale format version in an otherwise well-formed header *)
+  save ();
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let nl = String.index full '\n' in
+  (match String.split_on_char ' ' (String.sub full 0 nl) with
+  | [ magic; _v; kind; digest; len ] ->
+      write
+        (Printf.sprintf "%s %d %s %s %s%s" magic
+           (Serve.Snapshot.format_version + 1)
+           kind digest len
+           (String.sub full nl (String.length full - nl)))
+  | _ -> Alcotest.fail "unexpected header shape");
+  reason "stale version" "version mismatch";
+  (* payload bit-flip caught by the digest before Marshal runs *)
+  save ();
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string full in
+  let mid = String.index full '\n' + 1 + ((Bytes.length b - header_end) / 2) in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
+  write (Bytes.to_string b);
+  reason "flipped payload byte" "digest mismatch";
+  (* wrong kind *)
+  save ();
+  expect_cold "kind mismatch"
+    (Serve.Snapshot.load ~path ~kind:"other"
+      : ((string * int) list, string) result);
+  (* and the happy path still works after all that *)
+  save ();
+  match load () with
+  | Ok got -> Alcotest.(check bool) "intact file loads" true (got = payload)
+  | Error e -> Alcotest.failf "intact file failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let req_line ?(tenant = "t") ?(id = "r") ?(system = "zookeeper") version =
+  Printf.sprintf
+    "{\"id\":%S,\"tenant\":%S,\"op\":\"enforce\",\"system\":%S,\"version\":%d}"
+    id tenant system version
+
+let signature d line =
+  Serve.Protocol.verdict_signature (Serve.Daemon.handle_line d line)
+
+let test_daemon_warm_restart_byte_identical () =
+  let dir = temp_dir () in
+  let config =
+    { Serve.Daemon.default_config with Serve.Daemon.cache_dir = Some dir }
+  in
+  let lines = [ req_line ~id:"v1" 1; req_line ~id:"v5" 5 ] in
+  let d1 = Serve.Daemon.create ~config () in
+  let cold = List.map (signature d1) lines in
+  let warm = List.map (signature d1) lines in
+  Alcotest.(check (list string)) "warm verdicts byte-identical" cold warm;
+  Alcotest.(check bool) "warm pass hit the response cache" true
+    (List.assoc "cache_hits" (Serve.Daemon.counters d1) >= 2);
+  Alcotest.(check bool) "snapshots written" true (Serve.Daemon.save d1 > 0);
+  let d2 = Serve.Daemon.create ~config () in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s warm-started (%s)" k v)
+        true
+        (String.length v >= 4 && String.sub v 0 4 = "warm"))
+    (Serve.Daemon.warm_report d2);
+  let restart = List.map (signature d2) lines in
+  Alcotest.(check (list string)) "restart verdicts byte-identical" cold restart;
+  Alcotest.(check bool) "restart served from persisted cache" true
+    (List.assoc "cache_hits" (Serve.Daemon.counters d2) >= 2)
+
+let test_daemon_corrupt_snapshot_cold_start () =
+  let dir = temp_dir () in
+  let config =
+    { Serve.Daemon.default_config with Serve.Daemon.cache_dir = Some dir }
+  in
+  let line = req_line ~id:"v1" 1 in
+  let d1 = Serve.Daemon.create ~config () in
+  let cold = signature d1 line in
+  ignore (Serve.Daemon.save d1);
+  (* stomp both snapshots with garbage *)
+  List.iter
+    (fun f ->
+      let oc = open_out_bin (Filename.concat dir f) in
+      output_string oc "LISA-SNAP but then garbage\nxxxx";
+      close_out oc)
+    [ "responses.snap"; "smt.snap" ];
+  let d2 = Serve.Daemon.create ~config () in
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fell back cold (%s)" k v)
+        true
+        (String.length v >= 4 && String.sub v 0 4 = "cold"))
+    (Serve.Daemon.warm_report d2);
+  Alcotest.(check string) "cold fallback still serves, same verdict" cold
+    (signature d2 line);
+  Alcotest.(check int) "nothing pre-cached after corruption" 0
+    (List.assoc "cache_hits" (Serve.Daemon.counters d2))
+
+let test_daemon_breaker_rejects_failing_tenant () =
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.breaker_threshold = 2;
+      breaker_cooldown = 3;
+    }
+  in
+  let d = Serve.Daemon.create ~config () in
+  let bad = req_line ~tenant:"bad" ~system:"no-such-system" 1 in
+  let status l =
+    match Serve.Daemon.handle_line d l with
+    | Serve.Protocol.Error_resp _ -> "error"
+    | Serve.Protocol.Rejected { reason; _ } -> "rejected:" ^ reason
+    | Serve.Protocol.Ok_enforce _ -> "ok"
+    | _ -> "other"
+  in
+  Alcotest.(check string) "failure 1" "error" (status bad);
+  Alcotest.(check string) "failure 2 opens the breaker" "error" (status bad);
+  Alcotest.(check string) "open breaker rejects before running"
+    "rejected:breaker_open" (status bad);
+  Alcotest.(check string) "other tenant unaffected" "ok"
+    (status (req_line ~tenant:"good" 1))
+
+let test_daemon_channels_overload_and_drain () =
+  (* depth 1, three requests, drain-after-eof: request 1 admitted,
+     2 and 3 deterministically shed, everything answered, clean exit *)
+  let dir = temp_dir () in
+  let input = Filename.concat dir "in.jsonl" in
+  let output = Filename.concat dir "out.jsonl" in
+  Out_channel.with_open_bin input (fun oc ->
+      List.iter
+        (fun l -> output_string oc (l ^ "\n"))
+        [ req_line ~id:"q1" 1; req_line ~id:"q2" 5; req_line ~id:"q3" 3 ]);
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.queue_depth = 1;
+      drain_after_eof = true;
+    }
+  in
+  let d = Serve.Daemon.create ~config () in
+  In_channel.with_open_bin input (fun ic ->
+      Out_channel.with_open_bin output (fun oc ->
+          Serve.Daemon.serve_channels d ic oc));
+  let lines = In_channel.with_open_bin output In_channel.input_lines in
+  let statuses =
+    List.map
+      (fun l ->
+        match Serve.Jsonu.parse l with
+        | Ok obj ->
+            ( Option.get
+                (Option.bind (Serve.Jsonu.member "id" obj) Serve.Jsonu.to_str),
+              Option.get
+                (Option.bind (Serve.Jsonu.member "status" obj)
+                   Serve.Jsonu.to_str) )
+        | Error e -> Alcotest.failf "bad response line %S: %s" l e)
+      lines
+  in
+  let status_of id = List.assoc id statuses in
+  Alcotest.(check int) "every request answered" 3 (List.length statuses);
+  Alcotest.(check string) "q1 served" "ok" (status_of "q1");
+  Alcotest.(check string) "q2 shed" "overloaded" (status_of "q2");
+  Alcotest.(check string) "q3 shed" "overloaded" (status_of "q3");
+  Alcotest.(check int) "daemon counted the sheds" 2
+    (List.assoc "shed" (Serve.Daemon.counters d))
+
+let suite =
+  [
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "parse fills defaults" `Quick test_parse_defaults;
+        Alcotest.test_case "parse rejects malformed requests" `Quick
+          test_parse_rejects;
+        Alcotest.test_case "render is deterministic" `Quick
+          test_render_deterministic;
+        Alcotest.test_case "verdict signature ignores timings" `Quick
+          test_signature_ignores_timings;
+      ] );
+    ( "serve.queue",
+      [
+        Alcotest.test_case "round-robin fairness" `Quick test_queue_round_robin;
+        Alcotest.test_case "sheds at depth, never blocks" `Quick
+          test_queue_sheds_at_depth;
+        Alcotest.test_case "close sheds pushes, drains pops" `Quick
+          test_queue_close_sheds_and_drains;
+      ] );
+    ( "serve.kbreaker",
+      [
+        Alcotest.test_case "opens per key, half-open probe" `Quick
+          test_kbreaker_opens_per_key;
+        Alcotest.test_case "probe failure re-opens" `Quick
+          test_kbreaker_reopen_on_probe_failure;
+      ] );
+    ( "serve.snapshot",
+      [
+        QCheck_alcotest.to_alcotest prop_snapshot_round_trip;
+        QCheck_alcotest.to_alcotest prop_wire_snapshot_reinterns;
+        Alcotest.test_case "every corruption shape starts cold" `Quick
+          test_snapshot_corruption_shapes;
+      ] );
+    ( "serve.daemon",
+      [
+        Alcotest.test_case "warm and restart verdicts byte-identical" `Slow
+          (isolated test_daemon_warm_restart_byte_identical);
+        Alcotest.test_case "corrupt snapshots fall back to cold start" `Slow
+          (isolated test_daemon_corrupt_snapshot_cold_start);
+        Alcotest.test_case "breaker rejects a failing tenant" `Slow
+          (isolated test_daemon_breaker_rejects_failing_tenant);
+        Alcotest.test_case "channel server sheds deterministically" `Slow
+          (isolated test_daemon_channels_overload_and_drain);
+      ] );
+  ]

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Serve-daemon smoke for `make check`.
+#
+# Four legs, all against the real `lisa serve` binary over stdin JSONL:
+#   1. cold start at queue depth 2 with three requests in deterministic
+#      admission order (--drain-after-eof): the first two must be
+#      served, the third must shed with an `overloaded` response, and
+#      the process must exit cleanly after saving snapshots
+#   2. warm restart from those snapshots: the same verdict payloads
+#      byte-for-byte (timings and the cached flag stripped), served
+#      from the persisted response cache
+#   3. a corrupted snapshot: the daemon must report a cold fallback and
+#      still serve — never crash
+#   4. the recorded trace must validate and carry the serve.request
+#      span and the serve.queue counter series
+set -eu
+
+LISA=${LISA:-_build/default/bin/lisa_cli.exe}
+TRACE_CHECK=${TRACE_CHECK:-_build/default/tools/trace_check.exe}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+REQS='{"id":"s1","tenant":"a","op":"enforce","system":"zookeeper","version":1}
+{"id":"s2","tenant":"b","op":"enforce","system":"zookeeper","version":5}
+{"id":"s3","tenant":"a","op":"enforce","system":"zookeeper","version":3}'
+
+# verdict payload only: drop the fields that legitimately differ
+# between cold and warm (cache provenance and timings)
+strip() {
+  sed -e 's/,"cached":[a-z]*//' -e 's/,"stats":{[^}]*}//' "$1"
+}
+
+# --- 1: cold start, deterministic overload shed ---------------------
+printf '%s\n' "$REQS" | "$LISA" serve --drain-after-eof --queue-depth 2 \
+  --cache-dir "$DIR/cache" --trace "$DIR/trace.json" > "$DIR/cold.jsonl" \
+  || fail "cold daemon did not exit cleanly"
+[ "$(grep -c '"status":"ok"' "$DIR/cold.jsonl")" = 2 ] \
+  || fail "expected exactly 2 served responses cold"
+grep -q '"id":"s3","tenant":"a","status":"overloaded"' "$DIR/cold.jsonl" \
+  || fail "request s3 was not shed with an overloaded response"
+
+# --- 2: warm restart, byte-identical verdicts -----------------------
+printf '%s\n' "$REQS" | "$LISA" serve --drain-after-eof \
+  --cache-dir "$DIR/cache" > "$DIR/warm.jsonl" \
+  || fail "warm daemon did not exit cleanly"
+[ "$(grep -c '"status":"ok"' "$DIR/warm.jsonl")" = 3 ] \
+  || fail "expected all 3 served warm (queue depth is default)"
+[ "$(grep -c '"cached":true' "$DIR/warm.jsonl")" = 2 ] \
+  || fail "warm restart did not serve s1/s2 from the persisted cache"
+for id in s1 s2; do
+  cold=$(strip "$DIR/cold.jsonl" | grep "\"id\":\"$id\"")
+  warm=$(strip "$DIR/warm.jsonl" | grep "\"id\":\"$id\"")
+  [ "$cold" = "$warm" ] || fail "warm verdict for $id differs from cold"
+done
+
+# --- 3: corrupted snapshot falls back to a clean cold start ---------
+printf 'garbage, not a snapshot' > "$DIR/cache/responses.snap"
+printf '%s\n' '{"id":"c1","op":"enforce","system":"zookeeper","version":1}' \
+  | "$LISA" serve -v --cache-dir "$DIR/cache" \
+    > "$DIR/corrupt.jsonl" 2> "$DIR/corrupt.log" \
+  || fail "daemon crashed on a corrupted snapshot"
+grep -q 'cache responses: cold' "$DIR/corrupt.log" \
+  || fail "corrupted snapshot was not reported as a cold fallback"
+c1=$(strip "$DIR/corrupt.jsonl" | grep '"id":"c1"') || fail "c1 unanswered"
+case "$c1" in
+*'"status":"ok"'*) ;;
+*) fail "daemon did not serve after the corrupted-snapshot fallback" ;;
+esac
+grep -q '"cached":false' "$DIR/corrupt.jsonl" \
+  || fail "cold-fallback response claimed a cache hit"
+
+# --- 4: serve.* telemetry names in the trace ------------------------
+"$TRACE_CHECK" "$DIR/trace.json" serve.request counter:serve.queue \
+  || fail "trace is missing serve.request span or serve.queue counter"
+
+echo "serve_smoke: OK (overload shed, warm byte-identity, corrupt-snapshot cold fallback, serve.* trace)"

@@ -8,8 +8,10 @@
    only be present but appear on a counter ("ph":"C") event — the trace
    export writes one event per line, so the check is per-line (used for
    the engine's smt.* solver-core counters).  Exit 0 on success, 1 with
-   a message otherwise.  Used by `make trace` and the `make check`
-   trace smoke. *)
+   a message otherwise.  Used by `make trace`, the `make check` trace
+   smoke (the engine's pipeline spans and smt.* solver-core counters),
+   and the serve-daemon smoke, which requires the `serve.request` span
+   and the `counter:serve.queue` depth/shed series. *)
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
