@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke chaos trace serve-smoke clean
+.PHONY: all build test check bench bench-smoke chaos trace serve-smoke triage clean
 
 all: build
 
@@ -21,15 +21,22 @@ TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
 # passes these to trace_check after driving the daemon).
 SERVE_TRACE_SPANS = serve.request counter:serve.queue
 
+# Names the witness-replay triage trace must mention: the per-finding
+# replay span and the tier counter series.
+TRIAGE_TRACE_SPANS = triage.witness counter:triage.tier.witnessed \
+  counter:triage.tier.consistent counter:triage.tier.likely_fp
+
 # The tier-1 gate plus the engine acceptance smokes: build, full test
 # suite, the serial/parallel/incremental equivalence checks (with a
 # trace-export smoke), the chaos fault-injection invariants — both on
 # the zookeeper slice of the E11 workload — the incremental-solver
 # smoke (verdict byte-identity plus the never-loses wall-time gate),
-# and the serve-daemon smoke (overload shed, warm-restart byte
-# identity, corrupted-snapshot cold fallback, serve.* trace names).
+# the witness-replay triage smoke (zero-loss, injected-FP demotion,
+# determinism, triage.* trace names), and the serve-daemon smoke
+# (overload shed, warm-restart byte identity, corrupted-snapshot cold
+# fallback, serve.* trace names).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && $(MAKE) bench-smoke && $(MAKE) serve-smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && dune exec bench/main.exe -- --experiment triage --smoke --trace trace-triage-smoke.json && dune exec tools/trace_check.exe -- trace-triage-smoke.json $(TRIAGE_TRACE_SPANS) && $(MAKE) bench-smoke && $(MAKE) serve-smoke
 
 # Serve-daemon acceptance: drive `lisa serve` over stdin JSONL with a
 # queue-depth-2 overload (one request must shed), restart warm from
@@ -58,6 +65,14 @@ bench:
 # and the post-chaos byte-identical re-run check.
 chaos:
 	dune exec bench/main.exe -- --experiment chaos
+
+# Witness-replay triage acceptance, full version: zero-loss on the
+# clean corpus, >= 70% injected-FP demotion under a fully hallucinating
+# oracle across three noise seeds, disabled-triage byte-identity, and
+# the determinism gates, with the triage.* trace names validated.
+# Writes BENCH_triage.json.
+triage:
+	dune exec bench/main.exe -- --experiment triage --trace trace-triage.json && dune exec tools/trace_check.exe -- trace-triage.json $(TRIAGE_TRACE_SPANS)
 
 clean:
 	dune clean

@@ -18,6 +18,10 @@
      serve           — daemon req/s + p50/p99 cold vs warm vs
                        restart-from-snapshot, byte-identity gates
                        (writes BENCH_serve.json)
+     triage          — witness-replay tiers: zero-loss on the clean
+                       corpus, >= 70% injected-FP demotion under a
+                       hallucinating oracle, determinism gates
+                       (writes BENCH_triage.json)
 
    `bench/main.exe` with no arguments runs everything;
    `--experiment <name>` selects one.  `--smoke` shrinks the engine
@@ -746,6 +750,172 @@ let run_serve () =
     (corrupt_cold && corrupt_serves)
     "corrupted snapshot -> clean cold start, requests still served"
 
+(* ------------------------------------------------------------------ *)
+(* Witness-replay triage benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The E11 workload judged by witness-replay triage, twice:
+
+     clean — the real oracle: every finding must keep a Witnessed or
+             Consistent tier (zero-loss: triage never demotes a true
+             positive)
+     noisy — a fully hallucinating oracle (epsilon 1.0, cross-checking
+             off so corrupted rules reach enforcement at all): findings
+             of flipped rules are the injected false positives, and
+             >= 70% of them must rank Likely-FP, while genuine findings
+             in the same noisy run keep their tier
+
+   Plus two structural gates: a disabled triage config leaves the scan
+   output byte-identical to no triage at all, and tier assignment is
+   deterministic — identical across repeated runs and jobs=1 vs jobs=4
+   for a fixed noise seed.  Writes BENCH_triage.json. *)
+let run_triage () =
+  section "TRIAGE: witness-replay tiers vs a hallucinating oracle";
+  let scan ?(noise = Oracle.Inference.no_noise) ?(cross_check = true)
+      ?(jobs = 1) ?triage () =
+    Lisa.Chaos.reset_shared_state ();
+    let config =
+      { Lisa.Pipeline.default_config with Lisa.Pipeline.noise; cross_check }
+    in
+    let engine_config =
+      { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
+    in
+    fst (Lisa.System_scan.run_engine ~config ~engine_config ?triage ())
+  in
+  (* flatten to (system, version, rule id, tier) rows *)
+  let tier_rows results =
+    List.concat_map
+      (fun (r : Lisa.System_scan.system_result) ->
+        List.concat_map
+          (fun (vr : Lisa.System_scan.version_row) ->
+            List.map
+              (fun (id, t) ->
+                ( r.Lisa.System_scan.sys_name,
+                  vr.Lisa.System_scan.vr_version,
+                  id,
+                  t ))
+              vr.Lisa.System_scan.vr_tiers)
+          r.Lisa.System_scan.sys_rows)
+      results
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* the noise marker lands in the rule id before generalization, so a
+     corrupted rule reads e.g. HBASE-22380.g29.flip.gen; weakened rules
+     stay genuine (their violations are a subset of the baseline's) *)
+  let injected id = contains id ".flip." || contains id ".ghost." in
+  (* gate 1: disabled triage is invisible — scan output byte-identical *)
+  let plain = Lisa.System_scan.print (scan ()) in
+  let disabled =
+    Lisa.System_scan.print
+      (scan ~triage:{ Triage.default_config with Triage.enabled = false } ())
+  in
+  let disabled_identical = plain = disabled && not (contains plain "[triage:") in
+  Printf.printf "disabled-identity: %b\n" disabled_identical;
+  (* gate 2: zero-loss on the clean corpus *)
+  let clean = tier_rows (scan ~triage:Triage.default_config ()) in
+  let count t = List.length (List.filter (fun (_, _, _, t') -> t' = t) clean) in
+  let clean_w = count "witnessed" and clean_c = count "consistent" in
+  let clean_fp = count "likely-fp" in
+  Printf.printf
+    "clean corpus: %d finding(s) tiered — %d witnessed, %d consistent, %d \
+     likely-fp\n"
+    (List.length clean) clean_w clean_c clean_fp;
+  (* gate 3: injected-FP demotion per seed under a fully noisy oracle *)
+  let seeds = if !smoke_flag then [ 7 ] else [ 7; 11; 13 ] in
+  let noisy seed ~jobs =
+    tier_rows
+      (scan
+         ~noise:{ Oracle.Inference.epsilon = 1.0; seed }
+         ~cross_check:false ~jobs ~triage:Triage.default_config ())
+  in
+  let per_seed =
+    List.map
+      (fun seed ->
+        let rows = noisy seed ~jobs:1 in
+        let inj = List.filter (fun (_, _, id, _) -> injected id) rows in
+        let demoted =
+          List.filter (fun (_, _, _, t) -> t = "likely-fp") inj
+        in
+        let genuine_demoted =
+          List.filter
+            (fun (_, _, id, t) -> (not (injected id)) && t = "likely-fp")
+            rows
+        in
+        let rate =
+          if inj = [] then 0.
+          else float_of_int (List.length demoted) /. float_of_int (List.length inj)
+        in
+        Printf.printf
+          "seed %2d: %2d finding(s), %2d injected FP(s), %2d demoted \
+           (%.0f%%), %d genuine demoted\n"
+          seed (List.length rows) (List.length inj) (List.length demoted)
+          (100. *. rate)
+          (List.length genuine_demoted);
+        (seed, rows, List.length inj, List.length demoted, rate,
+         List.length genuine_demoted))
+      seeds
+  in
+  (* gate 4: determinism — repeated run and jobs=4 agree with jobs=1 *)
+  let det_seed = List.hd seeds in
+  let reference =
+    match per_seed with (_, rows, _, _, _, _) :: _ -> rows | [] -> []
+  in
+  let repeat_same = noisy det_seed ~jobs:1 = reference in
+  let jobs4_same = noisy det_seed ~jobs:4 = reference in
+  Printf.printf "determinism (seed %d): repeat %b, jobs=4 %b\n" det_seed
+    repeat_same jobs4_same;
+  let oc = open_out "BENCH_triage.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "triage",
+  "smoke": %b,
+  "clean": { "findings": %d, "witnessed": %d, "consistent": %d, "likely_fp": %d },
+  "noisy": [%s],
+  "disabled_identical": %b,
+  "deterministic": %b
+}
+|}
+    !smoke_flag (List.length clean) clean_w clean_c clean_fp
+    (String.concat ", "
+       (List.map
+          (fun (seed, rows, inj, dem, rate, gd) ->
+            Printf.sprintf
+              "{ \"seed\": %d, \"findings\": %d, \"injected\": %d, \
+               \"demoted\": %d, \"rate\": %.3f, \"genuine_demoted\": %d }"
+              seed (List.length rows) inj dem rate gd)
+          per_seed))
+    disabled_identical (repeat_same && jobs4_same);
+  close_out oc;
+  print_endline "wrote BENCH_triage.json";
+  let check cond msg =
+    if cond then Printf.printf "OK: %s\n" msg
+    else begin
+      Printf.printf "FAIL: %s\n" msg;
+      exit 1
+    end
+  in
+  check disabled_identical
+    "triage disabled: scan output byte-identical, no tier markers";
+  check (clean <> []) "clean corpus: findings were tiered";
+  check (clean_fp = 0)
+    "zero-loss: no clean-corpus finding demoted to Likely-FP";
+  List.iter
+    (fun (seed, _, inj, _, rate, gd) ->
+      check (inj > 0)
+        (Printf.sprintf "seed %d: noise injected false positives" seed);
+      check (rate >= 0.7)
+        (Printf.sprintf "seed %d: >= 70%% of injected FPs demoted (%.0f%%)"
+           seed (100. *. rate));
+      check (gd = 0)
+        (Printf.sprintf "seed %d: no genuine finding demoted" seed))
+    per_seed;
+  check repeat_same "tiers identical across repeated runs (fixed seed)";
+  check jobs4_same "tiers identical jobs=1 vs jobs=4"
+
 let all_experiments : (string * (unit -> unit)) list =
   [
     ("study", run_study);
@@ -765,6 +935,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("formula", run_formula);
     ("solver", run_solver);
     ("serve", run_serve);
+    ("triage", run_triage);
   ]
 
 let () =

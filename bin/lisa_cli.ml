@@ -179,15 +179,28 @@ let report_cmd =
     Term.(const (fun () c s -> run c s) $ logs_t $ case_arg $ stage_arg)
 
 let ci_cmd =
-  let run case_id jobs =
-    let r = Lisa.Ci.replay ~jobs (find_case_exn case_id) in
+  let triage_arg =
+    let doc =
+      "Gate stages through witness-replay triage: only findings that \
+       survive it (witnessed / consistent) block; all-Likely-FP rules \
+       are demoted to advisory events."
+    in
+    Arg.(value & flag & info [ "triage" ] ~doc)
+  in
+  let run case_id jobs triage =
+    let triage_config =
+      if triage then Some Triage.default_config else None
+    in
+    let r = Lisa.Ci.replay ~jobs ?triage:triage_config (find_case_exn case_id) in
     print_endline (Lisa.Ci.run_to_string r);
     (* exit 2: the history replayed, but some stage's verdict is
        best-effort (lost evidence) — distinct from eval errors (1) *)
     if Lisa.Ci.degraded_stages r <> [] then exit 2
   in
   Cmd.v (Cmd.info "ci" ~doc:"Replay a case's gated version history")
-    Term.(const (fun () c j -> run c j) $ logs_t $ case_arg $ jobs_arg)
+    Term.(
+      const (fun () c j t -> run c j t)
+      $ logs_t $ case_arg $ jobs_arg $ triage_arg)
 
 let engine_cmd =
   let fault_seed_arg =
@@ -209,7 +222,35 @@ let engine_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run jobs fault_seed fault_rate trace =
+  let noise_rate_arg =
+    let doc =
+      "Perturb the oracle with this corruption probability per rule \
+       (hallucinated-semantics noise model: weakened, flipped, or \
+       ghost-target conditions).  0.0 leaves inference untouched."
+    in
+    Arg.(value & opt float 0.0 & info [ "noise-rate" ] ~docv:"P" ~doc)
+  in
+  let noise_seed_arg =
+    let doc = "Deterministic seed for the oracle noise model." in
+    Arg.(value & opt int 0 & info [ "noise-seed" ] ~docv:"SEED" ~doc)
+  in
+  let no_cross_check_arg =
+    let doc =
+      "Skip the learning-time cross-check (accept rules without validating \
+       them against the patched version) — lets noisy rules through so \
+       enforcement-time triage can be demonstrated."
+    in
+    Arg.(value & flag & info [ "no-cross-check" ] ~doc)
+  in
+  let triage_arg =
+    let doc =
+      "Run witness-replay triage over every finding and print its tier \
+       (witnessed / consistent / likely-fp) next to the rule id."
+    in
+    Arg.(value & flag & info [ "triage" ] ~doc)
+  in
+  let run jobs fault_seed fault_rate trace noise_rate noise_seed no_cross_check
+      triage =
     (match fault_seed with
     | Some seed ->
         Resilience.Injector.arm (Resilience.Plan.make ~seed ~rate:fault_rate ())
@@ -219,7 +260,23 @@ let engine_cmd =
     let engine_config =
       { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
     in
-    let results, stats = Lisa.System_scan.run_engine ~engine_config () in
+    let config =
+      {
+        Lisa.Pipeline.default_config with
+        Lisa.Pipeline.noise =
+          (if noise_rate > 0.0 then
+             { Oracle.Inference.epsilon = noise_rate; seed = noise_seed }
+           else Oracle.Inference.no_noise);
+        cross_check = not no_cross_check;
+      }
+    in
+    let triage_config =
+      if triage then Some Triage.default_config else None
+    in
+    let results, stats =
+      Lisa.System_scan.run_engine ~config ~engine_config ?triage:triage_config
+        ()
+    in
     print_string (Lisa.System_scan.print_with_stats (results, stats));
     (match trace with
     | None -> ()
@@ -240,8 +297,9 @@ let engine_cmd =
           v1/v2/v3/v5) through the parallel, incremental, cached enforcement \
           engine and print its statistics")
     Term.(
-      const (fun () j s r t -> run j s r t)
-      $ logs_t $ jobs_arg $ fault_seed_arg $ fault_rate_arg $ trace_arg)
+      const (fun () j s r t nr ns ncc tr -> run j s r t nr ns ncc tr)
+      $ logs_t $ jobs_arg $ fault_seed_arg $ fault_rate_arg $ trace_arg
+      $ noise_rate_arg $ noise_seed_arg $ no_cross_check_arg $ triage_arg)
 
 let run_tests_cmd =
   let run case_id stage =
@@ -340,8 +398,15 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let no_triage_arg =
+    let doc =
+      "Disable witness-replay triage: enforce summaries omit the per-rule \
+       $(b,tiers) field (the v1 wire form)."
+    in
+    Arg.(value & flag & info [ "no-triage" ] ~doc)
+  in
   let run jobs socket cache_dir queue_depth breaker_threshold breaker_cooldown
-      drain_after_eof trace =
+      drain_after_eof no_triage trace =
     if trace <> None then Telemetry.Trace.set_enabled true;
     let config =
       {
@@ -351,6 +416,7 @@ let serve_cmd =
         breaker_cooldown;
         cache_dir;
         drain_after_eof;
+        triage = (if no_triage then None else Some Triage.default_config);
       }
     in
     let d = Serve.Daemon.create ~config () in
@@ -373,10 +439,10 @@ let serve_cmd =
           admission, per-tenant circuit breakers, and warm caches \
           (optionally persisted across restarts)")
     Term.(
-      const (fun () j s c q bt bc de t -> run j s c q bt bc de t)
+      const (fun () j s c q bt bc de nt t -> run j s c q bt bc de nt t)
       $ logs_t $ jobs_arg $ socket_arg $ cache_dir_arg $ queue_depth_arg
       $ breaker_threshold_arg $ breaker_cooldown_arg $ drain_after_eof_arg
-      $ trace_arg)
+      $ no_triage_arg $ trace_arg)
 
 let () =
   let info =

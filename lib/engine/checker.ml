@@ -77,6 +77,9 @@ type trace_verdict = {
   tv_entry : string;  (** driving test *)
   tv_pc : Smt.Formula.t;
   tv_result : Smt.Solver.trace_check;
+  tv_state : (string * Smt.Formula.value) list;
+      (** concrete valuation of the checker condition's variables observed
+          at the target arrival (witness-replay triage evidence) *)
 }
 
 type lock_finding = {
@@ -230,6 +233,7 @@ let guard_runs (config : config) (p : Ast.program) (pr : prepared)
       relevant_roots = roots_of_condition condition;
       prune = config.prune;
       fuel = config.fuel;
+      capture_vars = Smt.Formula.variables condition;
     }
   in
   Symexec.Concolic.run_all ~config:cc p pr.prep_tests
@@ -249,6 +253,7 @@ let judge_hits (config : config) ~(condition : Smt.Formula.t)
       tv_entry = h.Symexec.Concolic.h_entry;
       tv_pc = pc;
       tv_result = result;
+      tv_state = h.Symexec.Concolic.h_state;
     }
   in
   if not config.trie then

@@ -41,6 +41,10 @@ type trace_verdict = {
   tv_entry : string;  (** driving test *)
   tv_pc : Smt.Formula.t;
   tv_result : Smt.Solver.trace_check;
+  tv_state : (string * Smt.Formula.value) list;
+      (** concrete valuation of the checker condition's variables observed
+          at the target arrival (references as opaque markers) — the
+          witness-replay triage's concrete evidence *)
 }
 
 type lock_finding = {

@@ -20,6 +20,9 @@ type event =
   | Degraded of { stage : int; rules : string list }
       (** enforcement lost evidence for these rules (budgets, breakers,
           quarantine): the stage's verdict is best-effort, not final *)
+  | Demoted of { stage : int; rules : string list }
+      (** witness-replay triage ranked every finding of these rules
+          Likely-FP: they are advisory and did not block the stage *)
 
 type run = {
   case_id : string;
@@ -40,9 +43,15 @@ let run_tests (p : Minilang.Ast.program) : string list =
 
     [jobs] is the engine's worker-pool width (1 = serial, deterministic
     bit-for-bit).  Rules exist only after the first incident is learned,
-    so the rulebook gate arms itself as the history unfolds. *)
-let replay ?(config = Pipeline.default_config) ?(jobs = 1) (c : Corpus.Case.t) :
-    run =
+    so the rulebook gate arms itself as the history unfolds.
+
+    [triage] (default [None] — the gate behaves byte-identically to the
+    pre-triage pipeline) runs witness-replay triage over each stage's
+    findings: only rules with a finding that survives triage block the
+    stage; all-Likely-FP rules are demoted to an advisory
+    {!Demoted} event. *)
+let replay ?(config = Pipeline.default_config) ?(jobs = 1)
+    ?(triage : Triage.config option) (c : Corpus.Case.t) : run =
   let engine =
     Engine.Scheduler.create
       ~config:
@@ -68,7 +77,21 @@ let replay ?(config = Pipeline.default_config) ?(jobs = 1) (c : Corpus.Case.t) :
       (match Engine.Scheduler.degraded_ids reports with
       | [] -> ()
       | rules -> push (Degraded { stage; rules }));
-      if findings <> [] then push (Blocked { stage; findings })
+      let blocking_findings =
+        match triage with
+        | None -> findings
+        | Some tcfg ->
+            let ts = Triage.triage_reports ~config:tcfg p findings in
+            (match Triage.demoted_ids ts with
+            | [] -> ()
+            | rules -> push (Demoted { stage; rules }));
+            List.filter_map
+              (fun t ->
+                if Triage.blocking t then Some t.Triage.t_report else None)
+              ts
+      in
+      if blocking_findings <> [] then
+        push (Blocked { stage; findings = blocking_findings })
       else
         push (Shipped { stage; tests = List.length (Minilang.Interp.test_names p) })
     end;
@@ -118,6 +141,9 @@ let event_to_string = function
   | Degraded { stage; rules } ->
       Fmt.str "v%d DEGRADED enforcement (evidence lost): %s" stage
         (String.concat "; " rules)
+  | Demoted { stage; rules } ->
+      Fmt.str "v%d demoted to advisory (triage: all findings Likely-FP): %s"
+        stage (String.concat "; " rules)
 
 let run_to_string (r : run) : string =
   Fmt.str "=== CI history for %s ===\n%s\n[%s]" r.case_id

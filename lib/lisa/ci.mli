@@ -12,6 +12,9 @@ type event =
   | Degraded of { stage : int; rules : string list }
       (** enforcement lost evidence for these rules (budgets, breakers,
           quarantine): the stage's verdict is best-effort, not final *)
+  | Demoted of { stage : int; rules : string list }
+      (** witness-replay triage ranked every finding of these rules
+          Likely-FP: they are advisory and did not block the stage *)
 
 type run = {
   case_id : string;
@@ -24,8 +27,13 @@ type run = {
 val run_tests : Minilang.Ast.program -> string list
 
 (** Replay a case's history through the gate.  [jobs] (default 1) is the
-    engine worker-pool width; 1 is bit-for-bit deterministic. *)
-val replay : ?config:Pipeline.config -> ?jobs:int -> Corpus.Case.t -> run
+    engine worker-pool width; 1 is bit-for-bit deterministic.  [triage]
+    (default off — byte-identical to the pre-triage gate) enables
+    witness-replay triage: only findings that survive it block a stage;
+    all-Likely-FP rules surface as advisory {!Demoted} events. *)
+val replay :
+  ?config:Pipeline.config -> ?jobs:int -> ?triage:Triage.config ->
+  Corpus.Case.t -> run
 
 (** Stages blocked by the rulebook gate. *)
 val blocked_stages : run -> int list

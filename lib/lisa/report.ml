@@ -102,3 +102,67 @@ let render ?(title = "LISA enforcement report") (reports : Checker.rule_report l
   in
   String.concat "\n\n"
     (("# " ^ title) :: verdict :: List.map render_rule_report reports)
+
+(* ------------------------------------------------------------------ *)
+(* Triaged rendering (witness-replay tiers)                            *)
+(* ------------------------------------------------------------------ *)
+
+let render_triage_finding (f : Triage.finding) : string =
+  bullet
+    (Fmt.str "triage **%s** — %s (stmt %d): %s"
+       (String.uppercase_ascii (Triage.tier_to_string f.Triage.f_tier))
+       (code f.Triage.f_method) f.Triage.f_target_sid f.Triage.f_reason)
+
+(** Markdown section for one triaged rule report: the plain section plus
+    one tier bullet per finding. *)
+let render_triaged_report (t : Triage.triaged) : string =
+  let base = render_rule_report t.Triage.t_report in
+  match t.Triage.t_findings with
+  | [] -> base
+  | fs ->
+      String.concat "\n"
+        (base :: "" :: List.map render_triage_finding fs)
+
+(** Full Markdown report for a triaged enforcement run.  The verdict
+    line counts only rules with findings that survived triage: a rule
+    whose every finding is Likely-FP is demoted to advisory and cannot
+    BLOCK on its own. *)
+let render_triaged ?(title = "LISA enforcement report")
+    (ts : Triage.triaged list) : string =
+  let reports = List.map (fun t -> t.Triage.t_report) ts in
+  let blocking = List.filter Triage.blocking ts in
+  let demoted = Triage.demoted_ids ts in
+  let degraded = List.filter Checker.is_degraded reports in
+  let verdict =
+    if blocking = [] && degraded <> [] then
+      Fmt.str
+        "**PASS (degraded)** — %d rule(s) checked, no blocking findings, \
+         but %d report(s) lost evidence."
+        (List.length reports) (List.length degraded)
+    else if blocking = [] then
+      Fmt.str "**PASS** — %d rule(s) checked, no blocking findings."
+        (List.length reports)
+    else
+      Fmt.str "**BLOCK** — %d of %d rule(s) with witnessed or consistent \
+               findings: %s."
+        (List.length blocking) (List.length reports)
+        (String.concat ", "
+           (List.map
+              (fun t ->
+                code
+                  t.Triage.t_report.Checker.rep_rule.Semantics.Rule.rule_id)
+              blocking))
+  in
+  let demotion_note =
+    if demoted = [] then []
+    else
+      [
+        Fmt.str
+          "_%d rule(s) demoted to advisory (every finding Likely-FP): %s_"
+          (List.length demoted)
+          (String.concat ", " (List.map code demoted));
+      ]
+  in
+  String.concat "\n\n"
+    ((("# " ^ title) :: verdict :: demotion_note)
+    @ List.map render_triaged_report ts)

@@ -6,3 +6,12 @@
 val render_rule_report : Checker.rule_report -> string
 
 val render : ?title:string -> Checker.rule_report list -> string
+
+(** Triaged variant of {!render_rule_report}: the plain section plus one
+    witness-replay tier bullet per finding. *)
+val render_triaged_report : Triage.triaged -> string
+
+(** Triaged variant of {!render}: the BLOCK verdict counts only rules
+    with findings that survived triage (Witnessed or Consistent);
+    all-Likely-FP rules are listed as demoted to advisory. *)
+val render_triaged : ?title:string -> Triage.triaged list -> string

@@ -28,6 +28,9 @@ type version_row = {
   vr_branches_total : int;
   vr_branches_recorded : int;
   vr_degraded : string list;  (** rule ids with degraded (lossy) reports *)
+  vr_tiers : (string * string) list;
+      (** witness-replay tier per violating rule id (e.g. ["witnessed"]);
+          empty unless the scan ran with triage enabled *)
 }
 
 type system_result = {
@@ -43,8 +46,24 @@ let learn_system_book ?(config = Pipeline.default_config) (system : string) :
   let book, _ = Pipeline.learn_all ~config ~system tickets in
   book
 
-let row_of_reports (book : Semantics.Rulebook.t) (version : int)
+let row_of_reports ?(triage : Triage.config option) ?(program : Minilang.Ast.program option)
+    (book : Semantics.Rulebook.t) (version : int)
     (reports : Checker.rule_report list) : version_row =
+  let tiers =
+    match (triage, program) with
+    | Some tcfg, Some p ->
+        let violating = List.filter Checker.has_violations reports in
+        Triage.triage_reports ~config:tcfg p violating
+        |> List.filter_map (fun t ->
+               match Triage.rule_tier t with
+               | Some tier ->
+                   Some
+                     ( t.Triage.t_report.Checker.rep_rule
+                         .Semantics.Rule.rule_id,
+                       Triage.tier_to_string tier )
+               | None -> None)
+    | _ -> []
+  in
   {
     vr_version = version;
     vr_rules = Semantics.Rulebook.size book;
@@ -64,6 +83,7 @@ let row_of_reports (book : Semantics.Rulebook.t) (version : int)
         (fun n (r : Checker.rule_report) -> n + r.Checker.rep_branches_recorded)
         0 reports;
     vr_degraded = Engine.Scheduler.degraded_ids reports;
+    vr_tiers = tiers;
   }
 
 let scan_version ?(config = Pipeline.default_config) (system : string)
@@ -72,9 +92,13 @@ let scan_version ?(config = Pipeline.default_config) (system : string)
   row_of_reports book version (Pipeline.enforce ~config p book)
 
 (** The whole scan as one engine run.  Returns per-system rows plus the
-    engine's accumulated statistics. *)
+    engine's accumulated statistics.  [triage] additionally runs
+    witness-replay triage over each version's findings and fills
+    [vr_tiers] (absent by default, so the plain scan output is
+    byte-identical to the pre-triage engine). *)
 let run_engine ?(config = Pipeline.default_config)
-    ?(engine_config = Engine.Scheduler.default_config) () :
+    ?(engine_config = Engine.Scheduler.default_config)
+    ?(triage : Triage.config option) () :
     system_result list * Engine.Stats.t =
   let engine =
     Engine.Scheduler.create
@@ -91,7 +115,8 @@ let run_engine ?(config = Pipeline.default_config)
             List.map
               (fun version ->
                 let p = Corpus.Registry.system_program system ~version in
-                row_of_reports book version (Pipeline.enforce_with engine p book))
+                row_of_reports ?triage ~program:p book version
+                  (Pipeline.enforce_with engine p book))
               [ 1; 2; 3; 5 ];
         })
       Corpus.Registry.systems
@@ -120,9 +145,18 @@ let print (results : system_result list) : string =
             | ids -> String.concat ", " ids)
             (* only non-empty on a faulted run: the healthy scan output
                stays byte-identical to the pre-resilience engine *)
-            (match vr.vr_degraded with
+            (* only non-empty when triage ran: the plain scan stays
+               byte-identical to the pre-triage engine *)
+            ((match vr.vr_degraded with
+             | [] -> ""
+             | ids -> Fmt.str " [degraded: %s]" (String.concat ", " ids))
+            ^
+            match vr.vr_tiers with
             | [] -> ""
-            | ids -> Fmt.str " [degraded: %s]" (String.concat ", " ids)))
+            | tiers ->
+                Fmt.str " [triage: %s]"
+                  (String.concat ", "
+                     (List.map (fun (id, t) -> id ^ "=" ^ t) tiers))))
         r.sys_rows)
     results;
   pf "";

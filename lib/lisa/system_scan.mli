@@ -12,6 +12,9 @@ type version_row = {
   vr_branches_total : int;
   vr_branches_recorded : int;
   vr_degraded : string list;  (** rule ids with degraded (lossy) reports *)
+  vr_tiers : (string * string) list;
+      (** witness-replay tier per violating rule id; empty unless the
+          scan ran with triage enabled *)
 }
 
 type system_result = { sys_name : string; sys_rows : version_row list }
@@ -22,10 +25,13 @@ val learn_system_book : ?config:Pipeline.config -> string -> Semantics.Rulebook.
 val scan_version :
   ?config:Pipeline.config -> string -> Semantics.Rulebook.t -> int -> version_row
 
-(** The whole scan as one engine run, with the engine's statistics. *)
+(** The whole scan as one engine run, with the engine's statistics.
+    [triage] fills [vr_tiers] via witness-replay triage; absent by
+    default, keeping the plain scan byte-identical. *)
 val run_engine :
   ?config:Pipeline.config ->
   ?engine_config:Engine.Scheduler.config ->
+  ?triage:Triage.config ->
   unit ->
   system_result list * Engine.Stats.t
 

@@ -535,6 +535,111 @@ let run_function ?(config = default_config) (program : Ast.program) (name : stri
       let v = invoke st ~qname:name f Value.V_null args Loc.dummy in
       (st, v)
 
+(* ------------------------------------------------------------------ *)
+(* Bounded replay entry points                                         *)
+(* ------------------------------------------------------------------ *)
+
+type call_outcome =
+  | Call_returned of Value.t
+  | Call_threw of string  (** a MiniJava [throw] escaped the call *)
+  | Call_error of string  (** runtime error or assertion failure *)
+  | Call_exhausted  (** fuel or call-depth budget spent: inconclusive *)
+
+let call_outcome_to_string = function
+  | Call_returned v -> Fmt.str "returned %s" (Value.to_string v)
+  | Call_threw m -> Fmt.str "threw %s" m
+  | Call_error m -> Fmt.str "error: %s" m
+  | Call_exhausted -> "budget exhausted"
+
+(* The depth limiter raises through [runtime_error]; recognize it so the
+   structured outcome reads "budget", not "program bug". *)
+let depth_limit_prefix = "call depth limit"
+
+let starts_with ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+let bounded (st : state) ?fuel (run : unit -> Value.t) : call_outcome =
+  (match fuel with Some n -> st.fuel_left <- n | None -> ());
+  match run () with
+  | v -> Call_returned v
+  | exception Out_of_fuel -> Call_exhausted
+  | exception Mini_throw v -> Call_threw (Value.to_string ~heap:st.heap v)
+  | exception Assertion_failure (msg, sid) ->
+      Call_error (Fmt.str "assertion: %s (stmt %d)" msg sid)
+  | exception Runtime_error (msg, _) ->
+      if starts_with ~prefix:depth_limit_prefix msg then Call_exhausted
+      else Call_error msg
+
+(** Allocate a default-initialized object of a class without running its
+    [init] method: field initializers are evaluated in an empty frame
+    (falling back to the type default if they need context), so witness
+    replay can build receivers and subjects field by field. *)
+let alloc_object (st : state) (cls_name : string) : Value.t =
+  match Ast.find_class st.program cls_name with
+  | None -> runtime_error Loc.dummy "unknown class %s" cls_name
+  | Some cls ->
+      let obj = Value.new_obj ~cls:cls_name in
+      let addr = Value.heap_alloc st.heap (Value.C_obj obj) in
+      let scratch = { vars = Hashtbl.create 4; self = Value.V_null } in
+      List.iter
+        (fun (fd : Ast.field_decl) ->
+          let default () =
+            match fd.Ast.f_typ with
+            | Ast.T_int -> Value.V_int 0
+            | Ast.T_bool -> Value.V_bool false
+            | Ast.T_str -> Value.V_str ""
+            | Ast.T_map -> Value.V_ref (Value.heap_alloc st.heap (Value.C_map (ref [])))
+            | Ast.T_list ->
+                Value.V_ref (Value.heap_alloc st.heap (Value.C_list (ref [])))
+            | Ast.T_ref _ | Ast.T_void | Ast.T_any -> Value.V_null
+          in
+          let v =
+            match fd.Ast.f_init with
+            | None -> default ()
+            | Some e -> ( try eval st scratch e with _ -> default ())
+          in
+          Value.obj_set obj fd.Ast.f_name v)
+        cls.Ast.c_fields;
+      Value.V_ref addr
+
+(** Call a top-level function under a structured budget: exhaustion (fuel
+    or depth) is an outcome, never a hang; exceptions are outcomes, not
+    host-level raises. *)
+let call_bounded ?fuel (st : state) (name : string) (args : Value.t list) :
+    call_outcome =
+  bounded st ?fuel (fun () ->
+      match Ast.find_func st.program name with
+      | None -> runtime_error Loc.dummy "no top-level function named %s" name
+      | Some f -> invoke st ~qname:name f Value.V_null args Loc.dummy)
+
+(** Call a method on a receiver under the same structured budget; the
+    class is resolved from the receiver's runtime object. *)
+let method_call_bounded ?fuel (st : state) ~(recv : Value.t) ~(meth : string)
+    (args : Value.t list) : call_outcome =
+  bounded st ?fuel (fun () ->
+      match recv with
+      | Value.V_ref addr -> (
+          match Value.heap_get st.heap addr with
+          | Some (Value.C_obj obj) -> (
+              match Ast.find_class st.program obj.Value.o_class with
+              | None ->
+                  runtime_error Loc.dummy "object of unknown class %s"
+                    obj.Value.o_class
+              | Some cls -> (
+                  match Ast.find_method_in_class cls meth with
+                  | Some md ->
+                      invoke st
+                        ~qname:(cls.Ast.c_name ^ "." ^ meth)
+                        md recv args Loc.dummy
+                  | None ->
+                      runtime_error Loc.dummy "class %s has no method %s"
+                        cls.Ast.c_name meth))
+          | Some _ -> runtime_error Loc.dummy "method call %s on non-object" meth
+          | None -> runtime_error Loc.dummy "dangling reference")
+      | v ->
+          runtime_error Loc.dummy "method call %s on %s" meth (Value.type_name v))
+
 type test_outcome =
   | Passed
   | Failed of string  (** assertion failure *)

@@ -57,6 +57,34 @@ val call : state -> string -> Value.t list -> Value.t
 val run_function :
   ?config:config -> Ast.program -> string -> Value.t list -> state * Value.t
 
+(** {2 Bounded replay entry points}
+
+    Structured-outcome wrappers used by witness-replay triage (and usable
+    by any harness that must never hang): fuel or call-depth exhaustion is
+    an explicit [Call_exhausted] outcome rather than a host exception. *)
+
+type call_outcome =
+  | Call_returned of Value.t
+  | Call_threw of string  (** a MiniJava [throw] escaped the call *)
+  | Call_error of string  (** runtime error or assertion failure *)
+  | Call_exhausted  (** fuel or call-depth budget spent: inconclusive *)
+
+val call_outcome_to_string : call_outcome -> string
+
+(** Allocate a default-initialized object of a class without running its
+    [init] method, so callers can populate fields explicitly. *)
+val alloc_object : state -> string -> Value.t
+
+(** Call a top-level function under a structured budget.  [?fuel] resets
+    the state's remaining fuel before the call. *)
+val call_bounded : ?fuel:int -> state -> string -> Value.t list -> call_outcome
+
+(** Call [meth] on receiver [recv] (class resolved from the runtime
+    object) under the same structured budget. *)
+val method_call_bounded :
+  ?fuel:int -> state -> recv:Value.t -> meth:string -> Value.t list ->
+  call_outcome
+
 type test_outcome =
   | Passed
   | Failed of string  (** assertion failure *)

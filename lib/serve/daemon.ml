@@ -26,6 +26,7 @@ type config = {
   breaker_cooldown : int;
   cache_dir : string option;
   drain_after_eof : bool;
+  triage : Triage.config option;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     breaker_cooldown = 8;
     cache_dir = None;
     drain_after_eof = false;
+    triage = Some Triage.default_config;
   }
 
 type t = {
@@ -70,6 +72,12 @@ let snapshot_names = [ ("responses", "responses.snap"); ("smt-memo", "smt.snap")
 let snapshot_path dir kind =
   Filename.concat dir (List.assoc kind snapshot_names)
 
+(* the summary record is marshalled raw, so its wire kind carries the
+   protocol version: a snapshot written by an older (or newer) summary
+   layout fails the kind check and degrades to a cold start instead of
+   unmarshalling garbage *)
+let responses_kind = Printf.sprintf "responses/v%d" Protocol.version
+
 (* ------------------------------------------------------------------ *)
 (* Warm start                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -86,7 +94,9 @@ let load_caches (t : t) (dir : string) : unit =
   in
   (let kind = "responses" in
    outcome kind
-     (match Snapshot.load ~path:(snapshot_path dir kind) ~kind with
+     (match
+        Snapshot.load ~path:(snapshot_path dir kind) ~kind:responses_kind
+      with
      | Error e -> Error e
      | Ok (entries : (string * Protocol.summary) list) ->
          List.iter (fun (k, s) -> Hashtbl.replace t.responses k s) entries;
@@ -154,17 +164,17 @@ let save (t : t) : int =
               (Smt.Wire.of_verdict v))
           (Smt.Memo.entries ())
       in
-      let write kind payload n =
-        match Snapshot.save ~path:(snapshot_path dir kind) ~kind payload with
+      let write name ~kind payload n =
+        match Snapshot.save ~path:(snapshot_path dir name) ~kind payload with
         | Ok () ->
-            event Event.Info "cache %s: saved %d entries" kind n;
+            event Event.Info "cache %s: saved %d entries" name n;
             n
         | Error e ->
-            event Event.Warn "cache %s: save failed: %s" kind e;
+            event Event.Warn "cache %s: save failed: %s" name e;
             0
       in
-      write "responses" responses (List.length responses)
-      + write "smt-memo" memo (List.length memo)
+      write "responses" ~kind:responses_kind responses (List.length responses)
+      + write "smt-memo" ~kind:"smt-memo" memo (List.length memo)
 
 (* ------------------------------------------------------------------ *)
 (* Request resolution                                                  *)
@@ -277,6 +287,17 @@ let cache_key (t : t) (rv : resolved) : string =
       (Engine.Scheduler.config (engine_for t rv.rv_system)).Engine.Scheduler
         .checker
   in
+  (* triage knobs are part of the key: a summary with tiers must never
+     answer a request from a daemon running without triage (or with
+     different replay budgets), and vice versa *)
+  let triage_tag =
+    match t.cfg.triage with
+    | None -> "triage:off"
+    | Some c when not c.Triage.enabled -> "triage:off"
+    | Some c ->
+        Printf.sprintf "triage:%d:%d:%d"
+          c.Triage.replay_fuel c.Triage.max_attempts c.Triage.max_nodes
+  in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
@@ -287,6 +308,7 @@ let cache_key (t : t) (rv : resolved) : string =
             Engine.Fingerprint.program rv.rv_program;
             book_fp;
             checker_tag;
+            triage_tag;
           ]))
 
 (* ------------------------------------------------------------------ *)
@@ -370,12 +392,33 @@ let enforce_request (t : t) ~(queue_ms : float) (req : Protocol.request) :
                 let s1 = Engine.Scheduler.stats engine in
                 let findings = Engine.Scheduler.finding_ids reports in
                 let degraded = Engine.Scheduler.degraded_ids reports in
+                (* witness-replay triage over the violating rules only:
+                   clean verdicts never pay for replay, and a triage-off
+                   daemon renders the v1-identical tier-less form *)
+                let tiers =
+                  match t.cfg.triage with
+                  | Some tcfg when findings <> [] ->
+                      let violating =
+                        List.filter Engine.Checker.has_violations reports
+                      in
+                      Triage.triage_reports ~config:tcfg rv.rv_program violating
+                      |> List.filter_map (fun tr ->
+                             match Triage.rule_tier tr with
+                             | Some tier ->
+                                 Some
+                                   ( tr.Triage.t_report.Engine.Checker.rep_rule
+                                       .Semantics.Rule.rule_id,
+                                     Triage.tier_to_string tier )
+                             | None -> None)
+                  | _ -> []
+                in
                 let summary =
                   {
                     Protocol.sum_verdict =
                       (if findings = [] then "clean" else "violations");
                     sum_findings = findings;
                     sum_degraded = degraded;
+                    sum_tiers = tiers;
                     sum_traces =
                       List.fold_left
                         (fun n (r : Engine.Checker.rule_report) ->

@@ -24,6 +24,12 @@ type config = {
       (** testing mode for {!serve_channels}: admit the whole input
           stream before the worker starts, so admission order — and
           which request sheds — is deterministic *)
+  triage : Triage.config option;
+      (** witness-replay triage over violating rules; the tier per rule
+          id lands in the enforce summary's [sum_tiers].  [None] (or a
+          disabled config) renders the v1-identical tier-less wire form.
+          On by default: replay only runs when there are findings, so
+          clean verdicts pay nothing. *)
 }
 
 val default_config : config

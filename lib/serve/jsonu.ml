@@ -254,4 +254,11 @@ let to_int = function Int i -> Some i | _ -> None
 
 let to_bool = function Bool b -> Some b | _ -> None
 
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_list = function List vs -> Some vs | _ -> None
+
 let string_list (ss : string list) : t = List (List.map (fun s -> Str s) ss)

@@ -33,6 +33,11 @@ val to_int : t -> int option
 
 val to_bool : t -> bool option
 
+(** [Float] or [Int] (JSON "1" is a valid float). *)
+val to_float : t -> float option
+
+val to_list : t -> t list option
+
 (** {1 Builders} *)
 
 val string_list : string list -> t

@@ -3,7 +3,10 @@
     deterministic (fixed field order, compact) so verdict payloads are
     byte-stable across cold and warm runs. *)
 
-let version = 1
+(* v2: enforce summaries carry a per-rule witness-replay tier ("tiers");
+   absent/empty means triage did not run, and v1 payloads parse with
+   [sum_tiers = []] *)
+let version = 2
 
 type op = Enforce | Ping | Stats | Save | Shutdown
 
@@ -23,6 +26,7 @@ type summary = {
   sum_degraded : string list;
   sum_traces : int;
   sum_rules : int;
+  sum_tiers : (string * string) list;
 }
 
 type run_stats = {
@@ -85,6 +89,120 @@ let parse_request (line : string) : (request, string) result =
   | Ok _ -> Error "request must be a JSON object"
 
 (* ------------------------------------------------------------------ *)
+(* Response parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* tolerant: missing fields default (in particular a v1 payload with no
+   "tiers" yields [sum_tiers = []]); extra fields are ignored *)
+let summary_of_json (obj : Jsonu.t) : summary =
+  let str name d = Option.value ~default:d (Option.bind (Jsonu.member name obj) Jsonu.to_str) in
+  let int name = Option.value ~default:0 (Option.bind (Jsonu.member name obj) Jsonu.to_int) in
+  let strs name =
+    match Option.bind (Jsonu.member name obj) Jsonu.to_list with
+    | None -> []
+    | Some vs -> List.filter_map Jsonu.to_str vs
+  in
+  let tiers =
+    match Jsonu.member "tiers" obj with
+    | Some (Jsonu.Obj kvs) ->
+        List.filter_map
+          (fun (id, v) -> Option.map (fun t -> (id, t)) (Jsonu.to_str v))
+          kvs
+    | _ -> []
+  in
+  {
+    sum_verdict = str "verdict" "clean";
+    sum_findings = strs "findings";
+    sum_degraded = strs "degraded";
+    sum_traces = int "traces";
+    sum_rules = int "rules";
+    sum_tiers = tiers;
+  }
+
+let stats_of_json (obj : Jsonu.t) : run_stats =
+  let flt name = Option.value ~default:0. (Option.bind (Jsonu.member name obj) Jsonu.to_float) in
+  let int name = Option.value ~default:0 (Option.bind (Jsonu.member name obj) Jsonu.to_int) in
+  {
+    rs_queue_ms = flt "queue_ms";
+    rs_run_ms = flt "run_ms";
+    rs_jobs_run = int "jobs_run";
+    rs_report_hits = int "report_hits";
+    rs_smt_hits = int "smt_hits";
+    rs_solver_calls = int "solver_calls";
+  }
+
+let parse_response (line : string) : (response, string) result =
+  match Jsonu.parse line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok (Jsonu.Obj _ as obj) -> (
+      let str name d =
+        Option.value ~default:d (Option.bind (Jsonu.member name obj) Jsonu.to_str)
+      in
+      let id = str "id" "" and tenant = str "tenant" "default" in
+      match str "status" "" with
+      | "ok" -> (
+          match Jsonu.member "verdict" obj with
+          | Some _ ->
+              Ok
+                (Ok_enforce
+                   {
+                     id;
+                     tenant;
+                     summary = summary_of_json obj;
+                     cached =
+                       Option.value ~default:false
+                         (Option.bind (Jsonu.member "cached" obj) Jsonu.to_bool);
+                     stats =
+                       (match Jsonu.member "stats" obj with
+                       | Some st -> stats_of_json st
+                       | None -> stats_of_json (Jsonu.Obj []));
+                   })
+          | None -> (
+              match
+                ( Jsonu.member "pong" obj,
+                  Jsonu.member "counters" obj,
+                  Jsonu.member "saved_entries" obj,
+                  Jsonu.member "shutdown" obj )
+              with
+              | Some _, _, _, _ -> Ok (Ok_ping { id; tenant })
+              | _, Some (Jsonu.Obj kvs), _, _ ->
+                  Ok
+                    (Ok_stats
+                       {
+                         id;
+                         tenant;
+                         fields =
+                           List.filter_map
+                             (fun (k, v) ->
+                               Option.map (fun i -> (k, i)) (Jsonu.to_int v))
+                             kvs;
+                       })
+              | _, _, Some n, _ ->
+                  Ok
+                    (Ok_saved
+                       {
+                         id;
+                         tenant;
+                         entries = Option.value ~default:0 (Jsonu.to_int n);
+                       })
+              | _, _, _, Some _ -> Ok (Ok_shutdown { id; tenant })
+              | _ -> Error "ok response with no recognizable payload"))
+      | "overloaded" ->
+          Ok
+            (Overloaded
+               {
+                 id;
+                 tenant;
+                 depth =
+                   Option.value ~default:0
+                     (Option.bind (Jsonu.member "queue_depth" obj) Jsonu.to_int);
+               })
+      | "rejected" -> Ok (Rejected { id; tenant; reason = str "reason" "" })
+      | "error" -> Ok (Error_resp { id; tenant; message = str "message" "" })
+      | s -> Error (Printf.sprintf "unknown status %S" s))
+  | Ok _ -> Error "response must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -105,6 +223,13 @@ let summary_fields (s : summary) =
     ("traces", Jsonu.Int s.sum_traces);
     ("rules", Jsonu.Int s.sum_rules);
   ]
+  (* "tiers" renders only when triage ran: tier-less verdicts stay
+     byte-identical to the v1 wire form *)
+  @
+  match s.sum_tiers with
+  | [] -> []
+  | tiers ->
+      [ ("tiers", Jsonu.Obj (List.map (fun (id, t) -> (id, Jsonu.Str t)) tiers)) ]
 
 let stats_fields (st : run_stats) =
   Jsonu.Obj
@@ -158,11 +283,17 @@ let response_id = function
 let verdict_signature (r : response) : string =
   match r with
   | Ok_enforce { id; summary = s; _ } ->
-      Printf.sprintf "%s ok %s findings=[%s] degraded=[%s] traces=%d rules=%d"
+      Printf.sprintf "%s ok %s findings=[%s] degraded=[%s] traces=%d rules=%d%s"
         id s.sum_verdict
         (String.concat "," s.sum_findings)
         (String.concat "," s.sum_degraded)
         s.sum_traces s.sum_rules
+        (match s.sum_tiers with
+        | [] -> ""
+        | tiers ->
+            Printf.sprintf " tiers=[%s]"
+              (String.concat ","
+                 (List.map (fun (i, t) -> i ^ "=" ^ t) tiers)))
   | Ok_ping { id; _ } -> Printf.sprintf "%s pong" id
   | Ok_stats { id; _ } -> Printf.sprintf "%s stats" id
   | Ok_saved { id; _ } -> Printf.sprintf "%s saved" id

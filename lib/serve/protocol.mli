@@ -36,6 +36,10 @@ type summary = {
   sum_degraded : string list;  (** rule ids with lossy reports *)
   sum_traces : int;  (** traces judged *)
   sum_rules : int;  (** rulebook size enforced *)
+  sum_tiers : (string * string) list;
+      (** v2: witness-replay tier per violating rule id ("witnessed",
+          "consistent" or "likely-fp"); [[]] when triage did not run —
+          and then the wire form is byte-identical to v1 *)
 }
 
 type run_stats = {
@@ -66,6 +70,13 @@ type response =
   | Error_resp of { id : string; tenant : string; message : string }
 
 val parse_request : string -> (request, string) result
+
+(** Parse a rendered response line back into a {!response}.  Tolerant
+    like {!parse_request}: unknown fields are ignored and missing
+    optional fields default — in particular a v1 (tier-less) enforce
+    payload parses with [sum_tiers = []], so new clients interoperate
+    with old servers. *)
+val parse_response : string -> (response, string) result
 
 (** One compact JSON object, no trailing newline; field order is fixed
     so identical verdicts render byte-identically. *)

@@ -37,6 +37,9 @@ type hit = {
   h_decisions : (int * bool) list;
       (** first-occurrence branch decisions of the enclosing frame *)
   h_locks_held : int;
+  h_state : (string * Smt.Formula.value) list;
+      (** concrete valuation of [config.capture_vars] at the hit, in
+          rule vocabulary; empty unless capture was requested *)
 }
 
 type blocking_event = {
@@ -53,10 +56,20 @@ type config = {
   prune : bool;
   fuel : int;
   max_call_depth : int;
+  capture_vars : string list;
+      (** rule-vocabulary variables (e.g. ["Snapshot.ttl"; "nowTs"]) whose
+          concrete values are snapshotted into [h_state] at each hit *)
 }
 
 let default_config =
-  { targets = []; relevant_roots = []; prune = true; fuel = 200_000; max_call_depth = 400 }
+  {
+    targets = [];
+    relevant_roots = [];
+    prune = true;
+    fuel = 200_000;
+    max_call_depth = 400;
+    capture_vars = [];
+  }
 
 type frame = {
   vars : (string, tagged) Hashtbl.t;
@@ -209,6 +222,78 @@ let record_fact (st : state) (frame : frame) (fact : Smt.Formula.t option) : uni
           frame.f_pc <- f' :: frame.f_pc;
           st.branches_recorded <- st.branches_recorded + 1
       | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-state capture (for witness-replay triage)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* References are reported as opaque markers, never heap addresses, so
+   captured states stay schedule-independent and comparable across runs;
+   the markers still decide null atoms structurally (<obj> <> null). *)
+let value_of_concrete : Value.t -> Smt.Formula.value = function
+  | Value.V_int n -> Smt.Formula.V_int n
+  | Value.V_bool b -> Smt.Formula.V_bool b
+  | Value.V_str s -> Smt.Formula.V_str s
+  | Value.V_null -> Smt.Formula.V_null
+  | Value.V_ref _ -> Smt.Formula.V_str "<ref>"
+
+(* Resolve one rule-vocabulary variable against the current frame.  A
+   dotted path "C.f" reads field [f] of an object of runtime class [C]
+   (self first, then frame locals in name order — deterministic); a bare
+   name is a scalar local/param, else a class root whose mere existence
+   answers null atoms.  Unresolvable names are simply omitted: downstream
+   three-valued evaluation treats them as unknown. *)
+let capture_state (st : state) (frame : frame) :
+    (string * Smt.Formula.value) list =
+  let object_of_class cls =
+    let of_tagged t =
+      match class_of_ref st t.v with
+      | Some c when c = cls -> Some t.v
+      | Some _ | None -> None
+    in
+    match of_tagged frame.self with
+    | Some v -> Some v
+    | None -> (
+        let candidates =
+          Hashtbl.fold
+            (fun name t acc ->
+              match of_tagged t with
+              | Some v -> (name, v) :: acc
+              | None -> acc)
+            frame.vars []
+        in
+        match
+          List.sort (fun (a, _) (b, _) -> String.compare a b) candidates
+        with
+        | (_, v) :: _ -> Some v
+        | [] -> None)
+  in
+  List.filter_map
+    (fun var ->
+      match String.index_opt var '.' with
+      | Some i -> (
+          let cls = String.sub var 0 i in
+          let fld = String.sub var (i + 1) (String.length var - i - 1) in
+          match object_of_class cls with
+          | Some (Value.V_ref addr) -> (
+              match Value.heap_get st.heap addr with
+              | Some (Value.C_obj obj) -> (
+                  match Value.obj_get obj fld with
+                  | Some v -> Some (var, value_of_concrete v)
+                  | None -> None)
+              | Some _ | None -> None)
+          | Some _ | None -> None)
+      | None -> (
+          match Hashtbl.find_opt frame.vars var with
+          | Some t -> (
+              match t.v with
+              | Value.V_ref _ -> Some (var, Smt.Formula.V_str "<obj>")
+              | v -> Some (var, value_of_concrete v))
+          | None ->
+              if object_of_class var <> None then
+                Some (var, Smt.Formula.V_str "<obj>")
+              else None))
+    st.config.capture_vars
 
 (* ------------------------------------------------------------------ *)
 (* Builtins (concrete semantics shared with Interp, shadows dropped)    *)
@@ -581,6 +666,9 @@ and exec_stmt (st : state) (frame : frame) (stmt : Ast.stmt) : flow =
         h_full_pc = stack_full_pc st;
         h_decisions = List.rev frame.decisions;
         h_locks_held = List.length st.locks;
+        h_state =
+          (if st.config.capture_vars = [] then []
+           else capture_state st frame);
       }
       :: st.hits;
   match stmt.Ast.s with

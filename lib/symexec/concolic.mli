@@ -19,6 +19,11 @@ type hit = {
   h_decisions : (int * bool) list;
       (** first-occurrence branch decisions of the enclosing frame *)
   h_locks_held : int;
+  h_state : (string * Smt.Formula.value) list;
+      (** concrete valuation of [config.capture_vars] at the hit, in rule
+          vocabulary (references appear as opaque ["<obj>"]/["<ref>"]
+          markers, never heap addresses); empty unless capture was
+          requested *)
 }
 
 type blocking_event = {
@@ -35,6 +40,9 @@ type config = {
   prune : bool;  (** record only relevant facts (paper default) *)
   fuel : int;
   max_call_depth : int;
+  capture_vars : string list;
+      (** rule-vocabulary variables whose concrete values are snapshotted
+          into [h_state] at each hit (used by witness-replay triage) *)
 }
 
 val default_config : config

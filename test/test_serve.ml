@@ -62,6 +62,7 @@ let test_render_deterministic () =
             sum_degraded = [];
             sum_traces = 7;
             sum_rules = 5;
+            sum_tiers = [];
           };
         cached = false;
         stats =
@@ -97,6 +98,7 @@ let test_signature_ignores_timings () =
             sum_degraded = [];
             sum_traces = 4;
             sum_rules = 2;
+            sum_tiers = [];
           };
         cached;
         stats =
@@ -114,6 +116,94 @@ let test_signature_ignores_timings () =
     "cached flag and timings excluded from the verdict signature"
     (Serve.Protocol.verdict_signature (mk ~cached:false ~queue_ms:0.))
     (Serve.Protocol.verdict_signature (mk ~cached:true ~queue_ms:99.))
+
+let mk_enforce ?(tiers = []) ~findings () =
+  Serve.Protocol.Ok_enforce
+    {
+      id = "t1";
+      tenant = "a";
+      summary =
+        {
+          Serve.Protocol.sum_verdict =
+            (if findings = [] then "clean" else "violations");
+          sum_findings = findings;
+          sum_degraded = [];
+          sum_traces = 3;
+          sum_rules = 4;
+          sum_tiers = tiers;
+        };
+      cached = false;
+      stats =
+        {
+          Serve.Protocol.rs_queue_ms = 0.5;
+          rs_run_ms = 12.;
+          rs_jobs_run = 2;
+          rs_report_hits = 1;
+          rs_smt_hits = 0;
+          rs_solver_calls = 1;
+        };
+    }
+
+(* v2 codec: a tiered enforce response survives render → parse with the
+   tiers (and the verdict signature) intact *)
+let test_tier_round_trip () =
+  let resp =
+    mk_enforce
+      ~tiers:[ ("zk-r1", "witnessed"); ("zk-r2", "likely-fp") ]
+      ~findings:[ "zk-r1"; "zk-r2" ] ()
+  in
+  let line = Serve.Protocol.render_response resp in
+  match Serve.Protocol.parse_response line with
+  | Error e -> Alcotest.failf "parse_response failed: %s" e
+  | Ok (Serve.Protocol.Ok_enforce { summary = s; _ } as got) ->
+      Alcotest.(check (list (pair string string)))
+        "tiers round-trip"
+        [ ("zk-r1", "witnessed"); ("zk-r2", "likely-fp") ]
+        s.Serve.Protocol.sum_tiers;
+      Alcotest.(check string) "signature round-trips"
+        (Serve.Protocol.verdict_signature resp)
+        (Serve.Protocol.verdict_signature got);
+      Alcotest.(check string) "re-render is byte-identical" line
+        (Serve.Protocol.render_response got)
+  | Ok _ -> Alcotest.fail "parsed to the wrong response shape"
+
+(* backward compatibility: a v1 payload (no "tiers") parses with
+   [sum_tiers = []], and a tier-less summary renders the v1 byte form *)
+let test_tierless_response_parses () =
+  let v1_line =
+    "{\"id\":\"r1\",\"tenant\":\"a\",\"status\":\"ok\",\"verdict\":\"violations\",\"findings\":[\"zk-r1\"],\"degraded\":[],\"traces\":7,\"rules\":5,\"cached\":true,\"stats\":{\"queue_ms\":1.5,\"run_ms\":0,\"jobs_run\":0,\"report_hits\":0,\"smt_hits\":0,\"solver_calls\":0}}"
+  in
+  (match Serve.Protocol.parse_response v1_line with
+  | Error e -> Alcotest.failf "v1 payload rejected: %s" e
+  | Ok (Serve.Protocol.Ok_enforce { summary = s; cached; _ }) ->
+      Alcotest.(check (list (pair string string)))
+        "tier-less parses with no tiers" [] s.Serve.Protocol.sum_tiers;
+      Alcotest.(check (list string))
+        "findings intact" [ "zk-r1" ] s.Serve.Protocol.sum_findings;
+      Alcotest.(check bool) "cached flag intact" true cached
+  | Ok _ -> Alcotest.fail "parsed to the wrong response shape");
+  (* and non-enforce responses still parse *)
+  List.iter
+    (fun r ->
+      let line = Serve.Protocol.render_response r in
+      match Serve.Protocol.parse_response line with
+      | Ok got ->
+          Alcotest.(check string)
+            ("round-trip " ^ line)
+            (Serve.Protocol.verdict_signature r)
+            (Serve.Protocol.verdict_signature got)
+      | Error e -> Alcotest.failf "%s: %s" line e)
+    [
+      Serve.Protocol.Ok_ping { id = "p"; tenant = "a" };
+      Serve.Protocol.Ok_stats
+        { id = "s"; tenant = "a"; fields = [ ("served", 3) ] };
+      Serve.Protocol.Ok_saved { id = "v"; tenant = "a"; entries = 2 };
+      Serve.Protocol.Ok_shutdown { id = "d"; tenant = "a" };
+      Serve.Protocol.Overloaded { id = "o"; tenant = "a"; depth = 9 };
+      Serve.Protocol.Rejected
+        { id = "j"; tenant = "a"; reason = "breaker_open" };
+      Serve.Protocol.Error_resp { id = "e"; tenant = "a"; message = "boom" };
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Admission queue                                                     *)
@@ -396,6 +486,36 @@ let test_daemon_corrupt_snapshot_cold_start () =
   Alcotest.(check int) "nothing pre-cached after corruption" 0
     (List.assoc "cache_hits" (Serve.Daemon.counters d2))
 
+(* a violating release gets a tier per violating rule; a triage-off
+   daemon answers the same request with the v1 tier-less summary *)
+let test_daemon_tiers_on_findings () =
+  let line = req_line ~id:"v2" 2 in
+  let d = Serve.Daemon.create () in
+  (match Serve.Daemon.handle_line d line with
+  | Serve.Protocol.Ok_enforce { summary = s; _ } ->
+      Alcotest.(check string) "violations" "violations" s.Serve.Protocol.sum_verdict;
+      Alcotest.(check int) "one tier per violating rule"
+        (List.length s.Serve.Protocol.sum_findings)
+        (List.length s.Serve.Protocol.sum_tiers);
+      List.iter
+        (fun (id, t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s=%s is a known tier" id t)
+            true
+            (List.mem t [ "witnessed"; "consistent"; "likely-fp" ]))
+        s.Serve.Protocol.sum_tiers
+  | _ -> Alcotest.fail "expected an enforce response");
+  let off =
+    Serve.Daemon.create
+      ~config:{ Serve.Daemon.default_config with Serve.Daemon.triage = None }
+      ()
+  in
+  match Serve.Daemon.handle_line off line with
+  | Serve.Protocol.Ok_enforce { summary = s; _ } ->
+      Alcotest.(check (list (pair string string)))
+        "triage off: no tiers" [] s.Serve.Protocol.sum_tiers
+  | _ -> Alcotest.fail "expected an enforce response"
+
 let test_daemon_breaker_rejects_failing_tenant () =
   let config =
     {
@@ -474,6 +594,10 @@ let suite =
           test_render_deterministic;
         Alcotest.test_case "verdict signature ignores timings" `Quick
           test_signature_ignores_timings;
+        Alcotest.test_case "tiered summary round-trips (v2)" `Quick
+          test_tier_round_trip;
+        Alcotest.test_case "tier-less (v1) payloads still parse" `Quick
+          test_tierless_response_parses;
       ] );
     ( "serve.queue",
       [
@@ -503,6 +627,8 @@ let suite =
           (isolated test_daemon_warm_restart_byte_identical);
         Alcotest.test_case "corrupt snapshots fall back to cold start" `Slow
           (isolated test_daemon_corrupt_snapshot_cold_start);
+        Alcotest.test_case "findings carry triage tiers; off renders v1" `Slow
+          (isolated test_daemon_tiers_on_findings);
         Alcotest.test_case "breaker rejects a failing tenant" `Slow
           (isolated test_daemon_breaker_rejects_failing_tenant);
         Alcotest.test_case "channel server sheds deterministically" `Slow

@@ -10,8 +10,10 @@
    the engine's smt.* solver-core counters).  Exit 0 on success, 1 with
    a message otherwise.  Used by `make trace`, the `make check` trace
    smoke (the engine's pipeline spans and smt.* solver-core counters),
-   and the serve-daemon smoke, which requires the `serve.request` span
-   and the `counter:serve.queue` depth/shed series. *)
+   the serve-daemon smoke, which requires the `serve.request` span and
+   the `counter:serve.queue` depth/shed series, and the witness-replay
+   triage smoke (`make triage`), which requires the `triage.witness`
+   replay span and the `counter:triage.tier.*` tier series. *)
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
