@@ -15,7 +15,9 @@ TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
   engine.execute engine.job checker.prepare checker.execute smt.solve \
   concolic.run oracle.infer engine.report_cache engine.smt_cache \
   counter:smt.assume.push counter:smt.assume.pop counter:smt.propagations \
-  counter:smt.learned counter:smt.trie.nodes counter:smt.trie.shared
+  counter:smt.learned counter:smt.trie.nodes counter:smt.trie.shared \
+  counter:core.shard.contention counter:smt.memo.local_hits \
+  counter:smt.learned.batched
 
 # Names the serve-daemon trace must mention (tools/serve_smoke.sh
 # passes these to trace_check after driving the daemon).
@@ -46,9 +48,11 @@ check:
 serve-smoke:
 	dune build bin/lisa_cli.exe tools/trace_check.exe && sh tools/serve_smoke.sh
 
-# Fast hash-consing benchmark: intern throughput and the id-keyed vs
-# string-keyed memo lookup comparison; fails if the id key loses.
-# Writes BENCH_formula.json.
+# Fast hash-consing benchmark: intern throughput, the id-keyed vs
+# string-keyed memo lookup comparison, and the jobs=1 vs jobs=N
+# scaling columns over the sharded tables (cross-domain physical
+# identity always gated; the >=4x-at-8-domains throughput gate only
+# fires on non-smoke runs with >= 8 cores).  Writes BENCH_formula.json.
 bench-smoke:
 	dune exec bench/main.exe -- --experiment formula --smoke
 

@@ -384,6 +384,49 @@ let run_formula () =
   done;
   let str_ns = 1e9 *. (now () -. t2) /. float_of_int iters in
   let speedup = if id_ns > 0. then str_ns /. id_ns else infinity in
+  (* 3. scaling: warm hit-path interning, jobs=1 vs jobs=N over the
+     shared sharded table.  Every domain rebuilds the same 64 formulas,
+     so after warm-up the whole workload is the lock-free bucket probe;
+     throughput should grow near-linearly with domains on multicore
+     hardware (the gate below only fires when the machine has the
+     cores to show it). *)
+  let cores = Domain.recommended_domain_count () in
+  let scale_iters = max 1 (iters / 4) in
+  let jobs_levels = [ 1; 2; 4; 8 ] in
+  let throughput_at jobs =
+    let work () =
+      for i = 1 to scale_iters do
+        ignore (mk i)
+      done
+    in
+    let t0 = now () in
+    (if jobs <= 1 then work ()
+     else begin
+       let ds = List.init (jobs - 1) (fun _ -> Domain.spawn work) in
+       work ();
+       List.iter Domain.join ds
+     end);
+    let dt = now () -. t0 in
+    if dt > 0. then float_of_int (jobs * scale_iters) /. dt else infinity
+  in
+  let tps = List.map (fun j -> (j, throughput_at j)) jobs_levels in
+  let tp j = List.assoc j tps in
+  let scale8 = if tp 1 > 0. then tp 8 /. tp 1 else infinity in
+  (* identity gate: a construction on a spawned domain is physically
+     the calling domain's construction *)
+  let remote = Domain.join (Domain.spawn (fun () -> Array.init 64 mk)) in
+  let identity_ok = Array.for_all2 (fun a b -> a == b) formulas remote in
+  let scale_gate =
+    if !smoke_flag then "skipped (smoke)"
+    else if cores < 8 then Printf.sprintf "skipped (%d core(s) < 8)" cores
+    else "enforced"
+  in
+  List.iter
+    (fun (j, v) ->
+      Printf.printf "scaling: jobs=%d %12.0f constructions/s\n" j v)
+    tps;
+  Printf.printf "scaling: jobs=8 speedup %.2fx over jobs=1 (%d core(s), %s)\n"
+    scale8 cores scale_gate;
   let s = Smt.Formula.intern_stats () in
   Printf.printf "intern: %.0f ns/construction (%d hit(s), %d miss(es))\n"
     intern_ns hits misses;
@@ -404,17 +447,31 @@ let run_formula () =
               "terms": %d, "formulas": %d, "strings": %d },
   "memo_lookup": { "before_string_keyed_ns": %.1f,
                    "after_id_keyed_ns": %.1f,
-                   "speedup": %.2f }
+                   "speedup": %.2f },
+  "scaling": { "cores": %d, "per_domain_iters": %d,
+               "constructions_per_s": { "jobs1": %.0f, "jobs2": %.0f,
+                                        "jobs4": %.0f, "jobs8": %.0f },
+               "speedup_jobs8": %.2f, "identity_ok": %b,
+               "throughput_gate": "%s" }
 }
 |}
     !smoke_flag iters intern_ns hits misses
     s.Smt.Formula.term_stats.Core.Hc.size
     s.Smt.Formula.formula_stats.Core.Hc.size
-    s.Smt.Formula.string_stats.Core.Hc.size str_ns id_ns speedup;
+    s.Smt.Formula.string_stats.Core.Hc.size str_ns id_ns speedup cores
+    scale_iters (tp 1) (tp 2) (tp 4) (tp 8) scale8 identity_ok scale_gate;
   close_out oc;
   print_endline "wrote BENCH_formula.json";
   if id_ns >= str_ns then (
     prerr_endline "FAIL: id-keyed lookup must beat string-keyed lookup";
+    exit 1);
+  if not identity_ok then (
+    prerr_endline
+      "FAIL: cross-domain interning must return physically equal formulas";
+    exit 1);
+  if scale_gate = "enforced" && scale8 < 4.0 then (
+    Printf.eprintf
+      "FAIL: jobs=8 intern throughput %.2fx over jobs=1, need >= 4x\n" scale8;
     exit 1)
 
 (* ------------------------------------------------------------------ *)
@@ -533,6 +590,57 @@ let run_solver () =
   and props = Smt.Solver.propagation_count () - prop0
   and learned = Smt.Solver.learned_count () - learn0 in
   fresh_state ();
+  (* scaling: per-trace checking on the engine's pool at jobs=1 vs
+     jobs=N, every domain sharing the sharded verdict cache, the
+     sharded interner, and the batched learned-clause store — the
+     contention-free hot paths under real parallel load.  Verdicts
+     must be byte-identical at every width; throughput is gated only
+     on hardware that can show scaling. *)
+  let cores = Domain.recommended_domain_count () in
+  let jobs_levels = [ 1; 2; 4; 8 ] in
+  let cases_arr = Array.of_list cases in
+  let run_parallel jobs () =
+    fresh_state ();
+    Smt.Memo.reset ();
+    let memo_was = Smt.Memo.enabled () in
+    Smt.Memo.set_enabled true;
+    Fun.protect ~finally:(fun () -> Smt.Memo.set_enabled memo_was)
+    @@ fun () ->
+    Engine.Pool.map ~init:Engine.Domain_ctx.enter ~finish:Engine.Domain_ctx.leave
+      ~jobs
+      (fun (condition, h) ->
+        let pc = Symexec.Concolic.hit_pc_formula h in
+        render (Smt.Memo.check_trace ~pc ~checker:condition))
+      cases_arr
+  in
+  let par =
+    List.map
+      (fun j ->
+        let r, t = best (run_parallel j) in
+        (j, Array.to_list r, t))
+      jobs_levels
+  in
+  fresh_state ();
+  let par_t j =
+    let _, _, t = List.find (fun (j', _, _) -> j' = j) par in
+    t
+  in
+  let par_identical =
+    List.for_all (fun (_, r, _) -> r = scratch_verdicts) par
+  in
+  let par_scale8 =
+    if par_t 8 > 0. then par_t 1 /. par_t 8 else infinity
+  in
+  let par_gate =
+    if !smoke_flag then "skipped (smoke)"
+    else if cores < 8 then Printf.sprintf "skipped (%d core(s) < 8)" cores
+    else "enforced"
+  in
+  List.iter
+    (fun (j, _, t) -> Printf.printf "scaling: jobs=%d %8.2f ms\n" j (1000. *. t))
+    par;
+  Printf.printf "scaling: jobs=8 speedup %.2fx over jobs=1 (%d core(s), %s)\n"
+    par_scale8 cores par_gate;
   let speedup = if t_inc > 0. then t_scratch /. t_inc else infinity in
   Printf.printf "from-scratch: %8.2f ms (%d trace(s), best of %d)\n"
     (1000. *. t_scratch) ntraces repeats;
@@ -556,7 +664,12 @@ let run_solver () =
                             "learned_conflicts": %d },
   "wall_s": { "from_scratch": %.6f, "incremental": %.6f },
   "speedup": %.2f,
-  "verdicts_identical": %b
+  "verdicts_identical": %b,
+  "scaling": { "cores": %d,
+               "wall_s": { "jobs1": %.6f, "jobs2": %.6f,
+                           "jobs4": %.6f, "jobs8": %.6f },
+               "speedup_jobs8": %.2f, "verdicts_identical": %b,
+               "throughput_gate": "%s" }
 }
 |}
     !smoke_flag ntraces repeats
@@ -564,7 +677,9 @@ let run_solver () =
     (Smt.Pctrie.shared_count trie)
     (Smt.Pctrie.leaf_count trie)
     pushes props learned t_scratch t_inc speedup
-    (scratch_verdicts = inc_verdicts);
+    (scratch_verdicts = inc_verdicts)
+    cores (par_t 1) (par_t 2) (par_t 4) (par_t 8) par_scale8 par_identical
+    par_gate;
   close_out oc;
   print_endline "wrote BENCH_solver.json";
   let check cond msg =
@@ -580,9 +695,15 @@ let run_solver () =
   check (t_inc <= t_scratch)
     (Printf.sprintf "incremental never loses (%.2f ms <= %.2f ms)"
        (1000. *. t_inc) (1000. *. t_scratch));
+  check par_identical
+    "verdicts byte-identical at jobs=1/2/4/8 on the shared caches";
   if not !smoke_flag then
     check (speedup >= 3.0)
-      (Printf.sprintf "speedup %.1fx >= 3x on the full workload" speedup)
+      (Printf.sprintf "speedup %.1fx >= 3x on the full workload" speedup);
+  if par_gate = "enforced" then
+    check (par_scale8 >= 4.0)
+      (Printf.sprintf "jobs=8 scaling %.1fx >= 4x over jobs=1" par_scale8)
+  else Printf.printf "SKIP: jobs=8 throughput gate (%s)\n" par_gate
 
 (* ------------------------------------------------------------------ *)
 (* Serve-daemon benchmark                                              *)

@@ -1,4 +1,4 @@
-(** Generic hash-cons tables.
+(** Generic hash-cons tables, sharded for contention-free hot paths.
 
     A table maps *shallow nodes* (whose children, if any, are already
     interned) to unique *elements* carrying a per-node id and the node's
@@ -8,8 +8,9 @@
     [compare] are O(1).
 
     Invariants:
-    - ids are unique per table and never reused, so id equality implies
-      structural equality for the table's whole lifetime;
+    - ids are unique per table and never reused (allocated from one
+      atomic per-table counter), so id equality implies structural
+      equality for the table's whole lifetime;
     - entries are never evicted — eviction would allow two live,
       structurally equal elements with different ids, breaking the
       physical-equality invariant.  Tables grow monotonically, bounded
@@ -19,8 +20,15 @@
       ordering or anything compared across processes; the caller's
       [hkey] (structural, deterministic) is the cross-run-stable hash.
 
-    Thread safety: every operation takes the table's mutex, mirroring
-    [Smt.Memo] — safe under the engine's [--jobs N] domain pool. *)
+    Thread safety and scaling: the table is split into 16 shards
+    selected by the low bits of [hkey], each with its own mutex, so
+    interns from different domains only contend when they hash into
+    the same shard.  The read path probes an immutable bucket snapshot
+    (atomic loads, no lock); only a miss falls back to the shard-locked
+    insert path, which re-probes before building.  Hit/miss counters
+    are atomics, so [stats] never blocks an interning domain.  Under a
+    serial schedule ([--jobs 1]) interning order — and therefore every
+    assigned id — is identical to the historic single-mutex design. *)
 
 type stats = { hits : int; misses : int; size : int }
 
@@ -48,3 +56,9 @@ val stats : _ t -> stats
 
 (** Hit/miss/size of every table created so far, in creation order. *)
 val registry : unit -> (string * stats) list
+
+(** Shard-lock acquisitions that found the mutex already held, summed
+    over every table in the process — the backpressure signal surfaced
+    as the [core.shard.contention] telemetry counter.  0 under a serial
+    schedule. *)
+val contention_total : unit -> int

@@ -1,7 +1,9 @@
 type sym = { str : string; sym_id : int; sym_hash : int }
 
 (* The interner is itself a hash-cons table: nodes are raw strings,
-   elements are canonical symbols. *)
+   elements are canonical symbols.  Sharding and the lock-free read
+   path come with the table — symbol lookups on warm strings take no
+   lock at all. *)
 let table : (string, sym) Hc.t =
   Hc.create ~name:"core.intern"
     ~equal:(fun s e -> String.equal s e.str)

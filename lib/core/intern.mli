@@ -5,8 +5,10 @@
     hash-cons tables (variable names in [Smt.Formula] terms) compare
     symbols with [==] and never rehash the characters.
 
-    Process-global and mutex-protected; the same invariants as {!Hc}
-    apply (ids are interning-order-dependent, hashes are structural). *)
+    Process-global, built directly on a sharded {!Hc} table: warm
+    lookups probe a lock-free bucket snapshot, only first-sight inserts
+    take the owning shard's lock.  The same invariants as {!Hc} apply
+    (ids are interning-order-dependent, hashes are structural). *)
 
 type sym = private {
   str : string;  (** the canonical copy; physically shared across [get]s *)

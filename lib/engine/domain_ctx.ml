@@ -1,0 +1,15 @@
+(* The engine's side of the domain-local cache lifecycle.  [Pool]
+   stays policy-free (it just runs hooks); this module knows which
+   domain-local state the checking pipeline actually carries and wires
+   it to worker start/retire. *)
+
+let enter () =
+  (* warm the SMT memo's per-domain front cache so the worker's first
+     query pays no DLS setup *)
+  Smt.Memo.init_local ()
+
+let leave () =
+  (* publish any learned conflicts still sitting in this domain's
+     pending buffer — a joined domain's DLS is unreachable, and the
+     clauses prune every later solve *)
+  Smt.Solver.flush_learned ()

@@ -1,0 +1,17 @@
+(** Domain-local cache lifecycle for the engine's worker domains.
+
+    The hot-path caches keep per-domain state in [Domain.DLS]: the SMT
+    verdict memo's front cache and the solver's pending learned-clause
+    buffer.  The scheduler passes these hooks to {!Pool.map_results} so
+    every worker domain enters with warm state and retires without
+    stranding unpublished clauses.  Both hooks are idempotent and safe
+    on the calling domain (the serial [jobs <= 1] path runs them
+    too). *)
+
+(** Run at worker-domain start: eagerly create the domain's SMT memo
+    front cache ({!Smt.Memo.init_local}). *)
+val enter : unit -> unit
+
+(** Run as a worker domain retires: publish its pending learned
+    clauses ({!Smt.Solver.flush_learned}). *)
+val leave : unit -> unit

@@ -2,7 +2,13 @@
     calling domain (bit-for-bit deterministic); [jobs > 1] spawns up to
     [jobs] domains draining a shared atomic index, with results returned
     in input order — so output is independent of the pool width whenever
-    the mapped function is deterministic per item. *)
+    the mapped function is deterministic per item.
+
+    The optional [init]/[finish] hooks bracket each worker domain's
+    lifetime: [init] runs on the worker before its first item (warm up
+    [Domain.DLS] caches), [finish] after its last (drain domain-local
+    buffers that must outlive the domain).  The serial path runs both
+    hooks on the calling domain. *)
 
 (** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core to
     the scheduler. *)
@@ -12,13 +18,31 @@ val default_jobs : unit -> int
     own slot (no error loss), every other item still computes.  The
     fault-tolerant entry point the engine's retry/quarantine loop
     drives. *)
-val map_results : jobs:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+val map_results :
+  ?init:(unit -> unit) ->
+  ?finish:(unit -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
 
 (** The indexed failures of a [map_results] run, in slot order. *)
 val failures : ('b, exn) result array -> (int * exn) list
 
 (** Raising wrapper: re-raises the first failure by input index
     (deterministically the same one at any pool width). *)
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?init:(unit -> unit) ->
+  ?finish:(unit -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?init:(unit -> unit) ->
+  ?finish:(unit -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list

@@ -148,6 +148,14 @@ let trace_cache_counters t =
       [ ("count", float_of_int s.Stats.propagations) ];
     Trace.counter "smt.learned"
       [ ("count", float_of_int s.Stats.learned_conflicts) ];
+    (* contention-free hot-path counters: shard-lock waits, zero-lock
+       front-cache hits, batched clause publications *)
+    Trace.counter "core.shard.contention"
+      [ ("count", float_of_int s.Stats.shard_contention) ];
+    Trace.counter "smt.memo.local_hits"
+      [ ("count", float_of_int s.Stats.memo_local_hits) ];
+    Trace.counter "smt.learned.batched"
+      [ ("count", float_of_int s.Stats.learned_batched) ];
     Trace.counter "smt.trie.nodes"
       [ ("count", float_of_int s.Stats.trie_nodes) ];
     Trace.counter "smt.trie.shared"
@@ -168,6 +176,9 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   and pop0 = Smt.Solver.assume_pop_count ()
   and propagations0 = Smt.Solver.propagation_count ()
   and learned0 = Smt.Solver.learned_count () in
+  let contention0 = Core.Hc.contention_total ()
+  and local_hits0 = Smt.Memo.local_hits ()
+  and batched0 = Smt.Solver.learned_batch_count () in
   let trie_nodes0 = Smt.Pctrie.nodes_total ()
   and trie_shared0 = Smt.Pctrie.shared_total () in
   let memo_was = Smt.Memo.enabled () in
@@ -237,7 +248,10 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
       ~args:[ ("scheduled", string_of_int (Array.length scheduled)) ]
       "engine.execute"
     @@ fun () ->
-    let results = Pool.map_results ~jobs:cfg.jobs run_job scheduled in
+    let results =
+      Pool.map_results ~init:Domain_ctx.enter ~finish:Domain_ctx.leave
+        ~jobs:cfg.jobs run_job scheduled
+    in
     let rec retry_failures attempt =
       let failed = Pool.failures results in
       if failed <> [] && attempt <= cfg.max_retries then begin
@@ -257,7 +271,8 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
         if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.);
         let slots = Array.of_list (List.map fst failed) in
         let rerun =
-          Pool.map_results ~jobs:cfg.jobs
+          Pool.map_results ~init:Domain_ctx.enter ~finish:Domain_ctx.leave
+            ~jobs:cfg.jobs
             (fun slot -> run_job scheduled.(slot))
             slots
         in
@@ -361,6 +376,15 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   Stats.bump
     ~by:(Smt.Solver.learned_count () - learned0)
     t.recorder Stats.Learned_conflicts;
+  Stats.bump
+    ~by:(Core.Hc.contention_total () - contention0)
+    t.recorder Stats.Shard_contention;
+  Stats.bump
+    ~by:(Smt.Memo.local_hits () - local_hits0)
+    t.recorder Stats.Memo_local_hits;
+  Stats.bump
+    ~by:(Smt.Solver.learned_batch_count () - batched0)
+    t.recorder Stats.Learned_batched;
   Stats.bump
     ~by:(Smt.Pctrie.nodes_total () - trie_nodes0)
     t.recorder Stats.Trie_nodes;

@@ -38,6 +38,15 @@ type t = {
   assume_pops : int;
   propagations : int;  (** literals implied by unit propagation *)
   learned_conflicts : int;  (** theory conflict sets learned *)
+  shard_contention : int;
+      (** hash-cons shard-lock acquisitions that had to wait, during
+          our runs (0 at [jobs <= 1]) *)
+  memo_local_hits : int;
+      (** SMT verdict-cache hits answered by a domain-local front
+          cache (zero-lock hits; a subset of [smt_hits]) *)
+  learned_batched : int;
+      (** learned clauses published through batch flushes during our
+          runs *)
   trie_nodes : int;  (** path-condition trie nodes built during our runs *)
   trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
   wall_s : float;  (** total [enforce] wall time *)
@@ -65,6 +74,9 @@ type counter =
   | Assume_pops
   | Propagations
   | Learned_conflicts
+  | Shard_contention
+  | Memo_local_hits
+  | Learned_batched
   | Trie_nodes
   | Trie_shared
   | Retries
@@ -85,6 +97,9 @@ let counter_name = function
   | Assume_pops -> "assume_pops"
   | Propagations -> "propagations"
   | Learned_conflicts -> "learned_conflicts"
+  | Shard_contention -> "shard_contention"
+  | Memo_local_hits -> "memo_local_hits"
+  | Learned_batched -> "learned_batched"
   | Trie_nodes -> "trie_nodes"
   | Trie_shared -> "trie_shared"
   | Retries -> "retries"
@@ -181,6 +196,9 @@ let snapshot r : t =
     assume_pops = read r Assume_pops;
     propagations = read r Propagations;
     learned_conflicts = read r Learned_conflicts;
+    shard_contention = read r Shard_contention;
+    memo_local_hits = read r Memo_local_hits;
+    learned_batched = read r Learned_batched;
     trie_nodes = read r Trie_nodes;
     trie_shared = read r Trie_shared;
     wall_s = Telemetry.Metrics.getf (r.ns ^ ".wall_s");

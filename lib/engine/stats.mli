@@ -32,6 +32,12 @@ type t = {
   assume_pops : int;
   propagations : int;  (** literals implied by unit propagation *)
   learned_conflicts : int;  (** theory conflict sets learned *)
+  shard_contention : int;
+      (** hash-cons shard-lock waits during our runs (0 at [jobs <= 1]) *)
+  memo_local_hits : int;
+      (** verdict-cache hits answered lock-free by a domain-local front
+          cache; a subset of [smt_hits] *)
+  learned_batched : int;  (** learned clauses published via batch flushes *)
   trie_nodes : int;  (** path-condition trie nodes built during our runs *)
   trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
   wall_s : float;
@@ -57,6 +63,9 @@ type counter =
   | Assume_pops
   | Propagations
   | Learned_conflicts
+  | Shard_contention
+  | Memo_local_hits
+  | Learned_batched
   | Trie_nodes
   | Trie_shared
   | Retries

@@ -10,10 +10,20 @@
     no rendering, one int hash probe (the pre-hash-consing cache keyed
     by canonical renderings rebuilt a string on every lookup).
 
-    The cache is process-global and mutex-protected (the engine's worker
-    domains share it), disabled by default so that code paths outside the
-    engine behave exactly as before.  Hit/miss counters feed the engine's
-    "solver calls saved" statistic. *)
+    Concurrency: the store is two-level.  Each domain owns a *bounded
+    front cache* in [Domain.DLS] — a warm hit there takes zero locks —
+    which spills to a process-global store sharded by key, so domains
+    only contend on a shard mutex when they miss locally on formulas
+    that hash to the same shard.  Verdicts are deterministic functions
+    of the formula and interned ids are never reused, so a front-cache
+    entry can survive a global-shard capacity reset without ever lying:
+    a stale entry still maps its id to the one verdict that formula
+    has.  The cache is disabled by default so that code paths outside
+    the engine behave exactly as before.  Hit/miss counters feed the
+    engine's "solver calls saved" statistic; exactly one hit or miss is
+    recorded per enabled query, so counter totals (and with them the
+    engine's printed stats) are byte-identical to the single-mutex
+    design at any jobs count. *)
 
 let enabled_flag = Atomic.make false
 
@@ -21,88 +31,173 @@ let set_enabled b = Atomic.set enabled_flag b
 
 let enabled () = Atomic.get enabled_flag
 
-let lock = Mutex.create ()
+(* ------------------------------------------------------------------ *)
+(* Sharded global store                                                *)
+(* ------------------------------------------------------------------ *)
+
+let shard_count = 16
+
+let shard_mask = shard_count - 1
 
 (* id -> (simplified formula, verdict).  The formula rides along purely
    for {!entries}/{!restore}: snapshots must re-key by re-interning in
    the loading process (ids are process-local), so the table has to
    remember what each id denoted.  Interned nodes are never evicted
    anyway, so this pins no extra memory. *)
-let table : (int, Formula.t * Solver.verdict) Hashtbl.t = Hashtbl.create 1024
+type shard = {
+  sh_lock : Mutex.t;
+  sh_tbl : (int, Formula.t * Solver.verdict) Hashtbl.t;
+}
 
-let max_entries = 1 lsl 17
+let shards =
+  Array.init shard_count (fun _ ->
+      { sh_lock = Mutex.create (); sh_tbl = Hashtbl.create 128 })
 
-let hit_count = ref 0
+let shard_of key = shards.(key land shard_mask)
 
-let miss_count = ref 0
+(* Same total capacity as the historic single table (2^17), split
+   evenly; a full shard resets alone, shedding 1/16 of the cache
+   instead of cold-starting every domain at once. *)
+let max_entries_per_shard = 1 lsl 13
 
-let hits () =
-  Mutex.lock lock;
-  let n = !hit_count in
-  Mutex.unlock lock;
-  n
+(* global hits are probes answered by a shard; local hits are probes
+   answered by the domain's front cache.  [hits] sums both, so one
+   query still records exactly one hit or one miss. *)
+let global_hit_count = Atomic.make 0
 
-let misses () =
-  Mutex.lock lock;
-  let n = !miss_count in
-  Mutex.unlock lock;
-  n
+let local_hit_count = Atomic.make 0
+
+let miss_count = Atomic.make 0
+
+let hits () = Atomic.get global_hit_count + Atomic.get local_hit_count
+
+let misses () = Atomic.get miss_count
+
+let local_hits () = Atomic.get local_hit_count
 
 let size () =
-  Mutex.lock lock;
-  let n = Hashtbl.length table in
-  Mutex.unlock lock;
-  n
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sh_lock;
+      let n = Hashtbl.length sh.sh_tbl in
+      Mutex.unlock sh.sh_lock;
+      acc + n)
+    0 shards
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local front cache                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded id -> verdict table per domain.  Invalidation is by epoch:
+   [reset] bumps the process epoch, and each domain lazily drops its
+   front cache the next time it looks (a domain cannot safely clear
+   another domain's table).  Overflow resets the local table only —
+   the global store stays warm. *)
+let epoch = Atomic.make 0
+
+let local_cap = 1024
+
+type local = {
+  mutable l_epoch : int;
+  l_tbl : (int, Solver.verdict) Hashtbl.t;
+}
+
+let local_key : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { l_epoch = Atomic.get epoch; l_tbl = Hashtbl.create 64 })
+
+let local () =
+  let l = Domain.DLS.get local_key in
+  let e = Atomic.get epoch in
+  if l.l_epoch <> e then begin
+    Hashtbl.reset l.l_tbl;
+    l.l_epoch <- e
+  end;
+  l
+
+let store_local (l : local) (key : int) (v : Solver.verdict) : unit =
+  if Hashtbl.length l.l_tbl >= local_cap then Hashtbl.reset l.l_tbl;
+  Hashtbl.replace l.l_tbl key v
+
+(** Eagerly create (or epoch-sync) the calling domain's front cache;
+    the engine's pool calls this at worker start so the first query on
+    a fresh domain pays no setup. *)
+let init_local () = ignore (local ())
 
 let reset () =
-  Mutex.lock lock;
-  Hashtbl.reset table;
-  hit_count := 0;
-  miss_count := 0;
-  Mutex.unlock lock
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.sh_lock;
+      Hashtbl.reset sh.sh_tbl;
+      Mutex.unlock sh.sh_lock)
+    shards;
+  Atomic.set global_hit_count 0;
+  Atomic.set local_hit_count 0;
+  Atomic.set miss_count 0;
+  (* invalidate every domain's front cache lazily *)
+  Atomic.incr epoch
+
+(* ------------------------------------------------------------------ *)
+(* The cached solve path                                               *)
+(* ------------------------------------------------------------------ *)
 
 (* The cache key: the interned id of the simplified formula.
    [Formula.simplify] dedups and flattens (modulo canonical atoms) and
    hash-consing makes ids injective on structure, so equal keys imply
    equal formulas — the soundness requirement.  Syntactically different
    but equivalent formulas may miss; that only costs a solver call.
-   (Dropping an entry at the [max_entries] reset is equally harmless:
+   (Dropping an entry at a shard's capacity reset is equally harmless:
    ids are never reused, so a stale table can only miss, never lie.) *)
 let key_of (f : Formula.t) : int * Formula.t =
   let s = Formula.simplify f in
   (Formula.id s, s)
+
+(* The single lookup/store path both {!solve} and {!solve_in} run:
+   front cache, then shard, then [solve_miss] on the simplified
+   formula.  [Unknown] verdicts come from budgets, faults, or open
+   breakers — transient conditions that must not poison either cache
+   level; the next query recomputes. *)
+let with_cache (f : Formula.t) (solve_miss : Formula.t -> Solver.verdict) :
+    Solver.verdict =
+  let key, simplified = key_of f in
+  let l = local () in
+  match Hashtbl.find_opt l.l_tbl key with
+  | Some v ->
+      Atomic.incr local_hit_count;
+      v
+  | None -> (
+      let sh = shard_of key in
+      let cached =
+        Mutex.lock sh.sh_lock;
+        let r = Hashtbl.find_opt sh.sh_tbl key in
+        Mutex.unlock sh.sh_lock;
+        r
+      in
+      match cached with
+      | Some (_, v) ->
+          Atomic.incr global_hit_count;
+          store_local l key v;
+          v
+      | None -> (
+          Atomic.incr miss_count;
+          let v = solve_miss simplified in
+          match v with
+          | Solver.Unknown _ -> v
+          | Solver.Sat _ | Solver.Unsat ->
+              Mutex.lock sh.sh_lock;
+              if Hashtbl.length sh.sh_tbl >= max_entries_per_shard then
+                Hashtbl.reset sh.sh_tbl;
+              Hashtbl.replace sh.sh_tbl key (simplified, v);
+              Mutex.unlock sh.sh_lock;
+              store_local l key v;
+              v))
 
 (** [solve f]: like {!Solver.solve}, but consults the verdict cache when
     enabled.  Verdicts (including models) are deterministic functions of
     the formula, so cached and uncached runs agree. *)
 let solve (f : Formula.t) : Solver.verdict =
   if not (enabled ()) then Solver.solve f
-  else begin
-    let key, simplified = key_of f in
-    let cached =
-      Mutex.lock lock;
-      let r = Hashtbl.find_opt table key in
-      (match r with Some _ -> incr hit_count | None -> incr miss_count);
-      Mutex.unlock lock;
-      r
-    in
-    match cached with
-    | Some (_, v) -> v
-    | None -> (
-        let v = Solver.solve simplified in
-        match v with
-        | Solver.Unknown _ ->
-            (* undecided verdicts come from budgets, faults, or open
-               breakers — transient conditions that must not poison the
-               cache; the next query recomputes *)
-            v
-        | Solver.Sat _ | Solver.Unsat ->
-            Mutex.lock lock;
-            if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-            Hashtbl.replace table key (simplified, v);
-            Mutex.unlock lock;
-            v)
-  end
+  else with_cache f (fun simplified -> Solver.solve simplified)
 
 (** Context-aware variant: like {!solve} but the miss path solves through
     {!Solver.solve_in_context}, reusing the assumption context's warm
@@ -111,28 +206,7 @@ let solve (f : Formula.t) : Solver.verdict =
     entries; [Unknown] is never stored, exactly as above. *)
 let solve_in (ctx : Solver.context) (f : Formula.t) : Solver.verdict =
   if not (enabled ()) then Solver.solve_in_context ctx f
-  else begin
-    let key, simplified = key_of f in
-    let cached =
-      Mutex.lock lock;
-      let r = Hashtbl.find_opt table key in
-      (match r with Some _ -> incr hit_count | None -> incr miss_count);
-      Mutex.unlock lock;
-      r
-    in
-    match cached with
-    | Some (_, v) -> v
-    | None -> (
-        let v = Solver.solve_in_context ctx simplified in
-        match v with
-        | Solver.Unknown _ -> v
-        | Solver.Sat _ | Solver.Unsat ->
-            Mutex.lock lock;
-            if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-            Hashtbl.replace table key (simplified, v);
-            Mutex.unlock lock;
-            v)
-  end
+  else with_cache f (fun simplified -> Solver.solve_in_context ctx simplified)
 
 (** Cached complement check (same contract as {!Solver.check_trace}). *)
 let check_trace ~(pc : Formula.t) ~(checker : Formula.t) : Solver.trace_check =
@@ -177,33 +251,54 @@ let check_trace_direct_in (ctx : Solver.context) ~(pc : Formula.t)
     caller converts to {!Wire} forms before persisting — interned values
     must never be marshalled raw (ids are process-local). *)
 let entries () : (Formula.t * Solver.verdict) list =
-  Mutex.lock lock;
-  let es = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
-  Mutex.unlock lock;
-  es
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sh_lock;
+      let es = Hashtbl.fold (fun _ e acc -> e :: acc) sh.sh_tbl acc in
+      Mutex.unlock sh.sh_lock;
+      es)
+    [] shards
 
 (** Seed the cache from a snapshot: each formula is re-simplified and
     re-keyed by its id {e in this process} (the loader already rebuilt
     it through the smart constructors).  [Unknown] verdicts and entries
     already present are skipped; counters are untouched — warm entries
-    count as hits only when a query actually lands on them.  Returns the
-    number of entries added. *)
+    count as hits only when a query actually lands on them.  Entries
+    are grouped by shard first, so each shard's lock is taken once per
+    batch instead of once per entry.  Returns the number of entries
+    added. *)
 let restore (es : (Formula.t * Solver.verdict) list) : int =
-  let added = ref 0 in
+  (* re-interning (key_of simplifies and hashes) runs outside any lock *)
+  let groups : (int * Formula.t * Solver.verdict) list array =
+    Array.make shard_count []
+  in
   List.iter
     (fun (f, v) ->
       match v with
       | Solver.Unknown _ -> ()
       | Solver.Sat _ | Solver.Unsat ->
           let key, simplified = key_of f in
-          Mutex.lock lock;
-          if
-            (not (Hashtbl.mem table key))
-            && Hashtbl.length table < max_entries
-          then begin
-            Hashtbl.replace table key (simplified, v);
-            incr added
-          end;
-          Mutex.unlock lock)
+          let i = key land shard_mask in
+          groups.(i) <- (key, simplified, v) :: groups.(i))
     es;
+  let added = ref 0 in
+  Array.iteri
+    (fun i group ->
+      match List.rev group (* preserve input order: first entry wins *) with
+      | [] -> ()
+      | group ->
+          let sh = shards.(i) in
+          Mutex.lock sh.sh_lock;
+          List.iter
+            (fun (key, simplified, v) ->
+              if
+                (not (Hashtbl.mem sh.sh_tbl key))
+                && Hashtbl.length sh.sh_tbl < max_entries_per_shard
+              then begin
+                Hashtbl.replace sh.sh_tbl key (simplified, v);
+                incr added
+              end)
+            group;
+          Mutex.unlock sh.sh_lock)
+    groups;
   !added

@@ -3,9 +3,16 @@
     Keyed by the interned id of the simplified formula: formulas are
     hash-consed, so equal keys denote equal formulas and reusing a
     verdict is always sound — and the hit path allocates no rendering.
-    Process-global, mutex-protected (safe to share across the engine's
-    worker domains), and disabled by default — when disabled every call
-    passes straight through to {!Solver}. *)
+
+    The store is two-level: each domain keeps a bounded front cache in
+    [Domain.DLS] (a warm hit takes zero locks), spilling to a
+    process-global store sharded 16 ways by key, so worker domains only
+    contend on a shard mutex for cold formulas that hash alike.
+    Exactly one hit or miss is recorded per enabled query
+    ([hits () = global hits + local hits]), so counter totals — and the
+    engine statistics derived from them — match the historic
+    single-mutex design at any jobs count.  Disabled by default — when
+    disabled every call passes straight through to {!Solver}. *)
 
 (** Turn the cache on or off (default: off). *)
 val set_enabled : bool -> unit
@@ -50,7 +57,9 @@ val check_trace_direct_in :
 val entries : unit -> (Formula.t * Solver.verdict) list
 
 (** Seed the cache from re-interned entries; skips [Unknown] verdicts
-    and keys already present, never evicts.  Returns entries added. *)
+    and keys already present, never evicts.  Entries are grouped by
+    shard so each shard lock is taken once per batch, not once per
+    entry.  Returns entries added. *)
 val restore : (Formula.t * Solver.verdict) list -> int
 
 (** {1 Counters} *)
@@ -59,8 +68,19 @@ val hits : unit -> int
 
 val misses : unit -> int
 
-(** Number of formulas currently cached. *)
+(** Queries answered by the calling side's domain-local front cache
+    (zero-lock hits); a subset of {!hits}.  Surfaced by the engine as
+    the [smt.memo.local_hits] telemetry counter. *)
+val local_hits : unit -> int
+
+(** Number of formulas currently cached in the global store. *)
 val size : unit -> int
 
-(** Clear the table and zero the counters. *)
+(** Clear the global store, zero the counters, and lazily invalidate
+    every domain's front cache (epoch bump — a domain drops its local
+    table on its next query). *)
 val reset : unit -> unit
+
+(** Eagerly create (or epoch-sync) the calling domain's front cache;
+    the engine's worker pool calls this at domain start. *)
+val init_local : unit -> unit

@@ -154,7 +154,50 @@ let set_learning_enabled b = Atomic.set learning_flag b
 
 let learning_enabled () = Atomic.get learning_flag
 
+(* Learned clauses are not published one mutex acquisition at a time:
+   each domain accumulates fresh conflicts in a [Domain.DLS] pending
+   buffer and flushes them to the global store in a batch — at the end
+   of a solve, at a context pop, when the buffer reaches
+   [flush_threshold], or explicitly ({!flush_learned}, called by the
+   engine's pool when a worker domain retires).  Unpublished clauses
+   still prune: {!consistent_with} probes the domain's own pending
+   buffer right after the global store, so under a serial schedule the
+   set of clauses visible to the search (global ∪ pending) is
+   step-by-step identical to the historic publish-immediately design —
+   same search trees, same learned counts, same verdicts. *)
+let flush_threshold = 64
+
+let learned_batched = Atomic.make 0
+
+let learned_batch_count () = Atomic.get learned_batched
+
+(* Bumped by [reset_learned] so every domain lazily discards clauses it
+   learned against the pre-reset store. *)
+let learned_epoch = Atomic.make 0
+
+type pending = {
+  mutable p_epoch : int;
+  mutable p_clauses : lit_id list list;  (* newest first *)
+  mutable p_count : int;
+}
+
+let pending_key : pending Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { p_epoch = Atomic.get learned_epoch; p_clauses = []; p_count = 0 })
+
+let pending () =
+  let p = Domain.DLS.get pending_key in
+  let e = Atomic.get learned_epoch in
+  if p.p_epoch <> e then begin
+    p.p_clauses <- [];
+    p.p_count <- 0;
+    p.p_epoch <- e
+  end;
+  p
+
 let reset_learned () =
+  (* discard every domain's pending buffer before clearing the store *)
+  Atomic.incr learned_epoch;
   Mutex.lock theory_memo_lock;
   Hashtbl.reset learned_table;
   learned_size := 0;
@@ -180,9 +223,53 @@ let learned_subsumes_locked (keys : lit_id list) : bool =
       | Some sets -> List.exists (fun s -> subset s keys) sets)
     keys
 
+(* [keys] is sorted; the pending buffer is domain-local, so no lock *)
+let pending_subsumes (keys : lit_id list) : bool =
+  let p = pending () in
+  p.p_clauses <> [] && List.exists (fun s -> subset s keys) p.p_clauses
+
+(* Publish the calling domain's pending clauses under one lock hold. *)
+let flush_learned () =
+  let p = pending () in
+  match p.p_clauses with
+  | [] -> ()
+  | newest_first ->
+      let clauses = List.rev newest_first (* publish in learn order *) in
+      let n = p.p_count in
+      p.p_clauses <- [];
+      p.p_count <- 0;
+      Mutex.lock theory_memo_lock;
+      List.iter
+        (fun ckeys ->
+          match List.rev ckeys with
+          | [] -> ()
+          | max_key :: _ ->
+              if !learned_size >= learned_max then begin
+                Hashtbl.reset learned_table;
+                learned_size := 0
+              end;
+              let bucket =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt learned_table max_key)
+              in
+              (* another domain may have published it meanwhile *)
+              if not (List.mem ckeys bucket) then begin
+                Hashtbl.replace learned_table max_key (ckeys :: bucket);
+                incr learned_size
+              end)
+        clauses;
+      Mutex.unlock theory_memo_lock;
+      ignore (Atomic.fetch_and_add learned_batched n)
+
 (* Minimize and record a theory conflict.  The [Theory.conflict_core]
-   calls run outside the lock (they are theory solves); only the store
-   mutation is locked. *)
+   calls run lock-free (they are theory solves), and so does the store
+   append: the clause goes into the domain's pending buffer and is only
+   published (one lock hold per batch) when the buffer fills or the
+   search reaches a flush point.  No dedup check against pending is
+   needed: a conflict reaches this function only after
+   {!consistent_with} missed both the global store and the pending
+   buffer, and the minimized core is a subset of the refuted assignment,
+   so the core cannot already be pending. *)
 let learn_conflict (assign : (Formula.atom * bool) list) : unit =
   if learning_enabled () then begin
     let core = Theory.conflict_core (lits_of_assign assign) in
@@ -190,23 +277,14 @@ let learn_conflict (assign : (Formula.atom * bool) list) : unit =
       List.sort_uniq compare
         (List.map (fun (l : Theory.lit) -> lit_key (l.Theory.atom, l.Theory.sign)) core)
     in
-    match List.rev ckeys with
+    match ckeys with
     | [] -> ()
-    | max_key :: _ ->
-        Mutex.lock theory_memo_lock;
-        if !learned_size >= learned_max then begin
-          Hashtbl.reset learned_table;
-          learned_size := 0
-        end;
-        let bucket =
-          Option.value ~default:[] (Hashtbl.find_opt learned_table max_key)
-        in
-        if not (List.mem ckeys bucket) then begin
-          Hashtbl.replace learned_table max_key (ckeys :: bucket);
-          incr learned_size;
-          Atomic.incr learned_conflicts
-        end;
-        Mutex.unlock theory_memo_lock
+    | _ ->
+        let p = pending () in
+        p.p_clauses <- ckeys :: p.p_clauses;
+        p.p_count <- p.p_count + 1;
+        Atomic.incr learned_conflicts;
+        if p.p_count >= flush_threshold then flush_learned ()
   end
 
 (* Theory consistency of a partial assignment, through the memo and the
@@ -237,6 +315,23 @@ let consistent_with ~(keys : lit_id list) (assign : (Formula.atom * bool) list) 
         in
         Mutex.unlock theory_memo_lock;
         r
+      in
+      let cached =
+        match cached with
+        | Some _ -> cached
+        | None ->
+            (* clauses this domain learned but has not yet published
+               prune exactly as published ones do, so batching never
+               loses a refutation the immediate-publish design had *)
+            if pending_subsumes keys then begin
+              Mutex.lock theory_memo_lock;
+              if Hashtbl.length theory_memo >= !theory_memo_max then
+                halve_theory_memo ();
+              Hashtbl.replace theory_memo keys false;
+              Mutex.unlock theory_memo_lock;
+              Some false
+            end
+            else None
       in
       match cached with
       | Some b -> b
@@ -653,17 +748,23 @@ let solve_untraced ?node_budget ?(prefix_unsat = false) (f : Formula.t) :
         | _ when prefix_unsat ->
             Resilience.Breaker.success Resilience.Fault.Solver;
             Unsat
-        | _ -> (
-            match search_compiled ~budget (compile f) with
-            | Some model ->
-                Resilience.Breaker.success Resilience.Fault.Solver;
-                Sat model
-            | None ->
-                Resilience.Breaker.success Resilience.Fault.Solver;
-                Unsat
-            | exception Budget_hit ->
-                Resilience.Breaker.failure Resilience.Fault.Solver;
-                Unknown (Fmt.str "node budget %d exhausted" budget)))
+        | _ ->
+            let v =
+              match search_compiled ~budget (compile f) with
+              | Some model ->
+                  Resilience.Breaker.success Resilience.Fault.Solver;
+                  Sat model
+              | None ->
+                  Resilience.Breaker.success Resilience.Fault.Solver;
+                  Unsat
+              | exception Budget_hit ->
+                  Resilience.Breaker.failure Resilience.Fault.Solver;
+                  Unknown (Fmt.str "node budget %d exhausted" budget)
+            in
+            (* end-of-solve flush: publish this search's conflicts so
+               sibling domains (and later solves) prune on them *)
+            flush_learned ();
+            v)
 
 (* The traced wrapper only pays for the span and the latency histogram
    while tracing is on; the healthy fast path is one atomic load. *)
@@ -770,6 +871,9 @@ let push (ctx : context) (f : Formula.t) : unit =
 
 let pop (ctx : context) : unit =
   Atomic.incr assume_pops;
+  (* context-pop epoch: the trie walk is leaving a prefix, so publish
+     the conflicts its subtree learned before a sibling re-explores *)
+  flush_learned ();
   match ctx.ctx_frames with
   | [] -> invalid_arg "Solver.pop: empty assumption stack"
   | fr :: rest ->

@@ -58,12 +58,31 @@ val reset_theory_memo : unit -> unit
     globally; any later partial assignment containing a learned set is
     refuted without a theory call.  Learning is result-preserving —
     it changes the cost of a verdict, never the verdict or the model —
-    and [Unknown]/degraded results are never learned. *)
+    and [Unknown]/degraded results are never learned.
+
+    Publication is batched: each domain buffers fresh conflicts locally
+    ([Domain.DLS]) and takes the store lock once per batch — at the end
+    of a solve, at a context pop, at a buffer-size threshold, or via
+    {!flush_learned}.  A domain's own unpublished clauses still prune
+    its search (the store probe falls through to the pending buffer),
+    so batching is result-preserving too; under a serial schedule the
+    visible clause set matches immediate publication step for step. *)
 
 (** Number of conflict sets learned since the last {!reset_learned}. *)
 val learned_count : unit -> int
 
 val reset_learned : unit -> unit
+
+(** Publish the calling domain's pending learned clauses now (one lock
+    hold for the whole batch).  The engine's pool calls this as each
+    worker domain retires so no clause is stranded in a dead domain's
+    buffer. *)
+val flush_learned : unit -> unit
+
+(** Learned clauses published through batch flushes since process start
+    (monotone; surfaced as the [smt.learned.batched] telemetry
+    counter). *)
+val learned_batch_count : unit -> int
 
 (** Toggle conflict learning (tests pin that verdicts are identical with
     learning disabled).  Enabled by default. *)

@@ -64,6 +64,102 @@ let test_hc_stats_and_registry () =
       Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
     [ "core.intern"; "smt.term"; "smt.formula"; "test.pair" ]
 
+(* the registry lists tables in creation order (the satellite fix turned
+   the O(n²) append into cons + reverse; order must not flip) *)
+let test_registry_creation_order () =
+  let mk name =
+    ignore
+      (Hc.create ~name
+         ~equal:(fun (i : int) (e : int * int) -> i = fst e)
+         ~build:(fun ~id ~hkey:_ i -> (i, id))
+         ())
+  in
+  mk "test.order-a";
+  mk "test.order-b";
+  let names = List.map fst (Hc.registry ()) in
+  let rec position n i = function
+    | [] -> Alcotest.failf "%s missing from registry" n
+    | x :: rest -> if String.equal x n then i else position n (i + 1) rest
+  in
+  Alcotest.(check bool) "earlier creation listed earlier" true
+    (position "test.order-a" 0 names < position "test.order-b" 0 names);
+  Alcotest.(check bool) "seed tables precede test tables" true
+    (position "core.intern" 0 names < position "test.order-a" 0 names)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded-table hammer: 8 domains, one table                          *)
+(* ------------------------------------------------------------------ *)
+
+(* 8 domains hammer one fresh sharded table over an overlapping key
+   range.  The shards must preserve the single-mutex invariants under
+   real contention: one physically shared element per distinct node,
+   unique never-reused ids, and counter-sum consistency — every intern
+   call records exactly one hit or one miss, and misses count exactly
+   the distinct nodes. *)
+let test_hc_hammer_8_domains () =
+  let tbl : (int * int, pair_elt) Hc.t =
+    Hc.create ~name:"test.hammer"
+      ~equal:(fun (a, b) e -> e.p_fst = a && e.p_snd = b)
+      ~build:(fun ~id ~hkey (a, b) ->
+        { p_fst = a; p_snd = b; p_id = id; p_hash = hkey })
+      ()
+  in
+  let domains_n = 8 and per_domain = 2_000 and distinct = 257 in
+  let intern_j j =
+    let a = j mod distinct in
+    Hc.intern tbl ~hkey:(Hashtbl.hash (a, a)) (a, a)
+  in
+  let worker () =
+    for j = 0 to per_domain - 1 do
+      ignore (intern_j j)
+    done;
+    Array.init distinct intern_j
+  in
+  let ds = List.init domains_n (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join ds in
+  let s = Hc.stats tbl in
+  Alcotest.(check int) "misses = distinct nodes" distinct s.Hc.misses;
+  Alcotest.(check int) "size = distinct nodes = ids handed out" distinct
+    s.Hc.size;
+  Alcotest.(check int) "every call recorded exactly one hit or miss"
+    (domains_n * (per_domain + distinct))
+    (s.Hc.hits + s.Hc.misses);
+  let reference = Array.init distinct intern_j in
+  List.iteri
+    (fun d arr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d saw the shared elements" d)
+        true
+        (Array.for_all2 (fun a b -> a == b) reference arr))
+    results;
+  let ids =
+    List.sort compare (Array.to_list (Array.map (fun e -> e.p_id) reference))
+  in
+  Alcotest.(check (list int)) "ids are exactly 0..distinct-1, none reused"
+    (List.init distinct Fun.id) ids
+
+(* same hammer against the global string interner *)
+let test_intern_hammer_8_domains () =
+  let n = 64 in
+  let name j = Printf.sprintf "hammer-sym-%d" (j mod n) in
+  let worker () = Array.init (4 * n) (fun j -> Intern.get (name j)) in
+  let ds = List.init 8 (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join ds in
+  let reference = Array.init (4 * n) (fun j -> Intern.get (name j)) in
+  List.iteri
+    (fun d arr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d shares every sym" d)
+        true
+        (Array.for_all2 (fun a b -> a == b) reference arr))
+    results;
+  let distinct_ids =
+    List.sort_uniq compare
+      (List.init n (fun j -> (Intern.get (name j)).Intern.sym_id))
+  in
+  Alcotest.(check int) "distinct strings keep distinct ids" n
+    (List.length distinct_ids)
+
 (* ------------------------------------------------------------------ *)
 (* Determinism across domains (the --jobs 1 vs --jobs 4 invariant)     *)
 (* ------------------------------------------------------------------ *)
@@ -101,6 +197,27 @@ let prop_interning_deterministic_across_domains =
             serial dom_fs)
         parallel)
 
+(* the 8-domain variant also hammers the string interner alongside the
+   formula tables — all three sharded stores at once *)
+let prop_interning_deterministic_8_domains =
+  QCheck.Test.make ~count:10 ~name:"interning agrees, jobs=1 vs jobs=8"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let sym k = Intern.get (Printf.sprintf "p8-%d-%d" (seed mod 32) k) in
+      let serial_f = List.init 8 (mk_formula seed) in
+      let serial_s = List.init 8 sym in
+      let domains =
+        List.init 8 (fun _ ->
+            Domain.spawn (fun () ->
+                (List.init 8 (mk_formula seed), List.init 8 sym)))
+      in
+      let parallel = List.map Domain.join domains in
+      List.for_all
+        (fun (fs, ss) ->
+          List.for_all2 (fun a b -> a == b) serial_f fs
+          && List.for_all2 (fun a b -> a == b) serial_s ss)
+        parallel)
+
 let suite =
   [
     ( "core.hc",
@@ -111,6 +228,13 @@ let suite =
           test_hc_unique_ids;
         Alcotest.test_case "stats and registry" `Quick
           test_hc_stats_and_registry;
+        Alcotest.test_case "registry preserves creation order" `Quick
+          test_registry_creation_order;
+        Alcotest.test_case "8-domain hammer: identity, ids, counters" `Quick
+          test_hc_hammer_8_domains;
+        Alcotest.test_case "8-domain hammer: string interner" `Quick
+          test_intern_hammer_8_domains;
         QCheck_alcotest.to_alcotest prop_interning_deterministic_across_domains;
+        QCheck_alcotest.to_alcotest prop_interning_deterministic_8_domains;
       ] );
   ]

@@ -290,6 +290,48 @@ let test_memo_hit_counting () =
       Alcotest.(check int) "one hit" 1 (Memo.hits ());
       Memo.reset ())
 
+(* the two-level store: a repeat query on the same domain is answered by
+   the zero-lock front cache; a fresh domain misses locally, hits the
+   shared global store, and both kinds still sum into [hits] *)
+let test_memo_local_front_cache () =
+  with_memo (fun () ->
+      Memo.reset ();
+      let f = Formula.gt (Formula.tvar "memo_local_x") (Formula.tint 3) in
+      ignore (Memo.solve f);
+      ignore (Memo.solve f);
+      Alcotest.(check int) "repeat on the same domain hits locally" 1
+        (Memo.local_hits ());
+      Alcotest.(check int) "local hits count into hits" 1 (Memo.hits ());
+      Domain.join (Domain.spawn (fun () -> ignore (Memo.solve f)));
+      Alcotest.(check int) "a fresh domain hits the global store" 2
+        (Memo.hits ());
+      Alcotest.(check int) "without touching the local counter" 1
+        (Memo.local_hits ());
+      Alcotest.(check int) "and without a miss" 1 (Memo.misses ());
+      Memo.reset ())
+
+(* restore seeds the global store in one lock hold per shard: entries
+   round-trip, duplicates are skipped, counters stay untouched *)
+let test_memo_restore_batch () =
+  with_memo (fun () ->
+      Memo.reset ();
+      let mk i = Formula.gt (Formula.tvar "memo_restore_x") (Formula.tint i) in
+      for i = 0 to 19 do
+        ignore (Memo.solve (mk i))
+      done;
+      let entries = Memo.entries () in
+      Alcotest.(check int) "20 entries captured" 20 (List.length entries);
+      Memo.reset ();
+      Alcotest.(check int) "reset emptied the store" 0 (Memo.size ());
+      Alcotest.(check int) "all 20 restored" 20 (Memo.restore entries);
+      Alcotest.(check int) "restore adds no duplicates" 0 (Memo.restore entries);
+      Alcotest.(check int) "size matches" 20 (Memo.size ());
+      Alcotest.(check int) "restore records no hits" 0 (Memo.hits ());
+      Alcotest.(check int) "restore records no misses" 0 (Memo.misses ());
+      ignore (Memo.solve (mk 7));
+      Alcotest.(check int) "a warm query hits" 1 (Memo.hits ());
+      Memo.reset ())
+
 (* ------------------------------------------------------------------ *)
 (* The scheduler: equivalence across pool widths and caching layers    *)
 (* ------------------------------------------------------------------ *)
@@ -320,6 +362,20 @@ let test_jobs1_equals_jobs4 () =
     scan { Engine.Scheduler.cold_config with Engine.Scheduler.jobs = 4 }
   in
   Alcotest.(check (list string)) "identical reports, jobs=1 vs jobs=4" serial parallel
+
+(* the byte-identity pin at the width the sharded stores target *)
+let test_jobs1_equals_jobs8 () =
+  let serial, _ = scan Engine.Scheduler.cold_config in
+  let parallel, _ =
+    scan { Engine.Scheduler.cold_config with Engine.Scheduler.jobs = 8 }
+  in
+  Alcotest.(check (list string)) "identical reports, jobs=1 vs jobs=8" serial
+    parallel;
+  let warm, _ =
+    scan { Engine.Scheduler.default_config with Engine.Scheduler.jobs = 8 }
+  in
+  Alcotest.(check (list string)) "identical reports with every cache on"
+    serial warm
 
 let test_caches_preserve_reports () =
   let cold, cold_stats = scan Engine.Scheduler.cold_config in
@@ -457,12 +513,17 @@ let suite =
         QCheck_alcotest.to_alcotest prop_memo_check_trace_agrees;
         Alcotest.test_case "disabled passthrough" `Quick test_memo_disabled_passthrough;
         Alcotest.test_case "hit counting" `Quick test_memo_hit_counting;
+        Alcotest.test_case "domain-local front cache" `Quick
+          test_memo_local_front_cache;
+        Alcotest.test_case "restore batches per shard" `Quick
+          test_memo_restore_batch;
         Alcotest.test_case "id-keyed hit on fresh construction" `Quick
           test_memo_id_keyed_hit_on_fresh_construction;
       ] );
     ( "engine.scheduler",
       [
         Alcotest.test_case "jobs=1 == jobs=4" `Quick test_jobs1_equals_jobs4;
+        Alcotest.test_case "jobs=1 == jobs=8" `Quick test_jobs1_equals_jobs8;
         Alcotest.test_case "caches preserve reports" `Quick test_caches_preserve_reports;
         Alcotest.test_case "parallel+cached == serial cold" `Quick test_parallel_cached_equals_serial_cold;
         Alcotest.test_case "same version twice reused" `Quick test_same_version_twice_all_reused;

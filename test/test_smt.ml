@@ -423,6 +423,38 @@ let prop_learning_never_changes_verdicts =
       in
       render_verdict with_learning = render_verdict without_learning)
 
+(* Learned clauses flow through the domain-local pending buffer and are
+   published by the end-of-solve flush: a solve that learns conflicts
+   advances both the learned count and the batched-publication count,
+   and an explicit flush on a drained buffer is a no-op. *)
+let test_learned_batched_publication () =
+  Solver.reset_learned ();
+  let batched0 = Solver.learned_batch_count () in
+  let learned0 = Solver.learned_count () in
+  (* x > 5 && x < 3 is boolean-satisfiable but theory-inconsistent:
+     the search must call the theory, conflict, and learn *)
+  let f =
+    Formula.conj
+      [
+        Formula.gt (v "batch_x") (i 5);
+        Formula.lt (v "batch_x") (i 3);
+      ]
+  in
+  (match Solver.solve f with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat");
+  let learned = Solver.learned_count () - learned0 in
+  Alcotest.(check bool) "the solve learned at least one conflict" true
+    (learned > 0);
+  Alcotest.(check int) "every learned clause was published in a batch"
+    learned
+    (Solver.learned_batch_count () - batched0);
+  let batched1 = Solver.learned_batch_count () in
+  Solver.flush_learned ();
+  Alcotest.(check int) "flushing a drained buffer publishes nothing"
+    batched1 (Solver.learned_batch_count ());
+  Solver.reset_learned ()
+
 let test_context_push_pop_depth () =
   let ctx = Solver.create_context () in
   let pushes0 = Solver.assume_push_count () in
@@ -499,6 +531,8 @@ let suite =
       ] );
     ( "smt.context",
       [
+        Alcotest.test_case "learned clauses publish in batches" `Quick
+          test_learned_batched_publication;
         Alcotest.test_case "push/pop depth and counters" `Quick
           test_context_push_pop_depth;
         Alcotest.test_case "inconsistent prefix short-circuits" `Quick
