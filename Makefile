@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke chaos trace serve-smoke triage clean
+.PHONY: all build test check bench bench-smoke chaos trace serve-smoke triage scale scale-smoke clean
 
 all: build
 
@@ -28,6 +28,10 @@ SERVE_TRACE_SPANS = serve.request counter:serve.queue
 TRIAGE_TRACE_SPANS = triage.witness counter:triage.tier.witnessed \
   counter:triage.tier.consistent counter:triage.tier.likely_fp
 
+# Names the scale trace must mention: the corpus-generator span and its
+# case counter (the scan/engine names are covered by TRACE_SPANS).
+SCALE_TRACE_SPANS = corpus.synth counter:corpus.synth.cases
+
 # The tier-1 gate plus the engine acceptance smokes: build, full test
 # suite, the serial/parallel/incremental equivalence checks (with a
 # trace-export smoke), the chaos fault-injection invariants — both on
@@ -36,9 +40,10 @@ TRIAGE_TRACE_SPANS = triage.witness counter:triage.tier.witnessed \
 # the witness-replay triage smoke (zero-loss, injected-FP demotion,
 # determinism, triage.* trace names), and the serve-daemon smoke
 # (overload shed, warm-restart byte identity, corrupted-snapshot cold
-# fallback, serve.* trace names).
+# fallback, serve.* trace names), and the synthetic-corpus scale smoke
+# (generator determinism, zero-loss detection, corpus.synth trace names).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && dune exec bench/main.exe -- --experiment triage --smoke --trace trace-triage-smoke.json && dune exec tools/trace_check.exe -- trace-triage-smoke.json $(TRIAGE_TRACE_SPANS) && $(MAKE) bench-smoke && $(MAKE) serve-smoke
+	dune build && dune runtest && dune exec bench/main.exe -- --experiment engine --smoke --trace trace-smoke.json && dune exec tools/trace_check.exe -- trace-smoke.json $(TRACE_SPANS) && dune exec bench/main.exe -- --experiment chaos --smoke && dune exec bench/main.exe -- --experiment solver --smoke && dune exec bench/main.exe -- --experiment triage --smoke --trace trace-triage-smoke.json && dune exec tools/trace_check.exe -- trace-triage-smoke.json $(TRIAGE_TRACE_SPANS) && $(MAKE) bench-smoke && $(MAKE) serve-smoke && $(MAKE) scale-smoke
 
 # Serve-daemon acceptance: drive `lisa serve` over stdin JSONL with a
 # queue-depth-2 overload (one request must shed), restart warm from
@@ -61,6 +66,19 @@ bench-smoke:
 # up.  Load trace.json in chrome://tracing or https://ui.perfetto.dev.
 trace:
 	dune exec bench/main.exe -- --experiment engine --trace trace.json && dune exec tools/trace_check.exe -- trace.json $(TRACE_SPANS)
+
+# Synthetic-corpus scaling acceptance, smoke version: scales 1x/2x,
+# every gate on (generator determinism, Case.validate, zero-loss planted
+# detection, jobs=1 vs jobs=4 byte identity, CI regression gating),
+# with the corpus.synth span/counter validated in the recorded trace.
+scale-smoke:
+	dune exec bench/main.exe -- --experiment scale --smoke --trace trace-scale-smoke.json && dune exec tools/trace_check.exe -- trace-scale-smoke.json $(SCALE_TRACE_SPANS)
+
+# Full version: scales 1x/10x/100x (>= 160 cases at 10x), CI leg capped
+# at 160 histories.  Writes BENCH_scale.json with throughput, cache-hit
+# rates and peak heap per scale point.
+scale:
+	dune exec bench/main.exe -- --experiment scale
 
 bench:
 	dune exec bench/main.exe

@@ -82,16 +82,16 @@ let run_composition () =
 
 let run_ci () =
   section "CI: gated version histories (the executable-contract vision)";
+  let registry = Corpus.Registry.builtin in
   let blocked = ref 0 in
   List.iter
-    (fun (c : Corpus.Case.t) ->
-      let r = Lisa.Ci.replay c in
+    (fun r ->
       print_endline (Lisa.Ci.run_to_string r);
       print_newline ();
       blocked := !blocked + List.length (Lisa.Ci.blocked_stages r))
-    Corpus.Registry.all_cases;
+    (Lisa.Ci.replay_all ~registry ());
   Printf.printf "total commits blocked before release across %d histories: %d\n"
-    Corpus.Registry.n_cases !blocked
+    (Corpus.Registry.case_count registry) !blocked
 
 (* ------------------------------------------------------------------ *)
 (* Enforcement-engine benchmark                                        *)
@@ -111,22 +111,24 @@ let run_ci () =
    in every mode, and strictly fewer solver calls cached than cold. *)
 let run_engine_bench () =
   section "ENGINE: serial vs parallel vs incremental enforcement";
+  let registry = Corpus.Registry.builtin in
   let systems =
-    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+    if !smoke_flag then [ "zookeeper" ] else registry.Corpus.Registry.systems
   in
+  let versions = registry.Corpus.Registry.scan_versions in
   let workload =
     List.map
       (fun system ->
-        let book = Lisa.System_scan.learn_system_book system in
+        let book = Lisa.System_scan.learn_system_book ~registry system in
         ( system,
           book,
           List.map
-            (fun v -> (v, Corpus.Registry.system_program system ~version:v))
-            [ 1; 2; 3; 5 ] ))
+            (fun v -> (v, Corpus.Registry.program_of registry system ~version:v))
+            versions ))
       systems
   in
-  Printf.printf "workload: %d system(s) x 4 versions%s\n\n"
-    (List.length systems)
+  Printf.printf "workload: %d system(s) x %d versions%s\n\n"
+    (List.length systems) (List.length versions)
     (if !smoke_flag then " (smoke)" else "");
   let run_mode name config =
     (* the verdict cache is global: start every mode from a clean slate *)
@@ -255,7 +257,7 @@ let micro_tests () =
     List.map
       (fun (c : Corpus.Case.t) ->
         { Oracle.Tfidf.doc_id = c.Corpus.Case.case_id; text = c.Corpus.Case.source 1 })
-      Corpus.Registry.all_cases
+      Corpus.Registry.builtin.Corpus.Registry.cases
   in
   [
     Test.make ~name:"parser: zk feature module"
@@ -492,17 +494,18 @@ let run_formula () =
    BENCH_solver.json. *)
 let run_solver () =
   section "SOLVER: incremental prefix-sharing vs per-trace from-scratch";
+  let registry = Corpus.Registry.builtin in
   let systems =
-    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+    if !smoke_flag then [ "zookeeper" ] else registry.Corpus.Registry.systems
   in
   (* the workload: (checker condition, hit) per trace, in engine order *)
   let cases =
     List.concat_map
       (fun system ->
-        let book = Lisa.System_scan.learn_system_book system in
+        let book = Lisa.System_scan.learn_system_book ~registry system in
         List.concat_map
           (fun v ->
-            let p = Corpus.Registry.system_program system ~version:v in
+            let p = Corpus.Registry.program_of registry system ~version:v in
             let g = Analysis.Callgraph.build p in
             List.concat_map
               (fun rule ->
@@ -512,7 +515,7 @@ let run_solver () =
                 | Some (condition, hits) ->
                     List.map (fun h -> (condition, h)) hits)
               (Semantics.Rulebook.rules book))
-          [ 1; 2; 3; 5 ])
+          registry.Corpus.Registry.scan_versions)
       systems
   in
   let ntraces = List.length cases in
@@ -734,10 +737,13 @@ let run_serve () =
       (fun f -> Sys.remove (Filename.concat cache_dir f))
       (Sys.readdir cache_dir)
   else Unix.mkdir cache_dir 0o755;
+  let registry = Corpus.Registry.builtin in
   let systems =
-    if !smoke_flag then [ "zookeeper" ] else Corpus.Registry.systems
+    if !smoke_flag then [ "zookeeper" ] else registry.Corpus.Registry.systems
   in
-  let versions = if !smoke_flag then [ 1; 5 ] else [ 1; 2; 3; 5 ] in
+  let versions =
+    if !smoke_flag then [ 1; 5 ] else registry.Corpus.Registry.scan_versions
+  in
   let tenants = [| "alpha"; "beta"; "gamma" |] in
   let requests =
     List.concat_map
@@ -1037,6 +1043,266 @@ let run_triage () =
   check repeat_same "tiers identical across repeated runs (fixed seed)";
   check jobs4_same "tiers identical jobs=1 vs jobs=4"
 
+(* ------------------------------------------------------------------ *)
+(* Scaling benchmark: synthetic corpora                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The seeded procedural generator (Corpus.Synth) at 1x/10x/100x the
+   builtin corpus, pushed through the unchanged pipeline:
+
+     generate — registry values from the same seed must be
+                byte-identical, and every generated case must pass
+                Case.validate
+     scan     — whole-system enforcement over every synthetic system:
+                zero-loss (each case's planted rule fires at v2 of its
+                system and nowhere else; v1/v3 are completely clean),
+                jobs=1 vs jobs=4 byte-identical scan output
+     ci       — gated replay over (a cap of) the generated cases:
+                every history blocks exactly its regression stage
+
+   Writes BENCH_scale.json with per-scale throughput, engine cache-hit
+   rates and peak heap size.  `--smoke` runs scales 1x/2x with a small
+   CI cap — the `make scale-smoke` / `make check` fast path. *)
+let run_scale () =
+  section "SCALE: seeded synthetic corpora at 1x/10x/100x";
+  let seed = 42 in
+  let scales = if !smoke_flag then [ 1; 2 ] else [ 1; 10; 100 ] in
+  let ci_cap = if !smoke_flag then 8 else 160 in
+  let check cond msg =
+    if cond then Printf.printf "OK: %s\n" msg
+    else begin
+      Printf.printf "FAIL: %s\n" msg;
+      exit 1
+    end
+  in
+  let now () = Unix.gettimeofday () in
+  (* one byte-stable rendering of everything the generator decides:
+     assembled sources at every scan version plus the commit history *)
+  let registry_signature (r : Corpus.Registry.t) =
+    String.concat "\n"
+      (List.concat_map
+         (fun system ->
+           List.map
+             (fun v -> Corpus.Registry.source_of r system ~version:v)
+             r.Corpus.Registry.scan_versions
+           @ List.map
+               (fun (v, msg) -> Printf.sprintf "%s@v%d %s" system v msg)
+               (Corpus.Registry.history_of r system))
+         r.Corpus.Registry.systems)
+  in
+  let scan ~jobs reg =
+    Lisa.Chaos.reset_shared_state ();
+    let engine_config =
+      { Engine.Scheduler.default_config with Engine.Scheduler.jobs }
+    in
+    Lisa.System_scan.run_engine ~engine_config ~registry:reg ()
+  in
+  let rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0. else float_of_int hits /. float_of_int total
+  in
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let points =
+    List.map
+      (fun scale ->
+        let t0 = now () in
+        let reg = Corpus.Synth.registry ~seed ~scale () in
+        let gen_s = now () -. t0 in
+        let n_cases = Corpus.Registry.case_count reg in
+        let n_systems = List.length reg.Corpus.Registry.systems in
+        Printf.printf
+          "\n-- scale %dx: %d system(s), %d case(s), generated in %.3f s\n"
+          scale n_systems n_cases gen_s;
+        (* gate: the generator is a pure function of (seed, scale) *)
+        let identical =
+          registry_signature reg
+          = registry_signature (Corpus.Synth.registry ~seed ~scale ())
+        in
+        check identical
+          (Printf.sprintf
+             "scale %dx: same seed regenerates a byte-identical registry"
+             scale);
+        (* gate: every generated case passes the corpus validator *)
+        let invalid =
+          List.filter_map
+            (fun (c : Corpus.Case.t) ->
+              Option.map
+                (fun m -> c.Corpus.Case.case_id ^ ": " ^ m)
+                (Corpus.Synth.validate_failure c))
+            reg.Corpus.Registry.cases
+        in
+        List.iter (fun m -> Printf.printf "INVALID %s\n" m) invalid;
+        check (invalid = [])
+          (Printf.sprintf "scale %dx: all %d case(s) pass Case.validate"
+             scale n_cases);
+        (* scan leg: whole-system enforcement over the synthetic corpus *)
+        let t1 = now () in
+        let results, stats = scan ~jobs:1 reg in
+        let scan_s = now () -. t1 in
+        let row system v =
+          let sys =
+            List.find
+              (fun r -> r.Lisa.System_scan.sys_name = system)
+              results
+          in
+          List.find
+            (fun vr -> vr.Lisa.System_scan.vr_version = v)
+            sys.Lisa.System_scan.sys_rows
+        in
+        (* zero-loss: every planted rule fires at v2 of its system; the
+           clean releases v1/v3 have no findings at all *)
+        let missed =
+          List.filter_map
+            (fun (c : Corpus.Case.t) ->
+              let tid =
+                (Corpus.Case.original_ticket c).Oracle.Ticket.ticket_id
+              in
+              if
+                List.exists
+                  (starts_with ~prefix:tid)
+                  (row c.Corpus.Case.system 2).Lisa.System_scan
+                    .vr_violating_rules
+              then None
+              else Some (c.Corpus.Case.case_id ^ ": " ^ tid))
+            reg.Corpus.Registry.cases
+        in
+        List.iter (fun m -> Printf.printf "MISSED at v2: %s\n" m) missed;
+        check (missed = [])
+          (Printf.sprintf
+             "scale %dx: all %d planted bug(s) caught at v2 (zero-loss)"
+             scale n_cases);
+        let clean_noise =
+          List.concat_map
+            (fun system ->
+              List.concat_map
+                (fun v ->
+                  List.map
+                    (fun id -> Printf.sprintf "%s v%d %s" system v id)
+                    (row system v).Lisa.System_scan.vr_violating_rules)
+                [ 1; 3 ])
+            reg.Corpus.Registry.systems
+        in
+        List.iter (fun m -> Printf.printf "FALSE POSITIVE: %s\n" m)
+          clean_noise;
+        check (clean_noise = [])
+          (Printf.sprintf
+             "scale %dx: clean releases v1/v3 have zero findings" scale);
+        (* gate: pool width is invisible (scales 1x and 10x only — the
+           100x point would double the most expensive leg) *)
+        if scale <= 10 then begin
+          let results4, _ = scan ~jobs:4 reg in
+          check
+            (Lisa.System_scan.print results
+            = Lisa.System_scan.print results4)
+            (Printf.sprintf
+               "scale %dx: scan output byte-identical jobs=1 vs jobs=4"
+               scale)
+        end;
+        (* ci leg: gated replay over (a cap of) the generated histories *)
+        let ci_cases =
+          List.filteri (fun i _ -> i < ci_cap) reg.Corpus.Registry.cases
+        in
+        if List.length ci_cases < n_cases then
+          Printf.printf "ci: capped at %d of %d case(s)\n"
+            (List.length ci_cases) n_cases;
+        Lisa.Chaos.reset_shared_state ();
+        let t2 = now () in
+        let runs = List.map Lisa.Ci.replay ci_cases in
+        let ci_s = now () -. t2 in
+        let misgated =
+          List.filter
+            (fun r -> Lisa.Ci.blocked_stages r <> [ 2 ])
+            runs
+        in
+        List.iter
+          (fun (r : Lisa.Ci.run) ->
+            Printf.printf "MISGATED %s: blocked %s\n" r.Lisa.Ci.case_id
+              (String.concat ","
+                 (List.map string_of_int (Lisa.Ci.blocked_stages r))))
+          misgated;
+        check (misgated = [])
+          (Printf.sprintf
+             "scale %dx: every gated history blocks exactly its \
+              regression stage"
+             scale);
+        let peak_mb =
+          float_of_int
+            ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+          /. 1048576.
+        in
+        let scan_cps =
+          if scan_s > 0. then float_of_int n_cases /. scan_s else 0.
+        in
+        let memo_rate =
+          rate stats.Engine.Stats.smt_hits stats.Engine.Stats.smt_misses
+        in
+        let intern_rate =
+          rate stats.Engine.Stats.intern_hits
+            stats.Engine.Stats.intern_misses
+        in
+        Printf.printf
+          "gen %8.3f s   scan %8.2f s (%6.1f case/s)   ci %8.2f s (%d \
+           case(s))\n"
+          gen_s scan_s scan_cps ci_s (List.length ci_cases);
+        Printf.printf
+          "memo hit rate %.2f   intern hit rate %.2f   peak heap %.1f MB\n"
+          memo_rate intern_rate peak_mb;
+        (scale, n_systems, n_cases, gen_s, scan_s, scan_cps, ci_s,
+         List.length ci_cases, memo_rate, intern_rate, peak_mb))
+      scales
+  in
+  (* cross-scale gate: case k is scale-independent — the 1x corpus is a
+     prefix of every larger one *)
+  let reg1 = Corpus.Synth.registry ~seed ~scale:1 () in
+  let reg_last =
+    Corpus.Synth.registry ~seed ~scale:(List.hd (List.rev scales)) ()
+  in
+  let prefix_ok =
+    List.for_all2
+      (fun (a : Corpus.Case.t) (b : Corpus.Case.t) ->
+        a.Corpus.Case.case_id = b.Corpus.Case.case_id
+        && List.init a.Corpus.Case.n_stages a.Corpus.Case.source
+           = List.init b.Corpus.Case.n_stages b.Corpus.Case.source)
+      reg1.Corpus.Registry.cases
+      (List.filteri
+         (fun i _ -> i < Corpus.Registry.case_count reg1)
+         reg_last.Corpus.Registry.cases)
+  in
+  check prefix_ok
+    "case k is scale-independent: the 1x corpus is a byte-identical \
+     prefix of the largest";
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    {|{
+  "experiment": "scale",
+  "smoke": %b,
+  "seed": %d,
+  "points": [%s],
+  "gates": { "deterministic_registry": true, "all_cases_valid": true,
+             "zero_loss_v2": true, "clean_v1_v3": true,
+             "jobs_invariant": true, "ci_gates_regression_stage": true,
+             "scale_independent_cases": true }
+}
+|}
+    !smoke_flag seed
+    (String.concat ", "
+       (List.map
+          (fun (scale, nsys, ncases, gen_s, scan_s, cps, ci_s, ci_n, mr,
+                ir, peak) ->
+            Printf.sprintf
+              "{ \"scale\": %d, \"systems\": %d, \"cases\": %d, \
+               \"gen_s\": %.4f, \"scan_s\": %.3f, \"scan_cases_per_s\": \
+               %.1f, \"ci_s\": %.3f, \"ci_cases\": %d, \
+               \"memo_hit_rate\": %.3f, \"intern_hit_rate\": %.3f, \
+               \"peak_heap_mb\": %.1f }"
+              scale nsys ncases gen_s scan_s cps ci_s ci_n mr ir peak)
+          points));
+  close_out oc;
+  print_endline "wrote BENCH_scale.json"
+
 let all_experiments : (string * (unit -> unit)) list =
   [
     ("study", run_study);
@@ -1057,6 +1323,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("solver", run_solver);
     ("serve", run_serve);
     ("triage", run_triage);
+    ("scale", run_scale);
   ]
 
 let () =

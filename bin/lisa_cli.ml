@@ -2,6 +2,8 @@
 
    Subcommands:
      corpus            list the incident corpus (cases, bugs, tickets)
+     corpus synth      generate a seeded synthetic corpus (list, dump
+                       sources, or re-check one case — the fuzzer repro)
      show-ticket       print one ticket bundle (description, diff, tests)
      prompt            print the Listing-1 prompt for a ticket
      infer             run inference on a ticket, print rules + JSON
@@ -65,21 +67,118 @@ let jobs_arg =
 
 (* ------------------------------------------------------------------ *)
 
-let corpus_cmd =
-  let run () =
-    Fmt.pr "%-28s %-10s %-6s %-40s@." "case" "system" "bugs" "feature";
-    List.iter
-      (fun (c : Corpus.Case.t) ->
-        Fmt.pr "%-28s %-10s %-6d %-40s@." c.Corpus.Case.case_id c.Corpus.Case.system
-          (Corpus.Case.n_bugs c) c.Corpus.Case.feature)
-      Corpus.Registry.all_cases;
-    Fmt.pr "@.%d cases, %d bugs; %d/%d bugs violate old semantics (%.0f%%)@."
-      Corpus.Registry.n_cases Corpus.Registry.n_bugs
-      Corpus.Registry.n_bugs_violating_old_semantics Corpus.Registry.n_bugs
-      (100. *. Corpus.Registry.old_semantics_share ())
+let corpus_list () =
+  Fmt.pr "%-28s %-10s %-6s %-40s@." "case" "system" "bugs" "feature";
+  List.iter
+    (fun (c : Corpus.Case.t) ->
+      Fmt.pr "%-28s %-10s %-6d %-40s@." c.Corpus.Case.case_id c.Corpus.Case.system
+        (Corpus.Case.n_bugs c) c.Corpus.Case.feature)
+    Corpus.Registry.all_cases;
+  Fmt.pr "@.%d cases, %d bugs; %d/%d bugs violate old semantics (%.0f%%)@."
+    Corpus.Registry.n_cases Corpus.Registry.n_bugs
+    Corpus.Registry.n_bugs_violating_old_semantics Corpus.Registry.n_bugs
+    (100. *. Corpus.Registry.old_semantics_share ())
+
+let corpus_synth_cmd =
+  let seed_arg =
+    let doc = "Generator seed: the whole corpus is a pure function of it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
-  Cmd.v (Cmd.info "corpus" ~doc:"List the incident corpus")
-    Term.(const run $ const ())
+  let size_arg =
+    let doc =
+      "Scale factor: the registry holds $(docv) x 4 systems of 4 cases each."
+    in
+    Arg.(value & opt int 1 & info [ "size" ] ~docv:"S" ~doc)
+  in
+  let case_arg =
+    let doc =
+      "Focus on generated case $(docv) (the global index used by the \
+       minimizer's repro command): print its tickets, run the validator \
+       and the planted-bug check, and on failure shrink to a minimal \
+       reproduction."
+    in
+    Arg.(value & opt (some int) None & info [ "case" ] ~docv:"K" ~doc)
+  in
+  let system_arg =
+    let doc = "Print the assembled source of this generated system." in
+    Arg.(value & opt (some string) None & info [ "system" ] ~docv:"NAME" ~doc)
+  in
+  let release_arg =
+    let doc = "Release version for $(b,--system) source assembly." in
+    Arg.(value & opt int 3 & info [ "release" ] ~docv:"V" ~doc)
+  in
+  let show_case ~seed k =
+    let c = Corpus.Synth.case_at ~seed k in
+    Fmt.pr "case %d: %s (system %s, %d stage(s))@." k c.Corpus.Case.case_id
+      c.Corpus.Case.system c.Corpus.Case.n_stages;
+    List.iter
+      (fun (t : Oracle.Ticket.t) -> Fmt.pr "  ticket %s@." (Oracle.Ticket.summary t))
+      (Corpus.Case.tickets c);
+    match Lisa.Synth_check.full c with
+    | None -> Fmt.pr "check: ok (validates, planted bug found at stage 2 only)@."
+    | Some failure -> (
+        Fmt.pr "check: FAIL — %s@." failure;
+        match Corpus.Synth.minimize ~fails:Lisa.Synth_check.full ~seed k with
+        | None -> exit 1
+        | Some r ->
+            Fmt.pr
+              "minimized: aux_tests=%d fixture_extra=%d helper=%b@.failure: \
+               %s@.repro: %s@."
+              r.Corpus.Synth.rp_knobs.Corpus.Synth.k_aux_tests
+              r.Corpus.Synth.rp_knobs.Corpus.Synth.k_fixture_extra
+              r.Corpus.Synth.rp_knobs.Corpus.Synth.k_helper
+              r.Corpus.Synth.rp_failure
+              (Corpus.Synth.repro_command r);
+            exit 1)
+  in
+  let run seed size case system version =
+    match (case, system) with
+    | Some k, _ -> show_case ~seed k
+    | None, Some sys ->
+        let reg = Corpus.Synth.registry ~seed ~scale:size () in
+        if not (List.mem sys reg.Corpus.Registry.systems) then begin
+          Fmt.epr "unknown synthetic system %S (have: %s)@." sys
+            (String.concat ", " reg.Corpus.Registry.systems);
+          exit 1
+        end;
+        print_string (Corpus.Registry.source_of reg sys ~version)
+    | None, None ->
+        let reg = Corpus.Synth.registry ~seed ~scale:size () in
+        Fmt.pr "%s: %d system(s), %d case(s), scan versions %s@.@."
+          reg.Corpus.Registry.name
+          (List.length reg.Corpus.Registry.systems)
+          (Corpus.Registry.case_count reg)
+          (String.concat ","
+             (List.map string_of_int reg.Corpus.Registry.scan_versions));
+        List.iter
+          (fun sys ->
+            Fmt.pr "%s@." sys;
+            List.iter
+              (fun (v, msg) -> Fmt.pr "  v%d %s@." v msg)
+              (Corpus.Registry.history_of reg sys);
+            List.iter
+              (fun (c : Corpus.Case.t) ->
+                Fmt.pr "  %-24s %s@." c.Corpus.Case.case_id
+                  c.Corpus.Case.feature)
+              (Corpus.Registry.cases_of reg sys))
+          reg.Corpus.Registry.systems
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Generate a seeded synthetic corpus: list its systems, cases and \
+          commit histories, dump assembled sources, or re-check one case \
+          (the fuzzer/minimizer repro path)")
+    Term.(const run $ seed_arg $ size_arg $ case_arg $ system_arg $ release_arg)
+
+let corpus_cmd =
+  let default = Term.(const corpus_list $ const ()) in
+  Cmd.group ~default
+    (Cmd.info "corpus"
+       ~doc:
+         "List the incident corpus (default) or work with generated \
+          synthetic corpora ($(b,lisa corpus synth))")
+    [ corpus_synth_cmd ]
 
 let ticket_of ~which c =
   let tickets = Corpus.Case.tickets c in
@@ -417,6 +516,7 @@ let serve_cmd =
         cache_dir;
         drain_after_eof;
         triage = (if no_triage then None else Some Triage.default_config);
+        registry = Corpus.Registry.builtin;
       }
     in
     let d = Serve.Daemon.create ~config () in

@@ -1,62 +1,124 @@
-(** The assembled incident corpus: 16 regression cases, 34 bugs, across
-    four subject systems — the §2.1 study population.
+(** The incident corpus as a first-class value.
+
+    A registry is a *value*, not a module: cases, systems, whole-system
+    version assembly, and study metadata bundled into {!t}, assembled
+    from per-system providers.  The hand-written 16-case / 34-bug §2.1
+    study population lives on as {!builtin}, and the pre-refactor flat
+    module API survives as thin shims over it, so legacy callers and
+    synthetic-registry consumers share one code path.
 
     Whole-system versions are assembled by concatenating each feature
     module at the stage that system version maps to; version [v] puts every
     case at stage [min v latest_stage], so version 0 is the original buggy
-    release, version 2 is the all-regressed release, and version 5 is the
-    "latest" release in which the two unknown bugs (E6/E7) are present. *)
+    release, version 2 is the all-regressed release, and the last version
+    is the "latest" release (in [builtin], v5, in which the two unknown
+    bugs E6/E7 are present). *)
 
-let all_cases : Case.t list =
-  Zookeeper.cases @ Hbase.cases @ Hdfs.cases @ Cassandra.cases
+type meta = {
+  m_changes_per_day_gcp : int;
+      (** Google-scale change rate quoted in the paper's introduction. *)
+  m_avg_test_files : int;
+      (** Average number of test files among the studied systems (§2.2). *)
+  m_ephemeral_bug_histogram : (int * int) list;
+      (** Per-year related-bug counts for the flagship recurring feature. *)
+}
 
-let systems : string list = [ "zookeeper"; "hbase"; "hdfs"; "cassandra" ]
+type provider = { p_system : string; p_cases : Case.t list }
 
-let cases_of_system (system : string) : Case.t list =
-  List.filter (fun (c : Case.t) -> c.Case.system = system) all_cases
+type t = {
+  name : string;  (** e.g. ["builtin"] or ["synth:seed=42:scale=10"] *)
+  systems : string list;  (** provider order, duplicates collapsed *)
+  cases : Case.t list;  (** provider order, concatenated *)
+  max_version : int;
+  scan_versions : int list;  (** versions whole-system scans sweep *)
+  meta : meta;
+}
 
-let find_case (case_id : string) : Case.t option =
-  List.find_opt (fun (c : Case.t) -> c.Case.case_id = case_id) all_cases
+let paper_meta : meta =
+  {
+    m_changes_per_day_gcp = 16_000;
+    m_avg_test_files = 1_309;
+    m_ephemeral_bug_histogram =
+      [
+        (2011, 6); (2012, 5); (2013, 4); (2014, 3); (2015, 4); (2016, 3);
+        (2017, 3); (2018, 2); (2019, 3); (2020, 3); (2021, 2); (2022, 3);
+        (2023, 2); (2024, 3);
+      ];
+  }
 
-let n_cases = List.length all_cases
+let provider ~system cases = { p_system = system; p_cases = cases }
 
-let n_bugs = List.fold_left (fun n c -> n + Case.n_bugs c) 0 all_cases
-
-let n_bugs_violating_old_semantics =
-  List.fold_left (fun n (c : Case.t) -> n + c.Case.violating_old_semantics) 0 all_cases
+let make ?max_version ?scan_versions ?(meta = paper_meta) ~name providers =
+  let systems = List.map (fun p -> p.p_system) providers in
+  let cases = List.concat_map (fun p -> p.p_cases) providers in
+  let max_version =
+    match max_version with
+    | Some v -> v
+    | None ->
+        List.fold_left (fun m (c : Case.t) -> max m (c.Case.n_stages - 1)) 0 cases
+  in
+  let scan_versions =
+    match scan_versions with
+    | Some vs -> vs
+    | None ->
+        List.sort_uniq compare
+          (List.filter (fun v -> v <= max_version) [ 1; 2; 3; max_version ])
+  in
+  { name; systems; cases; max_version; scan_versions; meta }
 
 (* ------------------------------------------------------------------ *)
-(* Whole-system versions                                               *)
+(* Registry-parametric accessors                                       *)
 (* ------------------------------------------------------------------ *)
 
-let max_version = 5
+let cases_of (r : t) (system : string) : Case.t list =
+  List.filter (fun (c : Case.t) -> c.Case.system = system) r.cases
+
+let find (r : t) (case_id : string) : Case.t option =
+  List.find_opt (fun (c : Case.t) -> c.Case.case_id = case_id) r.cases
+
+let case_count (r : t) = List.length r.cases
+
+let bug_count (r : t) = List.fold_left (fun n c -> n + Case.n_bugs c) 0 r.cases
+
+let old_semantics_count (r : t) =
+  List.fold_left
+    (fun n (c : Case.t) -> n + c.Case.violating_old_semantics)
+    0 r.cases
+
+let old_share (r : t) : float =
+  float_of_int (old_semantics_count r) /. float_of_int (bug_count r)
 
 let stage_at_version (c : Case.t) (version : int) : int =
   min version c.Case.latest_stage
 
-let system_source (system : string) ~(version : int) : string =
-  let cases = cases_of_system system in
+let source_of (r : t) (system : string) ~(version : int) : string =
+  let cases = cases_of r system in
   String.concat "\n"
     (Fmt.str "// %s, assembled release v%d" system version
     :: List.map (fun c -> c.Case.source (stage_at_version c version)) cases)
 
-let system_program (system : string) ~(version : int) : Minilang.Ast.program =
+let program_of (r : t) (system : string) ~(version : int) :
+    Minilang.Ast.program =
   Minilang.Parser.program
     ~file:(Fmt.str "%s-v%d.mj" system version)
-    (system_source system ~version)
+    (source_of r system ~version)
 
 (** Human-readable commit log of a system's history. *)
-let commit_history (system : string) : (int * string) list =
-  List.init (max_version + 1) (fun v ->
+let history_of (r : t) (system : string) : (int * string) list =
+  List.init (r.max_version + 1) (fun v ->
       let changed =
-        cases_of_system system
+        cases_of r system
         |> List.filter (fun c ->
                v > 0 && stage_at_version c v <> stage_at_version c (v - 1))
         |> List.map (fun (c : Case.t) ->
                let s = stage_at_version c v in
-               match List.find_opt (fun (fs, _, _, _) -> fs = s) c.Case.ticket_meta with
+               match
+                 List.find_opt (fun (fs, _, _, _) -> fs = s) c.Case.ticket_meta
+               with
                | Some (_, id, title, _) -> Fmt.str "%s: %s" id title
-               | None -> Fmt.str "%s: evolve %s to stage %d" c.Case.case_id c.Case.feature s)
+               | None ->
+                   Fmt.str "%s: evolve %s to stage %d" c.Case.case_id
+                     c.Case.feature s)
       in
       let msg =
         if v = 0 then "initial release"
@@ -65,29 +127,58 @@ let commit_history (system : string) : (int * string) list =
       in
       (v, msg))
 
+let ephemeral_total (r : t) =
+  List.fold_left (fun n (_, k) -> n + k) 0 r.meta.m_ephemeral_bug_histogram
+
 (* ------------------------------------------------------------------ *)
-(* Study metadata (constants reported by the paper's survey; reproduced *)
-(* here as corpus metadata so the study driver can print Figure 1)      *)
+(* The builtin registry: the hand-written §2.1 study population         *)
 (* ------------------------------------------------------------------ *)
 
-(** Google-scale change rate quoted in the paper's introduction. *)
-let changes_per_day_gcp = 16_000
+let builtin : t =
+  make ~name:"builtin" ~max_version:5
+    [
+      provider ~system:"zookeeper" Zookeeper.cases;
+      provider ~system:"hbase" Hbase.cases;
+      provider ~system:"hdfs" Hdfs.cases;
+      provider ~system:"cassandra" Cassandra.cases;
+    ]
 
-(** Average number of test files among the studied systems (§2.2). *)
-let avg_test_files = 1_309
+(* ------------------------------------------------------------------ *)
+(* Legacy flat API: thin shims over [builtin]                          *)
+(* ------------------------------------------------------------------ *)
 
-(** The ephemeral-node feature: 46 related bugs over 14 years (§2.1).
-    Synthetic per-year histogram consistent with those totals. *)
+let all_cases : Case.t list = builtin.cases
+
+let systems : string list = builtin.systems
+
+let cases_of_system (system : string) : Case.t list = cases_of builtin system
+
+let find_case (case_id : string) : Case.t option = find builtin case_id
+
+let n_cases = case_count builtin
+
+let n_bugs = bug_count builtin
+
+let n_bugs_violating_old_semantics = old_semantics_count builtin
+
+let max_version = builtin.max_version
+
+let system_source (system : string) ~(version : int) : string =
+  source_of builtin system ~version
+
+let system_program (system : string) ~(version : int) : Minilang.Ast.program =
+  program_of builtin system ~version
+
+let commit_history (system : string) : (int * string) list =
+  history_of builtin system
+
+let changes_per_day_gcp = builtin.meta.m_changes_per_day_gcp
+
+let avg_test_files = builtin.meta.m_avg_test_files
+
 let ephemeral_bug_histogram : (int * int) list =
-  [
-    (2011, 6); (2012, 5); (2013, 4); (2014, 3); (2015, 4); (2016, 3); (2017, 3);
-    (2018, 2); (2019, 3); (2020, 3); (2021, 2); (2022, 3); (2023, 2); (2024, 3);
-  ]
+  builtin.meta.m_ephemeral_bug_histogram
 
-let ephemeral_bug_total =
-  List.fold_left (fun n (_, k) -> n + k) 0 ephemeral_bug_histogram
+let ephemeral_bug_total = ephemeral_total builtin
 
-(** Share of studied failures violating semantics that predate the first
-    stable release (the paper quotes 68% from [Lou et al., OSDI '22]). *)
-let old_semantics_share () : float =
-  float_of_int n_bugs_violating_old_semantics /. float_of_int n_bugs
+let old_semantics_share () : float = old_share builtin

@@ -1,0 +1,78 @@
+(** Seeded procedural corpus generator: composes the paper's bug-pattern
+    families (missing state guard, TTL/expiry check, blocking I/O in
+    lock scope, observer staleness) into synthetic MiniJava systems with
+    staged histories, matching tickets, diffs, regression tests, and
+    green baselines.
+
+    Determinism contract: every artifact is a pure function of
+    [(seed, k)] where [k] is the global case index — case [k] is
+    byte-identical in every registry containing it, regardless of
+    [scale], so [lisa corpus synth --seed N --case K] reproduces any
+    generated case exactly.  Same seed ⇒ byte-identical registries. *)
+
+type family = State_guard | Ttl_expiry | Lock_io | Observer_stale
+
+val families : family list
+
+val family_name : family -> string
+
+(** Cases per generated system (one per family). *)
+val cases_per_system : int
+
+(** Generated systems per unit of [scale]; a [scale]-x registry holds
+    [systems_per_scale * scale] systems, matching the builtin corpus
+    case count at scale 1. *)
+val systems_per_scale : int
+
+(** {1 Size/shape knobs} — the minimizer's shrink axes *)
+
+type knobs = {
+  k_aux_tests : int;  (** 0-2 extra benign tests *)
+  k_fixture_extra : int;  (** 0-2 extra healthy fixture entries *)
+  k_helper : bool;  (** decorative read-only helper method *)
+}
+
+val min_knobs : knobs
+
+(** The knobs case [k] is generated with by default. *)
+val knobs_at : seed:int -> int -> knobs
+
+(** {1 Generation} *)
+
+val system_name : seed:int -> int -> string
+
+(** System [i]: [cases_per_system] cases, one per family, with every
+    identifier tagged so concatenated whole-system assembly never
+    collides. *)
+val system : seed:int -> int -> Registry.provider
+
+(** Case [k] (lives in system [k / cases_per_system]); independent of
+    any registry scale. *)
+val case_at : seed:int -> int -> Case.t
+
+(** A [scale]-x registry ([systems_per_scale * scale] systems,
+    [4 * systems_per_scale * scale] cases).  Emits the [corpus.synth]
+    telemetry span and the [corpus.synth.cases] counter. *)
+val registry : ?seed:int -> scale:int -> unit -> Registry.t
+
+(** {1 Fuzzing} *)
+
+(** [Some reason] when the case fails {!Case.validate} (or validation
+    crashes) — the base failure predicate for {!minimize}. *)
+val validate_failure : Case.t -> string option
+
+type repro = {
+  rp_seed : int;
+  rp_case : int;
+  rp_knobs : knobs;  (** smallest knob setting that still fails *)
+  rp_failure : string;
+}
+
+(** Shrink a failing case by greedy knob descent.  [fails] is the
+    failure predicate (default {!validate_failure}; pass a
+    pipeline-backed one to minimize mis-verdicts).  [None] when case
+    [k] passes. *)
+val minimize : ?fails:(Case.t -> string option) -> seed:int -> int -> repro option
+
+(** The [lisa corpus synth --seed N --case K] repro line. *)
+val repro_command : repro -> string

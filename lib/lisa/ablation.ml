@@ -46,13 +46,13 @@ type row = {
   r_uncovered_paths : int;
 }
 
-let guard_cases () =
+let guard_cases ?(registry = Corpus.Registry.builtin) () =
   List.filter
     (fun (c : Corpus.Case.t) -> c.Corpus.Case.kind = Corpus.Case.Guard)
-    Corpus.Registry.all_cases
+    registry.Corpus.Registry.cases
 
-let run_variant (v : variant) : row =
-  let cases = guard_cases () in
+let run_variant ?registry (v : variant) : row =
+  let cases = guard_cases ?registry () in
   let caught = ref 0 in
   let tests = ref 0 in
   let recorded = ref 0 in
@@ -86,7 +86,7 @@ let run_variant (v : variant) : row =
     r_uncovered_paths = !uncovered;
   }
 
-let run () : row list = List.map run_variant variants
+let run ?registry () : row list = List.map (run_variant ?registry) variants
 
 let print (rows : row list) : string =
   let buf = Buffer.create 1024 in

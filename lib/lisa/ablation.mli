@@ -6,6 +6,8 @@ type variant = { v_name : string; v_config : Checker.config }
 
 val variants : variant list
 
+val guard_cases : ?registry:Corpus.Registry.t -> unit -> Corpus.Case.t list
+
 type row = {
   r_variant : string;
   r_regressions_caught : int;
@@ -16,8 +18,8 @@ type row = {
   r_uncovered_paths : int;
 }
 
-val run_variant : variant -> row
+val run_variant : ?registry:Corpus.Registry.t -> variant -> row
 
-val run : unit -> row list
+val run : ?registry:Corpus.Registry.t -> unit -> row list
 
 val print : row list -> string

@@ -117,6 +117,12 @@ let replay ?(config = Pipeline.default_config) ?(jobs = 1)
     stats = Engine.Scheduler.stats engine;
   }
 
+(** Gate every case of a registry, in registry order (one engine per
+    replay, as in production CI where each repo gets its own gate). *)
+let replay_all ?config ?jobs ?triage ?(registry = Corpus.Registry.builtin) () :
+    run list =
+  List.map (replay ?config ?jobs ?triage) registry.Corpus.Registry.cases
+
 let blocked_stages (r : run) : int list =
   List.filter_map (function Blocked { stage; _ } -> Some stage | _ -> None) r.events
 

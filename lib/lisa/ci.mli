@@ -35,6 +35,12 @@ val replay :
   ?config:Pipeline.config -> ?jobs:int -> ?triage:Triage.config ->
   Corpus.Case.t -> run
 
+(** Gate every case of [registry] (default the builtin corpus), in
+    registry order. *)
+val replay_all :
+  ?config:Pipeline.config -> ?jobs:int -> ?triage:Triage.config ->
+  ?registry:Corpus.Registry.t -> unit -> run list
+
 (** Stages blocked by the rulebook gate. *)
 val blocked_stages : run -> int list
 

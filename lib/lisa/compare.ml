@@ -90,7 +90,8 @@ let verification_strategy (c : Corpus.Case.t) : strategy_result =
     s_detail = Fmt.str "modeled: ~%.0f proof lines for %d LoC, re-proved per change" (spec_factor *. float_of_int loc) loc;
   }
 
-let run ?(config = Pipeline.default_config) () : t =
+let run ?(config = Pipeline.default_config)
+    ?(registry = Corpus.Registry.builtin) () : t =
   let rows =
     List.map
       (fun (c : Corpus.Case.t) ->
@@ -101,7 +102,7 @@ let run ?(config = Pipeline.default_config) () : t =
           cr_lisa = lisa_strategy ~config c;
           cr_verification = verification_strategy c;
         })
-      Corpus.Registry.all_cases
+      registry.Corpus.Registry.cases
   in
   let count f = List.length (List.filter f rows) in
   {

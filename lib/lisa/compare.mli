@@ -26,6 +26,6 @@ type t = {
 (** Modeled proof-to-implementation ratio for refinement verification. *)
 val spec_factor : float
 
-val run : ?config:Pipeline.config -> unit -> t
+val run : ?config:Pipeline.config -> ?registry:Corpus.Registry.t -> unit -> t
 
 val print : t -> string

@@ -19,7 +19,7 @@ module Zk_ephemeral = struct
      session and clients keep resolving the dead address *)
   let zombie_scenario () : string =
     let c =
-      match Corpus.Registry.find_case "zk-ephemeral" with
+      match Corpus.Registry.find Corpus.Registry.builtin "zk-ephemeral" with
       | Some c -> c
       | None -> invalid_arg "zk-ephemeral case missing"
     in
@@ -51,7 +51,7 @@ method scenario_kafka_zombie(): str {
 
   let run () : t =
     let c =
-      match Corpus.Registry.find_case "zk-ephemeral" with
+      match Corpus.Registry.find Corpus.Registry.builtin "zk-ephemeral" with
       | Some c -> c
       | None -> invalid_arg "zk-ephemeral case missing"
     in
@@ -109,7 +109,7 @@ end
 module Workflow = struct
   let run () : string =
     let c =
-      match Corpus.Registry.find_case "zk-ephemeral" with
+      match Corpus.Registry.find Corpus.Registry.builtin "zk-ephemeral" with
       | Some c -> c
       | None -> invalid_arg "zk-ephemeral case missing"
     in
@@ -149,7 +149,7 @@ module Generalization = struct
 
   let run () : row list =
     let c =
-      match Corpus.Registry.find_case "zk-serialize-lock" with
+      match Corpus.Registry.find Corpus.Registry.builtin "zk-serialize-lock" with
       | Some c -> c
       | None -> invalid_arg "zk-serialize-lock case missing"
     in
@@ -210,7 +210,7 @@ module Unknown_bugs = struct
 
   let run_case (case_id : string) : finding =
     let c =
-      match Corpus.Registry.find_case case_id with
+      match Corpus.Registry.find Corpus.Registry.builtin case_id with
       | Some c -> c
       | None -> invalid_arg (case_id ^ " missing")
     in
@@ -290,13 +290,14 @@ module Noise = struct
     in
     has_suffix ".weak" || has_suffix ".flip" || has_suffix ".ghost"
 
-  let guard_cases () =
+  let guard_cases ?(registry = Corpus.Registry.builtin) () =
     List.filter
       (fun (c : Corpus.Case.t) -> c.Corpus.Case.kind = Corpus.Case.Guard)
-      Corpus.Registry.all_cases
+      registry.Corpus.Registry.cases
 
-  let run_one ~(epsilon : float) ~(cross_check : bool) ~(seed : int) : row =
-    let cases = guard_cases () in
+  let run_one ?registry ~(epsilon : float) ~(cross_check : bool) ~(seed : int)
+      () : row =
+    let cases = guard_cases ?registry () in
     let corrupted = ref 0 in
     let caught = ref 0 in
     let false_alarms = ref 0 in
@@ -330,8 +331,8 @@ module Noise = struct
     List.concat_map
       (fun epsilon ->
         [
-          run_one ~epsilon ~cross_check:false ~seed:7;
-          run_one ~epsilon ~cross_check:true ~seed:7;
+          run_one ~epsilon ~cross_check:false ~seed:7 ();
+          run_one ~epsilon ~cross_check:true ~seed:7 ();
         ])
       [ 0.0; 0.2; 0.4; 0.6 ]
 

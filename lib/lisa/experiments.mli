@@ -65,7 +65,9 @@ module Noise : sig
     n_false_alarms : int;
   }
 
-  val run_one : epsilon:float -> cross_check:bool -> seed:int -> row
+  val run_one :
+    ?registry:Corpus.Registry.t ->
+    epsilon:float -> cross_check:bool -> seed:int -> unit -> row
 
   val run : unit -> row list
 

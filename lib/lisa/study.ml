@@ -26,13 +26,14 @@ type t = {
   avg_test_files_paper : int;
 }
 
-let run () : t =
+let run ?(registry = Corpus.Registry.builtin) () : t =
   let rows =
     List.map
       (fun system ->
-        let cases = Corpus.Registry.cases_of_system system in
+        let cases = Corpus.Registry.cases_of registry system in
         let latest =
-          Corpus.Registry.system_program system ~version:Corpus.Registry.max_version
+          Corpus.Registry.program_of registry system
+            ~version:registry.Corpus.Registry.max_version
         in
         {
           sr_system = system;
@@ -46,25 +47,25 @@ let run () : t =
               (List.filter (fun (c : Corpus.Case.t) -> c.Corpus.Case.kind = Corpus.Case.Lock) cases);
           sr_tests = List.length (Minilang.Interp.test_names latest);
         })
-      Corpus.Registry.systems
+      registry.Corpus.Registry.systems
   in
   let recurrences =
     List.map
       (fun (c : Corpus.Case.t) ->
         float_of_int (c.Corpus.Case.last_year - c.Corpus.Case.first_year))
-      Corpus.Registry.all_cases
+      registry.Corpus.Registry.cases
   in
   {
     rows;
-    total_cases = Corpus.Registry.n_cases;
-    total_bugs = Corpus.Registry.n_bugs;
-    old_semantics_bugs = Corpus.Registry.n_bugs_violating_old_semantics;
-    old_semantics_share = Corpus.Registry.old_semantics_share ();
+    total_cases = Corpus.Registry.case_count registry;
+    total_bugs = Corpus.Registry.bug_count registry;
+    old_semantics_bugs = Corpus.Registry.old_semantics_count registry;
+    old_semantics_share = Corpus.Registry.old_share registry;
     mean_recurrence_years =
       List.fold_left ( +. ) 0.0 recurrences /. float_of_int (List.length recurrences);
-    ephemeral_histogram = Corpus.Registry.ephemeral_bug_histogram;
-    ephemeral_total = Corpus.Registry.ephemeral_bug_total;
-    avg_test_files_paper = Corpus.Registry.avg_test_files;
+    ephemeral_histogram = registry.Corpus.Registry.meta.Corpus.Registry.m_ephemeral_bug_histogram;
+    ephemeral_total = Corpus.Registry.ephemeral_total registry;
+    avg_test_files_paper = registry.Corpus.Registry.meta.Corpus.Registry.m_avg_test_files;
   }
 
 let print (t : t) : string =

@@ -21,6 +21,6 @@ type t = {
   avg_test_files_paper : int;
 }
 
-val run : unit -> t
+val run : ?registry:Corpus.Registry.t -> unit -> t
 
 val print : t -> string

@@ -1,0 +1,53 @@
+(** Pipeline-backed verdict oracle for generated corpus cases.
+
+    {!Corpus.Synth} can only check what the corpus layer sees (parse,
+    typecheck, green tests); whether the *pipeline* handles a generated
+    case correctly — rule learned from the original ticket, planted
+    regression caught at stage 2, clean stages clean — needs the full
+    learn/enforce stack, which lives up here.  The predicates below plug
+    into [Synth.minimize]'s [fails] hook, making the generator a
+    whole-pipeline fuzzer. *)
+
+let sf = Printf.sprintf
+
+(** [Some reason] unless: the original ticket yields at least one
+    accepted rule, stage 1 (patched) is clean, stage 2 (the planted
+    regression) has at least one finding, and stage 3 (the regression
+    fix) is clean again. *)
+let planted ?(config = Pipeline.default_config) (c : Corpus.Case.t) :
+    string option =
+  try
+    let outcome = Pipeline.learn ~config (Corpus.Case.original_ticket c) in
+    if outcome.Pipeline.accepted = [] then
+      Some
+        (sf "no rule accepted from %s (%d rejected)" c.Corpus.Case.case_id
+           (List.length outcome.Pipeline.rejected))
+    else
+      let book =
+        Semantics.Rulebook.of_rules ~system:c.Corpus.Case.system
+          outcome.Pipeline.accepted
+      in
+      let findings_at stage =
+        Pipeline.findings
+          (Pipeline.enforce ~config (Corpus.Case.program_at c stage) book)
+      in
+      match
+        List.find_map
+          (fun (stage, expect_dirty) ->
+            let found = findings_at stage <> [] in
+            if found && not expect_dirty then
+              Some (sf "stage %d: unexpected finding (clean stage)" stage)
+            else if (not found) && expect_dirty then
+              Some (sf "stage %d: planted violation not found" stage)
+            else None)
+          [ (1, false); (2, true); (3, false) ]
+      with
+      | Some e -> Some e
+      | None -> None
+  with e -> Some (sf "crash: %s" (Printexc.to_string e))
+
+(** Validation plus {!planted}: the full fuzzer predicate. *)
+let full ?config (c : Corpus.Case.t) : string option =
+  match Corpus.Synth.validate_failure c with
+  | Some e -> Some e
+  | None -> planted ?config c

@@ -1,0 +1,10 @@
+(** Pipeline-backed verdict oracle for generated corpus cases — the
+    [fails] predicate that turns {!Corpus.Synth} into a whole-pipeline
+    fuzzer (see [Synth.minimize]). *)
+
+(** [Some reason] unless the original ticket yields an accepted rule,
+    stage 1 is clean, stage 2 carries a finding, and stage 3 is clean. *)
+val planted : ?config:Pipeline.config -> Corpus.Case.t -> string option
+
+(** {!Corpus.Synth.validate_failure} plus {!planted}. *)
+val full : ?config:Pipeline.config -> Corpus.Case.t -> string option

@@ -38,10 +38,11 @@ type system_result = {
   sys_rows : version_row list;
 }
 
-let learn_system_book ?(config = Pipeline.default_config) (system : string) :
+let learn_system_book ?(config = Pipeline.default_config)
+    ?(registry = Corpus.Registry.builtin) (system : string) :
     Semantics.Rulebook.t =
   let tickets =
-    List.map Corpus.Case.original_ticket (Corpus.Registry.cases_of_system system)
+    List.map Corpus.Case.original_ticket (Corpus.Registry.cases_of registry system)
   in
   let book, _ = Pipeline.learn_all ~config ~system tickets in
   book
@@ -86,9 +87,10 @@ let row_of_reports ?(triage : Triage.config option) ?(program : Minilang.Ast.pro
     vr_tiers = tiers;
   }
 
-let scan_version ?(config = Pipeline.default_config) (system : string)
+let scan_version ?(config = Pipeline.default_config)
+    ?(registry = Corpus.Registry.builtin) (system : string)
     (book : Semantics.Rulebook.t) (version : int) : version_row =
-  let p = Corpus.Registry.system_program system ~version in
+  let p = Corpus.Registry.program_of registry system ~version in
   row_of_reports book version (Pipeline.enforce ~config p book)
 
 (** The whole scan as one engine run.  Returns per-system rows plus the
@@ -98,7 +100,7 @@ let scan_version ?(config = Pipeline.default_config) (system : string)
     byte-identical to the pre-triage engine). *)
 let run_engine ?(config = Pipeline.default_config)
     ?(engine_config = Engine.Scheduler.default_config)
-    ?(triage : Triage.config option) () :
+    ?(registry = Corpus.Registry.builtin) ?(triage : Triage.config option) () :
     system_result list * Engine.Stats.t =
   let engine =
     Engine.Scheduler.create
@@ -108,23 +110,24 @@ let run_engine ?(config = Pipeline.default_config)
   let results =
     List.map
       (fun system ->
-        let book = learn_system_book ~config system in
+        let book = learn_system_book ~config ~registry system in
         {
           sys_name = system;
           sys_rows =
             List.map
               (fun version ->
-                let p = Corpus.Registry.system_program system ~version in
+                let p = Corpus.Registry.program_of registry system ~version in
                 row_of_reports ?triage ~program:p book version
                   (Pipeline.enforce_with engine p book))
-              [ 1; 2; 3; 5 ];
+              registry.Corpus.Registry.scan_versions;
         })
-      Corpus.Registry.systems
+      registry.Corpus.Registry.systems
   in
   (results, Engine.Scheduler.stats engine)
 
-let run ?(config = Pipeline.default_config) () : system_result list =
-  fst (run_engine ~config ())
+let run ?(config = Pipeline.default_config)
+    ?(registry = Corpus.Registry.builtin) () : system_result list =
+  fst (run_engine ~config ~registry ())
 
 let print (results : system_result list) : string =
   let buf = Buffer.create 1024 in

@@ -19,24 +19,40 @@ type version_row = {
 
 type system_result = { sys_name : string; sys_rows : version_row list }
 
-val learn_system_book : ?config:Pipeline.config -> string -> Semantics.Rulebook.t
+val learn_system_book :
+  ?config:Pipeline.config ->
+  ?registry:Corpus.Registry.t ->
+  string ->
+  Semantics.Rulebook.t
 
 (** One version through the plain serial pipeline (no engine). *)
 val scan_version :
-  ?config:Pipeline.config -> string -> Semantics.Rulebook.t -> int -> version_row
+  ?config:Pipeline.config ->
+  ?registry:Corpus.Registry.t ->
+  string ->
+  Semantics.Rulebook.t ->
+  int ->
+  version_row
 
 (** The whole scan as one engine run, with the engine's statistics.
-    [triage] fills [vr_tiers] via witness-replay triage; absent by
-    default, keeping the plain scan byte-identical. *)
+    [registry] (default {!Corpus.Registry.builtin}) picks the corpus:
+    systems and scan versions come from the registry value.  [triage]
+    fills [vr_tiers] via witness-replay triage; absent by default,
+    keeping the plain scan byte-identical. *)
 val run_engine :
   ?config:Pipeline.config ->
   ?engine_config:Engine.Scheduler.config ->
+  ?registry:Corpus.Registry.t ->
   ?triage:Triage.config ->
   unit ->
   system_result list * Engine.Stats.t
 
 (** [run_engine] with the default engine, rows only. *)
-val run : ?config:Pipeline.config -> unit -> system_result list
+val run :
+  ?config:Pipeline.config ->
+  ?registry:Corpus.Registry.t ->
+  unit ->
+  system_result list
 
 val print : system_result list -> string
 

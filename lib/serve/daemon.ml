@@ -27,6 +27,9 @@ type config = {
   cache_dir : string option;
   drain_after_eof : bool;
   triage : Triage.config option;
+  registry : Corpus.Registry.t;
+      (** the corpus the daemon serves: case lookups, system assembly and
+          learned books all resolve against this value *)
 }
 
 let default_config =
@@ -38,6 +41,7 @@ let default_config =
     cache_dir = None;
     drain_after_eof = false;
     triage = Some Triage.default_config;
+    registry = Corpus.Registry.builtin;
   }
 
 type t = {
@@ -201,7 +205,9 @@ let book_for_system (t : t) (system : string) : Semantics.Rulebook.t =
   match Hashtbl.find_opt t.books key with
   | Some b -> b
   | None ->
-      let b = Lisa.System_scan.learn_system_book system in
+      let b =
+        Lisa.System_scan.learn_system_book ~registry:t.cfg.registry system
+      in
       Hashtbl.replace t.books key b;
       b
 
@@ -227,16 +233,18 @@ type resolved = {
 }
 
 let resolve (t : t) (req : Protocol.request) : (resolved, string) result =
+  let reg = t.cfg.registry in
   match req.Protocol.req_version with
   | None -> Error "missing \"version\" (target release)"
-  | Some version when version < 0 || version > Corpus.Registry.max_version ->
+  | Some version
+    when version < 0 || version > reg.Corpus.Registry.max_version ->
       Error
         (Printf.sprintf "version %d out of range 0..%d" version
-           Corpus.Registry.max_version)
+           reg.Corpus.Registry.max_version)
   | Some version -> (
       match (req.Protocol.req_case, req.Protocol.req_system) with
       | Some case_id, _ -> (
-          match Corpus.Registry.find_case case_id with
+          match Corpus.Registry.find reg case_id with
           | None -> Error (Printf.sprintf "unknown case %S" case_id)
           | Some c ->
               let tickets = Corpus.Case.tickets c in
@@ -253,20 +261,20 @@ let resolve (t : t) (req : Protocol.request) : (resolved, string) result =
                     rv_system = system;
                     rv_version = version;
                     rv_program =
-                      Corpus.Registry.system_program system ~version;
+                      Corpus.Registry.program_of reg system ~version;
                     rv_book = book_for_case t c which ticket;
                   })
       | None, Some system ->
-          if not (List.mem system Corpus.Registry.systems) then
+          if not (List.mem system reg.Corpus.Registry.systems) then
             Error
               (Printf.sprintf "unknown system %S (known: %s)" system
-                 (String.concat ", " Corpus.Registry.systems))
+                 (String.concat ", " reg.Corpus.Registry.systems))
           else
             Ok
               {
                 rv_system = system;
                 rv_version = version;
-                rv_program = Corpus.Registry.system_program system ~version;
+                rv_program = Corpus.Registry.program_of reg system ~version;
                 rv_book = book_for_system t system;
               }
       | None, None -> Error "request needs \"system\" or \"case\"")

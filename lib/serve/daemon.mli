@@ -30,6 +30,10 @@ type config = {
           disabled config) renders the v1-identical tier-less wire form.
           On by default: replay only runs when there are findings, so
           clean verdicts pay nothing. *)
+  registry : Corpus.Registry.t;
+      (** the corpus the daemon serves: case lookups, system assembly
+          and learned books all resolve against this value (default the
+          builtin corpus) *)
 }
 
 val default_config : config

@@ -3,4 +3,4 @@ let () =
     (Test_core.suite @ Test_minilang.suite @ Test_smt.suite @ Test_diffing.suite @ Test_analysis.suite
    @ Test_symexec.suite @ Test_semantics.suite @ Test_oracle.suite
    @ Test_corpus.suite @ Test_pipeline.suite @ Test_lisa.suite @ Test_edgecases.suite @ Test_report.suite @ Test_integration.suite @ Test_fix.suite @ Test_misc.suite @ Test_engine.suite @ Test_resilience.suite
-   @ Test_telemetry.suite @ Test_serve.suite @ Test_triage.suite)
+   @ Test_telemetry.suite @ Test_serve.suite @ Test_triage.suite @ Test_synth.suite)
