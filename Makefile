@@ -17,7 +17,9 @@ TRACE_SPANS = engine.enforce engine.incremental engine.prepare \
   counter:smt.assume.push counter:smt.assume.pop counter:smt.propagations \
   counter:smt.learned counter:smt.trie.nodes counter:smt.trie.shared \
   counter:core.shard.contention counter:smt.memo.local_hits \
-  counter:smt.learned.batched
+  counter:smt.learned.batched counter:smt.fastpath.interval \
+  counter:smt.fastpath.bcp counter:smt.fastpath.subsumed \
+  counter:smt.fastpath.saved counter:smt.memo.local_evict
 
 # Names the serve-daemon trace must mention (tools/serve_smoke.sh
 # passes these to trace_check after driving the daemon).
@@ -36,7 +38,10 @@ SCALE_TRACE_SPANS = corpus.synth counter:corpus.synth.cases
 # suite, the serial/parallel/incremental equivalence checks (with a
 # trace-export smoke), the chaos fault-injection invariants — both on
 # the zookeeper slice of the E11 workload — the incremental-solver
-# smoke (verdict byte-identity plus the never-loses wall-time gate),
+# smoke (verdict byte-identity plus the never-loses wall-time gate,
+# and the pre-solver fast-path leg asserting searches are actually
+# retired — saved > 0 with >= 25% fewer full solves — on byte-identical
+# verdicts),
 # the witness-replay triage smoke (zero-loss, injected-FP demotion,
 # determinism, triage.* trace names), and the serve-daemon smoke
 # (overload shed, warm-restart byte identity, corrupted-snapshot cold
@@ -69,8 +74,10 @@ trace:
 
 # Synthetic-corpus scaling acceptance, smoke version: scales 1x/2x,
 # every gate on (generator determinism, Case.validate, zero-loss planted
-# detection, jobs=1 vs jobs=4 byte identity, CI regression gating),
-# with the corpus.synth span/counter validated in the recorded trace.
+# detection, jobs=2/4/8 byte identity to the jobs=1 reference, fast-path
+# off/on byte identity with >= 25% fewer full solves at 1x, CI
+# regression gating), with the corpus.synth span/counter validated in
+# the recorded trace.
 scale-smoke:
 	dune exec bench/main.exe -- --experiment scale --smoke --trace trace-scale-smoke.json && dune exec tools/trace_check.exe -- trace-scale-smoke.json $(SCALE_TRACE_SPANS)
 

@@ -275,8 +275,17 @@ let judge_hits (config : config) ~(condition : Smt.Formula.t)
       hits;
     let results = Array.make (List.length hits) None in
     let ctx = Smt.Solver.create_context () in
-    Smt.Pctrie.walk trie
-      ~enter:(fun f -> Smt.Solver.push ctx f)
+    (* Fast-path rung 3: once a prefix's literal set is theory-
+       inconsistent, every query below it entails that prefix and is
+       Unsat — answer the whole subtree without touching the solver.
+       This is exactly the verdict the per-leaf solve would reach (an
+       assumption context with an inconsistent prefix short-circuits to
+       Unsat), so verdicts stay byte-identical with pruning off. *)
+    let fastpath = Smt.Solver.fastpath_enabled () in
+    Smt.Pctrie.walk_pruned trie
+      ~enter:(fun f ->
+        Smt.Solver.push ctx f;
+        not (fastpath && not (Smt.Solver.assumptions_consistent ctx)))
       ~leave:(fun _ -> Smt.Solver.pop ctx)
       ~leaf:(fun (i, (h : Symexec.Concolic.hit)) ->
         let pc = Symexec.Concolic.hit_pc_formula h in
@@ -284,6 +293,15 @@ let judge_hits (config : config) ~(condition : Smt.Formula.t)
           match config.method_ with
           | Complement -> Smt.Memo.check_trace_in ctx ~pc ~checker:condition
           | Direct -> Smt.Memo.check_trace_direct_in ctx ~pc ~checker:condition
+        in
+        results.(i) <- Some (mk h pc result))
+      ~pruned:(fun (i, (h : Symexec.Concolic.hit)) ->
+        Smt.Solver.note_trie_subsumed ();
+        let pc = Symexec.Concolic.hit_pc_formula h in
+        let result =
+          match config.method_ with
+          | Complement -> Smt.Solver.Verified (* pc ∧ ¬condition unsat *)
+          | Direct -> Smt.Solver.Violation [] (* pc ∧ condition unsat *)
         in
         results.(i) <- Some (mk h pc result));
     Array.to_list results |> List.map Option.get

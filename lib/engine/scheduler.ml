@@ -159,7 +159,19 @@ let trace_cache_counters t =
     Trace.counter "smt.trie.nodes"
       [ ("count", float_of_int s.Stats.trie_nodes) ];
     Trace.counter "smt.trie.shared"
-      [ ("count", float_of_int s.Stats.trie_shared) ]
+      [ ("count", float_of_int s.Stats.trie_shared) ];
+    (* pre-solver fast-path ladder: abstract-domain refutations, root
+       BCP conflicts, trie-subtree subsumptions, total searches saved *)
+    Trace.counter "smt.fastpath.interval"
+      [ ("count", float_of_int s.Stats.fastpath_interval) ];
+    Trace.counter "smt.fastpath.bcp"
+      [ ("count", float_of_int s.Stats.fastpath_bcp) ];
+    Trace.counter "smt.fastpath.subsumed"
+      [ ("count", float_of_int s.Stats.fastpath_subsumed) ];
+    Trace.counter "smt.fastpath.saved"
+      [ ("count", float_of_int s.Stats.fastpath_saved) ];
+    Trace.counter "smt.memo.local_evict"
+      [ ("count", float_of_int s.Stats.memo_local_evict) ]
   end
 
 (** Enforce a rulebook against a program version through the engine. *)
@@ -181,6 +193,11 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   and batched0 = Smt.Solver.learned_batch_count () in
   let trie_nodes0 = Smt.Pctrie.nodes_total ()
   and trie_shared0 = Smt.Pctrie.shared_total () in
+  let fp_interval0 = Smt.Solver.fastpath_interval_count ()
+  and fp_bcp0 = Smt.Solver.fastpath_bcp_count ()
+  and fp_subsumed0 = Smt.Solver.fastpath_subsumed_count ()
+  and fp_saved0 = Smt.Solver.fastpath_saved_count ()
+  and local_evict0 = Smt.Memo.local_evictions () in
   let memo_was = Smt.Memo.enabled () in
   Smt.Memo.set_enabled cfg.smt_cache;
   Fun.protect ~finally:(fun () -> Smt.Memo.set_enabled memo_was) @@ fun () ->
@@ -391,6 +408,21 @@ let enforce (t : t) (p : Ast.program) (book : Semantics.Rulebook.t) :
   Stats.bump
     ~by:(Smt.Pctrie.shared_total () - trie_shared0)
     t.recorder Stats.Trie_shared;
+  Stats.bump
+    ~by:(Smt.Solver.fastpath_interval_count () - fp_interval0)
+    t.recorder Stats.Fastpath_interval;
+  Stats.bump
+    ~by:(Smt.Solver.fastpath_bcp_count () - fp_bcp0)
+    t.recorder Stats.Fastpath_bcp;
+  Stats.bump
+    ~by:(Smt.Solver.fastpath_subsumed_count () - fp_subsumed0)
+    t.recorder Stats.Fastpath_subsumed;
+  Stats.bump
+    ~by:(Smt.Solver.fastpath_saved_count () - fp_saved0)
+    t.recorder Stats.Fastpath_saved;
+  Stats.bump
+    ~by:(Smt.Memo.local_evictions () - local_evict0)
+    t.recorder Stats.Memo_local_evict;
   Stats.add_wall t.recorder (Clock.now () -. t0);
   trace_cache_counters t;
   reports_in_order

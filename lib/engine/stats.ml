@@ -49,6 +49,17 @@ type t = {
           runs *)
   trie_nodes : int;  (** path-condition trie nodes built during our runs *)
   trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
+  fastpath_interval : int;
+      (** solver queries retired by the abstract-domain pre-solver *)
+  fastpath_bcp : int;  (** queries retired by the root-BCP-only check *)
+  fastpath_subsumed : int;
+      (** trie leaf queries answered by prefix-Unsat subtree pruning *)
+  fastpath_saved : int;
+      (** full DPLL(T) searches avoided (sum of the fast-path rungs) *)
+  memo_local_evict : int;
+      (** domain-local SMT front-cache resets forced by the cap *)
+  memo_fill_ratio : float;
+      (** global SMT memo store occupancy at snapshot time, 0..1 *)
   wall_s : float;  (** total [enforce] wall time *)
   job_times : job_time list;  (** newest first, bounded by the ring *)
   retries : int;  (** failed jobs re-run after backoff *)
@@ -79,6 +90,11 @@ type counter =
   | Learned_batched
   | Trie_nodes
   | Trie_shared
+  | Fastpath_interval
+  | Fastpath_bcp
+  | Fastpath_subsumed
+  | Fastpath_saved
+  | Memo_local_evict
   | Retries
   | Degraded_jobs
 
@@ -102,6 +118,11 @@ let counter_name = function
   | Learned_batched -> "learned_batched"
   | Trie_nodes -> "trie_nodes"
   | Trie_shared -> "trie_shared"
+  | Fastpath_interval -> "fastpath_interval"
+  | Fastpath_bcp -> "fastpath_bcp"
+  | Fastpath_subsumed -> "fastpath_subsumed"
+  | Fastpath_saved -> "fastpath_saved"
+  | Memo_local_evict -> "memo_local_evict"
   | Retries -> "retries"
   | Degraded_jobs -> "degraded_jobs"
 
@@ -201,6 +222,12 @@ let snapshot r : t =
     learned_batched = read r Learned_batched;
     trie_nodes = read r Trie_nodes;
     trie_shared = read r Trie_shared;
+    fastpath_interval = read r Fastpath_interval;
+    fastpath_bcp = read r Fastpath_bcp;
+    fastpath_subsumed = read r Fastpath_subsumed;
+    fastpath_saved = read r Fastpath_saved;
+    memo_local_evict = read r Memo_local_evict;
+    memo_fill_ratio = Smt.Memo.fill_ratio ();
     wall_s = Telemetry.Metrics.getf (r.ns ^ ".wall_s");
     job_times;
     retries = read r Retries;
@@ -211,6 +238,14 @@ let snapshot r : t =
 (** SMT verdict-cache hits: solver invocations that never happened. *)
 let solver_calls_saved (s : t) : int = s.smt_hits
 
+(* Memo-pressure reporting is opt-in so the default [to_string] stays
+   byte-identical across configurations and PRs. *)
+let memo_pressure_flag = Atomic.make false
+
+let set_memo_pressure b = Atomic.set memo_pressure_flag b
+
+let memo_pressure_enabled () = Atomic.get memo_pressure_flag
+
 let to_string (s : t) : string =
   let base =
     Fmt.str
@@ -220,6 +255,12 @@ let to_string (s : t) : string =
       s.enforcements s.jobs_run s.report_hits s.report_misses
       s.incremental_reuses s.smt_hits s.smt_misses s.solver_calls
       (solver_calls_saved s) s.wall_s
+  in
+  let base =
+    if not (memo_pressure_enabled ()) then base
+    else
+      Fmt.str "%s, memo pressure %d local evict(s) %.3f fill" base
+        s.memo_local_evict s.memo_fill_ratio
   in
   (* Resilience counters only appear once something went wrong, so the
      healthy-run string is byte-identical to the pre-resilience engine. *)

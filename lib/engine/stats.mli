@@ -40,6 +40,17 @@ type t = {
   learned_batched : int;  (** learned clauses published via batch flushes *)
   trie_nodes : int;  (** path-condition trie nodes built during our runs *)
   trie_shared : int;  (** trie nodes shared by >= 2 path conditions *)
+  fastpath_interval : int;
+      (** solver queries retired by the abstract-domain pre-solver *)
+  fastpath_bcp : int;  (** queries retired by the root-BCP-only check *)
+  fastpath_subsumed : int;
+      (** trie leaf queries answered by prefix-Unsat subtree pruning *)
+  fastpath_saved : int;
+      (** full DPLL(T) searches avoided (sum of the fast-path rungs) *)
+  memo_local_evict : int;
+      (** domain-local SMT front-cache resets forced by the cap *)
+  memo_fill_ratio : float;
+      (** global SMT memo store occupancy at snapshot time, 0..1 *)
   wall_s : float;
   job_times : job_time list;  (** newest first, bounded by the ring *)
   retries : int;  (** failed jobs re-run after backoff *)
@@ -68,6 +79,11 @@ type counter =
   | Learned_batched
   | Trie_nodes
   | Trie_shared
+  | Fastpath_interval
+  | Fastpath_bcp
+  | Fastpath_subsumed
+  | Fastpath_saved
+  | Memo_local_evict
   | Retries
   | Degraded_jobs
 
@@ -100,6 +116,14 @@ val snapshot : recorder -> t
 
 (** SMT verdict-cache hits: solver invocations that never happened. *)
 val solver_calls_saved : t -> int
+
+(** Opt-in memo-pressure reporting: when enabled, {!to_string} appends
+    the front-cache eviction count and global-store fill ratio.  Off by
+    default so the healthy-run string stays byte-identical across
+    configurations. *)
+val set_memo_pressure : bool -> unit
+
+val memo_pressure_enabled : unit -> bool
 
 val to_string : t -> string
 

@@ -1,0 +1,34 @@
+(** Sound abstract pre-solver: interval + constant + null/not-null
+    evaluation over interned formulas.
+
+    The first rung of the solver's fast-path ladder (see
+    [lib/smt/README.md]).  Facts are derived from a formula's top-level
+    literal conjuncts only — every derivation and refutation rule
+    mirrors a check the DPLL(T) theory layer enforces, so a definite
+    answer always agrees with {!Solver.solve}:
+
+    - {!refute} [f = true] implies the solver answers [Unsat] (or would
+      answer it with an unlimited node budget);
+    - {!eval} [f = A_sat] implies the solver answers [Sat _]: Sat is
+      only claimed from a concrete witness environment confirmed by
+      {!Formula.eval}.
+
+    [Unknown] is always allowed; the fast path is a filter, never an
+    oracle.  Results for {!refute} are memoized on the simplified
+    formula's hash-cons id in a bounded table shared across domains. *)
+
+type verdict = A_sat | A_unsat | A_unknown
+
+(** Decide the formula abstractly: [A_unsat] and [A_sat] are definite
+    (sound both ways), [A_unknown] means the domain cannot tell.  Used
+    by the qcheck agreement suite; the solver hot path uses {!refute}. *)
+val eval : Formula.t -> verdict
+
+(** [true] iff the abstract domain proves the formula unsatisfiable.
+    Memoized; this is what the solver's fast path calls. *)
+val refute : Formula.t -> bool
+
+(** Entries in the refutation memo (diagnostics). *)
+val memo_size : unit -> int
+
+val reset_memo : unit -> unit

@@ -75,6 +75,12 @@ let misses () = Atomic.get miss_count
 
 let local_hits () = Atomic.get local_hit_count
 
+(* Front-cache resets forced by the per-domain cap — eviction pressure:
+   a hot workload whose working set exceeds [local_cap] churns here. *)
+let local_evict_count = Atomic.make 0
+
+let local_evictions () = Atomic.get local_evict_count
+
 let size () =
   Array.fold_left
     (fun acc sh ->
@@ -83,6 +89,14 @@ let size () =
       Mutex.unlock sh.sh_lock;
       acc + n)
     0 shards
+
+(* Global store occupancy in [0, 1]: live entries over total capacity
+   across all shards.  A ratio pinned near 1.0 under a growing workload
+   means the store is insert-saturated and cold formulas can no longer
+   be admitted. *)
+let fill_ratio () =
+  float_of_int (size ())
+  /. float_of_int (Array.length shards * max_entries_per_shard)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-local front cache                                            *)
@@ -116,7 +130,10 @@ let local () =
   l
 
 let store_local (l : local) (key : int) (v : Solver.verdict) : unit =
-  if Hashtbl.length l.l_tbl >= local_cap then Hashtbl.reset l.l_tbl;
+  if Hashtbl.length l.l_tbl >= local_cap then begin
+    Atomic.incr local_evict_count;
+    Hashtbl.reset l.l_tbl
+  end;
   Hashtbl.replace l.l_tbl key v
 
 (** Eagerly create (or epoch-sync) the calling domain's front cache;

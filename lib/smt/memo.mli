@@ -73,8 +73,19 @@ val misses : unit -> int
     the [smt.memo.local_hits] telemetry counter. *)
 val local_hits : unit -> int
 
+(** Domain-local front-cache resets forced by the per-domain cap —
+    eviction pressure.  Surfaced as the [smt.memo.local_evict]
+    telemetry counter and in [Stats.to_string] behind the
+    memo-pressure flag. *)
+val local_evictions : unit -> int
+
 (** Number of formulas currently cached in the global store. *)
 val size : unit -> int
+
+(** Global store occupancy in [0, 1]: {!size} over the total capacity
+    across all shards.  Pinned near 1.0 means the store is
+    insert-saturated for the current workload. *)
+val fill_ratio : unit -> float
 
 (** Clear the global store, zero the counters, and lazily invalidate
     every domain's front cache (epoch bump — a domain drops its local

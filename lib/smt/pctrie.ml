@@ -86,15 +86,39 @@ let add (t : 'a t) ~(pc : Formula.t list) (payload : 'a) : unit =
   in
   go t.root pc
 
+(** Pruned depth-first walk: [enter f] returns whether to descend.  When
+    it answers [false] the node's entire subtree is subsumed — every
+    payload below it (own leaves first, then descendants, in the same
+    deterministic insertion order the plain walk would use) goes to
+    [pruned] without any further [enter]/[leave], and only the pruned
+    node's own [leave f] still runs so the caller can pop what it
+    pushed. *)
+let walk_pruned (t : 'a t) ~(enter : Formula.t -> bool)
+    ~(leave : Formula.t -> unit) ~(leaf : 'a -> unit) ~(pruned : 'a -> unit) :
+    unit =
+  let rec drop node =
+    List.iter pruned (List.rev node.nd_leaves);
+    List.iter drop (List.rev node.nd_children)
+  in
+  let rec visit node =
+    let descend = match node.nd_form with Some f -> enter f | None -> true in
+    if descend then begin
+      List.iter leaf (List.rev node.nd_leaves);
+      List.iter visit (List.rev node.nd_children)
+    end
+    else drop node;
+    match node.nd_form with Some f -> leave f | None -> ()
+  in
+  visit t.root
+
 (** Depth-first walk: [enter f] when descending an edge, every leaf
     payload at the node (insertion order), children (insertion order),
     then [leave f] when ascending. *)
 let walk (t : 'a t) ~(enter : Formula.t -> unit) ~(leave : Formula.t -> unit)
     ~(leaf : 'a -> unit) : unit =
-  let rec visit node =
-    (match node.nd_form with Some f -> enter f | None -> ());
-    List.iter leaf (List.rev node.nd_leaves);
-    List.iter visit (List.rev node.nd_children);
-    match node.nd_form with Some f -> leave f | None -> ()
-  in
-  visit t.root
+  walk_pruned t
+    ~enter:(fun f ->
+      enter f;
+      true)
+    ~leave ~leaf
+    ~pruned:(fun _ -> ())

@@ -27,6 +27,22 @@ val walk :
   leaf:('a -> unit) ->
   unit
 
+(** Like {!walk}, but [enter] decides whether to descend.  Answering
+    [false] subsumes the node's whole subtree: every payload below it is
+    handed to [pruned] — own leaves first, then descendants, in the same
+    deterministic order {!walk} would visit them — with no further
+    [enter]/[leave] calls; the refused node's own [leave] still runs so
+    a caller using an assumption context pops what [enter] pushed.  The
+    checker uses this to answer every query under a prefix already
+    proved Unsat without touching the solver. *)
+val walk_pruned :
+  'a t ->
+  enter:(Formula.t -> bool) ->
+  leave:(Formula.t -> unit) ->
+  leaf:('a -> unit) ->
+  pruned:('a -> unit) ->
+  unit
+
 (** {2 Statistics} *)
 
 val node_count : 'a t -> int

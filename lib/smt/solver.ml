@@ -61,6 +61,49 @@ let propagation_count () = Atomic.get propagations
 
 let learned_count () = Atomic.get learned_conflicts
 
+(* ------------------------------------------------------------------ *)
+(* Pre-solver fast path (Absdom / BCP / trie subsumption)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The fast path is result-preserving (an Unsat short-circuit carries no
+   payload), so the flag deliberately does not participate in any cache
+   key: it can change the cost of a verdict, never the verdict.  On by
+   default; the bench flips it to measure saved full solves. *)
+let fastpath_flag = Atomic.make true
+
+let set_fastpath_enabled b = Atomic.set fastpath_flag b
+
+let fastpath_enabled () = Atomic.get fastpath_flag
+
+(* Queries retired per rung of the ladder, plus the total of full
+   DPLL(T) searches actually run ([full_solves]) — the bench's
+   reduction metric is full_solves(on) vs full_solves(off). *)
+let fastpath_interval = Atomic.make 0
+
+let fastpath_bcp = Atomic.make 0
+
+let fastpath_subsumed = Atomic.make 0
+
+let fastpath_saved = Atomic.make 0
+
+let full_solves = Atomic.make 0
+
+let fastpath_interval_count () = Atomic.get fastpath_interval
+
+let fastpath_bcp_count () = Atomic.get fastpath_bcp
+
+let fastpath_subsumed_count () = Atomic.get fastpath_subsumed
+
+let fastpath_saved_count () = Atomic.get fastpath_saved
+
+let full_solve_count () = Atomic.get full_solves
+
+(* The checker reports trie-subtree prunes here so all fast-path
+   counters live in one place. *)
+let note_trie_subsumed () =
+  Atomic.incr fastpath_subsumed;
+  Atomic.incr fastpath_saved
+
 let lits_of_assign (assign : (Formula.atom * bool) list) : Theory.lit list =
   List.map (fun (a, sign) -> Theory.lit sign a) assign
 
@@ -658,12 +701,13 @@ exception Budget_hit
 (* ------------------------------------------------------------------ *)
 
 (* Decide satisfiability of an already-simplified, non-trivial formula.
+   [pr] is the root propagation state built by [prop_create cp] (shared
+   with the fast path's BCP check so the root propagation runs once).
    [Some model] / [None] / raises [Budget_hit]. *)
-let search_compiled ~(budget : int) (cp : compiled) :
+let search_compiled ~(budget : int) (pr : prop) (cp : compiled) :
     (Formula.atom * bool) list option =
   let n = Array.length cp.cp_atoms in
   let tval = Array.make (max 1 n) 0 in
-  let pr = prop_create cp in
   let nodes = ref 0 in
   let rec search assign keys remaining =
     incr nodes;
@@ -748,23 +792,45 @@ let solve_untraced ?node_budget ?(prefix_unsat = false) (f : Formula.t) :
         | _ when prefix_unsat ->
             Resilience.Breaker.success Resilience.Fault.Solver;
             Unsat
+        | _ when Atomic.get fastpath_flag && Absdom.refute f ->
+            (* rung 1: the abstract domain proved the conjunct facts
+               refute the formula — Unsat carries no payload, so the
+               short-circuit is byte-identical to the search's answer *)
+            Atomic.incr fastpath_interval;
+            Atomic.incr fastpath_saved;
+            Resilience.Breaker.success Resilience.Fault.Solver;
+            Unsat
         | _ ->
-            let v =
-              match search_compiled ~budget (compile f) with
-              | Some model ->
-                  Resilience.Breaker.success Resilience.Fault.Solver;
-                  Sat model
-              | None ->
-                  Resilience.Breaker.success Resilience.Fault.Solver;
-                  Unsat
-              | exception Budget_hit ->
-                  Resilience.Breaker.failure Resilience.Fault.Solver;
-                  Unknown (Fmt.str "node budget %d exhausted" budget)
-            in
-            (* end-of-solve flush: publish this search's conflicts so
-               sibling domains (and later solves) prune on them *)
-            flush_learned ();
-            v)
+            let cp = compile f in
+            let pr = prop_create cp in
+            if Atomic.get fastpath_flag && not pr.pr_enabled then begin
+              (* rung 2: root BCP over the clausal NNF view hit a
+                 conflict; the clause set is entailed by [f], so a root
+                 conflict proves Unsat without searching *)
+              Atomic.incr fastpath_bcp;
+              Atomic.incr fastpath_saved;
+              Resilience.Breaker.success Resilience.Fault.Solver;
+              Unsat
+            end
+            else begin
+              Atomic.incr full_solves;
+              let v =
+                match search_compiled ~budget pr cp with
+                | Some model ->
+                    Resilience.Breaker.success Resilience.Fault.Solver;
+                    Sat model
+                | None ->
+                    Resilience.Breaker.success Resilience.Fault.Solver;
+                    Unsat
+                | exception Budget_hit ->
+                    Resilience.Breaker.failure Resilience.Fault.Solver;
+                    Unknown (Fmt.str "node budget %d exhausted" budget)
+              in
+              (* end-of-solve flush: publish this search's conflicts so
+                 sibling domains (and later solves) prune on them *)
+              flush_learned ();
+              v
+            end)
 
 (* The traced wrapper only pays for the span and the latency histogram
    while tracing is on; the healthy fast path is one atomic load. *)
@@ -779,6 +845,15 @@ let solve_traced ?node_budget ?prefix_unsat (f : Formula.t) : verdict =
     v
 
 let solve ?node_budget (f : Formula.t) : verdict = solve_traced ?node_budget f
+
+(* Test hook for the qcheck soundness suite: does root BCP alone (rung 2
+   of the fast path) refute the formula? *)
+let bcp_refutes (f : Formula.t) : bool =
+  let f = Formula.simplify f in
+  match Formula.view f with
+  | Formula.False -> true
+  | Formula.True -> false
+  | _ -> not (prop_create (compile f)).pr_enabled
 
 (* ------------------------------------------------------------------ *)
 (* Assumption contexts                                                 *)

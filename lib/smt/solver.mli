@@ -102,6 +102,46 @@ val assume_pop_count : unit -> int
 (** Literals implied by two-watched-literal unit propagation. *)
 val propagation_count : unit -> int
 
+(** {2 Pre-solver fast path}
+
+    A ladder of sound Unsat filters run before the DPLL(T) search:
+    {!Absdom.refute} (interval/constant/null abstract evaluation), a
+    root-BCP-only check over the clausal NNF view, and — in the
+    checker's trie walk — subsumption of whole subtrees under a prefix
+    already proved inconsistent.  Every rung is result-preserving (an
+    Unsat short-circuit carries no payload), so the toggle changes
+    query cost, never a verdict, and is deliberately absent from every
+    cache key.  Enabled by default; the bench flips it off to measure
+    the saved full solves. *)
+
+val set_fastpath_enabled : bool -> unit
+
+val fastpath_enabled : unit -> bool
+
+(** Queries retired by the abstract domain (rung 1). *)
+val fastpath_interval_count : unit -> int
+
+(** Queries retired by root BCP alone (rung 2). *)
+val fastpath_bcp_count : unit -> int
+
+(** Leaf queries answered by trie-subtree subsumption (rung 3; bumped by
+    the engine checker via {!note_trie_subsumed}). *)
+val fastpath_subsumed_count : unit -> int
+
+(** Total full DPLL(T) searches avoided (sum of the rungs). *)
+val fastpath_saved_count : unit -> int
+
+(** Full DPLL(T) searches actually run.  The bench's reduction metric is
+    this counter's delta with the fast path on vs off. *)
+val full_solve_count : unit -> int
+
+(** Record one trie-subtree subsumption (called by [Engine.Checker]). *)
+val note_trie_subsumed : unit -> unit
+
+(** Does root BCP alone refute the formula?  Test hook for the qcheck
+    soundness suite; the solve path folds this into its fast path. *)
+val bcp_refutes : Formula.t -> bool
+
 (** Decide satisfiability.  A [Sat] model assigns a sign to each canonical
     atom of the (simplified) formula.  The search visits at most
     [node_budget] nodes and answers [Unknown] past it; injected faults

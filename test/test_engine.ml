@@ -468,6 +468,37 @@ let test_trie_equals_per_trace_jobs4 () =
   Alcotest.(check (list string))
     "identical reports, trie vs per-trace, jobs=4" per_trace trie
 
+(* ------------------------------------------------------------------ *)
+(* Pre-solver fast path: byte-identical reports, on vs off             *)
+(* ------------------------------------------------------------------ *)
+
+let with_fastpath enabled f =
+  let was = Smt.Solver.fastpath_enabled () in
+  Smt.Solver.set_fastpath_enabled enabled;
+  Fun.protect ~finally:(fun () -> Smt.Solver.set_fastpath_enabled was) f
+
+(* The fast-path ladder (abstract domain, root BCP, trie subsumption)
+   may only change cost, never answers: whole-scan reports must be
+   byte-identical with it pinned off, at both pool widths. *)
+let test_fastpath_equals_full_jobs1 () =
+  let off =
+    with_fastpath false (fun () -> fst (scan Engine.Scheduler.default_config))
+  in
+  let on_ =
+    with_fastpath true (fun () -> fst (scan Engine.Scheduler.default_config))
+  in
+  Alcotest.(check (list string))
+    "identical reports, fast path on vs off, jobs=1" off on_
+
+let test_fastpath_equals_full_jobs4 () =
+  let jobs4 =
+    { Engine.Scheduler.default_config with Engine.Scheduler.jobs = 4 }
+  in
+  let off = with_fastpath false (fun () -> fst (scan jobs4)) in
+  let on_ = with_fastpath true (fun () -> fst (scan jobs4)) in
+  Alcotest.(check (list string))
+    "identical reports, fast path on vs off, jobs=4" off on_
+
 (* The fault-tolerance contract must survive the trie checker (on by
    default): one-seed zookeeper chaos smoke, all invariants green. *)
 let test_chaos_smoke_with_trie () =
@@ -538,5 +569,12 @@ let suite =
           test_trie_equals_per_trace_jobs4;
         Alcotest.test_case "chaos smoke with trie on" `Slow
           test_chaos_smoke_with_trie;
+      ] );
+    ( "engine.fastpath",
+      [
+        Alcotest.test_case "fast path == full search, jobs=1" `Quick
+          test_fastpath_equals_full_jobs1;
+        Alcotest.test_case "fast path == full search, jobs=4" `Quick
+          test_fastpath_equals_full_jobs4;
       ] );
   ]

@@ -423,12 +423,83 @@ let prop_learning_never_changes_verdicts =
       in
       render_verdict with_learning = render_verdict without_learning)
 
+(* ------------------------------------------------------------------ *)
+(* Pre-solver fast path: abstract domain + BCP soundness                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with the fast path pinned off, so a property checks against
+   the genuine DPLL(T) search rather than Absdom agreeing with itself. *)
+let with_fastpath_off f =
+  Solver.set_fastpath_enabled false;
+  Fun.protect ~finally:(fun () -> Solver.set_fastpath_enabled true) f
+
+(* The abstract evaluator may say Unknown, never wrong: A_unsat only on
+   formulas the full search also refutes, A_sat only on formulas it also
+   satisfies. *)
+let prop_absdom_never_wrong =
+  QCheck.Test.make ~count:500 ~name:"Absdom.eval sound vs the full search"
+    gen_formula (fun f ->
+      let full = with_fastpath_off (fun () -> Solver.solve f) in
+      match Absdom.eval f with
+      | Absdom.A_unsat -> (
+          match full with Solver.Sat _ -> false | _ -> true)
+      | Absdom.A_sat -> ( match full with Solver.Unsat -> false | _ -> true)
+      | Absdom.A_unknown -> true)
+
+(* Absdom.refute is the Unsat-only entry the solver drives: a refuted
+   formula is also unsat by brute force over the generator's domain. *)
+let prop_absdom_refute_sound =
+  QCheck.Test.make ~count:500 ~name:"Absdom.refute only refutes unsat formulas"
+    gen_formula (fun f ->
+      (not (Absdom.refute f)) || not (brute_force_sat f))
+
+(* The root-BCP rung: if unit propagation alone closes the root, the
+   formula really is unsat. *)
+let prop_bcp_refutes_sound =
+  QCheck.Test.make ~count:500 ~name:"root BCP only refutes unsat formulas"
+    gen_formula (fun f ->
+      (not (Solver.bcp_refutes f)) || not (brute_force_sat f))
+
+(* The whole ladder is invisible in answers: verdict and model rendered
+   byte-identical with the fast path on vs off. *)
+let prop_fastpath_verdicts_identical =
+  QCheck.Test.make ~count:500
+    ~name:"fast path on vs off: byte-identical verdicts" gen_formula (fun f ->
+      let off = with_fastpath_off (fun () -> Solver.solve f) in
+      Solver.set_fastpath_enabled true;
+      let on_ = Solver.solve f in
+      render_verdict off = render_verdict on_)
+
+let test_absdom_interval_conflict () =
+  (* x > 5 && x < 3: empty interval, refuted without any search *)
+  let f = Formula.(conj [ gt (v "x") (i 5); lt (v "x") (i 3) ]) in
+  Alcotest.(check bool) "empty interval refuted" true (Absdom.refute f);
+  Alcotest.(check bool) "eval agrees" true (Absdom.eval f = Absdom.A_unsat)
+
+let test_absdom_witness_sat () =
+  (* x == 2 && y > 1: the abstract domain can build and confirm a
+     concrete witness *)
+  let f = Formula.(conj [ eq (v "x") (i 2); gt (v "y") (i 1) ]) in
+  Alcotest.(check bool) "witness confirmed" true (Absdom.eval f = Absdom.A_sat)
+
+let test_absdom_var_var_unknown () =
+  (* x < y constrains two unbounded variables: out of the domain's
+     reach, must stay Unknown rather than guess *)
+  let f = Formula.(lt (v "x") (v "y")) in
+  Alcotest.(check bool) "var-var order unknown" true
+    (Absdom.eval f = Absdom.A_unknown)
+
 (* Learned clauses flow through the domain-local pending buffer and are
    published by the end-of-solve flush: a solve that learns conflicts
    advances both the learned count and the batched-publication count,
    and an explicit flush on a drained buffer is a no-op. *)
 let test_learned_batched_publication () =
   Solver.reset_learned ();
+  (* the abstract-domain fast path would retire this query before the
+     search learns anything; pin it off — learning is what's under test *)
+  Solver.set_fastpath_enabled false;
+  Fun.protect ~finally:(fun () -> Solver.set_fastpath_enabled true)
+  @@ fun () ->
   let batched0 = Solver.learned_batch_count () in
   let learned0 = Solver.learned_count () in
   (* x > 5 && x < 3 is boolean-satisfiable but theory-inconsistent:
@@ -528,6 +599,19 @@ let suite =
         Alcotest.test_case "validity" `Quick test_solver_validity;
         Alcotest.test_case "entailment" `Quick test_solver_entails;
         Alcotest.test_case "equivalence" `Quick test_solver_equivalence;
+      ] );
+    ( "smt.fastpath",
+      [
+        Alcotest.test_case "interval conflict refuted" `Quick
+          test_absdom_interval_conflict;
+        Alcotest.test_case "witness-confirmed sat" `Quick
+          test_absdom_witness_sat;
+        Alcotest.test_case "var-var order stays unknown" `Quick
+          test_absdom_var_var_unknown;
+        QCheck_alcotest.to_alcotest prop_absdom_never_wrong;
+        QCheck_alcotest.to_alcotest prop_absdom_refute_sound;
+        QCheck_alcotest.to_alcotest prop_bcp_refutes_sound;
+        QCheck_alcotest.to_alcotest prop_fastpath_verdicts_identical;
       ] );
     ( "smt.context",
       [

@@ -9,7 +9,10 @@
    export writes one event per line, so the check is per-line (used for
    the engine's smt.* solver-core counters).  Exit 0 on success, 1 with
    a message otherwise.  Used by `make trace`, the `make check` trace
-   smoke (the engine's pipeline spans and smt.* solver-core counters),
+   smoke (the engine's pipeline spans and smt.* solver-core counters,
+   including the pre-solver fast-path ladder `smt.fastpath.interval` /
+   `smt.fastpath.bcp` / `smt.fastpath.subsumed` / `smt.fastpath.saved`
+   and the cache-pressure series `smt.memo.local_evict`),
    the serve-daemon smoke, which requires the `serve.request` span and
    the `counter:serve.queue` depth/shed series, and the witness-replay
    triage smoke (`make triage`), which requires the `triage.witness`
